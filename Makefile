@@ -1,0 +1,32 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python3
+
+.PHONY: install test bench figures report examples all clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.cli all --trials 100 --no-plot --out results
+
+report:
+	$(PYTHON) -m repro.cli report --out results/REPORT.md
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+all: test bench figures report
+
+clean:
+	rm -rf .pytest_cache .hypothesis build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

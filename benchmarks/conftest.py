@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one bench module (``test_bench_<id>.py``) that
+regenerates it at reduced trial counts, asserts the paper's qualitative
+shape, and reports timing through pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Ablation benches (``test_bench_ablation_*.py``) measure the design choices
+DESIGN.md calls out: randomization schedules, per-round remapping, the
+Algorithm 2 delta, insert-once, and group-parallel scaling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Trials per measured point.  Small enough to keep the full harness quick,
+#: large enough that the qualitative shape assertions are stable.
+BENCH_TRIALS = 10
+BENCH_SEED = 2025
+
+
+@pytest.fixture
+def bench_trials() -> int:
+    return BENCH_TRIALS
+
+
+@pytest.fixture
+def bench_seed() -> int:
+    return BENCH_SEED

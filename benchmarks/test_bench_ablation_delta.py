@@ -1,0 +1,41 @@
+"""Ablation: Algorithm 2's minimum random range delta.
+
+Delta widens the noise range downwards when a node's contribution crowds the
+incoming vector.  It must not affect correctness (noise stays strictly below
+the k-th real value by construction); a larger delta spreads noise lower,
+which can slightly slow the vector's climb.
+"""
+
+from repro.core.params import ProtocolParams
+from repro.core.schedule import ExponentialSchedule
+from repro.experiments.config import TrialSetup
+from repro.experiments.runner import mean_precision_by_round, run_trials
+
+from conftest import BENCH_SEED, BENCH_TRIALS
+
+ROUNDS = 8
+
+
+def measure(trials: int, seed: int) -> dict[float, list[float]]:
+    """delta -> per-round mean precision."""
+    outcome = {}
+    for delta in (1.0, 50.0, 500.0):
+        params = ProtocolParams(
+            schedule=ExponentialSchedule(p0=1.0, d=0.5),
+            rounds=ROUNDS,
+            delta=delta,
+        )
+        setup = TrialSetup(
+            n=8, k=4, params=params, trials=trials, values_per_node=8, seed=seed
+        )
+        results = run_trials(setup)
+        outcome[delta] = [y for _, y in mean_precision_by_round(results, ROUNDS)]
+    return outcome
+
+
+def test_bench_ablation_delta(benchmark):
+    outcome = benchmark(measure, BENCH_TRIALS, BENCH_SEED)
+    # Correctness is delta-independent: everyone converges to exact top-k.
+    for delta, curve in outcome.items():
+        assert curve[-1] == 1.0, delta
+        assert curve == sorted(curve), delta

@@ -1,0 +1,56 @@
+"""Ablation: group-parallel max (Section 4.2) vs the flat ring.
+
+Grouping trades a modest message overhead (the combiner ring) for much lower
+wall-clock latency, because groups run concurrently.  Also checks the
+analytic cost model against the simulator's actual message counts.
+"""
+
+import random
+
+from repro.analysis.efficiency import grouped_total_messages, total_messages
+from repro.core.driver import RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.database.query import Domain, TopKQuery
+from repro.extensions.groups import run_grouped_max
+
+from conftest import BENCH_SEED
+
+QUERY = TopKQuery(table="t", attribute="v", k=1, domain=Domain(1, 10_000))
+N_NODES = 64
+GROUP_SIZE = 8
+
+
+def measure(seed: int) -> dict[str, dict[str, float]]:
+    rng = random.Random(seed)
+    vectors = {f"n{i}": [float(rng.randint(1, 10_000))] for i in range(N_NODES)}
+    params = ProtocolParams.paper_defaults()
+    flat = run_protocol_on_vectors(vectors, QUERY, RunConfig(params=params, seed=seed))
+    grouped = run_grouped_max(
+        vectors, QUERY, group_size=GROUP_SIZE, params=params, seed=seed
+    )
+    truth = max(v[0] for v in vectors.values())
+    return {
+        "flat": {
+            "messages": flat.stats.messages_total,
+            "seconds": flat.simulated_seconds,
+            "exact": float(flat.final_vector[0] == truth),
+        },
+        "grouped": {
+            "messages": grouped.messages_total,
+            "seconds": grouped.simulated_seconds,
+            "exact": float(grouped.final_value == truth),
+        },
+    }
+
+
+def test_bench_ablation_groups(benchmark):
+    outcome = benchmark(measure, BENCH_SEED)
+    assert outcome["flat"]["exact"] == 1.0
+    assert outcome["grouped"]["exact"] == 1.0
+    # Grouping wins wall-clock by at least the parallelism factor's margin.
+    assert outcome["grouped"]["seconds"] < outcome["flat"]["seconds"] / 2
+    # Message overhead stays within the analytic model's envelope.
+    model = grouped_total_messages(N_NODES, GROUP_SIZE, 1.0, 0.5, 1e-3)
+    flat_model = total_messages(N_NODES, 1.0, 0.5, 1e-3)
+    assert outcome["grouped"]["messages"] <= model * 1.05
+    assert outcome["flat"]["messages"] <= flat_model * 1.05

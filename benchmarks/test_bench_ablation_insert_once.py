@@ -1,0 +1,48 @@
+"""Ablation: Algorithm 2's "a node only does this once" rule.
+
+Reproduction finding: the rule is load-bearing for *correctness* — a node
+that naively re-merges in later rounds double-counts its own
+already-inserted values (it cannot tell them apart from other nodes' equal
+values in the multiset union) and the global vector fills with duplicates.
+The library's re-insertion mode therefore tracks what the node inserted and
+excludes circulating copies; this bench verifies both modes converge and
+that the paper's rule never leaks more than tracked re-insertion.
+"""
+
+from repro.core.params import ProtocolParams
+from repro.core.schedule import ExponentialSchedule
+from repro.experiments.config import TrialSetup
+from repro.experiments.runner import (
+    aggregate_node_lop,
+    mean_final_precision,
+    run_trials,
+)
+
+from conftest import BENCH_SEED
+
+ROUNDS = 10
+
+
+def measure(trials: int, seed: int) -> dict[str, tuple[float, float]]:
+    outcome = {}
+    for label, insert_once in (("insert-once", True), ("re-insert", False)):
+        params = ProtocolParams(
+            schedule=ExponentialSchedule(p0=1.0, d=0.5),
+            rounds=ROUNDS,
+            insert_once=insert_once,
+        )
+        setup = TrialSetup(
+            n=8, k=4, params=params, trials=trials, values_per_node=8, seed=seed
+        )
+        results = run_trials(setup)
+        average, _ = aggregate_node_lop(results)
+        outcome[label] = (mean_final_precision(results), average)
+    return outcome
+
+
+def test_bench_ablation_insert_once(benchmark):
+    outcome = benchmark(measure, 20, BENCH_SEED)
+    assert outcome["insert-once"][0] == 1.0
+    assert outcome["re-insert"][0] == 1.0
+    # The paper's rule never leaks more than re-insertion.
+    assert outcome["insert-once"][1] <= outcome["re-insert"][1] + 0.02

@@ -1,0 +1,66 @@
+"""Ablation: noise placement strategies (Section 7's design axis).
+
+Where injected noise lands inside the admissible range trades convergence
+speed against how informative the noise is about the hider's value: a
+high-biased strategy climbs faster (noise nearer the hidden value), a
+low-biased one discloses less but shields downstream nodes less.  The paper
+uses uniform; this bench quantifies the alternatives.
+"""
+
+from repro.core.noise import HighBiasedNoise, LowBiasedNoise, UniformNoise
+from repro.core.params import ProtocolParams
+from repro.core.schedule import ExponentialSchedule
+from repro.experiments.config import TrialSetup
+from repro.experiments.runner import (
+    aggregate_node_lop,
+    mean_precision_by_round,
+    run_trials,
+)
+
+from conftest import BENCH_SEED
+
+ROUNDS = 8
+STRATEGIES = {
+    "uniform": UniformNoise(),
+    "high-biased": HighBiasedNoise(order=3),
+    "low-biased": LowBiasedNoise(order=3),
+}
+
+
+def measure(trials: int, seed: int) -> dict[str, dict[str, float]]:
+    outcome = {}
+    for label, strategy in STRATEGIES.items():
+        params = ProtocolParams(
+            schedule=ExponentialSchedule(1.0, 0.5), rounds=ROUNDS, noise=strategy
+        )
+        setup = TrialSetup(n=8, k=1, params=params, trials=trials, seed=seed)
+        results = run_trials(setup)
+        curve = mean_precision_by_round(results, ROUNDS)
+        average, _ = aggregate_node_lop(results)
+        outcome[label] = {
+            "round2_precision": curve[1][1],
+            "final_precision": curve[-1][1],
+            "avg_lop": average,
+        }
+    return outcome
+
+
+def test_bench_ablation_noise(benchmark):
+    outcome = benchmark(measure, 40, BENCH_SEED)
+    # Correctness holds for every strategy (noise is range-bounded).
+    for label, stats in outcome.items():
+        assert stats["final_precision"] == 1.0, label
+    # Measured finding: noise placement drives value-exposure LoP through
+    # how fast the global value climbs.  High-biased noise lifts the vector
+    # quickly, so few nodes ever reveal (LoP ~0.01 at n=8); low-biased noise
+    # keeps it low and pushes LoP toward the naive baseline (~0.17 vs ~0.2).
+    # The flip side — high-biased noise correlates with the hider's value —
+    # shows up on the *distribution*-exposure axis instead (ext-bayes).
+    assert (
+        outcome["high-biased"]["avg_lop"]
+        < outcome["uniform"]["avg_lop"]
+        < outcome["low-biased"]["avg_lop"]
+    )
+    # Even the worst strategy stays below the naive baseline (~0.2 at n=8).
+    for label, stats in outcome.items():
+        assert stats["avg_lop"] < 0.2, label

@@ -1,0 +1,32 @@
+"""Ablation: per-round ring remapping (Section 4.3 collusion countermeasure).
+
+A static ring leaves each node between the same two neighbours for the whole
+run; remapping changes the neighbourhood every round, diluting what a fixed
+colluding pair can accumulate against one victim.  Measured by the coalition
+LoP estimator.
+"""
+
+from repro.core.params import ProtocolParams
+from repro.experiments.config import TrialSetup
+from repro.experiments.runner import aggregate_coalition_lop, run_trials
+
+from conftest import BENCH_SEED
+
+
+def measure(trials: int, seed: int) -> dict[str, float]:
+    outcome = {}
+    for label, remap in (("static", False), ("remap", True)):
+        params = ProtocolParams.paper_defaults(rounds=8, remap_each_round=remap)
+        setup = TrialSetup(n=6, k=1, params=params, trials=trials, seed=seed)
+        results = run_trials(setup)
+        average, _ = aggregate_coalition_lop(results)
+        outcome[label] = average
+    return outcome
+
+
+def test_bench_ablation_remap(benchmark):
+    outcome = benchmark(measure, 40, BENCH_SEED)
+    # Remapping must not make collusion exposure worse; correctness of both
+    # configurations is covered by the unit suite.
+    assert outcome["remap"] <= outcome["static"] * 1.25
+    assert 0.0 <= outcome["remap"] <= 1.0

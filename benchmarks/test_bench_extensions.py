@@ -1,0 +1,70 @@
+"""Benches for the extension experiments and the deployment substrates."""
+
+from repro.core.params import ProtocolParams
+from repro.database.query import Domain, TopKQuery
+from repro.deploy import run_tcp_topk
+from repro.experiments.figures import ext_bayes, ext_collusion, ext_communication
+from repro.extensions import PrivateKNNClassifier, PrivateParty
+
+from conftest import BENCH_SEED
+
+import random
+
+
+def test_bench_ext_communication(benchmark):
+    panels = benchmark(ext_communication.run, trials=5, seed=BENCH_SEED)
+    messages = panels[0]
+    for variant in ("flat", "grouped"):
+        measured = messages.series_by_label(f"{variant} measured")
+        model = messages.series_by_label(f"{variant} model")
+        for x, y in measured.points:
+            assert y <= model.y_at(x) * 1.05
+
+
+def test_bench_ext_collusion(benchmark):
+    panels = benchmark(ext_collusion.run, trials=10, seed=BENCH_SEED)
+    sandwich = panels[1]
+    assert sandwich.series_by_label("remap each round").y_at(32.0) < 0.5
+
+
+def test_bench_ext_bayes(benchmark):
+    figure = benchmark(ext_bayes.run, trials=40, seed=BENCH_SEED)[0]
+    gains = {s.label: s.ys[-1] for s in figure.series}
+    assert gains["p0=1.0"] < gains["p0=0.25"]
+
+
+def test_bench_tcp_deployment(benchmark):
+    vectors = {
+        "acme": [100.0, 900.0],
+        "bravo": [9000.0],
+        "corex": [7000.0, 6500.0],
+        "delta": [5.0],
+    }
+    query = TopKQuery(table="t", attribute="v", k=2, domain=Domain(1, 10_000))
+    params = ProtocolParams.paper_defaults(rounds=4)
+
+    outcome = benchmark.pedantic(
+        run_tcp_topk,
+        args=(vectors, query),
+        kwargs={"params": params, "seed": BENCH_SEED},
+        rounds=3,
+        iterations=1,
+    )
+    assert outcome.final_vector == [9000.0, 7000.0]
+
+
+def test_bench_knn_classify(benchmark):
+    rng = random.Random(BENCH_SEED)
+    parties = []
+    for i in range(4):
+        party = PrivateParty(f"org{i}")
+        for _ in range(30):
+            if rng.random() < 0.5:
+                party.add((rng.gauss(0, 1), rng.gauss(0, 1)), "blue")
+            else:
+                party.add((rng.gauss(4, 1), rng.gauss(4, 1)), "red")
+        parties.append(party)
+    classifier = PrivateKNNClassifier(parties, k=7, seed=BENCH_SEED)
+
+    prediction = benchmark(classifier.classify, (0.0, 0.0))
+    assert prediction.label == "blue"

@@ -1,0 +1,22 @@
+"""Bench: Figure 10 — LoP vs nodes: probabilistic vs naive baselines."""
+
+from repro.experiments.figures import fig10
+
+from conftest import BENCH_SEED, BENCH_TRIALS
+
+
+def test_bench_fig10(benchmark):
+    panels = benchmark(fig10.run, trials=BENCH_TRIALS, seed=BENCH_SEED)
+    panel_a, panel_b = panels
+    # Paper shape: probabilistic far below both naive variants on average;
+    # fixed-start naive has an extreme worst case at every n.
+    for n in (4.0, 64.0):
+        assert panel_a.series_by_label("probabilistic").y_at(n) < panel_a.series_by_label(
+            "naive"
+        ).y_at(n)
+    for _, worst in panel_b.series_by_label("naive").points:
+        assert worst > 0.6
+    for n in (8.0, 64.0):
+        assert panel_b.series_by_label("anonymous-naive").y_at(n) < panel_b.series_by_label(
+            "naive"
+        ).y_at(n)

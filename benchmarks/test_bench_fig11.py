@@ -1,0 +1,13 @@
+"""Bench: Figure 11 — measured top-k precision vs rounds for varying k."""
+
+from repro.experiments.figures import fig11
+
+from conftest import BENCH_SEED, BENCH_TRIALS
+
+
+def test_bench_fig11(benchmark):
+    figure = benchmark(fig11.run, trials=BENCH_TRIALS, seed=BENCH_SEED)[0]
+    # Paper shape: every k reaches 100% precision; k barely affects speed.
+    for series in figure.series:
+        assert series.ys[-1] == 1.0
+        assert series.ys == sorted(series.ys)

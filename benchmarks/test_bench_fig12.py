@@ -1,0 +1,18 @@
+"""Bench: Figure 12 — LoP vs k: probabilistic vs naive baselines."""
+
+from repro.experiments.figures import fig12
+
+from conftest import BENCH_SEED, BENCH_TRIALS
+
+
+def test_bench_fig12(benchmark):
+    panels = benchmark(fig12.run, trials=BENCH_TRIALS, seed=BENCH_SEED)
+    panel_a, panel_b = panels
+    # Paper shape: probabilistic below naive for every k, but increasing in k.
+    prob = panel_a.series_by_label("probabilistic")
+    naive = panel_a.series_by_label("naive")
+    for k in (1.0, 8.0, 16.0):
+        assert prob.y_at(k) < naive.y_at(k)
+    assert prob.ys[-1] > prob.ys[0]
+    for _, worst in panel_b.series_by_label("naive").points:
+        assert worst > 0.6

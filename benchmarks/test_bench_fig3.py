@@ -1,0 +1,19 @@
+"""Bench: Figure 3 — analytic precision bound vs rounds (Equation 3)."""
+
+from repro.experiments.figures import fig3
+
+
+def test_bench_fig3(benchmark):
+    panels = benchmark(fig3.run)
+    panel_a, panel_b = panels
+    # Paper shape: bound monotone to ~1; smaller p0 higher in round 1.
+    for panel in panels:
+        for series in panel.series:
+            assert series.ys == sorted(series.ys)
+            assert series.ys[-1] > 0.99
+    assert panel_a.series_by_label("p0=0.25").y_at(1) > panel_a.series_by_label(
+        "p0=1.0"
+    ).y_at(1)
+    assert panel_b.series_by_label("d=0.25").y_at(3) > panel_b.series_by_label(
+        "d=0.75"
+    ).y_at(3)

@@ -1,0 +1,20 @@
+"""Bench: Figure 4 — minimum rounds vs precision guarantee (Equation 4)."""
+
+from repro.experiments.figures import fig4
+
+
+def test_bench_fig4(benchmark):
+    panels = benchmark(fig4.run)
+    panel_a, panel_b = panels
+    # Paper shape: r_min grows O(sqrt(log 1/eps)); d dominates.
+    for panel in panels:
+        for series in panel.series:
+            assert series.ys == sorted(series.ys)
+    eps = 1e-7
+    p0_spread = panel_a.series_by_label("p0=1.0").y_at(eps) - panel_a.series_by_label(
+        "p0=0.25"
+    ).y_at(eps)
+    d_spread = panel_b.series_by_label("d=0.75").y_at(eps) - panel_b.series_by_label(
+        "d=0.25"
+    ).y_at(eps)
+    assert d_spread > p0_spread

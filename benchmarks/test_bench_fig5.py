@@ -1,0 +1,17 @@
+"""Bench: Figure 5 — analytic expected LoP per round (Equation 6)."""
+
+from repro.experiments.figures import fig5
+
+
+def test_bench_fig5(benchmark):
+    panels = benchmark(fig5.run)
+    panel_a, panel_b = panels
+    # Paper shape: p0=1 is 0 in round 1 and peaks in round 2; larger p0
+    # lowers the peak; smaller d raises it.
+    p1 = panel_a.series_by_label("p0=1.0")
+    assert p1.y_at(1) == 0.0
+    assert p1.y_at(2) == max(p1.ys)
+    assert max(p1.ys) < max(panel_a.series_by_label("p0=0.25").ys)
+    assert max(panel_b.series_by_label("d=0.25").ys) > max(
+        panel_b.series_by_label("d=0.75").ys
+    )

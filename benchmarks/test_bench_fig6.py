@@ -1,0 +1,14 @@
+"""Bench: Figure 6 — measured precision of max selection vs rounds."""
+
+from repro.experiments.figures import fig6
+
+from conftest import BENCH_SEED, BENCH_TRIALS
+
+
+def test_bench_fig6(benchmark):
+    panels = benchmark(fig6.run, trials=BENCH_TRIALS, seed=BENCH_SEED)
+    # Paper shape: precision climbs to 100% for every parameter choice.
+    for panel in panels:
+        for series in panel.series:
+            assert series.ys == sorted(series.ys)
+            assert series.ys[-1] == 1.0

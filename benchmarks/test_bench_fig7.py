@@ -1,0 +1,18 @@
+"""Bench: Figure 7 — measured per-round LoP of max selection (n=4)."""
+
+from repro.experiments.figures import fig7
+
+from conftest import BENCH_SEED
+
+
+def test_bench_fig7(benchmark):
+    # LoP curves need more trials than precision curves to stabilize.
+    panels = benchmark(fig7.run, trials=40, seed=BENCH_SEED)
+    panel_a, panel_b = panels
+    # Paper shape: p0=1 has zero loss in round 1 and peaks in round 2.
+    p1 = panel_a.series_by_label("p0=1.0")
+    assert p1.y_at(1) == 0.0
+    assert p1.y_at(2) == max(p1.ys)
+    # Every d-series (p0=1) starts at zero.
+    for series in panel_b.series:
+        assert series.y_at(1) == 0.0

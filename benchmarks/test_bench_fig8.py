@@ -1,0 +1,13 @@
+"""Bench: Figure 8 — measured LoP vs number of nodes."""
+
+from repro.experiments.figures import fig8
+
+from conftest import BENCH_SEED, BENCH_TRIALS
+
+
+def test_bench_fig8(benchmark):
+    panels = benchmark(fig8.run, trials=BENCH_TRIALS, seed=BENCH_SEED)
+    # Paper shape: LoP decreases as the system grows.
+    for panel in panels:
+        for series in panel.series:
+            assert series.ys[0] >= series.ys[-1]

@@ -1,0 +1,16 @@
+"""Bench: Figure 9 — privacy/efficiency tradeoff over (p0, d) pairs."""
+
+from repro.experiments.figures import fig9
+
+from conftest import BENCH_SEED, BENCH_TRIALS
+
+
+def test_bench_fig9(benchmark):
+    figure = benchmark(fig9.run, trials=BENCH_TRIALS, seed=BENCH_SEED)[0]
+    # Paper shape: d dominates the round cost...
+    assert figure.series_by_label("d=0.25").points[-1][1] < figure.series_by_label(
+        "d=0.75"
+    ).points[-1][1]
+    # ...and within a d-series, raising p0 does not hurt privacy.
+    half = figure.series_by_label("d=0.5")
+    assert half.points[-1][0] <= half.points[0][0]

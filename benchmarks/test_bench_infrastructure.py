@@ -1,0 +1,68 @@
+"""Micro-benchmarks of supporting infrastructure (not paper artifacts).
+
+Trace persistence, SQL parsing, the channel cipher and the secure-sum ring
+all sit on hot paths of deployments; these benches keep their costs visible.
+"""
+
+import random
+
+from repro.core.driver import RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.core.serialization import result_from_dict, result_to_dict
+from repro.database.query import Domain, TopKQuery
+from repro.extensions.securesum import run_secure_sum
+from repro.federation.sql import parse
+from repro.network.crypto import ChannelKey
+
+from conftest import BENCH_SEED
+
+
+def _sample_result():
+    rng = random.Random(BENCH_SEED)
+    vectors = {
+        f"n{i}": [float(rng.randint(1, 10_000)) for _ in range(3)] for i in range(10)
+    }
+    query = TopKQuery(table="t", attribute="v", k=5, domain=Domain(1, 10_000))
+    params = ProtocolParams.paper_defaults(rounds=6)
+    return run_protocol_on_vectors(vectors, query, RunConfig(params=params, seed=1))
+
+
+def test_bench_trace_round_trip(benchmark):
+    result = _sample_result()
+
+    def round_trip():
+        return result_from_dict(result_to_dict(result))
+
+    restored = benchmark(round_trip)
+    assert restored.final_vector == result.final_vector
+
+
+def test_bench_sql_parse(benchmark):
+    statements = [
+        "SELECT TOP 5 revenue FROM sales",
+        "SELECT MAX(revenue) FROM sales",
+        "SELECT AVG(weight) FROM shipments",
+    ]
+
+    def parse_all():
+        return [parse(s) for s in statements]
+
+    parsed = benchmark(parse_all)
+    assert [s.operation for s in parsed] == ["TOP", "MAX", "AVG"]
+
+
+def test_bench_channel_cipher(benchmark):
+    key = ChannelKey(b"k" * 32)
+    payload = b"x" * 512
+
+    def seal_open():
+        return key.decrypt(key.encrypt(payload))
+
+    assert benchmark(seal_open) == payload
+
+
+def test_bench_secure_sum(benchmark):
+    values = {f"p{i}": float(i * 11 + 3) for i in range(12)}
+
+    outcome = benchmark(run_secure_sum, values, seed=BENCH_SEED)
+    assert outcome.total == sum(values.values())

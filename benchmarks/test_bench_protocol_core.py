@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the protocol core: single runs at increasing scale.
+
+Not a paper artifact — these track the simulator's own performance so
+regressions in the hot path (message codec, merge, local algorithms) are
+visible.
+"""
+
+import random
+
+import pytest
+
+from repro.core.driver import RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.database.query import Domain, TopKQuery
+
+from conftest import BENCH_SEED
+
+DOMAIN = Domain(1, 10_000)
+
+
+def make_vectors(n: int, per_node: int, seed: int) -> dict[str, list[float]]:
+    rng = random.Random(seed)
+    return {
+        f"n{i}": [float(rng.randint(1, 10_000)) for _ in range(per_node)]
+        for i in range(n)
+    }
+
+
+@pytest.mark.parametrize("n", [10, 50, 200])
+def test_bench_max_run(benchmark, n):
+    vectors = make_vectors(n, 1, BENCH_SEED)
+    query = TopKQuery(table="t", attribute="v", k=1, domain=DOMAIN)
+    params = ProtocolParams.paper_defaults()
+
+    result = benchmark(
+        run_protocol_on_vectors, vectors, query, RunConfig(params=params, seed=1)
+    )
+    assert result.is_exact()
+
+
+@pytest.mark.parametrize("k", [5, 20])
+def test_bench_topk_run(benchmark, k):
+    vectors = make_vectors(20, 2 * k, BENCH_SEED)
+    query = TopKQuery(table="t", attribute="v", k=k, domain=DOMAIN)
+    params = ProtocolParams.paper_defaults()
+
+    result = benchmark(
+        run_protocol_on_vectors, vectors, query, RunConfig(params=params, seed=1)
+    )
+    assert result.is_exact()
+
+
+def test_bench_encrypted_run(benchmark):
+    vectors = make_vectors(20, 1, BENCH_SEED)
+    query = TopKQuery(table="t", attribute="v", k=1, domain=DOMAIN)
+
+    result = benchmark(
+        run_protocol_on_vectors, vectors, query, RunConfig(seed=1, encrypt=True)
+    )
+    assert result.is_exact()

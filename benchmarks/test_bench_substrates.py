@@ -1,0 +1,65 @@
+"""Wall-clock comparison of the three execution substrates.
+
+Same protocol, same seed, same inputs — measured on the in-memory simulator,
+the thread-per-party TCP deployment, and the asyncio event loop.  The
+simulator should win by orders of magnitude (that is why experiments run on
+it); the two socket substrates document the real cost of process-local
+deployment.
+"""
+
+import random
+
+from repro.core.driver import RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.database.query import Domain, TopKQuery
+from repro.deploy import run_tcp_topk
+from repro.deploy.async_runner import run_async_topk
+
+from conftest import BENCH_SEED
+
+DOMAIN = Domain(1, 10_000)
+N_PARTIES = 6
+PARAMS_ROUNDS = 4
+
+
+def make_inputs():
+    rng = random.Random(BENCH_SEED)
+    vectors = {
+        f"p{i}": [float(rng.randint(1, 10_000)) for _ in range(3)]
+        for i in range(N_PARTIES)
+    }
+    query = TopKQuery(table="t", attribute="v", k=2, domain=DOMAIN)
+    params = ProtocolParams.paper_defaults(rounds=PARAMS_ROUNDS)
+    return vectors, query, params
+
+
+def test_bench_substrate_simulator(benchmark):
+    vectors, query, params = make_inputs()
+    result = benchmark(
+        run_protocol_on_vectors, vectors, query, RunConfig(params=params, seed=1)
+    )
+    assert result.is_exact()
+
+
+def test_bench_substrate_threads(benchmark):
+    vectors, query, params = make_inputs()
+    outcome = benchmark.pedantic(
+        run_tcp_topk,
+        args=(vectors, query),
+        kwargs={"params": params, "seed": 1},
+        rounds=3,
+        iterations=1,
+    )
+    assert outcome.is_exact()
+
+
+def test_bench_substrate_asyncio(benchmark):
+    vectors, query, params = make_inputs()
+    outcome = benchmark.pedantic(
+        run_async_topk,
+        args=(vectors, query),
+        kwargs={"params": params, "seed": 1},
+        rounds=3,
+        iterations=1,
+    )
+    assert outcome.is_exact()

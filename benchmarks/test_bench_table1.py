@@ -1,0 +1,10 @@
+"""Bench: Table 1 — parameter glossary rendering (trivially fast; included
+so every paper artifact has a bench target)."""
+
+from repro.experiments.figures import table1
+
+
+def test_bench_table1(benchmark):
+    text = benchmark(table1.run)
+    assert "dampening factor" in text
+    assert "p0" in text

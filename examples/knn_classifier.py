@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Privacy-preserving kNN classification across hospitals (Section 7).
+
+The paper's stated future work — "a privacy preserving kNN classifier on
+top of the topk protocol" — realized with this library's primitives: the
+bottom-k distance selection runs the probabilistic protocol, and the class
+vote tally runs additive-masking secure sums, so no hospital reveals its
+patients' records.
+
+Four hospitals hold labelled patient measurements (two synthetic biomarkers;
+diagnosis "benign" or "elevated").  A clinician at any hospital classifies a
+new patient against the *combined* knowledge of all four without any data
+pooling.
+
+Run:  python examples/knn_classifier.py
+"""
+
+import random
+
+from repro.extensions import PrivateKNNClassifier, PrivateParty
+
+HOSPITALS = ("st-junipers", "lakeside", "mercy-general", "north-clinic")
+
+#: Cluster centres of the two diagnosis classes in biomarker space.
+CENTRES = {"benign": (2.0, 3.0), "elevated": (6.5, 7.0)}
+
+
+def build_hospital(name: str, rng: random.Random, patients: int = 40) -> PrivateParty:
+    party = PrivateParty(name)
+    for _ in range(patients):
+        label = rng.choice(list(CENTRES))
+        cx, cy = CENTRES[label]
+        party.add((rng.gauss(cx, 1.0), rng.gauss(cy, 1.0)), label)
+    return party
+
+
+def main() -> None:
+    rng = random.Random(17)
+    hospitals = [build_hospital(name, rng) for name in HOSPITALS]
+    classifier = PrivateKNNClassifier(hospitals, k=9, seed=17)
+
+    new_patients = [
+        ("patient A (clearly benign profile)", (2.1, 2.8)),
+        ("patient B (clearly elevated profile)", (6.8, 7.2)),
+        ("patient C (borderline profile)", (4.3, 5.0)),
+    ]
+
+    for description, features in new_patients:
+        prediction = classifier.classify(features)
+        votes = ", ".join(f"{label}={count}" for label, count in sorted(prediction.votes.items()))
+        print(description)
+        print(f"  features            : {features}")
+        print(f"  diagnosis           : {prediction.label}")
+        print(f"  neighbour votes     : {votes}")
+        print(
+            "  nearest distances   : "
+            + ", ".join(f"{d:.2f}" for d in prediction.neighbour_distances)
+        )
+        print(f"  protocol messages   : {prediction.messages_total}")
+        print()
+
+    print(
+        "Each classification ran one bottom-k distance protocol plus one "
+        "secure sum per class label; hospitals exchanged only randomized "
+        "distance vectors and mask-blinded vote tallies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""What a malicious participant can do — and what it costs everyone else.
+
+The paper analyses the semi-honest model and defers the malicious model to
+future work, naming two attacks (Section 2.1): *spoofing* (a fabricated
+dataset pollutes the result) and *hiding* (a free-rider withholds its data
+but still learns everyone else's answer).  This example runs both against a
+consortium of honest manufacturers comparing contract bids, quantifies the
+damage, and contrasts the exposure profile of the kth-ranked-element
+comparator from the related work.
+
+Run:  python examples/malicious_actors.py
+"""
+
+import random
+
+from repro import PAPER_DOMAIN, RunConfig, TopKQuery
+from repro.extensions import (
+    kth_largest,
+    run_hiding_attack,
+    run_spoofing_attack,
+)
+
+N_HONEST = 6
+K = 3
+
+
+def honest_bids(rng: random.Random) -> dict[str, list[float]]:
+    return {
+        f"mfg{i}": [float(rng.randint(1000, 9500)) for _ in range(8)]
+        for i in range(N_HONEST)
+    }
+
+
+def main() -> None:
+    rng = random.Random(23)
+    honest = honest_bids(rng)
+    query = TopKQuery(table="bids", attribute="amount", k=K, domain=PAPER_DOMAIN)
+    truth = sorted((v for vs in honest.values() for v in vs), reverse=True)[:K]
+    print(f"honest parties' true top-{K} bids: {truth}")
+    print()
+
+    # -- spoofing: claim the ceiling and poison the statistics ---------------
+    outcome = run_spoofing_attack(honest, query, config=RunConfig(seed=1))
+    print("SPOOFING (attacker reports k copies of the domain maximum)")
+    print(f"  returned result      : {outcome.returned}")
+    print(f"  pollution            : {outcome.pollution():.0%} of the result is fabricated")
+    print(f"  honest values shown  : {outcome.honest_truth}")
+    print(
+        "  the semi-honest protocol cannot detect this: a spoofed value is "
+        "indistinguishable from a real one."
+    )
+    print()
+
+    # -- hiding: free-ride on everyone else's data ----------------------------
+    secret = [9900.0, 9800.0]
+    outcome = run_hiding_attack(
+        honest, query, true_values=secret, hide_fraction=1.0, config=RunConfig(seed=2)
+    )
+    print("HIDING (attacker withholds its two record bids, learns the rest)")
+    print(f"  returned result      : {outcome.returned}")
+    print(f"  should have been     : {outcome.full_truth}")
+    print(f"  result error vs full : {outcome.pollution():.0%}")
+    print(f"  honest info leakage  : {outcome.suppression():.0%} (nothing honest was suppressed)")
+    print()
+
+    # -- partial hiding sweep ---------------------------------------------------
+    print("partial hiding: result error as the attacker hides more of its data")
+    for fraction in (0.0, 0.5, 1.0):
+        outcome = run_hiding_attack(
+            honest, query, true_values=secret, hide_fraction=fraction,
+            config=RunConfig(seed=3),
+        )
+        print(f"  hide {fraction:>4.0%}  ->  pollution {outcome.pollution():>4.0%}")
+    print()
+
+    # -- the comparator's different disclosure profile ---------------------------
+    result = kth_largest(honest, K, PAPER_DOMAIN, seed=4)
+    print("for contrast: the kth-ranked-element comparator (related work)")
+    print(f"  kth largest bid      : {result.value} (exact)")
+    print(f"  aggregate counts it published: {result.comparisons} "
+          f"(one per domain probe — more aggregate disclosure than top-k)")
+    print(f"  messages             : {result.messages_total}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Competing retailers compare top sales without opening their books.
+
+The paper's motivating scenario (Section 1): "a group of competing retail
+companies in the same market sector may wish to find out statistics about
+their sales, such as the top sales revenue among them, but to keep the
+sales data private at the same time."
+
+Five retailers build realistic sales tables (store, region, revenue), agree
+on a public revenue domain, and compare three protocols on the same query:
+the naive ring, the anonymous-naive ring, and the paper's probabilistic
+protocol — reporting correctness, cost, and loss of privacy for each.
+
+Run:  python examples/retail_sales.py
+"""
+
+import random
+
+from repro import (
+    ANONYMOUS_NAIVE,
+    NAIVE,
+    PROBABILISTIC,
+    PrivateDatabase,
+    RunConfig,
+    Schema,
+    TopKQuery,
+    average_lop,
+    run_topk_query,
+    worst_case_lop,
+)
+
+RETAILERS = ("acme", "bravo-mart", "corex", "dealz", "emporium")
+REGIONS = ("north", "south", "east", "west")
+
+
+def build_retailer(name: str, rng: random.Random) -> PrivateDatabase:
+    """One retailer's private sales database: 60 store-quarter rows."""
+    db = PrivateDatabase(name)
+    sales = db.create_table(
+        "sales",
+        Schema.of(("revenue", "INTEGER"), ("store", "TEXT"), ("region", "TEXT")),
+    )
+    sales.insert_many(
+        {
+            "revenue": rng.randint(1, 10_000),
+            "store": f"{name}-store-{i}",
+            "region": rng.choice(REGIONS),
+        }
+        for i in range(60)
+    )
+    return db
+
+
+def main() -> None:
+    rng = random.Random(2005)  # the year the paper appeared
+    retailers = [build_retailer(name, rng) for name in RETAILERS]
+    query = TopKQuery(table="sales", attribute="revenue", k=3)
+
+    print("Each retailer's local top-3 (private — shown here for reference):")
+    for db in retailers:
+        print(f"  {db.owner:<12} {db.local_topk(query)}")
+    print()
+
+    header = f"{'protocol':<18} {'top-3 revenue':<28} {'msgs':>5} {'avg LoP':>8} {'worst LoP':>10}"
+    print(header)
+    print("-" * len(header))
+    for protocol in (NAIVE, ANONYMOUS_NAIVE, PROBABILISTIC):
+        # Averages over repeated runs: LoP is a statistical quantity.
+        totals = {"avg": 0.0, "worst": 0.0, "msgs": 0}
+        trials = 20
+        answer = None
+        for seed in range(trials):
+            result = run_topk_query(
+                retailers, query, RunConfig(protocol=protocol, seed=seed)
+            )
+            answer = result.answer()
+            totals["avg"] += average_lop(result)
+            totals["worst"] += worst_case_lop(result)
+            totals["msgs"] += result.stats.messages_total
+        print(
+            f"{protocol:<18} {str(answer):<28} "
+            f"{totals['msgs'] // trials:>5} "
+            f"{totals['avg'] / trials:>8.4f} "
+            f"{totals['worst'] / trials:>10.4f}"
+        )
+
+    print()
+    print(
+        "The probabilistic protocol pays a few extra rounds of messages and, "
+        "in exchange, cuts the loss of privacy by an order of magnitude — "
+        "and unlike the naive ring, no retailer's book value is ever "
+        "provably exposed to its ring successor."
+    )
+
+
+if __name__ == "__main__":
+    main()

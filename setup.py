@@ -1,0 +1,4 @@
+"""Legacy shim: lets `pip install -e .` work offline (no wheel package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro — reproduction of "Topk Queries across Multiple Private Databases"
+(Xiong, Chitti, Liu; ICDCS 2005).
+
+A decentralized probabilistic ring protocol for privacy-preserving top-k
+selection across n > 2 private databases, together with the substrates it
+runs on (simulated P2P network, private-database layer), the paper's privacy
+model (Loss of Privacy), its analytical bounds, and an experiment harness
+that regenerates every figure of the paper's evaluation.
+
+Quickstart::
+
+    import random
+    from repro import DataGenerator, RunConfig, TopKQuery, run_topk_query
+
+    gen = DataGenerator(rng=random.Random(7))
+    databases = gen.databases(nodes=10, values_per_node=100)
+    query = TopKQuery(table="data", attribute="value", k=5)
+    result = run_topk_query(databases, query, RunConfig(seed=7))
+    print(result.answer(), result.precision())
+"""
+
+from .analysis import (
+    expected_lop_bound,
+    minimum_rounds,
+    naive_average_lop,
+    precision_lower_bound,
+)
+from .core import (
+    ANONYMOUS_NAIVE,
+    NAIVE,
+    PROBABILISTIC,
+    PROTOCOLS,
+    DriverError,
+    ExponentialSchedule,
+    ProtocolParams,
+    ProtocolResult,
+    RunConfig,
+    run_protocol_on_vectors,
+    run_topk_query,
+)
+from .database import (
+    PAPER_DOMAIN,
+    DataGenerator,
+    Domain,
+    PrivateDatabase,
+    Schema,
+    Table,
+    TopKQuery,
+    database_from_values,
+    max_query,
+    min_query,
+)
+from .federation import Federation, QueryOutcome
+from .privacy import (
+    average_lop,
+    node_lop,
+    per_round_average_lop,
+    precision,
+    worst_case_lop,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANONYMOUS_NAIVE",
+    "DataGenerator",
+    "Domain",
+    "DriverError",
+    "ExponentialSchedule",
+    "Federation",
+    "NAIVE",
+    "PAPER_DOMAIN",
+    "PROBABILISTIC",
+    "PROTOCOLS",
+    "PrivateDatabase",
+    "ProtocolParams",
+    "ProtocolResult",
+    "QueryOutcome",
+    "RunConfig",
+    "Schema",
+    "Table",
+    "TopKQuery",
+    "__version__",
+    "average_lop",
+    "database_from_values",
+    "expected_lop_bound",
+    "max_query",
+    "min_query",
+    "minimum_rounds",
+    "naive_average_lop",
+    "node_lop",
+    "per_round_average_lop",
+    "precision",
+    "precision_lower_bound",
+    "run_protocol_on_vectors",
+    "run_topk_query",
+    "worst_case_lop",
+]

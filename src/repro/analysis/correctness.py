@@ -1,0 +1,47 @@
+"""Correctness analysis of the max protocol (Section 4.1, Equation 3).
+
+At each round *j*, if the global value has not yet reached the true maximum,
+every holder of the maximum independently replaces the global value with
+probability ``1 − P_r(j)``.  The protocol can only still be wrong after round
+*r* if the max-holder randomized in *every* round so far, hence
+
+    P(g(r) = v_max)  >=  1 − prod_{j=1..r} P_r(j)  =  1 − p0^r · d^(r(r−1)/2).
+
+The bound is monotone in *r* for any ``0 < p0 <= 1`` and ``0 < d < 1``, and
+is independent of the number of nodes.
+"""
+
+from __future__ import annotations
+
+from ..core.schedule import ExponentialSchedule
+
+
+def precision_lower_bound(p0: float, d: float, rounds: int) -> float:
+    """Equation 3: ``1 − p0^r · d^(r(r−1)/2)``."""
+    schedule = ExponentialSchedule(p0=p0, d=d)
+    return 1.0 - schedule.cumulative_randomization(rounds)
+
+
+def precision_bound_series(
+    p0: float, d: float, max_rounds: int
+) -> list[tuple[int, float]]:
+    """The Figure 3 series: (round, bound) for rounds 1..max_rounds."""
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+    return [(r, precision_lower_bound(p0, d, r)) for r in range(1, max_rounds + 1)]
+
+
+def rounds_to_reach(p0: float, d: float, target: float, cap: int = 10_000) -> int:
+    """Smallest round count whose Equation 3 bound reaches ``target``.
+
+    A convergence helper used by tests and reports; raises if ``cap`` rounds
+    do not suffice (which indicates a non-decaying schedule).
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"target must be in (0, 1), got {target}")
+    for r in range(1, cap + 1):
+        if precision_lower_bound(p0, d, r) >= target:
+            return r
+    raise ValueError(
+        f"bound does not reach {target} within {cap} rounds (p0={p0}, d={d})"
+    )

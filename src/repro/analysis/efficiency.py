@@ -1,0 +1,78 @@
+"""Efficiency analysis (Section 4.2, Equation 4) and communication-cost model.
+
+The protocol involves no cryptographic computation, so cost is dominated by
+communication: (messages per round) x (number of rounds).  Messages per round
+equal the ring size *n*; the required number of rounds ``r_min`` for a target
+precision ``1 − ε`` follows from Equation 3 and — crucially — is independent
+of *n* (Equation 4), scaling as ``O(sqrt(log 1/ε))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.params import minimum_rounds
+
+__all__ = [
+    "minimum_rounds",
+    "rmin_series",
+    "total_messages",
+    "grouped_total_messages",
+    "sqrt_log_scaling_constant",
+]
+
+
+def rmin_series(
+    p0: float, d: float, epsilons: list[float]
+) -> list[tuple[float, int]]:
+    """The Figure 4 series: (ε, r_min) pairs for a log-scaled ε sweep."""
+    if not epsilons:
+        raise ValueError("epsilons must be non-empty")
+    return [(eps, minimum_rounds(p0, d, eps)) for eps in epsilons]
+
+
+def total_messages(n_nodes: int, p0: float, d: float, epsilon: float) -> int:
+    """Token messages for a full run at the Equation 4 round count.
+
+    One message per node per round, plus the n-message termination round that
+    circulates the final result.
+    """
+    if n_nodes < 3:
+        raise ValueError(f"the protocol requires n >= 3, got {n_nodes}")
+    rounds = minimum_rounds(p0, d, epsilon)
+    return n_nodes * rounds + n_nodes
+
+
+def grouped_total_messages(
+    n_nodes: int, group_size: int, p0: float, d: float, epsilon: float
+) -> int:
+    """Cost model for the Section 4.2 group-parallel variant.
+
+    Nodes split into ``ceil(n / group_size)`` groups that run the protocol in
+    parallel; one designated node per group then runs a second-level protocol
+    over the group maxima.  Wall-clock rounds shrink (groups run in
+    parallel); total messages are modelled here.
+    """
+    if group_size < 3:
+        raise ValueError(f"groups must have >= 3 nodes, got {group_size}")
+    if n_nodes < group_size:
+        raise ValueError("n_nodes must be at least one full group")
+    n_groups = math.ceil(n_nodes / group_size)
+    rounds = minimum_rounds(p0, d, epsilon)
+    group_cost = n_nodes * rounds + n_nodes  # all groups together, per-node cost
+    if n_groups < 3:
+        # Too few designated nodes for a second ring; fall back to flat.
+        return total_messages(n_nodes, p0, d, epsilon)
+    combiner_cost = n_groups * rounds + n_groups
+    return group_cost + combiner_cost
+
+
+def sqrt_log_scaling_constant(p0: float, d: float, epsilon: float) -> float:
+    """``r_min / sqrt(log10(1/ε))`` — near-constant per Section 4.2's claim.
+
+    Used by tests to verify the O(sqrt(log 1/ε)) scaling empirically.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    r = minimum_rounds(p0, d, epsilon)
+    return r / math.sqrt(math.log10(1.0 / epsilon))

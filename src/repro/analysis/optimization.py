@@ -1,0 +1,108 @@
+"""Choosing randomization parameters optimally (Section 7's open question).
+
+"We are interested in conducting a theoretical analysis for discovering the
+optimal randomized algorithm."  Within the paper's exponential family the
+question is concrete: given an error bound ε and a round budget R, which
+``(p0, d)`` minimizes the privacy loss?
+
+Two closed-form facts drive the search (both verified by tests):
+
+* the Equation 6 peak is ``max(1 − p0, (1 − p0·d)/2, ...)`` — decreasing in
+  both ``p0`` and ``d``; at ``p0 = 1`` the peak is ``(1 − d)/2``, so **p0 = 1
+  is always optimal for privacy** and larger ``d`` is better;
+* the Equation 4 round count grows as ``d → 1``, so the budget caps ``d``.
+
+Hence the optimum sits at ``p0 = 1`` with the **largest d whose r_min fits
+the budget** — exactly the structure of the paper's Figure 9 and its
+``(1, 1/2)`` default for the ~5-round regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.params import minimum_rounds
+from .privacy_bounds import expected_lop_bound
+
+
+class OptimizationError(ValueError):
+    """Raised when no parameters satisfy the constraints."""
+
+
+@dataclass(frozen=True)
+class ParameterChoice:
+    """One feasible (p0, d) with its predicted cost and privacy."""
+
+    p0: float
+    d: float
+    rounds_required: int
+    expected_lop_peak: float
+
+
+def evaluate(p0: float, d: float, epsilon: float) -> ParameterChoice:
+    """Predicted rounds (Eq. 4) and LoP peak (Eq. 6) for one pair."""
+    return ParameterChoice(
+        p0=p0,
+        d=d,
+        rounds_required=minimum_rounds(p0, d, epsilon),
+        expected_lop_peak=expected_lop_bound(p0, d),
+    )
+
+
+def optimal_parameters(
+    epsilon: float,
+    max_rounds: int,
+    *,
+    d_grid_steps: int = 64,
+) -> ParameterChoice:
+    """The best (p0, d) under a round budget.
+
+    p0 is pinned to 1 (provably optimal for the Eq. 6 peak at no round
+    cost beyond its own factor, which the weakened Eq. 4 bound ignores);
+    d is the largest grid value whose Equation 4 round count fits
+    ``max_rounds``.
+    """
+    if max_rounds < 1:
+        raise OptimizationError(f"max_rounds must be >= 1, got {max_rounds}")
+    if not 0.0 < epsilon < 1.0:
+        raise OptimizationError(f"epsilon must be in (0, 1), got {epsilon}")
+    best: ParameterChoice | None = None
+    for step in range(1, d_grid_steps):
+        d = step / d_grid_steps
+        choice = evaluate(1.0, d, epsilon)
+        if choice.rounds_required <= max_rounds:
+            if best is None or choice.d > best.d:
+                best = choice
+    if best is None:
+        raise OptimizationError(
+            f"no dampening factor meets eps={epsilon} within {max_rounds} rounds"
+        )
+    return best
+
+
+def pareto_frontier(
+    epsilon: float,
+    p0_grid: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0),
+    d_grid: tuple[float, ...] = (0.125, 0.25, 0.5, 0.75),
+) -> list[ParameterChoice]:
+    """Non-dominated (rounds, LoP-peak) choices over a grid — Figure 9's knee set.
+
+    A choice dominates another when it needs no more rounds *and* has no
+    higher predicted LoP peak (and improves at least one).
+    """
+    candidates = [evaluate(p0, d, epsilon) for p0 in p0_grid for d in d_grid]
+    frontier = []
+    for choice in candidates:
+        dominated = any(
+            other.rounds_required <= choice.rounds_required
+            and other.expected_lop_peak <= choice.expected_lop_peak
+            and (
+                other.rounds_required < choice.rounds_required
+                or other.expected_lop_peak < choice.expected_lop_peak
+            )
+            for other in candidates
+        )
+        if not dominated:
+            frontier.append(choice)
+    frontier.sort(key=lambda c: (c.rounds_required, c.expected_lop_peak))
+    return frontier

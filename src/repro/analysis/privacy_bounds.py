@@ -1,0 +1,118 @@
+"""Analytical privacy bounds (Section 4.3, Equations 5 and 6).
+
+**Naive protocol** (Equation 5): node *i*'s successor sees the running max of
+the first *i* values, each equally likely to be the current max, so
+``P(v_i = g_i | IR) = 1/i`` and the system average LoP exceeds
+``(1/n) Σ (1/i − 1/n) > ln(n)/n − ...`` — the paper quotes the harmonic-sum
+bound ``LoP_naive > ln(n)/n``.
+
+**Probabilistic protocol** (Equation 6): the paper derives an approximate
+upper bound on the *expected* LoP by analysing
+``P(v_i = g_i(r) | g_i(r), v_max) = P(v_i > g_{i−1}(r))(1 − P_r(r)) +
+P(v_i = g_{i−1}(r))``, with the expected global value halving the remaining
+gap each hop; taking the per-round bound term
+
+    f(r) = (1 / 2^(r−1)) · (1 − p0 · d^(r−1))
+
+the node's expected LoP is at most ``max_r f(r)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def harmonic_number(n: int) -> float:
+    """``H_n = Σ_{i=1..n} 1/i`` (exact summation; n is small here)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return sum(1.0 / i for i in range(1, n + 1))
+
+
+def naive_average_lop(n: int) -> float:
+    """The naive protocol's expected average LoP.
+
+    Node *i*'s LoP is ``1/i − 1/n`` when its output is the global max and
+    ``1/i`` otherwise; with uniformly random data the output of node *i*
+    equals the global max with probability ``i/n`` (the max lies among the
+    first *i* ring positions).  Hence
+
+        E[LoP_i] = 1/i − (i/n) · (1/n),
+        average  = (H_n − (n+1)/(2n)) / n,
+
+    which exceeds the paper's Equation 5 bound ``ln(n)/n`` for all n >= 2.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return (harmonic_number(n) - (n + 1) / (2 * n)) / n
+
+
+def naive_average_lop_bound(n: int) -> float:
+    """Equation 5: ``LoP_naive > ln(n)/n``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return math.log(n) / n
+
+
+def naive_estimator_average(n: int) -> float:
+    """The *empirical estimator's* expected naive average: ``(H_n − 1)/n``.
+
+    The estimator (DESIGN.md §4) zeroes a claim whose value is in the final
+    result, so node *i* contributes ``P(v_i is the running max AND not the
+    global max) = 1/i − 1/n``.  The paper's Equation 1 instead subtracts the
+    ``1/n`` prior only in the ``g_i = v_max`` case (see
+    :func:`naive_average_lop`); both are exact, for different conventions,
+    and the experiment harness converges to *this* one.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return (harmonic_number(n) - 1.0) / n
+
+
+def naive_worst_case_lop(n: int) -> float:
+    """The naive starter's LoP: provable exposure less the 1/n prior."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1.0 - 1.0 / n
+
+
+def expected_lop_round_term(p0: float, d: float, round_number: int) -> float:
+    """The Equation 6 inner term ``(1/2^(r−1)) · (1 − p0·d^(r−1))``."""
+    if round_number < 1:
+        raise ValueError(f"rounds are 1-based, got {round_number}")
+    if not 0.0 <= p0 <= 1.0:
+        raise ValueError(f"p0 must be in [0, 1], got {p0}")
+    if not 0.0 < d <= 1.0:
+        raise ValueError(f"d must be in (0, 1], got {d}")
+    return (1.0 / 2.0 ** (round_number - 1)) * (1.0 - p0 * d ** (round_number - 1))
+
+
+def expected_lop_bound(p0: float, d: float, max_rounds: int = 50) -> float:
+    """Equation 6: ``E(LoP) <= max_r f(r)`` over all rounds."""
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+    return max(
+        expected_lop_round_term(p0, d, r) for r in range(1, max_rounds + 1)
+    )
+
+
+def expected_lop_series(
+    p0: float, d: float, max_rounds: int
+) -> list[tuple[int, float]]:
+    """The Figure 5 series: (round, f(r)) for rounds 1..max_rounds."""
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+    return [
+        (r, expected_lop_round_term(p0, d, r)) for r in range(1, max_rounds + 1)
+    ]
+
+
+def peak_lop_round(p0: float, d: float, max_rounds: int = 50) -> int:
+    """The round where the Equation 6 bound peaks.
+
+    With ``p0 = 1`` the first-round term vanishes (every contributor
+    randomizes) and the peak moves to round 2; with small ``p0`` the peak is
+    round 1 — the behaviour Figures 5 and 7 discuss.
+    """
+    series = expected_lop_series(p0, d, max_rounds)
+    return max(series, key=lambda pair: pair[1])[0]

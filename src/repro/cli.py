@@ -1,0 +1,269 @@
+"""Command-line interface: regenerate any of the paper's tables and figures.
+
+Examples::
+
+    repro-topk list
+    repro-topk figure fig7 --trials 100 --seed 0
+    repro-topk figure fig10 --no-plot --csv results/fig10.csv
+    repro-topk all --trials 30 --out results/
+    repro-topk query --nodes 10 --k 5 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.driver import PROTOCOLS, RunConfig, run_protocol_on_vectors
+from .database.generator import DataGenerator
+from .database.query import TopKQuery
+from .experiments.figures.registry import (
+    EXPERIMENTS,
+    all_experiment_ids,
+    run_experiment,
+)
+from .experiments.report import render_figure, write_csv
+from .privacy.lop import average_lop, worst_case_lop
+
+import random
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(e) for e in EXPERIMENTS)
+    for experiment in EXPERIMENTS.values():
+        print(
+            f"{experiment.experiment_id:<{width}}  {experiment.paper_artifact:<14} "
+            f"[{experiment.kind}] {experiment.description}"
+        )
+    return 0
+
+
+def _run_one(experiment_id: str, args: argparse.Namespace) -> list:
+    outcome = run_experiment(experiment_id, trials=args.trials, seed=args.seed)
+    if isinstance(outcome, str):
+        print(outcome)
+        return []
+    for panel in outcome:
+        print(render_figure(panel, plot=not args.no_plot))
+        print()
+    return outcome
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    panels = _run_one(args.id, args)
+    if args.csv and panels:
+        path = write_csv(panels, args.csv)
+        print(f"wrote {path}")
+    if args.svg and panels:
+        from .experiments.svg_plot import write_all_svgs
+
+        for path in write_all_svgs(panels, args.svg):
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out)
+    for experiment_id in all_experiment_ids():
+        print(f"### {experiment_id} ###")
+        panels = _run_one(experiment_id, args)
+        if panels:
+            path = write_csv(panels, out_dir / f"{experiment_id}.csv")
+            print(f"wrote {path}")
+            if args.svg:
+                from .experiments.svg_plot import write_all_svgs
+
+                for svg_path in write_all_svgs(panels, out_dir / "svg"):
+                    print(f"wrote {svg_path}")
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.summary import write_report
+
+    path = write_report(
+        args.out,
+        trials=args.trials,
+        seed=args.seed,
+        include_extensions=not args.paper_only,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .experiments.validate import render_scorecard, scorecard
+
+    checks = scorecard(
+        trials=args.trials, seed=args.seed, experiment_ids=args.only
+    )
+    print(render_scorecard(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.serialization import save_result
+
+    generator = DataGenerator(rng=random.Random(args.seed))
+    datasets = generator.node_datasets(args.nodes, args.values_per_node)
+    vectors = {f"node{i}": [float(v) for v in vs] for i, vs in enumerate(datasets)}
+    query = TopKQuery(table="data", attribute="value", k=args.k)
+    result = run_protocol_on_vectors(
+        vectors, query, RunConfig(protocol=args.protocol, seed=args.seed)
+    )
+    path = save_result(result, args.out)
+    print(f"result: {result.answer()}")
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .core.serialization import SerializationError, load_result
+    from .privacy.report import privacy_report
+
+    try:
+        result = load_result(args.trace)
+    except (OSError, SerializationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"trace             : {args.trace}")
+    print(f"result            : {result.answer()}")
+    print(f"precision         : {result.precision():.3f}")
+    print()
+    print(privacy_report(result).render())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if args.protocol not in PROTOCOLS:
+        print(f"unknown protocol {args.protocol!r}; one of {PROTOCOLS}", file=sys.stderr)
+        return 2
+    generator = DataGenerator(rng=random.Random(args.seed))
+    datasets = generator.node_datasets(args.nodes, args.values_per_node)
+    vectors = {f"node{i}": [float(v) for v in vs] for i, vs in enumerate(datasets)}
+    query = TopKQuery(table="data", attribute="value", k=args.k)
+    config = RunConfig(protocol=args.protocol, seed=args.seed)
+    result = run_protocol_on_vectors(vectors, query, config)
+    print(f"protocol          : {result.protocol}")
+    print(f"nodes             : {result.n_nodes}")
+    print(f"rounds executed   : {result.rounds_executed}")
+    print(f"messages          : {result.stats.messages_total}")
+    print(f"top-{args.k:<2} result     : {result.answer()}")
+    print(f"ground truth      : {result.true_topk()}")
+    print(f"precision         : {result.precision():.3f}")
+    print(f"average LoP       : {average_lop(result):.4f}")
+    print(f"worst-case LoP    : {worst_case_lop(result):.4f}")
+    if args.privacy_report:
+        from .privacy.report import privacy_report
+
+        print()
+        print(privacy_report(result).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-topk",
+        description=(
+            "Reproduction of 'Topk Queries across Multiple Private Databases' "
+            "(ICDCS 2005): run the protocol or regenerate the paper's figures."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible tables and figures").set_defaults(
+        func=_cmd_list
+    )
+
+    figure = sub.add_parser("figure", help="run one experiment by id")
+    figure.add_argument("id", choices=all_experiment_ids())
+    figure.add_argument("--trials", type=int, default=None, help="trials per point")
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument("--no-plot", action="store_true", help="tables only")
+    figure.add_argument("--csv", type=str, default=None, help="also write CSV here")
+    figure.add_argument(
+        "--svg", type=str, default=None, help="also write SVG plots to this directory"
+    )
+    figure.set_defaults(func=_cmd_figure)
+
+    everything = sub.add_parser("all", help="run every experiment, write CSVs")
+    everything.add_argument("--trials", type=int, default=None)
+    everything.add_argument("--seed", type=int, default=0)
+    everything.add_argument("--no-plot", action="store_true")
+    everything.add_argument("--out", type=str, default="results")
+    everything.add_argument(
+        "--svg", action="store_true", help="also write SVG plots under <out>/svg"
+    )
+    everything.set_defaults(func=_cmd_all)
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write one markdown report"
+    )
+    report.add_argument("--trials", type=int, default=None)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--out", type=str, default="results/REPORT.md")
+    report.add_argument(
+        "--paper-only", action="store_true", help="skip the extension experiments"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    query = sub.add_parser("query", help="run one ad-hoc top-k query")
+    query.add_argument("--nodes", type=int, default=10)
+    query.add_argument("--k", type=int, default=5)
+    query.add_argument("--values-per-node", type=int, default=100)
+    query.add_argument("--protocol", type=str, default="probabilistic")
+    query.add_argument("--seed", type=int, default=None)
+    query.add_argument(
+        "--privacy-report",
+        action="store_true",
+        help="append the full per-node privacy analysis",
+    )
+    query.set_defaults(func=_cmd_query)
+
+    validate = sub.add_parser(
+        "validate", help="score every paper figure's claims (PASS/FAIL)"
+    )
+    validate.add_argument("--trials", type=int, default=None)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument(
+        "--only", nargs="*", default=None, help="score these figures only"
+    )
+    validate.set_defaults(func=_cmd_validate)
+
+    trace = sub.add_parser(
+        "trace", help="run one query and archive its full trace as JSON"
+    )
+    trace.add_argument("--nodes", type=int, default=10)
+    trace.add_argument("--k", type=int, default=3)
+    trace.add_argument("--values-per-node", type=int, default=20)
+    trace.add_argument("--protocol", type=str, default="probabilistic")
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument("--out", type=str, default="results/traces/run.json")
+    trace.set_defaults(func=_cmd_trace)
+
+    analyze = sub.add_parser(
+        "analyze", help="recompute the privacy analysis from an archived trace"
+    )
+    analyze.add_argument("trace", type=str)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Piped into `head` and the pipe closed early — not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,400 @@
+"""Protocol driver: initialization module, round loop, and public entry points.
+
+This wires the paper's components together (Section 3.2): the ring topology,
+the node-to-successor communication scheme, the per-node local computation
+module, and the initialization module that picks the starting node and the
+randomization parameters.
+
+The driver is deliberately synchronous-deterministic: given a seeded RNG it
+produces a bit-identical run, which is what the experiment harness and the
+property-based tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field, replace
+
+from ..database.database import PrivateDatabase, common_query
+from ..database.query import Domain, TopKQuery
+from ..network.crypto import Keyring
+from ..network.failures import FailureInjector
+from ..network.message import result_message, token_message
+from ..network.node import ProtocolNode
+from ..network.ring import RingError, RingTopology
+from ..network.transport import InMemoryTransport, LatencyModel
+from .naive import NaiveTopKAlgorithm
+from .params import ParamError, ProtocolParams
+from .results import ProtocolResult
+from .topk_protocol import ProbabilisticTopKAlgorithm
+from .vectors import pad_to_k, validate_vector
+
+#: Protocol identifiers used throughout the experiments.
+PROBABILISTIC = "probabilistic"
+NAIVE = "naive"
+ANONYMOUS_NAIVE = "anonymous-naive"
+PROTOCOLS = (PROBABILISTIC, NAIVE, ANONYMOUS_NAIVE)
+
+
+class DriverError(RuntimeError):
+    """Raised when a run is misconfigured or fails to terminate."""
+
+
+#: Signature of a custom ring constructor: (node ids, run RNG) -> ring.
+RingBuilder = Callable[[list[str], random.Random], RingTopology]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Deployment-level options for one protocol run."""
+
+    protocol: str = PROBABILISTIC
+    params: ProtocolParams = field(default_factory=ProtocolParams.paper_defaults)
+    encrypt: bool = False
+    latency: LatencyModel | None = None
+    failures: FailureInjector | None = None
+    seed: int | None = None
+    #: Custom ring construction, e.g. the Section 4.3 trust-aware layout
+    #: (:func:`repro.network.trust.build_trusted_ring`).  Receives the node
+    #: ids and the run RNG; must return a ring over exactly those ids.
+    #: ``None`` uses the paper's uniformly random mapping.
+    ring_builder: "RingBuilder | None" = None
+    #: Seed for the global vector instead of the domain identity — must be
+    #: *public* information (e.g. a previous epoch's result, see
+    #: :mod:`repro.extensions.monitoring`).  Callers are responsible for the
+    #: seed's values actually being held by participants, or the final
+    #: result may contain stale entries nothing can displace.
+    initial_vector: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise DriverError(
+                f"unknown protocol {self.protocol!r}; expected one of {PROTOCOLS}"
+            )
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+
+def run_topk_query(
+    databases: list[PrivateDatabase],
+    query: TopKQuery,
+    config: RunConfig | None = None,
+) -> ProtocolResult:
+    """Answer ``query`` across ``databases`` with the configured protocol.
+
+    This is the main public entry point.  It validates the well-matched-schema
+    precondition, extracts each node's local top-k vector, and delegates to
+    :func:`run_protocol_on_vectors`.
+    """
+    config = config or RunConfig()
+    common_query(databases, query)
+    owners = [db.owner for db in databases]
+    if len(set(owners)) != len(owners):
+        raise DriverError(f"duplicate database owners: {owners}")
+    local_vectors = {db.owner: db.local_topk(query) for db in databases}
+    return run_protocol_on_vectors(local_vectors, query, config)
+
+
+def run_protocol_on_vectors(
+    local_vectors: dict[str, list[float]],
+    query: TopKQuery,
+    config: RunConfig | None = None,
+) -> ProtocolResult:
+    """Run the protocol when each party's local top-k vector is already known.
+
+    ``local_vectors`` maps node id to that node's values for the queried
+    attribute (any number, any order); each node participates with its local
+    top-k of them, per the protocol's initial step ("each node first sorts
+    its values and takes the local set of topk values", Section 3.4).  The
+    experiment harness uses this entry point directly with synthetic
+    workloads.
+    """
+    config = config or RunConfig()
+    if len(local_vectors) < 3:
+        raise DriverError(
+            f"the protocol requires n >= 3 nodes, got {len(local_vectors)}"
+        )
+    original_query = query
+    vectors = {node: [float(v) for v in values] for node, values in local_vectors.items()}
+    negated = query.smallest
+    if negated:
+        # Bottom-k reduces to top-k on negated values over the mirrored domain.
+        vectors = {n: [-v for v in vs] for n, vs in vectors.items()}
+        query = TopKQuery(
+            table=query.table,
+            attribute=query.attribute,
+            k=query.k,
+            domain=Domain(-query.domain.high, -query.domain.low, query.domain.integral),
+            smallest=False,
+        )
+    # The protocol's initial step: sort locally, keep the local top-k.
+    vectors = {n: sorted(vs, reverse=True)[: query.k] for n, vs in vectors.items()}
+    result = _run_internal(vectors, query, config)
+    result.negated = negated
+    result.original_query = original_query
+    return result
+
+
+def _build_algorithm(
+    protocol: str,
+    values: list[float],
+    query: TopKQuery,
+    params: ProtocolParams,
+    rng: random.Random,
+):
+    padded = pad_to_k(values, query.k, float(query.domain.low))
+    if protocol == PROBABILISTIC:
+        # Each node gets an independent RNG stream so one node's draws cannot
+        # perturb another's (and runs stay reproducible under refactoring).
+        node_rng = random.Random(rng.getrandbits(64))
+        return ProbabilisticTopKAlgorithm(padded, query.k, params, query.domain, node_rng)
+    return NaiveTopKAlgorithm(padded, query.k)
+
+
+def _run_internal(
+    local_vectors: dict[str, list[float]],
+    query: TopKQuery,
+    config: RunConfig,
+) -> ProtocolResult:
+    rng = config.rng()
+    params = config.params
+    node_ids = sorted(local_vectors)
+
+    if config.protocol == PROBABILISTIC:
+        rounds = params.resolved_rounds()
+    else:
+        rounds = 1  # the naive protocols are single-round by construction
+
+    if config.ring_builder is not None:
+        ring = config.ring_builder(list(node_ids), rng)
+        if sorted(ring.members) != node_ids:
+            raise DriverError(
+                "ring_builder must arrange exactly the participating nodes"
+            )
+    else:
+        ring = RingTopology.random(node_ids, rng)
+    keyring = Keyring() if config.encrypt else None
+    transport = InMemoryTransport(
+        latency=config.latency, keyring=keyring, failures=config.failures
+    )
+
+    if config.protocol == NAIVE:
+        # Fixed starting scheme: the first node in canonical order starts.
+        starter = node_ids[0]
+    else:
+        # Randomized starting scheme (initialization module, Section 3.3).
+        starter = rng.choice(node_ids)
+
+    nodes: dict[str, ProtocolNode] = {}
+    for node_id in node_ids:
+        algorithm = _build_algorithm(
+            config.protocol, local_vectors[node_id], query, params, rng
+        )
+        nodes[node_id] = ProtocolNode(
+            node_id,
+            algorithm,
+            transport,
+            is_starter=(node_id == starter),
+            total_rounds=rounds,
+        )
+
+    state = _RunState(ring=ring)
+
+    def apply_ring(current: RingTopology) -> None:
+        # Crashed nodes may have been spliced out; only rewire members.
+        for node_id in node_ids:
+            if node_id in current:
+                nodes[node_id].successor = current.successor(node_id)
+
+    apply_ring(ring)
+
+    snapshots: dict[int, list[float]] = {}
+    ring_history: dict[int, tuple[str, ...]] = {1: ring.members}
+
+    def on_round_complete(round_number: int) -> None:
+        # Called by the starter when the token comes back around.  Snapshot
+        # the end-of-round global vector, then optionally remap the ring for
+        # the next round (Section 4.3 collusion countermeasure).
+        incoming = transport.event_log.inputs_of(starter).get(round_number)
+        if incoming is not None:
+            snapshots[round_number] = [float(v) for v in incoming]
+        if params.remap_each_round and round_number < rounds:
+            state.ring = state.ring.remap(rng)
+            apply_ring(state.ring)
+            ring_history[round_number + 1] = state.ring.members
+
+    if config.initial_vector is not None:
+        start_vector = [float(v) for v in config.initial_vector]
+        validate_vector(start_vector, query.k)
+        if any(v not in query.domain for v in start_vector):
+            raise DriverError("initial_vector contains out-of-domain values")
+    else:
+        start_vector = [float(v) for v in query.identity_vector()]
+
+    nodes[starter].round_hook = on_round_complete
+    nodes[starter].start(start_vector)
+    transport.run_until_idle()
+    _recover_from_failures(
+        nodes, state, transport, config, query, starter, apply_ring
+    )
+
+    final = nodes[starter].final_result
+    if final is None:
+        raise DriverError("protocol did not terminate with a result")
+    survivors = [
+        n
+        for n in node_ids
+        if config.failures is None or not config.failures.is_crashed(n)
+    ]
+    missing = [n for n in survivors if nodes[n].final_result is None]
+    if missing:
+        raise DriverError(f"nodes never learned the final result: {missing}")
+
+    return ProtocolResult(
+        query=query,
+        protocol=config.protocol,
+        final_vector=final,
+        ring_order=ring.members,
+        starter=starter,
+        local_vectors={n: sorted(v, reverse=True) for n, v in local_vectors.items()},
+        round_snapshots=snapshots,
+        event_log=transport.event_log,
+        stats=transport.stats,
+        ring_history=ring_history,
+        simulated_seconds=transport.now,
+        schedule=params.schedule if config.protocol == PROBABILISTIC else None,
+    )
+
+
+@dataclass
+class _RunState:
+    """Mutable ring reference shared between the round hook and the driver."""
+
+    ring: RingTopology
+
+
+def _recover_from_failures(
+    nodes: dict[str, ProtocolNode],
+    state: _RunState,
+    transport: InMemoryTransport,
+    config: RunConfig,
+    query: TopKQuery,
+    starter: str,
+    apply_ring,
+) -> None:
+    """Ring-repair recovery (Section 3.2) and loss retransmission.
+
+    A crash-stopped node swallows the token and the protocol stalls.  The
+    paper's remedy: "the ring can be reconstructed from scratch or simply by
+    connecting the predecessor and successor of the failed node."  We take
+    the splice approach: drop every crashed node from the ring, rewire the
+    survivors, and have the starting node re-emit its output for the round
+    that stalled (survivors that already processed it simply treat the
+    replayed token per their local algorithm — correctness is unaffected
+    because outputs never exceed the true top-k and insertion is
+    idempotent).  A crashed *starting* node is unrecoverable by splicing
+    (the paper's from-scratch rebuild covers it) and reported loudly.
+
+    Lossy links (a drop probability with no crash) use the same machinery
+    minus the splice: the starter retransmits the stalled round's token, with
+    a bounded retry budget so a pathological loss rate still fails loudly.
+    """
+    failures = config.failures
+    if failures is None:
+        return
+    lossy = getattr(failures, "drop_probability", 0.0) > 0.0
+    attempts = 0
+    while nodes[starter].final_result is None:
+        crashed = [n for n in state.ring.members if failures.is_crashed(n)]
+        if not crashed and not lossy:
+            return  # nothing to repair; let the caller report the stall
+        if failures.is_crashed(starter):
+            raise DriverError(
+                "the starting node crashed; the ring must be rebuilt from "
+                "scratch with a fresh initialization"
+            )
+        attempts += 1
+        # Each retransmission restarts one stalled round, so the budget
+        # scales with the round count; it only bounds pathological loss
+        # rates, not normal operation.
+        retry_budget = max(len(nodes), 16, 8 * nodes[starter].total_rounds)
+        if attempts > retry_budget:
+            raise DriverError(
+                "ring repair / retransmission did not converge"
+            )
+        try:
+            for failed in crashed:
+                state.ring = state.ring.repair(failed)
+        except RingError as exc:
+            raise DriverError(f"cannot repair ring: {exc}") from exc
+        apply_ring(state.ring)
+        # Values inserted into the lost token segment are gone; survivors
+        # must be allowed to contribute again, and must *forget* the
+        # insertions the replay erases (those of the stalled round) or they
+        # would mis-attribute equal surviving values as their own.  The
+        # starter's stalled-round insertion is the exception: it is embodied
+        # in the replayed vector itself.
+        stalled_round = nodes[starter].rounds_completed + 1
+        for node_id, node in nodes.items():
+            if not failures.is_crashed(node_id):
+                rearm = getattr(node.algorithm, "rearm", None)
+                if rearm is not None:
+                    rearm(None if node_id == starter else stalled_round)
+        # Replay exactly what the starter last emitted for the stalled
+        # round; the node-side copy survives even when the transport dropped
+        # the send before any log saw it.
+        if (
+            nodes[starter].last_sent_vector is not None
+            and nodes[starter].last_sent_round == stalled_round
+        ):
+            vector = list(nodes[starter].last_sent_vector)
+        else:
+            vector = [float(v) for v in query.identity_vector()]
+        transport.send(
+            token_message(
+                starter, state.ring.successor(starter), stalled_round, vector
+            )
+        )
+        transport.run_until_idle()
+
+    # The token phase finished; make sure the result broadcast also survived
+    # (it too can be eaten by a crash or a lossy link).
+    final = nodes[starter].final_result
+    rebroadcasts = 0
+    while True:
+        survivors = [n for n in state.ring.members if not failures.is_crashed(n)]
+        if all(nodes[n].final_result is not None for n in survivors):
+            return
+        rebroadcasts += 1
+        if rebroadcasts > max(len(nodes), 16):
+            raise DriverError("result broadcast did not converge")
+        try:
+            for failed in [n for n in state.ring.members if failures.is_crashed(n)]:
+                state.ring = state.ring.repair(failed)
+        except RingError as exc:
+            raise DriverError(f"cannot repair ring: {exc}") from exc
+        apply_ring(state.ring)
+        transport.send(
+            result_message(
+                starter,
+                state.ring.successor(starter),
+                nodes[starter].rounds_completed + 1,
+                list(final),
+            )
+        )
+        transport.run_until_idle()
+
+
+def derived_rounds(params: ProtocolParams) -> int:
+    """Expose the Equation 4 round derivation for callers and reports."""
+    try:
+        return params.resolved_rounds()
+    except ParamError as exc:
+        raise DriverError(str(exc)) from exc
+
+
+def with_protocol(config: RunConfig, protocol: str) -> RunConfig:
+    """A copy of ``config`` running a different protocol (for comparisons)."""
+    return replace(config, protocol=protocol)

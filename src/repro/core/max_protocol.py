@@ -1,0 +1,66 @@
+"""Algorithm 1: the randomized local algorithm for privacy-preserving max.
+
+Executed by node *i* at round *r* on the incoming global value
+``g_{i-1}(r)`` and the node's own value ``v_i``:
+
+* if ``g_{i-1}(r) >= v_i`` — pass the global value on unchanged (the node
+  exposes nothing);
+* otherwise, with probability ``P_r(r) = p0 * d^(r-1)`` return a uniform
+  random value from ``[g_{i-1}(r), v_i)``, and with probability
+  ``1 - P_r(r)`` return ``v_i``.
+
+The three properties the paper proves of this choice (Section 3.3):
+
+1. an adversary observing the output cannot attribute a value or range to
+   the node with certainty — the output may be a random value, the
+   predecessor's value, or ``v_i``;
+2. the global value is monotonically non-decreasing along the ring, so later
+   nodes can usually just pass it on;
+3. injected randomness is always *below* ``v_i``, hence below the global max,
+   so it is guaranteed to be displaced before the protocol terminates.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..database.query import Domain
+from .params import ProtocolParams
+
+
+class ProbabilisticMaxAlgorithm:
+    """Per-node state and local computation for the max protocol (k = 1)."""
+
+    def __init__(
+        self,
+        local_value: float,
+        params: ProtocolParams,
+        domain: Domain,
+        rng: random.Random,
+    ) -> None:
+        self.local_value = float(local_value)
+        self.params = params
+        self.domain = domain
+        self.rng = rng
+        #: Diagnostic counters, used by tests and the experiment harness.
+        self.randomized_rounds: list[int] = []
+        self.revealed_round: int | None = None
+
+    def compute(self, incoming: list[float], round_number: int) -> list[float]:
+        if len(incoming) != 1:
+            raise ValueError(f"max protocol carries a scalar, got {incoming}")
+        g_prev = incoming[0]
+        if g_prev >= self.local_value:
+            # Case 1: nothing to hide, nothing to add.
+            return [g_prev]
+        # Case 2: our value is the current maximum.
+        p_r = self.params.probability(round_number)
+        if self.rng.random() < p_r:
+            self.randomized_rounds.append(round_number)
+            noise = self.params.noise.draw(
+                self.rng, g_prev, self.local_value, integral=self.domain.integral
+            )
+            return [noise]
+        if self.revealed_round is None:
+            self.revealed_round = round_number
+        return [self.local_value]

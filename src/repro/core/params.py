@@ -1,0 +1,123 @@
+"""Protocol parameters (the paper's Table 1, plus implementation knobs).
+
+Table 1 lists the experiment parameters: ``n`` (number of nodes), ``k``
+(top-k parameter), ``p0`` (initial randomization probability) and ``d``
+(dampening factor).  :class:`ProtocolParams` bundles the randomization
+schedule with the remaining protocol-level knobs: the number of rounds (or
+the target error bound from which it is derived, Equation 4), the top-k
+minimum random range ``delta`` (Algorithm 2), and ring-management options.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from .noise import NoiseStrategy, UniformNoise
+from .schedule import ExponentialSchedule, Schedule, ScheduleError
+
+
+class ParamError(ValueError):
+    """Raised for inconsistent protocol parameters."""
+
+
+def minimum_rounds(p0: float, d: float, epsilon: float) -> int:
+    """Equation 4: smallest r with ``1 - p0 * d^(r(r-1)/2) >= 1 - epsilon``.
+
+    Derivation: ``p0 * d^(r(r-1)/2) <= eps`` iff
+    ``r(r-1) >= 2 * ln(eps/p0) / ln(d)`` (the inequality flips because
+    ``ln d < 0``), i.e. ``r >= (1 + sqrt(1 + 8*ln(eps/p0)/ln(d))) / 2``.
+    The result scales as ``O(sqrt(log(1/eps)))`` and is independent of the
+    number of nodes (Section 4.2).
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ParamError(f"epsilon must be in (0, 1), got {epsilon}")
+    if p0 <= 0.0:
+        return 1  # deterministic protocol: one round always suffices
+    if not 0.0 < d < 1.0:
+        raise ParamError(f"d must be in (0, 1) to converge, got {d}")
+    if p0 <= epsilon:
+        # Already within the error bound after a single round.
+        return 1
+    ratio = 8.0 * math.log(epsilon / p0) / math.log(d)  # positive
+    r = (1.0 + math.sqrt(1.0 + ratio)) / 2.0
+    return max(1, math.ceil(r))
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """Everything a protocol run needs besides the query and the databases.
+
+    Attributes
+    ----------
+    schedule:
+        Randomization-probability schedule; the paper's Equation 2 with
+        ``(p0, d) = (1, 1/2)`` by default (chosen by the Figure 9 tradeoff).
+    rounds:
+        Number of protocol rounds.  ``None`` derives it from ``epsilon`` via
+        Equation 4 (exponential schedules only).
+    epsilon:
+        Target error bound for the derived round count.
+    delta:
+        Algorithm 2's minimum width of the random-value range.  Must be
+        positive; at least 1 for integral domains so the range always
+        contains an integer.
+    remap_each_round:
+        Re-randomize the ring mapping between rounds (Section 4.3 collusion
+        countermeasure).
+    insert_once:
+        Algorithm 2's "a node only does this once" rule: after a node has
+        returned its real merged top-k it passes the vector on in later
+        rounds.  Disable to let nodes re-insert (ablation).
+    noise:
+        Where injected random values land inside the admissible range
+        (Section 7's randomized-algorithm design axis); the paper's uniform
+        strategy by default.
+    """
+
+    schedule: Schedule = field(default_factory=ExponentialSchedule)
+    rounds: int | None = None
+    epsilon: float = 1e-3
+    delta: float = 1.0
+    remap_each_round: bool = False
+    insert_once: bool = True
+    noise: NoiseStrategy = field(default_factory=UniformNoise)
+
+    def __post_init__(self) -> None:
+        if self.rounds is not None and self.rounds < 1:
+            raise ParamError(f"rounds must be >= 1, got {self.rounds}")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ParamError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.delta <= 0.0:
+            raise ParamError(f"delta must be positive, got {self.delta}")
+
+    @classmethod
+    def paper_defaults(cls, **overrides: object) -> "ProtocolParams":
+        """(p0, d) = (1, 1/2), epsilon = 0.001 — the paper's defaults."""
+        params = cls(schedule=ExponentialSchedule(p0=1.0, d=0.5), epsilon=1e-3)
+        return replace(params, **overrides) if overrides else params
+
+    @classmethod
+    def with_randomization(
+        cls, p0: float, d: float, **overrides: object
+    ) -> "ProtocolParams":
+        """Shorthand used pervasively by the experiment harness."""
+        params = cls(schedule=ExponentialSchedule(p0=p0, d=d))
+        return replace(params, **overrides) if overrides else params
+
+    def resolved_rounds(self) -> int:
+        """The actual round count: explicit, or Equation 4 from epsilon."""
+        if self.rounds is not None:
+            return self.rounds
+        if isinstance(self.schedule, ExponentialSchedule):
+            return minimum_rounds(self.schedule.p0, self.schedule.d, self.epsilon)
+        raise ParamError(
+            "rounds must be given explicitly for non-exponential schedules"
+        )
+
+    def probability(self, round_number: int) -> float:
+        """Randomization probability for ``round_number`` (1-based)."""
+        try:
+            return self.schedule.probability(round_number)
+        except ScheduleError as exc:
+            raise ParamError(str(exc)) from exc

@@ -1,0 +1,46 @@
+"""Random-value generation for the randomized local algorithms.
+
+Both Algorithm 1 and Algorithm 2 draw uniform random values from half-open
+ranges ``[low, high)``.  On integral domains (the paper's experiments use the
+integer domain [1, 10000]) the draw must itself be an integer, or injected
+noise would be trivially distinguishable from real values — which would hand
+an adversary a perfect test for "this output is the node's real value" and
+destroy the privacy argument.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class SamplingError(ValueError):
+    """Raised when a random range is empty."""
+
+
+def random_value_in(
+    rng: random.Random, low: float, high: float, *, integral: bool
+) -> float:
+    """Uniform draw from ``[low, high)``.
+
+    ``integral=True`` draws an integer; the range must then contain at least
+    one integer.  Algorithm 1 guarantees ``low < high`` whenever it asks for a
+    draw (it only randomizes when ``g_{i-1}(r) < v_i``), and Algorithm 2's
+    ``delta`` keeps its range non-empty; an empty range here is a protocol
+    bug, reported loudly.
+    """
+    if low >= high:
+        raise SamplingError(f"empty random range [{low}, {high})")
+    if integral:
+        lo = math.ceil(low)
+        hi = math.ceil(high) - 1  # largest integer strictly below high
+        if hi < lo:
+            raise SamplingError(
+                f"no integer in random range [{low}, {high})"
+            )
+        return float(rng.randint(lo, hi))
+    value = rng.uniform(low, high)
+    # uniform() may return high on pathological rounding; fold it back.
+    if value >= high:
+        value = low
+    return value

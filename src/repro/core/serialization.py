@@ -1,0 +1,162 @@
+"""Persist and reload protocol results for offline analysis.
+
+Reproduction work accumulates thousands of runs; archiving full traces lets
+privacy analyses be re-run later (or by reviewers) without re-simulating.
+The format is plain JSON: the public result, the run metadata, and the
+event-log observations.  Everything the :mod:`repro.privacy` estimators
+need round-trips; live-only objects (the schedule instance, the stats
+counters beyond totals) are summarized.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..database.query import Domain, TopKQuery
+from ..network.events import EventLog, Observation
+from ..network.message import Message, MessageType
+from ..network.stats import TrafficStats
+from .results import ProtocolResult
+from .schedule import ExponentialSchedule
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised when a trace document cannot be parsed."""
+
+
+def result_to_dict(result: ProtocolResult) -> dict[str, Any]:
+    """A JSON-serializable document for one protocol run."""
+    query = result.query
+    document: dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "query": {
+            "table": query.table,
+            "attribute": query.attribute,
+            "k": query.k,
+            "domain": {
+                "low": query.domain.low,
+                "high": query.domain.high,
+                "integral": query.domain.integral,
+            },
+            "smallest": query.smallest,
+        },
+        "protocol": result.protocol,
+        "final_vector": list(result.final_vector),
+        "ring_order": list(result.ring_order),
+        "starter": result.starter,
+        "local_vectors": {n: list(v) for n, v in result.local_vectors.items()},
+        "round_snapshots": {
+            str(r): list(v) for r, v in result.round_snapshots.items()
+        },
+        "ring_history": {
+            str(r): list(order) for r, order in result.ring_history.items()
+        },
+        "simulated_seconds": result.simulated_seconds,
+        "negated": result.negated,
+        "observations": [
+            {
+                "round": o.round,
+                "sender": o.sender,
+                "receiver": o.receiver,
+                "vector": list(o.vector),
+                "kind": o.kind,
+            }
+            for o in result.event_log
+        ],
+        "stats": result.stats.summary(),
+    }
+    if isinstance(result.schedule, ExponentialSchedule):
+        document["schedule"] = {
+            "type": "exponential",
+            "p0": result.schedule.p0,
+            "d": result.schedule.d,
+        }
+    return document
+
+
+def result_from_dict(document: dict[str, Any]) -> ProtocolResult:
+    """Rebuild a :class:`ProtocolResult` from :func:`result_to_dict` output."""
+    try:
+        version = document["format_version"]
+        if version != FORMAT_VERSION:
+            raise SerializationError(f"unsupported format version {version}")
+        q = document["query"]
+        query = TopKQuery(
+            table=q["table"],
+            attribute=q["attribute"],
+            k=q["k"],
+            domain=Domain(
+                q["domain"]["low"], q["domain"]["high"], q["domain"]["integral"]
+            ),
+            smallest=q["smallest"],
+        )
+        event_log = EventLog()
+        for obs in document["observations"]:
+            # Rebuild through Message so Observation invariants hold.
+            message = Message(
+                sender=obs["sender"],
+                receiver=obs["receiver"],
+                round=obs["round"],
+                type=MessageType(obs["kind"]),
+                payload={"vector": obs["vector"]},
+            )
+            event_log.record(message)
+        stats = TrafficStats()
+        stats.messages_total = int(document["stats"]["messages_total"])
+        stats.bytes_total = int(document["stats"]["bytes_total"])
+        schedule = None
+        if "schedule" in document:
+            s = document["schedule"]
+            if s.get("type") != "exponential":
+                raise SerializationError(f"unknown schedule type {s.get('type')!r}")
+            schedule = ExponentialSchedule(p0=s["p0"], d=s["d"])
+        return ProtocolResult(
+            query=query,
+            protocol=document["protocol"],
+            final_vector=[float(v) for v in document["final_vector"]],
+            ring_order=tuple(document["ring_order"]),
+            starter=document["starter"],
+            local_vectors={
+                n: [float(v) for v in vs]
+                for n, vs in document["local_vectors"].items()
+            },
+            round_snapshots={
+                int(r): [float(v) for v in vs]
+                for r, vs in document["round_snapshots"].items()
+            },
+            event_log=event_log,
+            stats=stats,
+            ring_history={
+                int(r): tuple(order)
+                for r, order in document["ring_history"].items()
+            },
+            simulated_seconds=float(document["simulated_seconds"]),
+            negated=bool(document["negated"]),
+            schedule=schedule,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, SerializationError):
+            raise
+        raise SerializationError(f"malformed trace document: {exc}") from exc
+
+
+def save_result(result: ProtocolResult, path: Path | str) -> Path:
+    """Write one run's trace as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=1, sort_keys=True))
+    return path
+
+
+def load_result(path: Path | str) -> ProtocolResult:
+    """Read a trace written by :func:`save_result`."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path}: not valid JSON: {exc}") from exc
+    return result_from_dict(document)

@@ -1,0 +1,41 @@
+"""Private-database substrate: schemas, tables, queries, and data generators."""
+
+from .database import (
+    PrivateDatabase,
+    common_query,
+    database_from_values,
+)
+from .io import (
+    TableIOError,
+    database_from_csv_dir,
+    load_csv_table,
+    save_csv_table,
+)
+from .generator import DISTRIBUTIONS, DataGenerator, datasets_with_known_topk
+from .query import PAPER_DOMAIN, Domain, QueryError, TopKQuery, max_query, min_query
+from .schema import COLUMN_TYPES, Column, Schema, SchemaError
+from .table import Table
+
+__all__ = [
+    "COLUMN_TYPES",
+    "Column",
+    "DISTRIBUTIONS",
+    "DataGenerator",
+    "Domain",
+    "PAPER_DOMAIN",
+    "PrivateDatabase",
+    "QueryError",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "TableIOError",
+    "TopKQuery",
+    "common_query",
+    "database_from_csv_dir",
+    "database_from_values",
+    "load_csv_table",
+    "datasets_with_known_topk",
+    "max_query",
+    "min_query",
+    "save_csv_table",
+]

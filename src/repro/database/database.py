@@ -1,0 +1,142 @@
+"""The private database held by one participating organization.
+
+Each node in the protocol wraps exactly one :class:`PrivateDatabase`.  The
+database is *private*: nothing outside the owning node may read it.  The only
+sanctioned flow of information out of it is through a protocol's local
+computation module, which sees the local top-k vector for the queried
+attribute and nothing else.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .query import Domain, QueryError, TopKQuery
+from .schema import Schema, SchemaError
+from .table import Row, Table
+
+
+class PrivateDatabase:
+    """A named collection of tables owned by one party."""
+
+    def __init__(self, owner: str) -> None:
+        if not owner:
+            raise ValueError("owner must be non-empty")
+        self.owner = owner
+        self._tables: dict[str, Table] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PrivateDatabase(owner={self.owner!r}, tables={sorted(self._tables)})"
+
+    # -- DDL ---------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists in {self.owner}'s database")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise SchemaError(f"no such table: {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no such table: {name!r}") from None
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    # -- DML ---------------------------------------------------------------
+
+    def insert(self, table: str, row: Row) -> None:
+        self.table(table).insert(row)
+
+    def insert_many(self, table: str, rows: Iterable[Row]) -> int:
+        return self.table(table).insert_many(rows)
+
+    # -- protocol-facing interface ------------------------------------------
+
+    def local_topk(self, query: TopKQuery) -> list[float]:
+        """The node's local top-k vector for ``query`` (Section 3.4).
+
+        Values are validated against the query's public domain: a value
+        outside the agreed domain indicates a misconfigured party and would
+        silently break the protocol's correctness argument, so it is rejected
+        loudly here.
+        """
+        table = self.table(query.table)
+        if query.smallest:
+            values = table.bottom_k(query.attribute, query.k)
+        else:
+            values = table.top_k(query.attribute, query.k)
+        for v in values:
+            if v not in query.domain:
+                raise QueryError(
+                    f"{self.owner}: value {v!r} of {query.attribute!r} lies outside "
+                    f"the public domain [{query.domain.low}, {query.domain.high}]"
+                )
+        return values
+
+    def attribute_domain_check(self, query: TopKQuery) -> bool:
+        """True when every value of the queried attribute is in-domain."""
+        table = self.table(query.table)
+        return all(v in query.domain for v in table.numeric_values(query.attribute))
+
+
+def database_from_values(
+    owner: str,
+    values: Iterable[float],
+    *,
+    table: str = "data",
+    attribute: str = "value",
+) -> PrivateDatabase:
+    """Build a single-table database from a flat list of attribute values.
+
+    This is the shape used throughout the paper's evaluation, where each node
+    holds values of a single sensitive attribute.
+    """
+    db = PrivateDatabase(owner)
+    integral = all(isinstance(v, int) for v in values)
+    schema = Schema.of((attribute, "INTEGER" if integral else "REAL"))
+    t = db.create_table(table, schema)
+    t.insert_many({attribute: v} for v in values)
+    return db
+
+
+def common_query(
+    databases: Iterable[PrivateDatabase],
+    query: TopKQuery,
+) -> TopKQuery:
+    """Validate that ``query`` is well-matched across all databases.
+
+    Implements the Section 3.2 precondition: schemas and attribute names are
+    known and well matched across the n nodes.  Returns the query unchanged on
+    success, raises :class:`SchemaError`/:class:`QueryError` otherwise.
+    """
+    dbs = list(databases)
+    if not dbs:
+        raise QueryError("no databases supplied")
+    reference: Schema | None = None
+    for db in dbs:
+        table = db.table(query.table)
+        column = table.schema.column(query.attribute)
+        if not column.is_numeric:
+            raise SchemaError(
+                f"{db.owner}: attribute {query.attribute!r} is not numeric"
+            )
+        if reference is None:
+            reference = table.schema
+        elif not table.schema.is_compatible_with(reference):
+            raise SchemaError(
+                f"{db.owner}: schema of table {query.table!r} does not match peers"
+            )
+    return query

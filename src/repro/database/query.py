@@ -1,0 +1,92 @@
+"""Query descriptions shared by every party in a protocol run.
+
+A :class:`TopKQuery` is the public, agreed-upon object: which table and
+attribute to query, how many values to select, and the publicly known data
+domain (Section 2: "we assume all data values of the attribute belong to a
+publicly known data domain").  Nothing in it is private.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class QueryError(ValueError):
+    """Raised for malformed queries or query/domain mismatches."""
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A publicly known, closed numeric domain ``[low, high]``.
+
+    The protocol initialization module uses ``low`` as the identity element of
+    the global max vector ("the lowest possible value in the corresponding
+    data domain", Section 3.3) and privacy analysis uses the domain size to
+    justify approximating prior probabilities with zero.
+    """
+
+    low: float
+    high: float
+    integral: bool = True
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise QueryError(f"empty domain [{self.low}, {self.high}]")
+
+    @property
+    def size(self) -> float:
+        """Number of distinct values (integral) or width (continuous)."""
+        if self.integral:
+            return int(self.high) - int(self.low) + 1
+        return self.high - self.low
+
+    def __contains__(self, value: object) -> bool:
+        return isinstance(value, (int, float)) and self.low <= value <= self.high
+
+    def clamp(self, value: float) -> float:
+        return min(max(value, self.low), self.high)
+
+
+#: The domain used throughout the paper's evaluation (Section 5.1).
+PAPER_DOMAIN = Domain(1, 10_000)
+
+
+@dataclass(frozen=True)
+class TopKQuery:
+    """A top-k selection query over one attribute of one table.
+
+    ``k == 1`` is the max query of Section 3.3; ``smallest=True`` turns it
+    into a bottom-k/min query (used by the kNN extension, which selects the
+    k smallest distances).
+    """
+
+    table: str
+    attribute: str
+    k: int
+    domain: Domain = PAPER_DOMAIN
+    smallest: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+        if not self.table or not self.attribute:
+            raise QueryError("table and attribute must be non-empty")
+
+    @property
+    def is_max_query(self) -> bool:
+        return self.k == 1 and not self.smallest
+
+    def identity_vector(self) -> list[float]:
+        """The initial global vector: k copies of the domain's worst value."""
+        worst = self.domain.high if self.smallest else self.domain.low
+        return [worst] * self.k
+
+
+def max_query(table: str, attribute: str, domain: Domain = PAPER_DOMAIN) -> TopKQuery:
+    """Convenience constructor for the k=1 max query."""
+    return TopKQuery(table=table, attribute=attribute, k=1, domain=domain)
+
+
+def min_query(table: str, attribute: str, domain: Domain = PAPER_DOMAIN) -> TopKQuery:
+    """Convenience constructor for the k=1 min query."""
+    return TopKQuery(table=table, attribute=attribute, k=1, domain=domain, smallest=True)

@@ -1,0 +1,130 @@
+"""Relational schema primitives for the private-database substrate.
+
+The paper assumes "the database schemas and attribute names are known and
+are well matched across n nodes" (Section 3.2).  This module provides the
+minimal relational machinery needed to make that assumption concrete: typed
+columns, a table schema, and schema compatibility checks used when a query
+spans multiple private databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SchemaError(ValueError):
+    """Raised when a schema is malformed or two schemas are incompatible."""
+
+
+#: Column types supported by the substrate.  The protocols in the paper
+#: operate on a totally ordered numeric attribute, so INTEGER and REAL are
+#: the interesting ones; TEXT exists for realistic example tables.
+COLUMN_TYPES = ("INTEGER", "REAL", "TEXT")
+
+_PYTHON_TYPES = {
+    "INTEGER": (int,),
+    "REAL": (int, float),
+    "TEXT": (str,),
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be a non-empty identifier.
+    type:
+        One of :data:`COLUMN_TYPES`.
+    nullable:
+        Whether ``None`` is an accepted value.
+    """
+
+    name: str
+    type: str = "INTEGER"
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+        if self.type not in COLUMN_TYPES:
+            raise SchemaError(
+                f"unknown column type {self.type!r}; expected one of {COLUMN_TYPES}"
+            )
+
+    def validate(self, value: object) -> None:
+        """Raise :class:`SchemaError` unless ``value`` fits this column."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        expected = _PYTHON_TYPES[self.type]
+        # bool is an int subclass but almost never what a caller intends.
+        if isinstance(value, bool) or not isinstance(value, expected):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type}, got {value!r}"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.type in ("INTEGER", "REAL")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`Column` objects."""
+
+    columns: tuple[Column, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+
+    @classmethod
+    def of(cls, *specs: tuple[str, str] | Column) -> "Schema":
+        """Build a schema from ``("name", "TYPE")`` pairs or Column objects."""
+        columns = []
+        for spec in specs:
+            if isinstance(spec, Column):
+                columns.append(spec)
+            else:
+                name, ctype = spec
+                columns.append(Column(name, ctype))
+        return cls(tuple(columns))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for c in self.columns:
+            if c.name == name:
+                return c
+        raise SchemaError(f"no such column: {name!r}")
+
+    def __contains__(self, name: object) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def validate_row(self, row: dict[str, object]) -> None:
+        """Raise :class:`SchemaError` unless ``row`` fits this schema exactly."""
+        unknown = set(row) - set(self.names)
+        if unknown:
+            raise SchemaError(f"unknown columns in row: {sorted(unknown)}")
+        for column in self.columns:
+            column.validate(row.get(column.name))
+
+    def is_compatible_with(self, other: "Schema") -> bool:
+        """True when both schemas agree on names and types (order-insensitive).
+
+        This is the well-matched-schema precondition of Section 3.2; the
+        protocol driver checks it before running a multi-database query.
+        """
+        mine = {c.name: c.type for c in self.columns}
+        theirs = {c.name: c.type for c in other.columns}
+        return mine == theirs

@@ -1,0 +1,130 @@
+"""An in-memory relational table with the small query surface the protocols need.
+
+The protocols only ever ask a private database two things about a table:
+*all values of one numeric attribute* and *the local top-k of that attribute*.
+The table nevertheless supports enough of the classic relational operations
+(insert, scan, filtered select, projection, aggregation) to make the example
+applications realistic rather than toy value-lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Iterable, Iterator
+
+from .schema import Schema, SchemaError
+
+Row = dict[str, object]
+Predicate = Callable[[Row], bool]
+
+
+class Table:
+    """A schema-validated, append-oriented in-memory table."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._rows: list[Row] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.name!r}, columns={self.schema.names}, rows={len(self)})"
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, row: Row) -> None:
+        """Insert one row after validating it against the schema."""
+        self.schema.validate_row(row)
+        # Store a copy so later caller-side mutation cannot corrupt the table.
+        self._rows.append(dict(row))
+
+    def insert_many(self, rows: Iterable[Row]) -> int:
+        """Insert rows, returning how many were inserted.
+
+        Validation is all-or-nothing: if any row is invalid, no row is added.
+        """
+        staged = []
+        for row in rows:
+            self.schema.validate_row(row)
+            staged.append(dict(row))
+        self._rows.extend(staged)
+        return len(staged)
+
+    # -- queries -----------------------------------------------------------
+
+    def scan(self, where: Predicate | None = None) -> list[Row]:
+        """Return (copies of) all rows matching ``where``."""
+        if where is None:
+            return [dict(r) for r in self._rows]
+        return [dict(r) for r in self._rows if where(r)]
+
+    def project(self, column: str, where: Predicate | None = None) -> list[object]:
+        """Return the values of one column, optionally filtered."""
+        self.schema.column(column)  # raises on unknown column
+        rows = self._rows if where is None else (r for r in self._rows if where(r))
+        return [r.get(column) for r in rows]
+
+    def numeric_values(
+        self, column: str, where: Predicate | None = None
+    ) -> list[float]:
+        """Return non-null values of a numeric column.
+
+        This is the attribute-value extraction step every node performs before
+        joining a protocol run.
+        """
+        col = self.schema.column(column)
+        if not col.is_numeric:
+            raise SchemaError(f"column {column!r} is not numeric")
+        return [v for v in self.project(column, where) if v is not None]  # type: ignore[list-item]
+
+    def top_k(
+        self, column: str, k: int, where: Predicate | None = None
+    ) -> list[float]:
+        """Local top-k of a numeric column, sorted descending.
+
+        Returns fewer than ``k`` values when the table is small.  This is the
+        node-local sort-and-truncate of Section 3.4 ("each node first sorts its
+        values and takes the local set of topk values").
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        values = self.numeric_values(column, where)
+        return heapq.nlargest(k, values)
+
+    def bottom_k(
+        self, column: str, k: int, where: Predicate | None = None
+    ) -> list[float]:
+        """Local bottom-k (ascending) — used by min queries and kNN distances."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        values = self.numeric_values(column, where)
+        return heapq.nsmallest(k, values)
+
+    def aggregate(
+        self,
+        column: str,
+        func: str,
+        where: Predicate | None = None,
+    ) -> float | None:
+        """Local aggregate: one of ``max``, ``min``, ``sum``, ``count``, ``avg``."""
+        if func == "count":
+            return float(len(self.project(column, where)))
+        values = self.numeric_values(column, where)
+        if not values:
+            return None
+        if func == "max":
+            return max(values)
+        if func == "min":
+            return min(values)
+        if func == "sum":
+            return float(sum(values))
+        if func == "avg":
+            return float(sum(values)) / len(values)
+        raise ValueError(f"unknown aggregate function: {func!r}")

@@ -1,0 +1,19 @@
+"""Deployment substrates: the protocol over real sockets (threads or asyncio)."""
+
+from .async_runner import run_async_topk
+from .runner import DeployError, TcpRunResult, run_tcp_topk
+from .tcp_node import TcpNodeError, TcpParty
+from .wire import MAX_FRAME_BYTES, WireError, recv_frame, send_frame
+
+__all__ = [
+    "DeployError",
+    "MAX_FRAME_BYTES",
+    "TcpNodeError",
+    "TcpParty",
+    "TcpRunResult",
+    "WireError",
+    "recv_frame",
+    "run_async_topk",
+    "run_tcp_topk",
+    "send_frame",
+]

@@ -1,0 +1,210 @@
+"""The protocol over asyncio streams — a third, event-loop substrate.
+
+Completes the transport-agnosticism story: the same local computation
+modules run under the in-memory simulator (measured experiments), thread-
+per-party TCP (:mod:`repro.deploy.runner`), and — here — a single asyncio
+event loop with one stream server per party.  The initialization module is
+seeded identically, so all three substrates produce bit-identical runs for
+the same inputs (see ``tests/deploy/test_async_run.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+
+from ..core.driver import _build_algorithm  # deliberate reuse of the factory
+from ..core.params import ProtocolParams
+from ..database.query import TopKQuery
+from ..network.message import Message, MessageType, result_message, token_message
+from ..network.node import LocalAlgorithm
+from ..network.ring import RingTopology
+from .runner import DeployError
+from .wire import MAX_FRAME_BYTES
+
+_PREFIX = 4
+
+
+@dataclass
+class _AsyncParty:
+    """Per-party state inside the event loop."""
+
+    node_id: str
+    algorithm: LocalAlgorithm
+    is_starter: bool
+    total_rounds: int
+    successor: "_AsyncParty | None" = None
+    final_result: list[float] | None = None
+    finished: asyncio.Event = field(default_factory=asyncio.Event)
+    observations: list[tuple[int, str, tuple[float, ...]]] = field(
+        default_factory=list
+    )
+    server: asyncio.AbstractServer | None = None
+    address: tuple[str, int] | None = None
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, _writer: asyncio.StreamWriter
+    ) -> None:
+        prefix = await reader.readexactly(_PREFIX)
+        length = int.from_bytes(prefix, "big")
+        if length > MAX_FRAME_BYTES:
+            raise DeployError(f"oversized frame: {length} bytes")
+        body = await reader.readexactly(length)
+        _writer.close()
+        await self.on_message(Message.decode(body))
+
+    async def on_message(self, message: Message) -> None:
+        vector = [float(v) for v in message.payload["vector"]]
+        self.observations.append(
+            (message.round, message.type.value, tuple(vector))
+        )
+        if message.type is MessageType.RESULT:
+            if self.is_starter:
+                return  # result came full circle
+            self.final_result = vector
+            await self.send(
+                result_message(self.node_id, self._succ().node_id, message.round, vector)
+            )
+            self.finished.set()
+            return
+        round_number = message.round
+        if self.is_starter:
+            if round_number >= self.total_rounds:
+                self.final_result = vector
+                await self.send(
+                    result_message(
+                        self.node_id, self._succ().node_id, round_number + 1, vector
+                    )
+                )
+                self.finished.set()
+                return
+            output = self.algorithm.compute(vector, round_number + 1)
+            await self.send(
+                token_message(
+                    self.node_id, self._succ().node_id, round_number + 1, output
+                )
+            )
+        else:
+            output = self.algorithm.compute(vector, round_number)
+            await self.send(
+                token_message(self.node_id, self._succ().node_id, round_number, output)
+            )
+
+    def _succ(self) -> "_AsyncParty":
+        if self.successor is None:
+            raise DeployError(f"{self.node_id} has no successor configured")
+        return self.successor
+
+    async def send(self, message: Message) -> None:
+        successor = self._succ()
+        assert successor.address is not None
+        _reader, writer = await asyncio.open_connection(*successor.address)
+        body = message.encode()
+        writer.write(len(body).to_bytes(_PREFIX, "big") + body)
+        await writer.drain()
+        writer.close()
+
+
+async def _run_async(
+    local_vectors: dict[str, list[float]],
+    query: TopKQuery,
+    params: ProtocolParams,
+    protocol: str,
+    seed: int | None,
+    host: str,
+    timeout: float,
+):
+    rng = random.Random(seed)
+    rounds = params.resolved_rounds() if protocol == "probabilistic" else 1
+    node_ids = sorted(local_vectors)
+    ring = RingTopology.random(node_ids, rng)
+    starter = rng.choice(node_ids)
+    truncated = {
+        n: sorted((float(v) for v in vs), reverse=True)[: query.k]
+        for n, vs in local_vectors.items()
+    }
+
+    parties = {
+        node_id: _AsyncParty(
+            node_id=node_id,
+            algorithm=_build_algorithm(
+                protocol, truncated[node_id], query, params, rng
+            ),
+            is_starter=(node_id == starter),
+            total_rounds=rounds,
+        )
+        for node_id in node_ids
+    }
+    try:
+        for party in parties.values():
+            party.server = await asyncio.start_server(
+                party.handle_connection, host, 0
+            )
+            party.address = party.server.sockets[0].getsockname()[:2]
+        for node_id in node_ids:
+            parties[node_id].successor = parties[ring.successor(node_id)]
+
+        starter_party = parties[starter]
+        output = starter_party.algorithm.compute(
+            [float(v) for v in query.identity_vector()], 1
+        )
+        await starter_party.send(
+            token_message(starter, ring.successor(starter), 1, output)
+        )
+        await asyncio.wait_for(
+            asyncio.gather(*(p.finished.wait() for p in parties.values())),
+            timeout=timeout,
+        )
+    finally:
+        for party in parties.values():
+            if party.server is not None:
+                party.server.close()
+                await party.server.wait_closed()
+
+    final = parties[starter].final_result
+    if final is None:
+        raise DeployError("starter finished without a result")
+    disagreeing = [
+        n for n, p in parties.items() if p.final_result != final
+    ]
+    if disagreeing:
+        raise DeployError(f"parties disagree on the result: {disagreeing}")
+    from .runner import TcpRunResult
+
+    return TcpRunResult(
+        final_vector=list(final),
+        ring_order=ring.members,
+        starter=starter,
+        addresses={n: parties[n].address for n in node_ids},
+        per_party_results={n: list(parties[n].final_result or []) for n in node_ids},
+        local_vectors=truncated,
+        observations={n: list(parties[n].observations) for n in node_ids},
+    )
+
+
+def run_async_topk(
+    local_vectors: dict[str, list[float]],
+    query: TopKQuery,
+    *,
+    params: ProtocolParams | None = None,
+    protocol: str = "probabilistic",
+    seed: int | None = None,
+    host: str = "127.0.0.1",
+    timeout: float = 30.0,
+):
+    """Run one top-k query with every party as an asyncio stream server.
+
+    Same contract and result type as :func:`repro.deploy.run_tcp_topk`
+    (encryption is thread-runner-only for now).
+    """
+    if query.smallest:
+        raise DeployError("run_async_topk expects a plain top-k query; negate first")
+    if len(local_vectors) < 3:
+        raise DeployError(
+            f"the protocol requires n >= 3 parties, got {len(local_vectors)}"
+        )
+    params = params or ProtocolParams.paper_defaults()
+    return asyncio.run(
+        _run_async(local_vectors, query, params, protocol, seed, host, timeout)
+    )

@@ -1,0 +1,147 @@
+"""Deploy and drive a full protocol run over localhost TCP.
+
+This is the deployment-shaped counterpart of
+:func:`repro.core.driver.run_protocol_on_vectors`: the same initialization
+module (random ring, random starter, randomization parameters), but each
+party is a real server thread with its own port, and the token travels as
+framed bytes over actual sockets.  Intended for integration testing and for
+demonstrating that the protocol logic is transport-agnostic; the simulator
+remains the tool for measured experiments (it can account for every byte).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.driver import _build_algorithm  # deliberate reuse of the factory
+from ..core.params import ProtocolParams
+from ..core.vectors import merge_topk
+from ..database.query import TopKQuery
+from ..network.crypto import Keyring
+from ..network.ring import RingTopology
+from .tcp_node import TcpNodeError, TcpParty
+
+
+class DeployError(RuntimeError):
+    """Raised when a TCP deployment fails to complete."""
+
+
+@dataclass
+class TcpRunResult:
+    """Outcome of a TCP-deployed protocol run."""
+
+    final_vector: list[float]
+    ring_order: tuple[str, ...]
+    starter: str
+    addresses: dict[str, tuple[str, int]]
+    per_party_results: dict[str, list[float]]
+    local_vectors: dict[str, list[float]]
+    #: Per-party passive logs: (round, kind, vector) as received.
+    observations: dict[str, list[tuple[int, str, tuple[float, ...]]]] = field(
+        default_factory=dict
+    )
+
+    def true_topk(self, k: int, fill: float) -> list[float]:
+        merged: list[float] = []
+        for values in self.local_vectors.values():
+            merged = merge_topk(merged, values, k)
+        return merged + [fill] * (k - len(merged))
+
+    def is_exact(self) -> bool:
+        k = len(self.final_vector)
+        truth = self.true_topk(k, self.final_vector[-1] if self.final_vector else 0.0)
+        return self.final_vector == truth
+
+
+def run_tcp_topk(
+    local_vectors: dict[str, list[float]],
+    query: TopKQuery,
+    *,
+    params: ProtocolParams | None = None,
+    protocol: str = "probabilistic",
+    seed: int | None = None,
+    encrypt: bool = False,
+    host: str = "127.0.0.1",
+    timeout: float = 30.0,
+) -> TcpRunResult:
+    """Run one top-k query with every party on its own TCP endpoint.
+
+    Only plain (non-negated) top-k queries are supported here; min/bottom-k
+    callers should negate values as :mod:`repro.core.driver` does.
+    """
+    if query.smallest:
+        raise DeployError("run_tcp_topk expects a plain top-k query; negate first")
+    if len(local_vectors) < 3:
+        raise DeployError(f"the protocol requires n >= 3 parties, got {len(local_vectors)}")
+    params = params or ProtocolParams.paper_defaults()
+    rng = random.Random(seed)
+    rounds = params.resolved_rounds() if protocol == "probabilistic" else 1
+
+    node_ids = sorted(local_vectors)
+    ring = RingTopology.random(node_ids, rng)
+    starter = rng.choice(node_ids)
+    keyring = Keyring() if encrypt else None
+
+    truncated = {
+        n: sorted((float(v) for v in vs), reverse=True)[: query.k]
+        for n, vs in local_vectors.items()
+    }
+
+    parties: dict[str, TcpParty] = {}
+    try:
+        for node_id in node_ids:
+            algorithm = _build_algorithm(
+                protocol, truncated[node_id], query, params, rng
+            )
+            parties[node_id] = TcpParty(
+                node_id,
+                algorithm,
+                host=host,
+                is_starter=(node_id == starter),
+                total_rounds=rounds,
+                keyring=keyring,
+            )
+        for node_id in node_ids:
+            successor = ring.successor(node_id)
+            parties[node_id].successor_id = successor
+            parties[node_id].successor_address = parties[successor].address
+            parties[node_id].predecessor_id = ring.predecessor(node_id)
+        for party in parties.values():
+            party.start_serving()
+
+        parties[starter].kick_off([float(v) for v in query.identity_vector()])
+
+        for node_id in node_ids:
+            if not parties[node_id].finished.wait(timeout=timeout):
+                raise DeployError(
+                    f"party {node_id!r} did not finish within {timeout}s"
+                )
+            error = parties[node_id].error
+            if error is not None:
+                raise DeployError(f"party {node_id!r} failed: {error}") from error
+    finally:
+        for party in parties.values():
+            party.shutdown()
+
+    final = parties[starter].final_result
+    if final is None:
+        raise DeployError("starter finished without a result")
+    per_party = {
+        n: list(parties[n].final_result or []) for n in node_ids
+    }
+    disagreeing = [n for n, vec in per_party.items() if vec != final]
+    if disagreeing:
+        raise DeployError(f"parties disagree on the result: {disagreeing}")
+    return TcpRunResult(
+        final_vector=list(final),
+        ring_order=ring.members,
+        starter=starter,
+        addresses={n: parties[n].address for n in node_ids},
+        per_party_results=per_party,
+        local_vectors=truncated,
+        observations={n: list(parties[n].observations) for n in node_ids},
+    )
+
+
+__all__ = ["DeployError", "TcpNodeError", "TcpRunResult", "run_tcp_topk"]

@@ -1,0 +1,187 @@
+"""One protocol party as a real TCP server thread.
+
+Each party listens on its own localhost port, accepts one framed message per
+connection, runs its local computation module, and forwards the output to
+its successor's port — exactly the node-to-successor communication scheme of
+Section 3.2, but over an actual network stack with real concurrency instead
+of the in-memory simulator.
+
+Channel protection: when a shared :class:`~repro.network.crypto.Keyring` is
+supplied, every frame body is sealed for the (sender, receiver) link and
+opened on receipt — the same cipher the simulator exercises.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from ..network.crypto import Keyring
+from ..network.message import Message, MessageType, result_message, token_message
+from ..network.node import LocalAlgorithm
+from .wire import WireError, recv_frame, send_frame
+
+
+class TcpNodeError(RuntimeError):
+    """Raised on deployment-level failures (bind, connect, protocol state)."""
+
+
+class TcpParty:
+    """A single organization's protocol endpoint."""
+
+    def __init__(
+        self,
+        node_id: str,
+        algorithm: LocalAlgorithm,
+        *,
+        host: str = "127.0.0.1",
+        is_starter: bool = False,
+        total_rounds: int = 1,
+        keyring: Keyring | None = None,
+        accept_timeout: float = 0.2,
+    ) -> None:
+        self.node_id = node_id
+        self.algorithm = algorithm
+        self.is_starter = is_starter
+        self.total_rounds = total_rounds
+        self.keyring = keyring
+        self.successor_address: tuple[str, int] | None = None
+        #: Logical ids of the ring neighbours; set by the runner when the
+        #: ring is wired.  Needed for per-link channel keys.
+        self.successor_id: str | None = None
+        self.predecessor_id: str | None = None
+        self.final_result: list[float] | None = None
+        self.finished = threading.Event()
+        self.error: Exception | None = None
+        #: Local passive log: every (round, kind, vector) this party received
+        #: — the semi-honest adversary's view, and the basis of parity
+        #: checks against the simulator.
+        self.observations: list[tuple[int, str, tuple[float, ...]]] = []
+        self._accept_timeout = accept_timeout
+        self._stop = threading.Event()
+        self._server = socket.create_server((host, 0))
+        self._server.settimeout(accept_timeout)
+        self._address: tuple[str, int] = self._server.getsockname()
+        self._thread = threading.Thread(
+            target=self._serve, name=f"tcp-party-{node_id}", daemon=True
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._address
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start_serving(self) -> None:
+        self._thread.start()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop serving; safe to call repeatedly or before serving started.
+
+        Closing a socket does not wake a thread already parked in
+        ``accept()`` (it sleeps out its poll timeout), so shutdown first
+        pokes the server with an empty wake-up connection — the serve loop
+        sees the stop flag and exits within microseconds.
+        """
+        self._stop.set()
+        if self._thread.is_alive():
+            try:
+                with socket.create_connection(self._address, timeout=1.0):
+                    pass  # zero-byte connect: only purpose is waking accept()
+            except OSError:
+                pass
+            self._thread.join(timeout=timeout)
+        self._server.close()
+
+    def _serve(self) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    connection, _peer = self._server.accept()
+                except TimeoutError:
+                    continue
+                except OSError:
+                    return  # server socket closed under us
+                with connection:
+                    try:
+                        body = recv_frame(connection)
+                    except WireError:
+                        if self._stop.is_set():
+                            return  # the shutdown wake-up connection
+                        raise
+                self._handle_raw(body)
+        except (WireError, OSError, ValueError) as exc:
+            if self._stop.is_set():
+                return  # failures during teardown are not protocol errors
+            self.error = exc
+            self.finished.set()
+
+    # -- protocol ----------------------------------------------------------------
+
+    def kick_off(self, identity_vector: list[float]) -> None:
+        """Starter only: compute and send the round-1 token."""
+        if not self.is_starter:
+            raise TcpNodeError(f"{self.node_id} is not the starting party")
+        output = self.algorithm.compute(list(identity_vector), 1)
+        self._send(token_message(self.node_id, self._successor(), 1, output))
+
+    def _successor(self) -> str:
+        if self.successor_id is None:
+            raise TcpNodeError(f"{self.node_id} has no successor configured")
+        return self.successor_id
+
+    def _handle_raw(self, body: bytes) -> None:
+        if self.keyring is not None:
+            if self.predecessor_id is None:
+                raise TcpNodeError(f"{self.node_id} has no predecessor configured")
+            body = self.keyring.open(self.predecessor_id, self.node_id, body)
+        message = Message.decode(body)
+        vector = tuple(float(v) for v in message.payload.get("vector", ()))
+        self.observations.append((message.round, message.type.value, vector))
+        if message.type is MessageType.RESULT:
+            self._handle_result(message)
+        elif message.type is MessageType.TOKEN:
+            self._handle_token(message)
+
+    def _handle_token(self, message: Message) -> None:
+        vector = [float(v) for v in message.payload["vector"]]
+        round_number = message.round
+        if self.is_starter:
+            if round_number >= self.total_rounds:
+                self.final_result = vector
+                self._send(
+                    result_message(
+                        self.node_id, self._successor(), round_number + 1, vector
+                    )
+                )
+                self.finished.set()
+                return
+            next_round = round_number + 1
+            output = self.algorithm.compute(vector, next_round)
+            self._send(
+                token_message(self.node_id, self._successor(), next_round, output)
+            )
+        else:
+            output = self.algorithm.compute(vector, round_number)
+            self._send(
+                token_message(self.node_id, self._successor(), round_number, output)
+            )
+
+    def _handle_result(self, message: Message) -> None:
+        if self.is_starter:
+            return  # result came full circle
+        vector = [float(v) for v in message.payload["vector"]]
+        self.final_result = vector
+        self._send(
+            result_message(self.node_id, self._successor(), message.round, vector)
+        )
+        self.finished.set()
+
+    def _send(self, message: Message) -> None:
+        if self.successor_address is None:
+            raise TcpNodeError(f"{self.node_id} has no successor address")
+        body = message.encode()
+        if self.keyring is not None:
+            body = self.keyring.seal(self.node_id, self._successor(), body)
+        with socket.create_connection(self.successor_address, timeout=5.0) as sock:
+            send_frame(sock, body)

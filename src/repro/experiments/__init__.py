@@ -1,0 +1,50 @@
+"""Experiment harness: trial runners, aggregation, figure registry, reports."""
+
+from .config import PAPER_TRIALS, TrialSetup
+from .figures import EXPERIMENTS, Experiment, all_experiment_ids, run_experiment
+from .report import render_figure, render_table, write_csv
+from .runner import (
+    aggregate_coalition_lop,
+    aggregate_node_lop,
+    mean_final_precision,
+    mean_lop_by_round,
+    mean_messages,
+    mean_precision_by_round,
+    run_single_trial,
+    run_trials,
+)
+from .series import FigureData, Series
+from .summary import generate_report, write_report
+from .svg_plot import render_svg, write_all_svgs, write_svg
+from .validate import Check, render_scorecard, scorecard, validate_experiment
+
+__all__ = [
+    "Check",
+    "EXPERIMENTS",
+    "Experiment",
+    "FigureData",
+    "PAPER_TRIALS",
+    "Series",
+    "TrialSetup",
+    "aggregate_coalition_lop",
+    "generate_report",
+    "aggregate_node_lop",
+    "all_experiment_ids",
+    "mean_final_precision",
+    "mean_lop_by_round",
+    "mean_messages",
+    "mean_precision_by_round",
+    "render_figure",
+    "render_scorecard",
+    "render_svg",
+    "render_table",
+    "run_experiment",
+    "run_single_trial",
+    "run_trials",
+    "scorecard",
+    "validate_experiment",
+    "write_all_svgs",
+    "write_csv",
+    "write_report",
+    "write_svg",
+]

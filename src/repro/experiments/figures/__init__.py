@@ -1,0 +1,5 @@
+"""Per-figure experiment modules and the experiment registry."""
+
+from .registry import EXPERIMENTS, Experiment, all_experiment_ids, run_experiment
+
+__all__ = ["EXPERIMENTS", "Experiment", "all_experiment_ids", "run_experiment"]

@@ -1,0 +1,44 @@
+"""Shared sweeps and helpers for the per-figure experiment modules.
+
+The parameter sweeps mirror the paper's panels: "(a)" panels vary the
+initial randomization probability ``p0`` at fixed ``d = 1/2``; "(b)" panels
+vary the dampening factor ``d`` at fixed ``p0 = 1``.
+"""
+
+from __future__ import annotations
+
+from ...core.params import ProtocolParams
+from ..config import PAPER_TRIALS, TrialSetup
+from ..runner import run_trials
+from ..series import FigureData, Series
+
+#: p0 values swept in the "(a)" panels (paper plots a small spread of p0).
+P0_SWEEP = (0.25, 0.5, 1.0)
+#: d values swept in the "(b)" panels.
+D_SWEEP = (0.25, 0.5, 0.75)
+#: Fixed counterparts.
+FIXED_D = 0.5
+FIXED_P0 = 1.0
+#: Rounds plotted on the x axis of the vs-rounds figures.
+MAX_ROUNDS = 8
+
+__all__ = [
+    "D_SWEEP",
+    "FIXED_D",
+    "FIXED_P0",
+    "MAX_ROUNDS",
+    "P0_SWEEP",
+    "PAPER_TRIALS",
+    "FigureData",
+    "Series",
+    "TrialSetup",
+    "params_with",
+    "run_trials",
+]
+
+
+def params_with(
+    p0: float, d: float, rounds: int | None = None, **overrides: object
+) -> ProtocolParams:
+    """ProtocolParams with an exponential schedule and optional fixed rounds."""
+    return ProtocolParams.with_randomization(p0, d, rounds=rounds, **overrides)

@@ -1,0 +1,53 @@
+"""Extension experiment: the Equation 6 bound against measured LoP.
+
+Section 5.3 claims the measured per-round loss of privacy "matches our
+analysis in Section 4".  This experiment overlays the Equation 6 analytic
+term and the measured per-round average LoP on the same axes (n = 4, the
+paper's Figure 7 setting) so the claim is checkable at a glance: measurement
+must track the bound's *shape* (zero at round 1 for p0 = 1, peak at round 2,
+decay) and stay at or below it.
+"""
+
+from __future__ import annotations
+
+from ...analysis.privacy_bounds import expected_lop_series
+from ..config import PAPER_TRIALS
+from ..runner import mean_lop_by_round, run_trials
+from .common import MAX_ROUNDS, FigureData, Series, TrialSetup, params_with
+
+FIGURE_ID = "ext-bound-check"
+
+N_NODES = 4
+PAIRS = ((1.0, 0.5), (0.5, 0.5), (1.0, 0.25))
+
+
+def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
+    trials = trials or PAPER_TRIALS
+    panels = []
+    for p0, d in PAIRS:
+        setup = TrialSetup(
+            n=N_NODES,
+            k=1,
+            params=params_with(p0, d, rounds=MAX_ROUNDS),
+            trials=trials,
+            seed=seed,
+        )
+        measured = mean_lop_by_round(run_trials(setup), MAX_ROUNDS)
+        bound = [
+            (float(r), v) for r, v in expected_lop_series(p0, d, MAX_ROUNDS)
+        ]
+        panels.append(
+            FigureData(
+                figure_id=f"ext-bound-check-p{p0}-d{d}",
+                title=f"Measured LoP vs Eq. 6 bound (p0={p0}, d={d}, n=4)",
+                xlabel="round",
+                ylabel="LoP",
+                series=(
+                    Series("Eq. 6 bound", tuple(bound)),
+                    Series("measured", tuple(measured)),
+                ),
+                expectation="measured tracks the bound's shape and stays below it",
+                metadata={"n": N_NODES, "trials": trials, "p0": p0, "d": d},
+            )
+        )
+    return panels

@@ -1,0 +1,94 @@
+"""Extension experiment: measured communication cost vs the Section 4.2 model.
+
+The analysis says total cost is (messages per round = n) x (rounds from
+Equation 4, independent of n), plus the termination round.  The simulator
+counts every message, so we can overlay measurement on model — including the
+group-parallel variant's cost and latency.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...analysis.efficiency import grouped_total_messages, total_messages
+from ...core.driver import RunConfig, run_protocol_on_vectors
+from ...database.generator import DataGenerator
+from ...database.query import PAPER_DOMAIN, TopKQuery
+from ...extensions.groups import run_grouped_max
+from ..config import PAPER_TRIALS
+from .common import FigureData, Series, params_with
+
+FIGURE_ID = "ext-communication"
+
+N_SWEEP = (8, 16, 32, 64, 128)
+GROUP_SIZE = 8
+EPSILON = 1e-3
+
+
+def _vectors(n: int, seed: int) -> dict[str, list[float]]:
+    generator = DataGenerator(rng=random.Random(seed))
+    return {
+        f"n{i}": [float(v) for v in vs]
+        for i, vs in enumerate(generator.node_datasets(n, 3))
+    }
+
+
+def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
+    trials = max(3, (trials or PAPER_TRIALS) // 10)  # costs have tiny variance
+    query = TopKQuery(table="t", attribute="v", k=1, domain=PAPER_DOMAIN)
+    params = params_with(1.0, 0.5)
+
+    flat_measured, grouped_measured = [], []
+    flat_model, grouped_model = [], []
+    flat_latency, grouped_latency = [], []
+    for n in N_SWEEP:
+        flat_total = grouped_total = 0.0
+        flat_secs = grouped_secs = 0.0
+        for t in range(trials):
+            vectors = _vectors(n, seed * 1000 + t)
+            flat = run_protocol_on_vectors(
+                vectors, query, RunConfig(params=params, seed=seed + t)
+            )
+            grouped = run_grouped_max(
+                vectors, query, group_size=GROUP_SIZE, params=params, seed=seed + t
+            )
+            flat_total += flat.stats.messages_total
+            grouped_total += grouped.messages_total
+            flat_secs += flat.simulated_seconds
+            grouped_secs += grouped.simulated_seconds
+        flat_measured.append((float(n), flat_total / trials))
+        grouped_measured.append((float(n), grouped_total / trials))
+        flat_model.append((float(n), float(total_messages(n, 1.0, 0.5, EPSILON))))
+        grouped_model.append(
+            (float(n), float(grouped_total_messages(n, GROUP_SIZE, 1.0, 0.5, EPSILON)))
+        )
+        flat_latency.append((float(n), flat_secs / trials))
+        grouped_latency.append((float(n), grouped_secs / trials))
+
+    messages_panel = FigureData(
+        figure_id="ext-communication-messages",
+        title="Messages vs nodes: measured vs Section 4.2 model",
+        xlabel="nodes",
+        ylabel="messages per run",
+        series=(
+            Series("flat measured", tuple(flat_measured)),
+            Series("flat model", tuple(flat_model)),
+            Series("grouped measured", tuple(grouped_measured)),
+            Series("grouped model", tuple(grouped_model)),
+        ),
+        expectation="linear in n; measurement within the analytic envelope",
+        metadata={"epsilon": EPSILON, "group_size": GROUP_SIZE},
+    )
+    latency_panel = FigureData(
+        figure_id="ext-communication-latency",
+        title="Simulated wall-clock vs nodes: flat ring vs grouped",
+        xlabel="nodes",
+        ylabel="simulated seconds",
+        series=(
+            Series("flat", tuple(flat_latency)),
+            Series("grouped", tuple(grouped_latency)),
+        ),
+        expectation="grouping flattens the latency growth (parallel groups)",
+        metadata={"group_size": GROUP_SIZE},
+    )
+    return [messages_panel, latency_panel]

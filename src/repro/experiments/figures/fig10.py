@@ -1,0 +1,84 @@
+"""Figure 10: protocol comparison — LoP vs number of nodes (max selection).
+
+Compares the probabilistic protocol against the naive protocol (fixed
+starting node) and the anonymous-naive protocol (random starting node).
+Expected shapes:
+
+* average LoP (panel a): anonymous-naive ≈ naive; probabilistic far below
+  both (close to 0); all decrease with n;
+* worst-case LoP (panel b): the naive protocol's starting node is ~100%
+  exposed regardless of n; the anonymous scheme stays near its average; the
+  probabilistic protocol remains near 0.
+"""
+
+from __future__ import annotations
+
+from ...core.driver import ANONYMOUS_NAIVE, NAIVE, PROBABILISTIC
+from ..config import PAPER_TRIALS
+from ..runner import aggregate_node_lop, run_trials
+from .common import FigureData, Series, TrialSetup, params_with
+
+FIGURE_ID = "fig10"
+
+N_SWEEP = (4, 8, 16, 32, 64)
+ROUNDS = 10
+PROTOCOL_LABELS = (
+    (NAIVE, "naive"),
+    (ANONYMOUS_NAIVE, "anonymous-naive"),
+    (PROBABILISTIC, "probabilistic"),
+)
+
+
+def _measure(trials: int, seed: int) -> dict[str, list[tuple[float, float, float]]]:
+    """protocol label -> [(n, average, worst)] over the node sweep."""
+    measured: dict[str, list[tuple[float, float, float]]] = {}
+    for protocol, label in PROTOCOL_LABELS:
+        rows = []
+        for n in N_SWEEP:
+            setup = TrialSetup(
+                n=n,
+                k=1,
+                protocol=protocol,
+                params=params_with(1.0, 0.5, rounds=ROUNDS),
+                trials=trials,
+                seed=seed,
+            )
+            average, worst = aggregate_node_lop(run_trials(setup))
+            rows.append((float(n), average, worst))
+        measured[label] = rows
+    return measured
+
+
+def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
+    trials = trials or PAPER_TRIALS
+    measured = _measure(trials, seed)
+    panel_a = FigureData(
+        figure_id="fig10a",
+        title="Average LoP vs nodes: naive vs anonymous vs probabilistic",
+        xlabel="nodes",
+        ylabel="average LoP",
+        series=tuple(
+            Series(label, tuple((n, avg) for n, avg, _ in rows))
+            for label, rows in measured.items()
+        ),
+        expectation=(
+            "anonymous ≈ naive; probabilistic near 0; all decrease with n"
+        ),
+        metadata={"trials": trials, "rounds": ROUNDS},
+    )
+    panel_b = FigureData(
+        figure_id="fig10b",
+        title="Worst-case LoP vs nodes: naive vs anonymous vs probabilistic",
+        xlabel="nodes",
+        ylabel="worst-case LoP",
+        series=tuple(
+            Series(label, tuple((n, worst) for n, _, worst in rows))
+            for label, rows in measured.items()
+        ),
+        expectation=(
+            "naive ~100% at its starting node; anonymous near its average; "
+            "probabilistic near 0"
+        ),
+        metadata={"trials": trials, "rounds": ROUNDS},
+    )
+    return [panel_a, panel_b]

@@ -1,0 +1,56 @@
+"""Figure 3: analytical precision guarantee vs number of rounds (Equation 3).
+
+Panel (a) varies the initial randomization probability ``p0`` with
+``d = 1/2``; panel (b) varies the dampening factor ``d`` with ``p0 = 1``.
+Expected shapes: the bound rises monotonically to 1; smaller ``p0`` starts
+higher and converges (slightly) sooner; smaller ``d`` converges much faster.
+"""
+
+from __future__ import annotations
+
+from ...analysis.correctness import precision_bound_series
+from .common import D_SWEEP, FIXED_D, FIXED_P0, MAX_ROUNDS, P0_SWEEP, FigureData, Series
+
+FIGURE_ID = "fig3"
+
+
+def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
+    """Analytic figure: ``trials``/``seed`` accepted for interface uniformity."""
+    del trials, seed
+    panel_a = FigureData(
+        figure_id="fig3a",
+        title="Precision bound vs rounds (varying p0, d=1/2)",
+        xlabel="rounds",
+        ylabel="precision bound",
+        series=tuple(
+            Series(
+                f"p0={p0}",
+                tuple(
+                    (float(r), bound)
+                    for r, bound in precision_bound_series(p0, FIXED_D, MAX_ROUNDS)
+                ),
+            )
+            for p0 in P0_SWEEP
+        ),
+        expectation=(
+            "monotone to 1.0; smaller p0 gives higher early-round precision"
+        ),
+    )
+    panel_b = FigureData(
+        figure_id="fig3b",
+        title="Precision bound vs rounds (varying d, p0=1)",
+        xlabel="rounds",
+        ylabel="precision bound",
+        series=tuple(
+            Series(
+                f"d={d}",
+                tuple(
+                    (float(r), bound)
+                    for r, bound in precision_bound_series(FIXED_P0, d, MAX_ROUNDS)
+                ),
+            )
+            for d in D_SWEEP
+        ),
+        expectation="monotone to 1.0; smaller d converges much faster",
+    )
+    return [panel_a, panel_b]

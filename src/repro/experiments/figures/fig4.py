@@ -1,0 +1,59 @@
+"""Figure 4: required number of rounds vs precision guarantee (Equation 4).
+
+X axis: the error bound ``ε`` on a log scale (the paper plots decreasing ε
+rightwards; we plot ε directly with log x).  Y axis: ``r_min``.  Expected
+shapes: ``r_min`` grows only as ``O(sqrt(log 1/ε))``; ``d`` has the larger
+effect on the required rounds, ``p0`` a smaller one.
+"""
+
+from __future__ import annotations
+
+from ...analysis.efficiency import rmin_series
+from .common import D_SWEEP, FIXED_D, FIXED_P0, P0_SWEEP, FigureData, Series
+
+FIGURE_ID = "fig4"
+
+#: ε sweep: 10^-1 .. 10^-7 (the paper's log-scaled axis).
+EPSILONS = tuple(10.0**-e for e in range(1, 8))
+
+
+def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
+    """Analytic figure: ``trials``/``seed`` accepted for interface uniformity."""
+    del trials, seed
+    panel_a = FigureData(
+        figure_id="fig4a",
+        title="Minimum rounds vs error bound (varying p0, d=1/2)",
+        xlabel="epsilon",
+        ylabel="r_min",
+        log_x=True,
+        series=tuple(
+            Series(
+                f"p0={p0}",
+                tuple(
+                    (eps, float(r))
+                    for eps, r in rmin_series(p0, FIXED_D, list(EPSILONS))
+                ),
+            )
+            for p0 in P0_SWEEP
+        ),
+        expectation="slow O(sqrt(log 1/eps)) growth; p0 shifts curves slightly",
+    )
+    panel_b = FigureData(
+        figure_id="fig4b",
+        title="Minimum rounds vs error bound (varying d, p0=1)",
+        xlabel="epsilon",
+        ylabel="r_min",
+        log_x=True,
+        series=tuple(
+            Series(
+                f"d={d}",
+                tuple(
+                    (eps, float(r))
+                    for eps, r in rmin_series(FIXED_P0, d, list(EPSILONS))
+                ),
+            )
+            for d in D_SWEEP
+        ),
+        expectation="d dominates: smaller d needs clearly fewer rounds",
+    )
+    return [panel_a, panel_b]

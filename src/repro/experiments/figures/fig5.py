@@ -1,0 +1,58 @@
+"""Figure 5: analytical expected loss of privacy per round (Equation 6).
+
+Plots the Equation 6 inner term ``f(r) = (1/2^(r-1)) (1 - p0 d^(r-1))``.
+Expected shapes: with large ``p0`` (e.g. 1) the loss is 0 in round 1, peaks
+in round 2, then decays; with smaller ``p0`` the peak is in round 1 and
+decays from there; comparing peaks, larger ``p0`` gives better privacy, and
+larger ``d`` slightly lowers the loss from round 2 on.
+"""
+
+from __future__ import annotations
+
+from ...analysis.privacy_bounds import expected_lop_series
+from .common import D_SWEEP, FIXED_D, FIXED_P0, MAX_ROUNDS, P0_SWEEP, FigureData, Series
+
+FIGURE_ID = "fig5"
+
+
+def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
+    """Analytic figure: ``trials``/``seed`` accepted for interface uniformity."""
+    del trials, seed
+    panel_a = FigureData(
+        figure_id="fig5a",
+        title="Expected LoP bound vs rounds (varying p0, d=1/2)",
+        xlabel="rounds",
+        ylabel="expected LoP bound",
+        series=tuple(
+            Series(
+                f"p0={p0}",
+                tuple(
+                    (float(r), v)
+                    for r, v in expected_lop_series(p0, FIXED_D, MAX_ROUNDS)
+                ),
+            )
+            for p0 in P0_SWEEP
+        ),
+        expectation=(
+            "p0=1 starts at 0 and peaks in round 2; smaller p0 peaks in round 1; "
+            "larger p0 has the lower peak"
+        ),
+    )
+    panel_b = FigureData(
+        figure_id="fig5b",
+        title="Expected LoP bound vs rounds (varying d, p0=1)",
+        xlabel="rounds",
+        ylabel="expected LoP bound",
+        series=tuple(
+            Series(
+                f"d={d}",
+                tuple(
+                    (float(r), v)
+                    for r, v in expected_lop_series(FIXED_P0, d, MAX_ROUNDS)
+                ),
+            )
+            for d in D_SWEEP
+        ),
+        expectation="all start at 0, peak in round 2; smaller d peaks higher",
+    )
+    return [panel_a, panel_b]

@@ -1,0 +1,74 @@
+"""Figure 7: measured loss of privacy per round for max selection (n = 4).
+
+The paper reports n = 4 because the per-round trends are most pronounced
+with few nodes.  Expected shapes: with smaller ``p0`` the peak LoP is in
+round 1, decaying as the protocol converges; with ``p0 = 1`` round 1 has
+zero loss (every contributor randomizes) and the peak moves to round 2; a
+larger ``p0`` lowers the peak; a smaller ``d`` raises it.
+"""
+
+from __future__ import annotations
+
+from ..config import PAPER_TRIALS
+from ..runner import mean_lop_by_round, run_trials
+from .common import (
+    D_SWEEP,
+    FIXED_D,
+    FIXED_P0,
+    MAX_ROUNDS,
+    P0_SWEEP,
+    FigureData,
+    Series,
+    TrialSetup,
+    params_with,
+)
+
+FIGURE_ID = "fig7"
+
+#: The paper reports this figure for a 4-node system.
+N_NODES = 4
+
+
+def _series(p0: float, d: float, label: str, trials: int, seed: int) -> Series:
+    setup = TrialSetup(
+        n=N_NODES,
+        k=1,
+        params=params_with(p0, d, rounds=MAX_ROUNDS),
+        trials=trials,
+        seed=seed,
+    )
+    results = run_trials(setup)
+    return Series(label, tuple(mean_lop_by_round(results, MAX_ROUNDS)))
+
+
+def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
+    trials = trials or PAPER_TRIALS
+    panel_a = FigureData(
+        figure_id="fig7a",
+        title="Measured LoP per round, max selection, n=4 (varying p0, d=1/2)",
+        xlabel="round",
+        ylabel="average LoP",
+        series=tuple(
+            _series(p0, FIXED_D, f"p0={p0}", trials, seed) for p0 in P0_SWEEP
+        ),
+        expectation=(
+            "p0=1: zero in round 1, peak in round 2, then decay; "
+            "smaller p0 peaks in round 1; larger p0 has the lower peak"
+        ),
+        metadata={"n": N_NODES, "trials": trials},
+    )
+    panel_b = FigureData(
+        figure_id="fig7b",
+        title="Measured LoP per round, max selection, n=4 (varying d, p0=1)",
+        xlabel="round",
+        ylabel="average LoP",
+        series=tuple(
+            _series(FIXED_P0, d, f"d={d}", trials, seed) for d in D_SWEEP
+        ),
+        expectation=(
+            "all zero in round 1, peak in round 2, decay after; "
+            "smaller d peaks higher"
+        ),
+        metadata={"n": N_NODES, "trials": trials},
+    )
+    return [panel_a, panel_b]

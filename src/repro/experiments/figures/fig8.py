@@ -1,0 +1,71 @@
+"""Figure 8: measured loss of privacy vs number of nodes (max selection).
+
+Each point is the system average LoP (per-node peak over rounds, averaged
+over nodes and trials).  Expected shapes: LoP decreases with n — the more
+nodes, the faster the global value climbs and the fewer nodes ever expose
+their own values.
+"""
+
+from __future__ import annotations
+
+from ..config import PAPER_TRIALS
+from ..runner import aggregate_node_lop, run_trials
+from .common import (
+    D_SWEEP,
+    FIXED_D,
+    FIXED_P0,
+    P0_SWEEP,
+    FigureData,
+    Series,
+    TrialSetup,
+    params_with,
+)
+
+FIGURE_ID = "fig8"
+
+#: Node-count sweep.
+N_SWEEP = (4, 8, 16, 32, 64)
+#: Rounds per run: enough for the default schedules to converge.
+ROUNDS = 10
+
+
+def _series(p0: float, d: float, label: str, trials: int, seed: int) -> Series:
+    points = []
+    for n in N_SWEEP:
+        setup = TrialSetup(
+            n=n,
+            k=1,
+            params=params_with(p0, d, rounds=ROUNDS),
+            trials=trials,
+            seed=seed,
+        )
+        average, _worst = aggregate_node_lop(run_trials(setup))
+        points.append((float(n), average))
+    return Series(label, tuple(points))
+
+
+def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
+    trials = trials or PAPER_TRIALS
+    panel_a = FigureData(
+        figure_id="fig8a",
+        title="Measured LoP vs number of nodes (varying p0, d=1/2)",
+        xlabel="nodes",
+        ylabel="average LoP",
+        series=tuple(
+            _series(p0, FIXED_D, f"p0={p0}", trials, seed) for p0 in P0_SWEEP
+        ),
+        expectation="LoP decreases with n for every p0",
+        metadata={"rounds": ROUNDS, "trials": trials},
+    )
+    panel_b = FigureData(
+        figure_id="fig8b",
+        title="Measured LoP vs number of nodes (varying d, p0=1)",
+        xlabel="nodes",
+        ylabel="average LoP",
+        series=tuple(
+            _series(FIXED_P0, d, f"d={d}", trials, seed) for d in D_SWEEP
+        ),
+        expectation="LoP decreases with n for every d",
+        metadata={"rounds": ROUNDS, "trials": trials},
+    )
+    return [panel_a, panel_b]

@@ -1,0 +1,70 @@
+"""Figure 9: the privacy/efficiency tradeoff across (p0, d) pairs.
+
+For each randomization-parameter pair, x is the measured average LoP and y
+is the Equation 4 round count needed for the paper's precision guarantee
+(ε = 0.001).  Expected shape: ``p0`` dominates privacy (x axis), ``d``
+dominates cost (y axis); the pair (1, 1/2) sits at the lower-left knee and
+is adopted as the default for the remaining experiments.
+"""
+
+from __future__ import annotations
+
+from ...analysis.efficiency import minimum_rounds
+from ..config import PAPER_TRIALS
+from ..runner import aggregate_node_lop, run_trials
+from .common import FigureData, Series, TrialSetup, params_with
+
+FIGURE_ID = "fig9"
+
+#: The (p0, d) grid; one series per d so the scatter stays readable.
+P0_GRID = (0.25, 0.5, 0.75, 1.0)
+D_GRID = (0.125, 0.25, 0.5, 0.75)
+#: Precision guarantee used for the y axis, as in the paper.
+EPSILON = 1e-3
+#: Node count for the LoP measurement.
+N_NODES = 10
+#: Rounds per run (enough for every grid point's schedule to converge).
+ROUNDS = 12
+
+
+def measure_point(
+    p0: float, d: float, trials: int, seed: int
+) -> tuple[float, float]:
+    """(average LoP, r_min) for one parameter pair."""
+    setup = TrialSetup(
+        n=N_NODES,
+        k=1,
+        params=params_with(p0, d, rounds=ROUNDS),
+        trials=trials,
+        seed=seed,
+    )
+    average, _worst = aggregate_node_lop(run_trials(setup))
+    return average, float(minimum_rounds(p0, d, EPSILON))
+
+
+def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
+    trials = trials or PAPER_TRIALS
+    series = []
+    for d in D_GRID:
+        points = []
+        for p0 in P0_GRID:
+            lop, rmin = measure_point(p0, d, trials, seed)
+            points.append((lop, rmin))
+        series.append(Series(f"d={d}", tuple(points)))
+    figure = FigureData(
+        figure_id="fig9",
+        title="Privacy (x) vs efficiency (y) across (p0, d) pairs",
+        xlabel="average LoP (eps=0.001 guarantee)",
+        ylabel="rounds required",
+        series=tuple(series),
+        expectation=(
+            "p0 dominates LoP, d dominates rounds; (p0=1, d=1/2) is the knee"
+        ),
+        metadata={
+            "n": N_NODES,
+            "trials": trials,
+            "epsilon": EPSILON,
+            "p0_grid": P0_GRID,
+        },
+    )
+    return [figure]

@@ -1,0 +1,174 @@
+"""Trial execution and cross-trial aggregation.
+
+The paper averages every plotted point over 100 experiments.  This module
+runs those repeated trials and aggregates the two quantities the evaluation
+plots: precision (per round) and loss of privacy (per round, and per node
+aggregated to system average / worst case).
+
+Aggregation order matters for the worst case: each node's LoP is averaged
+across trials *first*, and the worst case is the most-exposed node of those
+means.  Taking per-trial maxima instead would erase the difference between
+the fixed-start naive protocol (one node is *always* the victim) and the
+anonymous-naive protocol (the victim role rotates) — the exact distinction
+Figure 10(b) demonstrates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Sequence
+
+from ..core.driver import RunConfig, run_protocol_on_vectors
+from ..core.results import ProtocolResult
+from ..database.generator import DataGenerator
+from ..database.query import TopKQuery
+from ..privacy.adversary import coalition_lop
+from ..privacy.lop import node_lop, node_round_lop
+from .config import TrialSetup
+
+
+def run_single_trial(setup: TrialSetup, trial_index: int) -> ProtocolResult:
+    """One protocol run on freshly drawn (per-trial-seeded) data."""
+    generator = DataGenerator(
+        domain=setup.domain,
+        distribution=setup.distribution,
+        rng=setup.data_rng(trial_index),
+    )
+    datasets = generator.node_datasets(setup.n, setup.values_per_node)
+    local_vectors = {f"node{i}": [float(v) for v in vs] for i, vs in enumerate(datasets)}
+    query = TopKQuery(table="data", attribute="value", k=setup.k, domain=setup.domain)
+    config = RunConfig(
+        protocol=setup.protocol,
+        params=setup.params,
+        seed=setup.protocol_seed(trial_index),
+    )
+    return run_protocol_on_vectors(local_vectors, query, config)
+
+
+def run_trials(setup: TrialSetup) -> list[ProtocolResult]:
+    """All trials of a setup."""
+    return [run_single_trial(setup, t) for t in range(setup.trials)]
+
+
+# -- aggregation -------------------------------------------------------------
+
+
+def mean_precision_by_round(
+    results: Sequence[ProtocolResult], rounds: int
+) -> list[tuple[float, float]]:
+    """(round, mean precision) for rounds 1..``rounds`` across trials."""
+    if not results:
+        raise ValueError("no results to aggregate")
+    points = []
+    for r in range(1, rounds + 1):
+        mean = sum(res.precision_at_round(r) for res in results) / len(results)
+        points.append((float(r), mean))
+    return points
+
+
+def mean_lop_by_round(
+    results: Sequence[ProtocolResult], rounds: int
+) -> list[tuple[float, float]]:
+    """(round, mean-over-nodes-and-trials LoP) for rounds 1..``rounds``.
+
+    The Figure 7 quantity: per-round system LoP, averaged across trials.
+    Rounds a run never executed contribute 0 (no traffic, no exposure).
+    """
+    if not results:
+        raise ValueError("no results to aggregate")
+    points = []
+    for r in range(1, rounds + 1):
+        total = 0.0
+        for res in results:
+            nodes = res.ring_order
+            total += sum(node_round_lop(res, node, r) for node in nodes) / len(nodes)
+        points.append((float(r), total / len(results)))
+    return points
+
+
+def _per_node_means(
+    results: Sequence[ProtocolResult],
+    metric: Callable[[ProtocolResult, str], float],
+) -> dict[str, float]:
+    sums: dict[str, float] = defaultdict(float)
+    counts: dict[str, int] = defaultdict(int)
+    for res in results:
+        for node in res.ring_order:
+            sums[node] += metric(res, node)
+            counts[node] += 1
+    return {node: sums[node] / counts[node] for node in sums}
+
+
+def aggregate_node_lop(
+    results: Sequence[ProtocolResult],
+) -> tuple[float, float]:
+    """(average LoP, worst-case LoP) with per-node-first averaging.
+
+    Average: mean over nodes of each node's cross-trial mean peak LoP.
+    Worst case: the largest per-node cross-trial mean ("highest loss of
+    privacy among all the nodes", Section 5.3) — for the fixed-start naive
+    protocol this is the starting node.
+    """
+    if not results:
+        raise ValueError("no results to aggregate")
+    means = _per_node_means(results, node_lop)
+    values = list(means.values())
+    return sum(values) / len(values), max(values)
+
+
+def aggregate_coalition_lop(
+    results: Sequence[ProtocolResult],
+) -> tuple[float, float]:
+    """(average, worst-case) coalition LoP, per-node-first like the above."""
+    if not results:
+        raise ValueError("no results to aggregate")
+    means = _per_node_means(results, coalition_lop)
+    values = list(means.values())
+    return sum(values) / len(values), max(values)
+
+
+def mean_final_precision(results: Sequence[ProtocolResult]) -> float:
+    """Mean precision of the final returned vectors."""
+    if not results:
+        raise ValueError("no results to aggregate")
+    return sum(res.precision() for res in results) / len(results)
+
+
+def mean_messages(results: Sequence[ProtocolResult]) -> float:
+    """Mean token+result messages per run (communication cost)."""
+    if not results:
+        raise ValueError("no results to aggregate")
+    return sum(res.stats.messages_total for res in results) / len(results)
+
+
+def mean_and_confidence(
+    samples: Sequence[float], *, z: float = 1.96
+) -> tuple[float, float]:
+    """(mean, half-width of the normal-approximation CI).
+
+    ``z = 1.96`` gives the conventional 95% interval.  Used by reports that
+    quote trial-averaged quantities with uncertainty; single samples carry
+    zero width by convention.
+    """
+    if not samples:
+        raise ValueError("no samples to aggregate")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    return mean, z * (variance / n) ** 0.5
+
+
+def precision_confidence_by_round(
+    results: Sequence[ProtocolResult], rounds: int
+) -> list[tuple[float, float, float]]:
+    """(round, mean precision, 95% CI half-width) across trials."""
+    if not results:
+        raise ValueError("no results to aggregate")
+    points = []
+    for r in range(1, rounds + 1):
+        samples = [res.precision_at_round(r) for res in results]
+        mean, half_width = mean_and_confidence(samples)
+        points.append((float(r), mean, half_width))
+    return points

@@ -1,0 +1,166 @@
+"""Hand-rolled SVG line charts for reproduced figures.
+
+The offline environment has no plotting libraries, but reviewers want real
+figures.  This renders a :class:`~repro.experiments.series.FigureData` panel
+as a self-contained SVG: axes with ticks, one polyline + markers per series,
+and a legend.  No dependencies; the output opens in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from .series import FigureData
+
+#: Series colors: a color-blind-safe cycle.
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#F0E442", "#56B4E9")
+
+WIDTH, HEIGHT = 640, 420
+MARGIN_LEFT, MARGIN_RIGHT = 70, 20
+MARGIN_TOP, MARGIN_BOTTOM = 50, 60
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> list[float]:
+    """Round-ish tick positions covering [lo, hi]."""
+    if hi == lo:
+        return [lo]
+    raw_step = (hi - lo) / max(1, count - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 2.5, 5, 10):
+        step = multiple * magnitude
+        if step >= raw_step:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    tick = first
+    while tick <= hi + step / 2:
+        if tick >= lo - step / 2:
+            ticks.append(round(tick, 10))
+        tick += step
+    return ticks or [lo, hi]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"
+
+
+class _Scale:
+    def __init__(self, lo: float, hi: float, out_lo: float, out_hi: float, log: bool):
+        self.log = log
+        if log:
+            lo, hi = math.log10(lo), math.log10(hi)
+        if hi == lo:
+            lo, hi = lo - 0.5, hi + 0.5
+        self.lo, self.hi = lo, hi
+        self.out_lo, self.out_hi = out_lo, out_hi
+
+    def __call__(self, value: float) -> float:
+        v = math.log10(value) if self.log else value
+        t = (v - self.lo) / (self.hi - self.lo)
+        return self.out_lo + t * (self.out_hi - self.out_lo)
+
+
+def render_svg(figure: FigureData) -> str:
+    """One panel as a standalone SVG document."""
+    xs = [x for s in figure.series for x in s.xs]
+    ys = [y for s in figure.series for y in s.ys]
+    if figure.log_x and min(xs) <= 0:
+        raise ValueError("log-x figures need positive x values")
+    x_scale = _Scale(min(xs), max(xs), MARGIN_LEFT, WIDTH - MARGIN_RIGHT, figure.log_x)
+    y_scale = _Scale(min(ys), max(ys), HEIGHT - MARGIN_BOTTOM, MARGIN_TOP, False)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" '
+        f'viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{WIDTH / 2}" y="22" text-anchor="middle" font-size="15" '
+        f'font-weight="bold">{_escape(figure.title)}</text>',
+    ]
+
+    # Axes.
+    x0, y0 = MARGIN_LEFT, HEIGHT - MARGIN_BOTTOM
+    x1, y1 = WIDTH - MARGIN_RIGHT, MARGIN_TOP
+    parts.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="#333"/>'
+        f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="#333"/>'
+    )
+    # X ticks (log ticks at decades when log_x).
+    if figure.log_x:
+        lo_exp = math.floor(math.log10(min(xs)))
+        hi_exp = math.ceil(math.log10(max(xs)))
+        x_ticks = [10.0**e for e in range(lo_exp, hi_exp + 1)]
+        x_ticks = [t for t in x_ticks if min(xs) / 1.01 <= t <= max(xs) * 1.01]
+    else:
+        x_ticks = _ticks(min(xs), max(xs))
+    for tick in x_ticks:
+        px = x_scale(tick)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{y0}" x2="{px:.1f}" y2="{y0 + 5}" stroke="#333"/>'
+            f'<text x="{px:.1f}" y="{y0 + 18}" text-anchor="middle">{_fmt(tick)}</text>'
+        )
+    for tick in _ticks(min(ys), max(ys)):
+        py = y_scale(tick)
+        parts.append(
+            f'<line x1="{x0 - 5}" y1="{py:.1f}" x2="{x0}" y2="{py:.1f}" stroke="#333"/>'
+            f'<line x1="{x0}" y1="{py:.1f}" x2="{x1}" y2="{py:.1f}" stroke="#eee"/>'
+            f'<text x="{x0 - 8}" y="{py + 4:.1f}" text-anchor="end">{_fmt(tick)}</text>'
+        )
+    # Axis labels.
+    parts.append(
+        f'<text x="{(x0 + x1) / 2}" y="{HEIGHT - 12}" text-anchor="middle">'
+        f"{_escape(figure.xlabel)}</text>"
+    )
+    parts.append(
+        f'<text x="16" y="{(y0 + y1) / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {(y0 + y1) / 2})">{_escape(figure.ylabel)}</text>'
+    )
+
+    # Series.
+    for index, series in enumerate(figure.series):
+        color = PALETTE[index % len(PALETTE)]
+        points = sorted(series.points)
+        path = " ".join(
+            f"{x_scale(x):.1f},{y_scale(y):.1f}" for x, y in points
+        )
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y in points:
+            parts.append(
+                f'<circle cx="{x_scale(x):.1f}" cy="{y_scale(y):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+        # Legend entry.
+        legend_y = MARGIN_TOP + 16 * index
+        parts.append(
+            f'<line x1="{x1 - 130}" y1="{legend_y}" x2="{x1 - 110}" y2="{legend_y}" '
+            f'stroke="{color}" stroke-width="2"/>'
+            f'<text x="{x1 - 104}" y="{legend_y + 4}">{_escape(series.label)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def write_svg(figure: FigureData, path: Path | str) -> Path:
+    """Render ``figure`` and write it as an .svg file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_svg(figure))
+    return path
+
+
+def write_all_svgs(figures: list[FigureData], directory: Path | str) -> list[Path]:
+    """One SVG per panel, named by figure id."""
+    directory = Path(directory)
+    return [
+        write_svg(figure, directory / f"{figure.figure_id}.svg")
+        for figure in figures
+    ]

@@ -1,0 +1,76 @@
+"""Extensions beyond the paper's core protocol: group-parallel scaling
+(Section 4.2), secure sum, the privacy-preserving kNN classifier
+(Section 7 future work) and malicious-model attack simulations
+(Section 2.1)."""
+
+from .attacks import (
+    AttackError,
+    AttackOutcome,
+    run_hiding_attack,
+    run_spoofing_attack,
+)
+from .groups import (
+    GroupedRunResult,
+    GroupError,
+    partition_into_groups,
+    run_grouped_max,
+    run_grouped_topk,
+)
+from .knn import (
+    KNNError,
+    KNNPrediction,
+    LabeledPoint,
+    PrivateKNNClassifier,
+    PrivateParty,
+    euclidean,
+)
+from .commitments import (
+    Commitment,
+    CommitmentError,
+    Opening,
+    audit_values,
+    commit,
+    verify_opening,
+)
+from .monitoring import ContinuousTopKMonitor, EpochOutcome, MonitorError
+from .kth_element import (
+    KthElementError,
+    KthElementResult,
+    kth_largest,
+    median,
+)
+from .securesum import SecureSumError, SecureSumResult, run_secure_sum
+
+__all__ = [
+    "AttackError",
+    "Commitment",
+    "CommitmentError",
+    "ContinuousTopKMonitor",
+    "EpochOutcome",
+    "AttackOutcome",
+    "GroupError",
+    "GroupedRunResult",
+    "KNNError",
+    "KNNPrediction",
+    "KthElementError",
+    "KthElementResult",
+    "LabeledPoint",
+    "MonitorError",
+    "PrivateKNNClassifier",
+    "PrivateParty",
+    "SecureSumError",
+    "SecureSumResult",
+    "Opening",
+    "audit_values",
+    "commit",
+    "euclidean",
+    "kth_largest",
+    "median",
+    "verify_opening",
+    "partition_into_groups",
+    "run_grouped_max",
+    "run_grouped_topk",
+    "run_hiding_attack",
+    "run_secure_sum",
+    "run_spoofing_attack",
+]

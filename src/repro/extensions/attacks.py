@@ -1,0 +1,139 @@
+"""Malicious-model attack simulations (Section 2.1's future-work threats).
+
+The paper analyses the semi-honest model and explicitly defers the malicious
+model, naming two concrete attacks:
+
+* **spoofing** — an adversary "sends a spoofed dataset", polluting the query
+  result (e.g. claiming a fabricated maximum);
+* **hiding** — an adversary "deliberately hides all or part of its dataset",
+  free-riding on everyone else's data while withholding its own.
+
+These simulations quantify the damage each attack does to result integrity
+(the honest parties' view) — motivating the future-work defence — and what
+the attacker gains.  They require no protocol changes: a malicious input is
+just a different local vector, which is exactly why the semi-honest protocol
+cannot detect it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.driver import RunConfig, run_protocol_on_vectors
+from ..core.results import ProtocolResult
+from ..core.vectors import merge_topk, multiset_intersection_size
+from ..database.query import TopKQuery
+
+
+class AttackError(ValueError):
+    """Raised for invalid attack configurations."""
+
+
+@dataclass
+class AttackOutcome:
+    """Result of a protocol run containing one malicious participant."""
+
+    result: ProtocolResult
+    attacker: str
+    #: Top-k over honest parties' data only — what the honest coalition was
+    #: entitled to compute had the attacker not participated.
+    honest_truth: list[float]
+    #: Top-k over everyone's *real* data (attacker's true values included).
+    full_truth: list[float]
+
+    @property
+    def returned(self) -> list[float]:
+        return list(self.result.final_vector)
+
+    def pollution(self) -> float:
+        """Fraction of the result that is *not* honestly justified.
+
+        1 − |returned ∩ full_truth| / k: every returned value that is not a
+        real top-k value of the real combined data was fabricated or enabled
+        by the attack.
+        """
+        k = self.result.query.k
+        return 1.0 - multiset_intersection_size(self.returned, self.full_truth) / k
+
+    def suppression(self) -> float:
+        """Fraction of the honest top-k missing from the result.
+
+        For hiding attacks: how much of the honest parties' information the
+        result still reflects (0 = nothing suppressed).
+        """
+        k = self.result.query.k
+        return 1.0 - multiset_intersection_size(self.returned, self.honest_truth) / k
+
+
+def _truths(
+    honest_vectors: dict[str, list[float]],
+    attacker_true_values: list[float],
+    k: int,
+) -> tuple[list[float], list[float]]:
+    honest: list[float] = []
+    for values in honest_vectors.values():
+        honest = merge_topk(honest, values, k)
+    full = merge_topk(honest, attacker_true_values, k)
+    return honest, full
+
+
+def run_spoofing_attack(
+    honest_vectors: dict[str, list[float]],
+    query: TopKQuery,
+    *,
+    attacker: str = "attacker",
+    spoofed_values: list[float] | None = None,
+    config: RunConfig | None = None,
+) -> AttackOutcome:
+    """The attacker joins with fabricated values (domain maximum by default).
+
+    A spoofed maximum always wins, so the honest parties receive a polluted
+    answer while the attacker learns the honest runner-up values for free.
+    """
+    if attacker in honest_vectors:
+        raise AttackError(f"attacker id {attacker!r} collides with an honest party")
+    spoofed = spoofed_values or [float(query.domain.high)] * query.k
+    for value in spoofed:
+        if value not in query.domain:
+            raise AttackError(f"spoofed value {value} is outside the public domain")
+    vectors = dict(honest_vectors)
+    vectors[attacker] = list(spoofed)
+    result = run_protocol_on_vectors(vectors, query, config or RunConfig())
+    honest, full = _truths(honest_vectors, [], query.k)
+    return AttackOutcome(
+        result=result, attacker=attacker, honest_truth=honest, full_truth=full
+    )
+
+
+def run_hiding_attack(
+    honest_vectors: dict[str, list[float]],
+    query: TopKQuery,
+    *,
+    attacker: str = "attacker",
+    true_values: list[float],
+    hide_fraction: float = 1.0,
+    config: RunConfig | None = None,
+) -> AttackOutcome:
+    """The attacker withholds (a fraction of) its real values.
+
+    With ``hide_fraction = 1`` the attacker contributes nothing but still
+    learns the honest top-k; smaller fractions model partial hiding.  The
+    result is *suppressed* whenever hidden values belonged to the full top-k.
+    """
+    if attacker in honest_vectors:
+        raise AttackError(f"attacker id {attacker!r} collides with an honest party")
+    if not 0.0 <= hide_fraction <= 1.0:
+        raise AttackError(f"hide_fraction must be in [0, 1], got {hide_fraction}")
+    ranked = sorted((float(v) for v in true_values), reverse=True)
+    n_hidden = round(len(ranked) * hide_fraction)
+    revealed = ranked[n_hidden:]
+    vectors = dict(honest_vectors)
+    # A fully hiding attacker still participates (it wants the result); it
+    # simply has "no" qualifying data, which the protocol cannot distinguish
+    # from a genuinely small database.
+    vectors[attacker] = revealed if revealed else [float(query.domain.low)]
+    result = run_protocol_on_vectors(vectors, query, config or RunConfig())
+    honest, full = _truths(honest_vectors, ranked, query.k)
+    return AttackOutcome(
+        result=result, attacker=attacker, honest_truth=honest, full_truth=full
+    )

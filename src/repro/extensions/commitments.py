@@ -1,0 +1,102 @@
+"""Commitment-based spoofing deterrence (a malicious-model defence sketch).
+
+The paper defers the malicious model; its spoofing attack works because a
+fabricated input is indistinguishable from a real one.  A standard deterrent
+from the commitment literature makes fabrication *auditable after the
+fact* without weakening day-to-day privacy:
+
+1. **Commit** — before a run, every party publishes a salted hash of its
+   participating local top-k vector.  The hash reveals nothing (the salt
+   blinds low-entropy values).
+2. **Run** — the protocol proceeds unchanged.
+3. **Dispute** — if a result looks polluted, the parties may require a
+   suspected member to *open* its commitment to a designated auditor: reveal
+   the salt and the committed vector.  The auditor checks (a) the opening
+   matches the published hash and (b) the suspected values are in the
+   committed vector.  A spoofer must either refuse to open (self-indicting)
+   or have committed to the fabricated values *before* seeing anyone's data
+   — which still pins the fabrication on it.
+
+This does not *prevent* spoofing (a determined adversary commits to its
+fabrication), but it converts "undetectable" into "attributable on audit",
+which is the practical deterrent in consortium settings.  Privacy cost:
+only the audited party's committed vector is revealed, only to the auditor,
+only on dispute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+
+
+class CommitmentError(ValueError):
+    """Raised for malformed commitments or invalid openings."""
+
+_SALT_BYTES = 32
+
+
+def _digest(salt: bytes, values: list[float]) -> bytes:
+    body = ",".join(repr(float(v)) for v in sorted(values, reverse=True))
+    return hashlib.sha256(salt + body.encode()).digest()
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """A party's published, salted hash of its participating vector."""
+
+    party: str
+    digest: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.digest) != hashlib.sha256().digest_size:
+            raise CommitmentError("digest has the wrong length")
+
+
+@dataclass(frozen=True)
+class Opening:
+    """The secret material a party reveals to an auditor on dispute."""
+
+    party: str
+    salt: bytes
+    values: tuple[float, ...]
+
+
+def commit(party: str, values: list[float]) -> tuple[Commitment, Opening]:
+    """Create a commitment and the opening the party keeps private."""
+    if not party:
+        raise CommitmentError("party must be non-empty")
+    salt = os.urandom(_SALT_BYTES)
+    ordered = tuple(sorted((float(v) for v in values), reverse=True))
+    return (
+        Commitment(party=party, digest=_digest(salt, list(ordered))),
+        Opening(party=party, salt=salt, values=ordered),
+    )
+
+
+def verify_opening(commitment: Commitment, opening: Opening) -> bool:
+    """Auditor check (a): does the opening match the published hash?"""
+    if commitment.party != opening.party:
+        return False
+    expected = _digest(opening.salt, list(opening.values))
+    return hmac.compare_digest(commitment.digest, expected)
+
+
+def audit_values(
+    commitment: Commitment, opening: Opening, suspected_values: list[float]
+) -> dict[str, bool]:
+    """The full dispute check: opening validity plus per-value membership.
+
+    Returns ``{"opening_valid": ..., "all_suspected_committed": ...}``; a
+    party whose opening is valid but whose suspected values were never
+    committed has been caught injecting values it never claimed to hold.
+    """
+    valid = verify_opening(commitment, opening)
+    committed = set(opening.values)
+    membership = all(float(v) in committed for v in suspected_values)
+    return {
+        "opening_valid": valid,
+        "all_suspected_committed": valid and membership,
+    }

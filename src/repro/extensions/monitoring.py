@@ -1,0 +1,167 @@
+"""Continuous top-k monitoring over evolving private data.
+
+Organizations rarely ask a statistics question once; they track it.  This
+extension runs the protocol per *epoch* as each party's data grows, with an
+optional warm start: the previous epoch's *public* result seeds the global
+vector, and each party independently withholds the copies of its own values
+that appear in the seed (they are already represented), so unchanged top
+values are never re-exposed and the vector starts at the old top-k.
+
+Seed-claiming is deliberately *independent per party* — a deployment cannot
+coordinate claims without leaking who holds what.  When equal values are
+spread across more parties than the seed has copies, the parties
+collectively withhold too many and a duplicate can be under-reported for an
+epoch; with fine-grained domains this is rare, it is surfaced by the test
+suite, and ``warm_start=False`` avoids it entirely.
+
+Correctness boundary (enforced, not assumed): warm starting is sound only
+for **grow-only** data.  A seeded vector can never be displaced downward, so
+if a previously-reported value were deleted it would haunt every later
+epoch.  The monitor therefore verifies at registration time that each
+party's update only appends, and refuses otherwise.
+
+Privacy note: the warm start reveals nothing new — the seed is the previous
+epoch's *public* result — and strictly reduces exposure, because nodes whose
+top values are already in the seed pass the token on without touching their
+own data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.driver import RunConfig, run_protocol_on_vectors
+from ..core.params import ProtocolParams
+from ..core.results import ProtocolResult
+from ..core.vectors import multiset_contains
+from ..database.query import TopKQuery
+
+
+class MonitorError(ValueError):
+    """Raised on non-grow-only updates or inconsistent epochs."""
+
+
+@dataclass
+class EpochOutcome:
+    """Result of one monitored epoch."""
+
+    epoch: int
+    result: ProtocolResult
+    warm_started: bool
+
+    @property
+    def values(self) -> list[float]:
+        return list(self.result.final_vector)
+
+    @property
+    def messages(self) -> int:
+        return self.result.stats.messages_total
+
+
+@dataclass
+class ContinuousTopKMonitor:
+    """Epoch-based top-k tracking across the same set of parties."""
+
+    query: TopKQuery
+    params: ProtocolParams = field(default_factory=ProtocolParams.paper_defaults)
+    warm_start: bool = True
+    seed: int | None = None
+    _data: dict[str, list[float]] = field(default_factory=dict)
+    _epoch: int = 0
+    _last_result: list[float] | None = None
+    history: list[EpochOutcome] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.query.smallest:
+            raise MonitorError(
+                "the monitor tracks plain top-k queries; negate values for min"
+            )
+
+    # -- data feed -----------------------------------------------------------
+
+    def update(self, party: str, values: list[float]) -> None:
+        """Replace ``party``'s dataset with a grown version of it.
+
+        The new dataset must contain the old one as a sub-multiset
+        (grow-only), otherwise warm starting would be unsound and the update
+        is refused.
+        """
+        new_values = [float(v) for v in values]
+        current = self._data.get(party, [])
+        if self.warm_start and not multiset_contains(new_values, current):
+            raise MonitorError(
+                f"{party}: update is not grow-only (values were removed); "
+                "disable warm_start to monitor churning data"
+            )
+        self._data[party] = new_values
+
+    def append(self, party: str, *values: float) -> None:
+        """Add values to a party's dataset (always grow-only)."""
+        merged = self._data.get(party, []) + [float(v) for v in values]
+        self._data[party] = merged
+
+    @property
+    def parties(self) -> tuple[str, ...]:
+        return tuple(sorted(self._data))
+
+    # -- epochs ------------------------------------------------------------------
+
+    def run_epoch(self) -> EpochOutcome:
+        """Run the protocol over the current data; returns this epoch's outcome."""
+        if len(self._data) < 3:
+            raise MonitorError(
+                f"the protocol requires n >= 3 parties, got {len(self._data)}"
+            )
+        self._epoch += 1
+        seed = None if self.seed is None else self.seed * 1_000 + self._epoch
+        warm = self.warm_start and self._last_result is not None
+        if warm:
+            vectors = {
+                party: self._claim_against_seed(values, self._last_result)
+                for party, values in self._data.items()
+            }
+            config = RunConfig(
+                params=self.params,
+                seed=seed,
+                initial_vector=tuple(self._last_result),
+            )
+        else:
+            vectors = dict(self._data)
+            config = RunConfig(params=self.params, seed=seed)
+        result = run_protocol_on_vectors(vectors, self.query, config)
+        self._last_result = list(result.final_vector)
+        outcome = EpochOutcome(epoch=self._epoch, result=result, warm_started=warm)
+        self.history.append(outcome)
+        return outcome
+
+    def _claim_against_seed(
+        self, values: list[float], seed_vector: list[float]
+    ) -> list[float]:
+        """The values a party participates with under a warm start.
+
+        Copies of its own values that appear in the public seed are withheld
+        (largest first) — they are already represented in the initial global
+        vector.  A party whose data is fully covered still participates with
+        the domain identity so the ring shape is unchanged.
+        """
+        from collections import Counter
+
+        remaining = Counter(seed_vector)
+        keep = []
+        for value in sorted(values, reverse=True):
+            if remaining[value] > 0:
+                remaining[value] -= 1
+            else:
+                keep.append(value)
+        return keep or [float(self.query.domain.low)]
+
+    def current_topk(self) -> list[float]:
+        if self._last_result is None:
+            raise MonitorError("no epoch has run yet")
+        return list(self._last_result)
+
+    def changed_since_last_epoch(self) -> bool:
+        """True when the most recent epoch changed the reported top-k."""
+        if len(self.history) < 2:
+            return len(self.history) == 1
+        return self.history[-1].values != self.history[-2].values

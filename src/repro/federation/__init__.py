@@ -1,0 +1,48 @@
+"""Federated query layer: coordinator, SQL-ish dialect, audit trail.
+
+The highest-level API: register private databases in a :class:`Federation`
+and ask statistics questions; ranking queries run the paper's probabilistic
+protocol, additive aggregates run additive-masking secure sums, and every
+execution is auditable.
+"""
+
+from .audit import AuditEntry, AuditLog
+from .coordinator import Federation, FederationError, QueryOutcome
+from .policy import (
+    ADDITIVE,
+    ANY,
+    RANKING,
+    AccessPolicy,
+    PolicyError,
+    PolicyViolation,
+    Rule,
+    permissive_policy,
+)
+from .sql import (
+    ADDITIVE_AGGREGATES,
+    RANKING_AGGREGATES,
+    FederatedStatement,
+    SqlError,
+    parse,
+)
+
+__all__ = [
+    "ADDITIVE",
+    "ADDITIVE_AGGREGATES",
+    "ANY",
+    "AccessPolicy",
+    "AuditEntry",
+    "AuditLog",
+    "FederatedStatement",
+    "Federation",
+    "FederationError",
+    "PolicyError",
+    "PolicyViolation",
+    "RANKING",
+    "QueryOutcome",
+    "RANKING_AGGREGATES",
+    "Rule",
+    "SqlError",
+    "parse",
+    "permissive_policy",
+]

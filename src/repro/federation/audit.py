@@ -1,0 +1,94 @@
+"""Audit trail for federated query sessions.
+
+Organizations running privacy-sensitive protocols need governance evidence:
+who asked what, when (in protocol time), with which parameters, and what it
+cost.  The audit log records one entry per executed query — *metadata only*,
+never data values beyond the public result — and supports the summaries a
+compliance review would ask for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+_entry_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One executed federated query."""
+
+    entry_id: int
+    issuer: str
+    statement: str
+    protocol: str
+    participants: tuple[str, ...]
+    rounds: int
+    messages: int
+    result_public: tuple[float, ...]
+    average_lop: float | None = None
+
+    @classmethod
+    def for_query(
+        cls,
+        issuer: str,
+        statement: str,
+        protocol: str,
+        participants: tuple[str, ...],
+        rounds: int,
+        messages: int,
+        result_public: tuple[float, ...],
+        average_lop: float | None = None,
+    ) -> "AuditEntry":
+        return cls(
+            entry_id=next(_entry_ids),
+            issuer=issuer,
+            statement=statement,
+            protocol=protocol,
+            participants=participants,
+            rounds=rounds,
+            messages=messages,
+            result_public=result_public,
+            average_lop=average_lop,
+        )
+
+
+@dataclass
+class AuditLog:
+    """Append-only log of federated queries."""
+
+    entries: list[AuditEntry] = field(default_factory=list)
+
+    def record(self, entry: AuditEntry) -> None:
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[AuditEntry]:
+        return iter(self.entries)
+
+    def by_issuer(self, issuer: str) -> list[AuditEntry]:
+        return [e for e in self.entries if e.issuer == issuer]
+
+    def total_messages(self) -> int:
+        return sum(e.messages for e in self.entries)
+
+    def render(self) -> str:
+        """Human-readable audit report."""
+        if not self.entries:
+            return "audit log: empty"
+        lines = [
+            f"{'id':>4} {'issuer':<14} {'protocol':<16} {'msgs':>6} {'rounds':>6}  statement"
+        ]
+        for e in self.entries:
+            lines.append(
+                f"{e.entry_id:>4} {e.issuer:<14} {e.protocol:<16} "
+                f"{e.messages:>6} {e.rounds:>6}  {e.statement}"
+            )
+        lines.append(
+            f"total: {len(self.entries)} queries, {self.total_messages()} messages"
+        )
+        return "\n".join(lines)

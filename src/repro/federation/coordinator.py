@@ -1,0 +1,308 @@
+"""The federation coordinator: a session of parties answering private queries.
+
+``Federation`` is the highest-level API of this library: register each
+organization's :class:`~repro.database.PrivateDatabase`, then ask statistics
+questions — in the SQL-ish dialect or through typed methods.  Ranking
+queries (top-k/bottom-k/max/min) run the paper's probabilistic protocol;
+additive aggregates (sum/count/avg) run the additive-masking secure sum.
+Every execution is recorded in the audit log.
+
+The coordinator holds no data.  It sequences protocol runs, validates the
+well-matched-schema precondition, and owns only public artifacts (results,
+costs, the audit trail) — it is *not* the trusted third party the paper
+rejects, because nothing private ever reaches it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from ..core.driver import PROBABILISTIC, RunConfig, run_topk_query
+from ..core.results import ProtocolResult
+from ..database.database import PrivateDatabase, common_query
+from ..database.query import Domain, TopKQuery
+from ..extensions.securesum import run_secure_sum
+from ..privacy.accounting import ExposureLedger
+from ..privacy.lop import average_lop
+from .audit import AuditEntry, AuditLog
+from .policy import AccessPolicy
+from .sql import FederatedStatement, SqlError, parse
+
+
+class FederationError(RuntimeError):
+    """Raised for invalid federation state or unanswerable queries."""
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Public outcome of one federated query."""
+
+    statement: str
+    values: tuple[float, ...]
+    protocol: str
+    rounds: int
+    messages: int
+    #: Full protocol trace for ranking queries (None for additive ones).
+    trace: ProtocolResult | None = None
+
+    @property
+    def scalar(self) -> float:
+        """The value of a single-valued query (MAX/MIN/SUM/COUNT/AVG)."""
+        if len(self.values) != 1:
+            raise FederationError(
+                f"query returned {len(self.values)} values; use .values"
+            )
+        return self.values[0]
+
+
+class Federation:
+    """A registered group of private databases answering statistics queries."""
+
+    def __init__(
+        self,
+        *,
+        domain: Domain,
+        config: RunConfig | None = None,
+        seed: int | None = None,
+        privacy_budget: float | None = None,
+        policy: "AccessPolicy | None" = None,
+    ) -> None:
+        """``privacy_budget`` caps any party's *cumulative* measured exposure
+        across the session's ranking queries (see
+        :mod:`repro.privacy.accounting`); queries that would breach it are
+        refused.  Additive aggregates flow through mask-blinded secure sums
+        and are charged nothing.  ``policy`` gates execution by issuer and
+        operation (deny-by-default; ``None`` permits everything).
+        """
+        self.domain = domain
+        self._base_config = config or RunConfig()
+        self._rng = random.Random(seed)
+        self._parties: dict[str, PrivateDatabase] = {}
+        self._attribute_domains: dict[tuple[str, str], Domain] = {}
+        self.audit = AuditLog()
+        self.ledger = ExposureLedger(budget=privacy_budget)
+        self.policy = policy
+
+    # -- domains ------------------------------------------------------------
+
+    def register_domain(self, table: str, attribute: str, domain: Domain) -> None:
+        """Declare the public domain of one attribute.
+
+        Real consortia carry different value ranges per attribute (revenues
+        vs. scores); the protocol's identity element and noise ranges come
+        from the *attribute's* domain, falling back to the federation-wide
+        default when none is declared.
+        """
+        self._attribute_domains[(table, attribute)] = domain
+
+    def domain_for(self, table: str, attribute: str) -> Domain:
+        return self._attribute_domains.get((table, attribute), self.domain)
+
+    # -- membership -----------------------------------------------------------
+
+    def register(self, database: PrivateDatabase) -> None:
+        """Enroll one organization's private database."""
+        if database.owner in self._parties:
+            raise FederationError(f"party {database.owner!r} already registered")
+        self._parties[database.owner] = database
+
+    def deregister(self, owner: str) -> None:
+        if owner not in self._parties:
+            raise FederationError(f"no such party: {owner!r}")
+        del self._parties[owner]
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        return tuple(sorted(self._parties))
+
+    def _require_quorum(self) -> list[PrivateDatabase]:
+        if len(self._parties) < 3:
+            raise FederationError(
+                f"the protocols require n >= 3 parties; have {len(self._parties)}"
+            )
+        return [self._parties[name] for name in sorted(self._parties)]
+
+    # -- query API ----------------------------------------------------------------
+
+    def execute(self, statement_text: str, *, issuer: str = "anonymous") -> QueryOutcome:
+        """Parse and run one statement of the SQL-ish dialect."""
+        statement = parse(statement_text)
+        if self.policy is not None:
+            self.policy.check(issuer, statement)
+        if statement.is_ranking:
+            return self._run_ranking(statement, issuer)
+        return self._run_additive(statement, issuer)
+
+    def topk(
+        self, table: str, attribute: str, k: int, *, issuer: str = "anonymous"
+    ) -> QueryOutcome:
+        return self.execute(f"SELECT TOP {k} {attribute} FROM {table}", issuer=issuer)
+
+    def bottomk(
+        self, table: str, attribute: str, k: int, *, issuer: str = "anonymous"
+    ) -> QueryOutcome:
+        return self.execute(
+            f"SELECT BOTTOM {k} {attribute} FROM {table}", issuer=issuer
+        )
+
+    def max(self, table: str, attribute: str, *, issuer: str = "anonymous") -> float:
+        return self.execute(
+            f"SELECT MAX({attribute}) FROM {table}", issuer=issuer
+        ).scalar
+
+    def min(self, table: str, attribute: str, *, issuer: str = "anonymous") -> float:
+        return self.execute(
+            f"SELECT MIN({attribute}) FROM {table}", issuer=issuer
+        ).scalar
+
+    def sum(self, table: str, attribute: str, *, issuer: str = "anonymous") -> float:
+        return self.execute(
+            f"SELECT SUM({attribute}) FROM {table}", issuer=issuer
+        ).scalar
+
+    def count(self, table: str, attribute: str, *, issuer: str = "anonymous") -> float:
+        return self.execute(
+            f"SELECT COUNT({attribute}) FROM {table}", issuer=issuer
+        ).scalar
+
+    def avg(self, table: str, attribute: str, *, issuer: str = "anonymous") -> float:
+        return self.execute(
+            f"SELECT AVG({attribute}) FROM {table}", issuer=issuer
+        ).scalar
+
+    # -- execution ---------------------------------------------------------------
+
+    def _next_config(self) -> RunConfig:
+        # Fresh seed per query so repeated queries do not replay identical
+        # randomness (which would let an observer difference-out the noise).
+        return replace(self._base_config, seed=self._rng.getrandbits(32))
+
+    def _run_ranking(
+        self, statement: FederatedStatement, issuer: str
+    ) -> QueryOutcome:
+        databases = self._require_quorum()
+        query = TopKQuery(
+            table=statement.table,
+            attribute=statement.attribute,
+            k=statement.k,
+            domain=self.domain_for(statement.table, statement.attribute),
+            smallest=statement.smallest,
+        )
+        result = run_topk_query(databases, query, self._next_config())
+        # Charge the session ledger first: a budget refusal must leave no
+        # trace in the audit log and return nothing to the issuer.
+        self.ledger.charge(result)
+        outcome = QueryOutcome(
+            statement=statement.text,
+            values=tuple(result.answer()),
+            protocol=result.protocol,
+            rounds=result.rounds_executed,
+            messages=result.stats.messages_total,
+            trace=result,
+        )
+        self.audit.record(
+            AuditEntry.for_query(
+                issuer=issuer,
+                statement=statement.text,
+                protocol=result.protocol,
+                participants=self.members,
+                rounds=outcome.rounds,
+                messages=outcome.messages,
+                result_public=outcome.values,
+                average_lop=average_lop(result),
+            )
+        )
+        return outcome
+
+    def _local_aggregate(
+        self, db: PrivateDatabase, statement: FederatedStatement
+    ) -> float:
+        table = db.table(statement.table)
+        if statement.operation == "COUNT":
+            return float(len(table.numeric_values(statement.attribute)))
+        value = table.aggregate(statement.attribute, "sum")
+        return float(value) if value is not None else 0.0
+
+    def _run_additive(
+        self, statement: FederatedStatement, issuer: str
+    ) -> QueryOutcome:
+        databases = self._require_quorum()
+        # Schema precondition applies to additive queries too.
+        common_query(
+            databases,
+            TopKQuery(
+                table=statement.table,
+                attribute=statement.attribute,
+                k=1,
+                domain=self.domain_for(statement.table, statement.attribute),
+            ),
+        )
+        messages = 0
+        sums: dict[str, float] = {}
+        counts: dict[str, float] = {}
+        for db in databases:
+            sums[db.owner] = self._local_aggregate(
+                db, replace_operation(statement, "SUM")
+            )
+            counts[db.owner] = self._local_aggregate(
+                db, replace_operation(statement, "COUNT")
+            )
+        if statement.operation in ("SUM", "AVG"):
+            sum_outcome = run_secure_sum(sums, seed=self._rng.getrandbits(32))
+            messages += sum_outcome.stats.messages_total
+        if statement.operation in ("COUNT", "AVG"):
+            count_outcome = run_secure_sum(counts, seed=self._rng.getrandbits(32))
+            messages += count_outcome.stats.messages_total
+
+        if statement.operation == "SUM":
+            value = sum_outcome.total
+        elif statement.operation == "COUNT":
+            value = round(count_outcome.total)
+        else:  # AVG
+            total_count = round(count_outcome.total)
+            if total_count == 0:
+                raise FederationError("AVG over zero rows")
+            value = sum_outcome.total / total_count
+
+        outcome = QueryOutcome(
+            statement=statement.text,
+            values=(float(value),),
+            protocol="secure-sum",
+            rounds=1,
+            messages=messages,
+        )
+        self.audit.record(
+            AuditEntry.for_query(
+                issuer=issuer,
+                statement=statement.text,
+                protocol="secure-sum",
+                participants=self.members,
+                rounds=1,
+                messages=messages,
+                result_public=outcome.values,
+            )
+        )
+        return outcome
+
+
+def replace_operation(
+    statement: FederatedStatement, operation: str
+) -> FederatedStatement:
+    """A copy of ``statement`` with a different operation (internal helper)."""
+    return FederatedStatement(
+        operation=operation,
+        k=statement.k,
+        attribute=statement.attribute,
+        table=statement.table,
+        text=statement.text,
+    )
+
+
+__all__ = [
+    "Federation",
+    "FederationError",
+    "QueryOutcome",
+    "SqlError",
+    "parse",
+]

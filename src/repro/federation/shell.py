@@ -1,0 +1,160 @@
+"""An interactive shell for federated queries (``python -m repro.federation.shell``).
+
+A small ``cmd``-based console for demoing the library: register parties with
+synthetic or explicit data, issue statements of the SQL-ish dialect, and
+inspect the audit trail.  Everything it does goes through the public
+:class:`~repro.federation.Federation` API.
+"""
+
+from __future__ import annotations
+
+import cmd
+import random
+import sys
+from typing import IO
+
+from ..core.driver import PROTOCOLS, RunConfig
+from ..database.database import database_from_values
+from ..database.query import PAPER_DOMAIN
+from ..database.schema import SchemaError
+from .coordinator import Federation, FederationError
+from .sql import SqlError
+
+
+class FederationShell(cmd.Cmd):
+    """Interactive console over one :class:`Federation` session."""
+
+    intro = (
+        "Private top-k federation shell.  Commands: register, members, sql, "
+        "protocol, audit, seedparties, help, quit."
+    )
+    prompt = "(federation) "
+
+    def __init__(
+        self,
+        *,
+        seed: int | None = None,
+        stdin: IO[str] | None = None,
+        stdout: IO[str] | None = None,
+    ) -> None:
+        super().__init__(stdin=stdin, stdout=stdout)
+        if stdin is not None:
+            self.use_rawinput = False
+        self._rng = random.Random(seed)
+        self._protocol = "probabilistic"
+        self._seed = seed
+        self.federation = self._fresh_federation()
+
+    def _fresh_federation(self) -> Federation:
+        return Federation(
+            domain=PAPER_DOMAIN,
+            config=RunConfig(protocol=self._protocol),
+            seed=self._rng.getrandbits(32),
+        )
+
+    def _say(self, text: str) -> None:
+        self.stdout.write(text + "\n")
+
+    # -- commands -----------------------------------------------------------
+
+    def do_register(self, arg: str) -> None:
+        """register <name> <count>|<v1,v2,...> — enroll a party.
+
+        With an integer, draws that many uniform values over [1, 10000];
+        with a comma-separated list, uses exactly those values.
+        """
+        parts = arg.split()
+        if len(parts) != 2:
+            self._say("usage: register <name> <count>|<v1,v2,...>")
+            return
+        name, spec = parts
+        try:
+            if "," in spec:
+                values = [int(v) for v in spec.split(",") if v]
+            else:
+                count = int(spec)
+                values = [self._rng.randint(1, 10_000) for _ in range(count)]
+            self.federation.register(database_from_values(name, values))
+            self._say(f"registered {name!r} with {len(values)} values")
+        except (ValueError, FederationError, SchemaError) as exc:
+            self._say(f"error: {exc}")
+
+    def do_seedparties(self, arg: str) -> None:
+        """seedparties <n> [values_per_party] — register n synthetic parties."""
+        parts = arg.split() or ["4"]
+        try:
+            n = int(parts[0])
+            per = int(parts[1]) if len(parts) > 1 else 20
+        except ValueError:
+            self._say("usage: seedparties <n> [values_per_party]")
+            return
+        for i in range(n):
+            self.do_register(f"party{len(self.federation.members) + 1} {per}")
+
+    def do_members(self, _arg: str) -> None:
+        """members — list registered parties."""
+        members = self.federation.members
+        if not members:
+            self._say("no parties registered")
+        else:
+            self._say(", ".join(members))
+
+    def do_sql(self, arg: str) -> None:
+        """sql <statement> — run one statement of the dialect."""
+        if not arg.strip():
+            self._say("usage: sql SELECT TOP 3 value FROM data")
+            return
+        try:
+            outcome = self.federation.execute(arg, issuer="shell")
+        except (SqlError, FederationError, SchemaError) as exc:
+            self._say(f"error: {exc}")
+            return
+        values = ", ".join(f"{v:g}" for v in outcome.values)
+        self._say(
+            f"[{outcome.protocol}] {values}   "
+            f"({outcome.rounds} rounds, {outcome.messages} messages)"
+        )
+
+    def default(self, line: str) -> None:
+        # Let users type statements directly.
+        if line.strip().upper().startswith("SELECT"):
+            self.do_sql(line)
+        else:
+            self._say(f"unknown command: {line!r} (try 'help')")
+
+    def do_protocol(self, arg: str) -> None:
+        """protocol [name] — show or switch the ranking protocol."""
+        name = arg.strip()
+        if not name:
+            self._say(f"protocol: {self._protocol} (options: {', '.join(PROTOCOLS)})")
+            return
+        if name not in PROTOCOLS:
+            self._say(f"error: unknown protocol {name!r}; options: {', '.join(PROTOCOLS)}")
+            return
+        self._protocol = name
+        # Carry the registered parties into a reconfigured federation.
+        old = self.federation
+        self.federation = self._fresh_federation()
+        for member in old.members:
+            self.federation.register(old._parties[member])
+        self._say(f"protocol set to {name}")
+
+    def do_audit(self, _arg: str) -> None:
+        """audit — print the session's audit log."""
+        self._say(self.federation.audit.render())
+
+    def do_quit(self, _arg: str) -> bool:
+        """quit — leave the shell."""
+        return True
+
+    do_exit = do_quit
+    do_EOF = do_quit
+
+
+def main() -> int:  # pragma: no cover - interactive entry point
+    FederationShell().cmdloop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

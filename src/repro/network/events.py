@@ -1,0 +1,110 @@
+"""Passive-logging event capture for privacy analysis.
+
+The semi-honest adversary "can later use what it sees during execution of the
+protocol" (Section 2.1).  What a node sees is exactly the sequence of token
+messages delivered to it.  The event log records every delivery so that,
+after a run, adversary models in :mod:`repro.privacy` can replay any node's
+(or coalition's) view and quantify the resulting loss of privacy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .message import Message, MessageType
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One message as seen by its receiver.
+
+    ``vector`` is the global vector carried by the token; scalar protocols
+    (max/min) use length-1 vectors.  ``kind`` distinguishes in-protocol
+    token traffic from the final-result broadcast — privacy analysis scores
+    only the former (the result is public by definition).
+    """
+
+    round: int
+    sender: str
+    receiver: str
+    vector: tuple[float, ...]
+    msg_id: int
+    kind: str = "token"
+
+    @classmethod
+    def from_message(cls, message: Message) -> "Observation":
+        vector = tuple(message.payload.get("vector", ()))
+        return cls(
+            round=message.round,
+            sender=message.sender,
+            receiver=message.receiver,
+            vector=vector,
+            msg_id=message.msg_id,
+            kind=message.type.value,
+        )
+
+
+class EventLog:
+    """Ordered record of all token/result deliveries in one protocol run."""
+
+    def __init__(self) -> None:
+        self._observations: list[Observation] = []
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self._observations)
+
+    def record(self, message: Message) -> None:
+        if message.type in (MessageType.TOKEN, MessageType.RESULT):
+            self._observations.append(Observation.from_message(message))
+
+    # -- adversary views -----------------------------------------------------
+
+    def received_by(self, node: str) -> list[Observation]:
+        """Everything ``node`` saw: the basis of the semi-honest adversary view."""
+        return [o for o in self._observations if o.receiver == node]
+
+    def sent_by(self, node: str) -> list[Observation]:
+        """Everything ``node`` emitted (known to the node itself)."""
+        return [o for o in self._observations if o.sender == node]
+
+    def outputs_of(self, node: str) -> dict[int, tuple[float, ...]]:
+        """Map round -> token vector that ``node`` passed to its successor.
+
+        This is the quantity `g_i(r)` / `G_i(r)` the privacy analysis of
+        Section 4.3 reasons about.  Result-broadcast traffic is excluded.
+        """
+        return {
+            o.round: o.vector
+            for o in self._observations
+            if o.sender == node and o.kind == "token"
+        }
+
+    def inputs_of(self, node: str) -> dict[int, tuple[float, ...]]:
+        """Map round -> token vector that ``node`` received from its predecessor."""
+        return {
+            o.round: o.vector
+            for o in self._observations
+            if o.receiver == node and o.kind == "token"
+        }
+
+    def rounds(self) -> list[int]:
+        """Protocol rounds with token traffic (result broadcast excluded)."""
+        return sorted(
+            {o.round for o in self._observations if o.round > 0 and o.kind == "token"}
+        )
+
+    def coalition_view(self, members: set[str]) -> list[Observation]:
+        """Union of views of a colluding group (Section 4.3 collusion analysis).
+
+        A coalition sees every message any member received, plus every message
+        any member sent (a sender knows its own output).
+        """
+        return [
+            o
+            for o in self._observations
+            if o.receiver in members or o.sender in members
+        ]

@@ -1,0 +1,149 @@
+"""Wire messages exchanged between nodes on the ring.
+
+Messages carry the current global vector from a node to its successor.  They
+are plain data: a typed header plus a JSON-serializable payload.  The byte
+size of the encoded payload is what the transport's traffic accounting (and
+hence the communication-cost experiments) measures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+_message_ids = itertools.count(1)
+
+
+class MessageType(Enum):
+    """Kinds of protocol traffic.
+
+    TOKEN carries the global vector around the ring; CONTROL covers
+    initialization/termination signalling; RESULT broadcasts the final answer.
+    """
+
+    TOKEN = "token"
+    CONTROL = "control"
+    RESULT = "result"
+
+
+class MessageError(ValueError):
+    """Raised for malformed or unserializable messages."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message.
+
+    Attributes
+    ----------
+    sender, receiver:
+        Node identifiers (opaque strings).
+    round:
+        Protocol round the message belongs to (1-based; 0 for setup traffic).
+    type:
+        A :class:`MessageType`.
+    payload:
+        JSON-serializable body.  For TOKEN messages this is the global vector
+        under key ``"vector"``.
+    msg_id:
+        Monotonically increasing id, assigned at construction; used for
+        stable ordering in logs.
+    """
+
+    sender: str
+    receiver: str
+    round: int
+    type: MessageType = MessageType.TOKEN
+    payload: dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        if not self.sender or not self.receiver:
+            raise MessageError("sender and receiver must be non-empty")
+        if self.round < 0:
+            raise MessageError(f"round must be >= 0, got {self.round}")
+        try:
+            json.dumps(self.payload)
+        except (TypeError, ValueError) as exc:
+            raise MessageError(f"payload is not JSON-serializable: {exc}") from exc
+
+    def encode(self) -> bytes:
+        """Serialize the message body for transmission (and byte accounting).
+
+        Cached: messages are conceptually immutable and the hot path
+        (accounting + optional sealing + size-aware latency) would otherwise
+        serialize each token several times.
+        """
+        cached = self.__dict__.get("_encoded")
+        if cached is None:
+            body = {
+                "sender": self.sender,
+                "receiver": self.receiver,
+                "round": self.round,
+                "type": self.type.value,
+                "payload": self.payload,
+            }
+            cached = json.dumps(body, separators=(",", ":"), sort_keys=True).encode()
+            # frozen dataclass: stash through object.__setattr__.
+            object.__setattr__(self, "_encoded", cached)
+        return cached
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "Message":
+        """Inverse of :meth:`encode`."""
+        try:
+            body = json.loads(raw.decode())
+            if not isinstance(body, dict):
+                raise MessageError(f"message body must be an object, got {type(body).__name__}")
+            if not isinstance(body.get("round"), int):
+                raise MessageError("message round must be an integer")
+            if not isinstance(body.get("sender"), str) or not isinstance(
+                body.get("receiver"), str
+            ):
+                raise MessageError("sender and receiver must be strings")
+            if not isinstance(body.get("payload"), dict):
+                raise MessageError("message payload must be an object")
+            return cls(
+                sender=body["sender"],
+                receiver=body["receiver"],
+                round=body["round"],
+                type=MessageType(body["type"]),
+                payload=body["payload"],
+            )
+        except (KeyError, TypeError, ValueError, UnicodeDecodeError) as exc:
+            if isinstance(exc, MessageError):
+                raise
+            raise MessageError(f"cannot decode message: {exc}") from exc
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.encode())
+
+
+def token_message(
+    sender: str, receiver: str, round_number: int, vector: list[float]
+) -> Message:
+    """Build the TOKEN message carrying the global vector."""
+    return Message(
+        sender=sender,
+        receiver=receiver,
+        round=round_number,
+        type=MessageType.TOKEN,
+        payload={"vector": list(vector)},
+    )
+
+
+def result_message(
+    sender: str, receiver: str, round_number: int, vector: list[float]
+) -> Message:
+    """Build the RESULT message broadcasting the final answer."""
+    return Message(
+        sender=sender,
+        receiver=receiver,
+        round=round_number,
+        type=MessageType.RESULT,
+        payload={"vector": list(vector)},
+    )

@@ -1,0 +1,100 @@
+"""Ring topology management.
+
+Section 3.2: "Nodes are mapped into a ring randomly.  Each node has a
+predecessor and successor.  It is important to have the random mapping to
+reduce the cases where two colluding adversaries are the predecessor and
+successor of an innocent node."
+
+The ring supports the Section 4.3 collusion countermeasure of re-randomizing
+the mapping every round (:meth:`RingTopology.remap`) and the Section 3.2
+failure repair of splicing out a crashed node (:meth:`RingTopology.repair`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+
+
+class RingError(ValueError):
+    """Raised for invalid ring construction or lookups."""
+
+
+class RingTopology:
+    """A cyclic ordering of node identifiers."""
+
+    def __init__(self, order: Sequence[str]) -> None:
+        order = list(order)
+        if len(order) < 3:
+            # The protocol requires n >= 3 (Section 3): with two nodes the
+            # successor can always invert the local computation.
+            raise RingError(f"a ring needs at least 3 nodes, got {len(order)}")
+        if len(set(order)) != len(order):
+            raise RingError("ring members must be unique")
+        self._order = order
+        self._position = {node: i for i, node in enumerate(order)}
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def random(cls, members: Iterable[str], rng: random.Random) -> "RingTopology":
+        """The paper's random mapping of nodes onto the ring."""
+        order = list(members)
+        rng.shuffle(order)
+        return cls(order)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        """Ring order, starting from the ring's internal index 0."""
+        return tuple(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._position
+
+    def position(self, node: str) -> int:
+        try:
+            return self._position[node]
+        except KeyError:
+            raise RingError(f"node {node!r} is not on the ring") from None
+
+    def successor(self, node: str) -> str:
+        i = self.position(node)
+        return self._order[(i + 1) % len(self._order)]
+
+    def predecessor(self, node: str) -> str:
+        i = self.position(node)
+        return self._order[(i - 1) % len(self._order)]
+
+    def walk_from(self, start: str) -> list[str]:
+        """Ring members in token-passing order, beginning at ``start``."""
+        i = self.position(start)
+        return [self._order[(i + j) % len(self._order)] for j in range(len(self._order))]
+
+    def neighbors(self, node: str) -> tuple[str, str]:
+        """(predecessor, successor) of ``node``."""
+        return self.predecessor(node), self.successor(node)
+
+    def are_sandwiching(self, pair: tuple[str, str], victim: str) -> bool:
+        """True when ``pair`` are exactly the victim's two neighbours.
+
+        This is the colluding-neighbour configuration analysed in Section 4.3.
+        """
+        return set(pair) == set(self.neighbors(victim))
+
+    # -- dynamics ------------------------------------------------------------------
+
+    def remap(self, rng: random.Random) -> "RingTopology":
+        """A fresh random mapping of the same members (per-round remapping)."""
+        return RingTopology.random(self._order, rng)
+
+    def repair(self, failed: str) -> "RingTopology":
+        """Splice out a failed node, connecting its predecessor and successor."""
+        if failed not in self._position:
+            raise RingError(f"node {failed!r} is not on the ring")
+        remaining = [n for n in self._order if n != failed]
+        return RingTopology(remaining)

@@ -1,0 +1,205 @@
+"""In-memory message transport with simulated latency, encryption and accounting.
+
+This is the substrate substitution documented in DESIGN.md: the paper's
+protocol runs over a real network, but its correctness and privacy behaviour
+depend only on message contents and ordering, which this transport reproduces
+exactly while adding per-message accounting that a real deployment could not
+observe as cheaply.
+
+Delivery model: ``send`` enqueues a message with a delivery timestamp drawn
+from a latency model; ``deliver_next`` pops messages in timestamp order and
+hands them to the registered handler.  Payloads are round-tripped through the
+channel cipher when a keyring is configured, so the encryption path is
+genuinely exercised.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from .crypto import Keyring
+from .events import EventLog
+from .failures import FailureInjector
+from .message import Message
+from .stats import TrafficStats
+
+#: Latency models map (sender, receiver) -> seconds.
+LatencyModel = Callable[[str, str], float]
+Handler = Callable[[Message], None]
+
+
+def constant_latency(seconds: float = 0.001) -> LatencyModel:
+    """Same latency on every link."""
+    if seconds < 0:
+        raise ValueError("latency must be non-negative")
+    return lambda _sender, _receiver: seconds
+
+
+def jitter_latency(
+    base_seconds: float, jitter_seconds: float, rng: "random.Random"
+) -> LatencyModel:
+    """Constant latency plus uniform per-message jitter.
+
+    Jitter does not reorder a ring protocol (there is one token in flight),
+    but it makes simulated wall-clock realistic and exercises timestamp
+    ordering in multi-query scenarios.
+    """
+    if base_seconds < 0 or jitter_seconds < 0:
+        raise ValueError("latency components must be non-negative")
+    return lambda _sender, _receiver: base_seconds + rng.uniform(0, jitter_seconds)
+
+
+@dataclass(frozen=True)
+class BandwidthLatency:
+    """Size-aware link delay: ``base + bytes / bytes_per_second``.
+
+    Top-k tokens grow with k, so on thin links the payload size matters;
+    this model makes the simulator's clock reflect it.  Pass as ``latency``
+    to the transport, which detects the size-aware ``delay`` method.
+    """
+
+    base_seconds: float = 0.001
+    bytes_per_second: float = 1_000_000.0
+
+    def __post_init__(self) -> None:
+        if self.base_seconds < 0:
+            raise ValueError("base latency must be non-negative")
+        if self.bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def delay(self, _sender: str, _receiver: str, size_bytes: int) -> float:
+        return self.base_seconds + size_bytes / self.bytes_per_second
+
+
+class TransportError(RuntimeError):
+    """Raised on misuse of the transport (unknown endpoints, etc.)."""
+
+
+@dataclass(frozen=True)
+class _Envelope:
+    deliver_at: float
+    seq: int
+    message: Message
+    ciphertext: bytes | None
+
+    def __lt__(self, other: "_Envelope") -> bool:
+        return (self.deliver_at, self.seq) < (other.deliver_at, other.seq)
+
+
+class InMemoryTransport:
+    """Point-to-point transport among registered endpoints."""
+
+    def __init__(
+        self,
+        *,
+        latency: "LatencyModel | BandwidthLatency | None" = None,
+        keyring: Keyring | None = None,
+        failures: FailureInjector | None = None,
+        event_log: EventLog | None = None,
+    ) -> None:
+        self._latency = latency or constant_latency()
+        self._keyring = keyring
+        self._failures = failures
+        self._handlers: dict[str, Handler] = {}
+        self._queue: list[_Envelope] = []
+        self._seq = itertools.count()
+        self._clock = 0.0
+        self.stats = TrafficStats()
+        self.event_log = event_log if event_log is not None else EventLog()
+        self.dropped = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def register(self, node_id: str, handler: Handler) -> None:
+        """Attach a delivery handler for ``node_id``."""
+        if node_id in self._handlers:
+            raise TransportError(f"node {node_id!r} already registered")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: str) -> None:
+        self._handlers.pop(node_id, None)
+
+    @property
+    def endpoints(self) -> tuple[str, ...]:
+        return tuple(sorted(self._handlers))
+
+    # -- clock ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Simulated time, advanced by deliveries."""
+        return self._clock
+
+    # -- sending/delivery ---------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Enqueue ``message`` for future delivery."""
+        if message.receiver not in self._handlers:
+            raise TransportError(f"unknown receiver: {message.receiver!r}")
+        if self._failures and self._failures.should_drop(message):
+            self.dropped += 1
+            return
+        ciphertext = None
+        if self._keyring is not None:
+            ciphertext = self._keyring.seal(
+                message.sender, message.receiver, message.encode()
+            )
+        delay_method = getattr(self._latency, "delay", None)
+        if delay_method is not None:
+            wire_bytes = len(ciphertext) if ciphertext is not None else message.size_bytes
+            link_delay = delay_method(message.sender, message.receiver, wire_bytes)
+        else:
+            link_delay = self._latency(message.sender, message.receiver)
+        deliver_at = self._clock + link_delay
+        heapq.heappush(
+            self._queue,
+            _Envelope(deliver_at, next(self._seq), message, ciphertext),
+        )
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def deliver_next(self) -> Message | None:
+        """Deliver the earliest pending message; None when the queue is empty."""
+        if not self._queue:
+            return None
+        envelope = heapq.heappop(self._queue)
+        self._clock = max(self._clock, envelope.deliver_at)
+        message = envelope.message
+        if self._keyring is not None and envelope.ciphertext is not None:
+            # Round-trip through the cipher: what the wire carried is the
+            # ciphertext; the receiver decrypts and re-parses.
+            raw = self._keyring.open(message.sender, message.receiver, envelope.ciphertext)
+            message = Message.decode(raw)
+        if self._failures and self._failures.is_crashed(message.receiver):
+            self.dropped += 1
+            return None
+        handler = self._handlers.get(message.receiver)
+        if handler is None:
+            self.dropped += 1
+            return None
+        self.stats.record(message)
+        self.event_log.record(message)
+        handler(message)
+        return message
+
+    def run_until_idle(self, max_deliveries: int = 1_000_000) -> int:
+        """Pump the queue until empty; returns the number of deliveries.
+
+        ``max_deliveries`` bounds runaway protocols (a delivery may enqueue
+        follow-up messages).
+        """
+        delivered = 0
+        while self._queue:
+            if delivered >= max_deliveries:
+                raise TransportError(
+                    f"exceeded {max_deliveries} deliveries; protocol did not quiesce"
+                )
+            if self.deliver_next() is not None:
+                delivered += 1
+        return delivered

@@ -1,0 +1,126 @@
+"""Trust-aware ring construction (Section 4.3).
+
+"One technique to minimize the effect of collusion is for a node to ensure
+that at least one of its neighbors is trustworthy.  This can be achieved in
+practice by having nodes arrange themselves along the network ring(s)
+according to certain trust relationships such as digital certificate based
+combined with reputation-based."
+
+This module provides the trust substrate: a pairwise trust graph (scores in
+[0, 1], e.g. from certificates and reputation systems), updates from
+observed behaviour, and a ring builder that greedily maximizes neighbour
+trust so that untrusted parties end up adjacent to each other rather than
+sandwiching honest nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from .ring import RingError, RingTopology
+
+
+class TrustError(ValueError):
+    """Raised for invalid trust scores or unknown parties."""
+
+
+class TrustGraph:
+    """Symmetric pairwise trust scores with a configurable default."""
+
+    def __init__(self, members: Iterable[str], *, default: float = 0.5) -> None:
+        self._members = sorted(set(members))
+        if len(self._members) < 3:
+            raise TrustError(f"a trust graph needs >= 3 members, got {len(self._members)}")
+        if not 0.0 <= default <= 1.0:
+            raise TrustError(f"default trust must be in [0, 1], got {default}")
+        self._default = default
+        self._scores: dict[frozenset[str], float] = {}
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        return tuple(self._members)
+
+    def _link(self, a: str, b: str) -> frozenset[str]:
+        if a == b:
+            raise TrustError("self-trust is not a link")
+        for node in (a, b):
+            if node not in self._members:
+                raise TrustError(f"unknown member {node!r}")
+        return frozenset((a, b))
+
+    def set_trust(self, a: str, b: str, score: float) -> None:
+        if not 0.0 <= score <= 1.0:
+            raise TrustError(f"trust must be in [0, 1], got {score}")
+        self._scores[self._link(a, b)] = score
+
+    def trust(self, a: str, b: str) -> float:
+        return self._scores.get(self._link(a, b), self._default)
+
+    def observe(self, a: str, b: str, *, honest: bool, weight: float = 0.1) -> None:
+        """Reputation update: move the score toward 1 (honest) or 0 (not).
+
+        The exponential moving average is the standard reputation-system
+        update (cf. PeerTrust, which the paper cites).
+        """
+        if not 0.0 < weight <= 1.0:
+            raise TrustError(f"weight must be in (0, 1], got {weight}")
+        current = self.trust(a, b)
+        target = 1.0 if honest else 0.0
+        self._scores[self._link(a, b)] = (1 - weight) * current + weight * target
+
+    def least_trusted(self, node: str) -> str:
+        """The member ``node`` trusts least (tie-broken lexicographically)."""
+        others = [m for m in self._members if m != node]
+        return min(others, key=lambda m: (self.trust(node, m), m))
+
+    def ring_trust(self, ring: RingTopology) -> float:
+        """Mean trust across all ring links — the builder's objective."""
+        total = 0.0
+        for node in ring.members:
+            total += self.trust(node, ring.successor(node))
+        return total / len(ring)
+
+    def min_neighbor_trust(self, ring: RingTopology, node: str) -> float:
+        """The weaker of a node's two neighbour links."""
+        predecessor, successor = ring.neighbors(node)
+        return min(self.trust(node, predecessor), self.trust(node, successor))
+
+
+def build_trusted_ring(
+    graph: TrustGraph, rng: random.Random, *, restarts: int = 8
+) -> RingTopology:
+    """Greedy nearest-neighbour ring maximizing link trust, with restarts.
+
+    Classic TSP-flavoured construction: from a random anchor, repeatedly
+    append the unplaced member most trusted by the current tail.  Several
+    random restarts keep one bad anchor from dominating; the best ring by
+    mean link trust wins.  Randomness preserves unpredictability of the
+    final layout (an adversary must not be able to plan its position).
+    """
+    members = list(graph.members)
+    best: RingTopology | None = None
+    best_score = -1.0
+    for _ in range(max(1, restarts)):
+        anchor = rng.choice(members)
+        placed = [anchor]
+        remaining = set(members) - {anchor}
+        while remaining:
+            tail = placed[-1]
+            # Highest-trust next hop; random tie-break for unpredictability.
+            top_score = max(graph.trust(tail, m) for m in remaining)
+            candidates = sorted(
+                m for m in remaining if graph.trust(tail, m) == top_score
+            )
+            chosen = rng.choice(candidates)
+            placed.append(chosen)
+            remaining.remove(chosen)
+        try:
+            ring = RingTopology(placed)
+        except RingError as exc:  # pragma: no cover - guarded by TrustGraph
+            raise TrustError(str(exc)) from exc
+        score = graph.ring_trust(ring)
+        if score > best_score:
+            best, best_score = ring, score
+    assert best is not None
+    return best

@@ -1,0 +1,104 @@
+"""Session-level privacy accounting across repeated queries.
+
+A single protocol run leaks little; a *session* of many queries against the
+same parties accumulates exposure — every run gives adversaries a fresh set
+of intermediate results about the same private tables.  (The paper evaluates
+single queries; accumulation is the natural operational concern once the
+protocol is deployed, and the reason the federation layer re-randomizes
+every run.)
+
+The accountant charges each party its measured peak LoP per run and tracks
+the cumulative total against an optional budget, in the spirit of a privacy
+budget: once a party's accumulated exposure crosses the budget, further
+queries are refused until the operator resets the ledger (e.g. after the
+underlying data has been rotated).
+
+Cumulative charging is conservative-additive: independent runs randomize
+independently, so summing per-run exposures upper-bounds what any single
+observed run revealed while still growing with every opportunity the
+adversary got.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.results import ProtocolResult
+from .lop import node_lop
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a query would push a party past its privacy budget."""
+
+
+@dataclass
+class ExposureLedger:
+    """Per-party cumulative exposure for one federation session."""
+
+    #: Optional ceiling on any single party's accumulated exposure.
+    budget: float | None = None
+    charges: dict[str, float] = field(default_factory=dict)
+    runs_charged: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget is not None and self.budget <= 0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+
+    def charge(self, result: ProtocolResult) -> dict[str, float]:
+        """Charge one finished run; returns the per-party charges applied.
+
+        Raises :class:`BudgetExceededError` — *before* recording anything —
+        if the charge would push any party past the budget, so a refused
+        query leaves the ledger unchanged.
+        """
+        increments = {
+            node: node_lop(result, node) for node in result.ring_order
+        }
+        if self.budget is not None:
+            over = [
+                node
+                for node, inc in increments.items()
+                if self.charges.get(node, 0.0) + inc > self.budget
+            ]
+            if over:
+                raise BudgetExceededError(
+                    f"query refused: parties {sorted(over)} would exceed the "
+                    f"privacy budget of {self.budget}"
+                )
+        for node, increment in increments.items():
+            self.charges[node] = self.charges.get(node, 0.0) + increment
+        self.runs_charged += 1
+        return increments
+
+    def exposure(self, party: str) -> float:
+        return self.charges.get(party, 0.0)
+
+    def remaining(self, party: str) -> float | None:
+        """Budget headroom for ``party``; None when no budget is set."""
+        if self.budget is None:
+            return None
+        return max(0.0, self.budget - self.exposure(party))
+
+    def most_exposed(self) -> tuple[str, float] | None:
+        if not self.charges:
+            return None
+        party = max(self.charges, key=lambda p: self.charges[p])
+        return party, self.charges[party]
+
+    def reset(self) -> None:
+        """Clear the ledger (e.g. after the private data has been rotated)."""
+        self.charges.clear()
+        self.runs_charged = 0
+
+    def render(self) -> str:
+        """Human-readable ledger summary."""
+        if not self.charges:
+            return "exposure ledger: no runs charged"
+        lines = [f"exposure ledger after {self.runs_charged} runs:"]
+        for party in sorted(self.charges):
+            entry = f"  {party:<14} {self.charges[party]:.4f}"
+            headroom = self.remaining(party)
+            if headroom is not None:
+                entry += f"   (headroom {headroom:.4f})"
+            lines.append(entry)
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Adversary claims and the data-exposure taxonomy (Section 2.2).
+
+The paper distinguishes three levels of knowledge an adversary may deduce
+about a value ``v_i`` held by node *i*:
+
+* **data value exposure** — the adversary can prove ``v_i = a``;
+* **data range exposure** — the adversary can prove ``a <= v_i <= b``;
+* **data probability-distribution exposure** — the adversary can prove
+  ``pdf(v_i) = f``.
+
+Value exposure is a special case of range exposure, which is a special case
+of distribution exposure.  The paper (and this reproduction's quantitative
+analysis) focuses on value exposure; range claims are provided for the
+naive-protocol range-leak demonstrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ExposureKind(Enum):
+    """The taxonomy of Section 2.2, ordered from most to least severe."""
+
+    VALUE = "value"
+    RANGE = "range"
+    DISTRIBUTION = "distribution"
+
+
+class ClaimError(ValueError):
+    """Raised for malformed claims."""
+
+
+@dataclass(frozen=True)
+class ValueClaim:
+    """An adversary's assertion that node ``node`` holds exactly ``value``."""
+
+    node: str
+    value: float
+
+    @property
+    def kind(self) -> ExposureKind:
+        return ExposureKind.VALUE
+
+    def holds_for(self, local_values: list[float]) -> bool:
+        """Ground-truth check against the node's actual values."""
+        return self.value in local_values
+
+
+@dataclass(frozen=True)
+class RangeClaim:
+    """An adversary's assertion that node ``node`` holds a value in [low, high]."""
+
+    node: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ClaimError(f"empty range claim [{self.low}, {self.high}]")
+
+    @property
+    def kind(self) -> ExposureKind:
+        return ExposureKind.RANGE
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def holds_for(self, local_values: list[float]) -> bool:
+        return any(self.low <= v <= self.high for v in local_values)
+
+
+Claim = ValueClaim | RangeClaim

@@ -1,0 +1,84 @@
+"""The Loss-of-Privacy (LoP) metric and its empirical estimator.
+
+Equation 1: ``LoP = P(C | R, IR) − P(C | R)`` for a claim ``C`` about a
+node's value, where ``R`` is the public final result and ``IR`` the
+intermediate results the adversary observed.
+
+The empirical estimator (derivation in DESIGN.md §4) scores, per trial, the
+claim an adversary can actually make: the successor of node *i* observes the
+vector ``G_i(r)`` and claims node *i* holds (one of) its values.
+
+* If the claimed value appears in the final result ``R``, the paper's
+  convention applies: every node is equally likely to hold a final-result
+  value (``P(C|R) = 1/n``) and observing it mid-protocol proves nothing
+  more, so the contribution is **0**.
+* Otherwise ``P(C|R) ≈ 0`` (the public domain is large), and the indicator
+  *"the claim is true"* — i.e. the observed vector really contains the
+  node's value — averaged over trials estimates ``P(C | R, IR)``.
+
+A node's per-round LoP averages over the data items it participates with
+(its local top-k vector; a single value for max).  Its overall LoP is the
+**maximum** over rounds ("that gives us a measure of the highest level of
+knowledge an adversary can obtain", Section 5.3).  System-level numbers are
+the mean (average case) or max (worst case) over nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.results import ProtocolResult
+
+
+def item_round_lop(
+    item: float,
+    output_vector: Sequence[float],
+    final_result: Sequence[float],
+) -> float:
+    """Per-trial LoP contribution of one data item in one round."""
+    if item in final_result:
+        return 0.0
+    return 1.0 if item in output_vector else 0.0
+
+
+def node_round_lop(result: ProtocolResult, node: str, round_number: int) -> float:
+    """Mean LoP over the node's participating items for one round."""
+    items = result.local_vectors[node]
+    if not items:
+        return 0.0
+    outputs = result.event_log.outputs_of(node)
+    output = outputs.get(round_number)
+    if output is None:
+        # The node forwarded nothing this round (e.g. it crashed); an
+        # adversary observed nothing new from it.
+        return 0.0
+    final = result.final_vector
+    return sum(item_round_lop(v, output, final) for v in items) / len(items)
+
+
+def node_lop(result: ProtocolResult, node: str) -> float:
+    """The node's overall LoP: its peak per-round LoP across the run."""
+    rounds = result.event_log.rounds()
+    if not rounds:
+        return 0.0
+    return max(node_round_lop(result, node, r) for r in rounds)
+
+
+def per_round_average_lop(result: ProtocolResult) -> dict[int, float]:
+    """Round -> mean LoP over all nodes (the Figure 7 quantity, one trial)."""
+    nodes = result.ring_order
+    return {
+        r: sum(node_round_lop(result, node, r) for node in nodes) / len(nodes)
+        for r in result.event_log.rounds()
+    }
+
+
+def average_lop(result: ProtocolResult) -> float:
+    """System average-case LoP: mean over nodes of each node's peak LoP."""
+    nodes = result.ring_order
+    return sum(node_lop(result, node) for node in nodes) / len(nodes)
+
+
+def worst_case_lop(result: ProtocolResult) -> float:
+    """System worst-case LoP: the most-exposed node's peak LoP."""
+    return max(node_lop(result, node) for node in result.ring_order)

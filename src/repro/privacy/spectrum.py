@@ -1,0 +1,46 @@
+"""The probabilistic privacy spectrum (Reiter & Rubin, via Section 2.3).
+
+The paper reviews this metric — the probability that an adversary's claim is
+true — before arguing it is *inadequate* for data privacy because it ignores
+how the claim relates to the public final result.  We implement it anyway:
+it is the baseline the Loss-of-Privacy metric improves upon, and the paper's
+own discussion ("beyond suspicion", "provable exposure") is phrased in its
+vocabulary.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class SpectrumLevel(Enum):
+    """Named bands of the privacy spectrum, most private first."""
+
+    ABSOLUTE_PRIVACY = "absolute privacy"
+    BEYOND_SUSPICION = "beyond suspicion"
+    PROBABLE_INNOCENCE = "probable innocence"
+    POSSIBLE_INNOCENCE = "possible innocence"
+    PROVABLY_EXPOSED = "provably exposed"
+
+
+def classify(probability: float, n_nodes: int) -> SpectrumLevel:
+    """Map a claim probability onto the spectrum.
+
+    ``probability`` is P(claim is true | adversary's view); ``n_nodes`` sets
+    the *beyond suspicion* threshold: a node is beyond suspicion when it is
+    no more likely than any other node (probability <= 1/n) to satisfy the
+    claim (the m-anonymity reading, Section 2.3).
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if probability == 0.0:
+        return SpectrumLevel.ABSOLUTE_PRIVACY
+    if probability >= 1.0:
+        return SpectrumLevel.PROVABLY_EXPOSED
+    if probability <= 1.0 / n_nodes:
+        return SpectrumLevel.BEYOND_SUSPICION
+    if probability <= 0.5:
+        return SpectrumLevel.PROBABLE_INNOCENCE
+    return SpectrumLevel.POSSIBLE_INNOCENCE

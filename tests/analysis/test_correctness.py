@@ -1,0 +1,60 @@
+"""Unit tests for the Equation 3 correctness bound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.correctness import (
+    precision_bound_series,
+    precision_lower_bound,
+    rounds_to_reach,
+)
+
+
+class TestEquation3:
+    def test_known_values(self):
+        # p0=1, d=1/2: bound(r) = 1 - (1/2)^(r(r-1)/2).
+        assert precision_lower_bound(1.0, 0.5, 1) == pytest.approx(0.0)
+        assert precision_lower_bound(1.0, 0.5, 2) == pytest.approx(0.5)
+        assert precision_lower_bound(1.0, 0.5, 3) == pytest.approx(1 - 0.125)
+
+    def test_smaller_p0_starts_higher(self):
+        assert precision_lower_bound(0.25, 0.5, 1) > precision_lower_bound(1.0, 0.5, 1)
+
+    def test_smaller_d_converges_faster(self):
+        assert precision_lower_bound(1.0, 0.25, 4) > precision_lower_bound(1.0, 0.75, 4)
+
+    @given(
+        p0=st.floats(min_value=0.05, max_value=1.0),
+        d=st.floats(min_value=0.05, max_value=0.95),
+        r=st.integers(min_value=1, max_value=25),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_monotone_in_rounds(self, p0, d, r):
+        assert precision_lower_bound(p0, d, r + 1) >= precision_lower_bound(p0, d, r)
+        assert 0.0 <= precision_lower_bound(p0, d, r) <= 1.0
+
+
+class TestSeries:
+    def test_series_shape(self):
+        series = precision_bound_series(1.0, 0.5, 6)
+        assert [r for r, _ in series] == [1, 2, 3, 4, 5, 6]
+
+    def test_series_requires_rounds(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            precision_bound_series(1.0, 0.5, 0)
+
+
+class TestRoundsToReach:
+    def test_reaches_target(self):
+        r = rounds_to_reach(1.0, 0.5, 0.999)
+        assert precision_lower_bound(1.0, 0.5, r) >= 0.999
+        assert precision_lower_bound(1.0, 0.5, r - 1) < 0.999
+
+    def test_target_bounds(self):
+        with pytest.raises(ValueError, match="target"):
+            rounds_to_reach(1.0, 0.5, 1.0)
+
+    def test_non_decaying_schedule_detected(self):
+        with pytest.raises(ValueError, match="does not reach"):
+            rounds_to_reach(1.0, 1.0, 0.999, cap=50)

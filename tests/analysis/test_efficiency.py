@@ -1,0 +1,83 @@
+"""Unit tests for the Equation 4 efficiency analysis and cost models."""
+
+import pytest
+
+from repro.analysis.efficiency import (
+    grouped_total_messages,
+    minimum_rounds,
+    rmin_series,
+    sqrt_log_scaling_constant,
+    total_messages,
+)
+
+
+class TestRminSeries:
+    def test_series_matches_minimum_rounds(self):
+        epsilons = [1e-1, 1e-3, 1e-5]
+        series = rmin_series(1.0, 0.5, epsilons)
+        assert series == [(eps, minimum_rounds(1.0, 0.5, eps)) for eps in epsilons]
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            rmin_series(1.0, 0.5, [])
+
+    def test_monotone_in_precision(self):
+        series = rmin_series(1.0, 0.5, [10.0**-e for e in range(1, 8)])
+        rounds = [r for _, r in series]
+        assert rounds == sorted(rounds)
+
+    def test_d_dominates_p0(self):
+        # Halving d saves more rounds than halving p0 (Section 4.2's reading).
+        base = minimum_rounds(1.0, 0.5, 1e-6)
+        smaller_d = minimum_rounds(1.0, 0.25, 1e-6)
+        smaller_p0 = minimum_rounds(0.5, 0.5, 1e-6)
+        assert (base - smaller_d) >= (base - smaller_p0)
+
+
+class TestTotalMessages:
+    def test_linear_in_nodes(self):
+        assert total_messages(20, 1.0, 0.5, 1e-3) == 2 * total_messages(
+            10, 1.0, 0.5, 1e-3
+        )
+
+    def test_includes_termination_round(self):
+        rounds = minimum_rounds(1.0, 0.5, 1e-3)
+        assert total_messages(10, 1.0, 0.5, 1e-3) == 10 * rounds + 10
+
+    def test_minimum_ring_size(self):
+        with pytest.raises(ValueError, match="n >= 3"):
+            total_messages(2, 1.0, 0.5, 1e-3)
+
+
+class TestGroupedMessages:
+    def test_group_size_validated(self):
+        with pytest.raises(ValueError, match="groups"):
+            grouped_total_messages(10, 2, 1.0, 0.5, 1e-3)
+
+    def test_small_system_falls_back_to_flat(self):
+        flat = total_messages(8, 1.0, 0.5, 1e-3)
+        assert grouped_total_messages(8, 4, 1.0, 0.5, 1e-3) == flat
+
+    def test_large_system_adds_combiner_cost(self):
+        rounds = minimum_rounds(1.0, 0.5, 1e-3)
+        n, group = 64, 8
+        expected = (64 * rounds + 64) + (8 * rounds + 8)
+        assert grouped_total_messages(n, group, 1.0, 0.5, 1e-3) == expected
+
+    def test_requires_full_group(self):
+        with pytest.raises(ValueError, match="at least one full group"):
+            grouped_total_messages(4, 8, 1.0, 0.5, 1e-3)
+
+
+class TestScaling:
+    def test_sqrt_log_constant_stays_bounded(self):
+        constants = [
+            sqrt_log_scaling_constant(1.0, 0.5, 10.0**-e) for e in range(2, 10)
+        ]
+        # O(sqrt(log 1/eps)): the ratio r/sqrt(log10(1/eps)) stays in a
+        # narrow band rather than growing.
+        assert max(constants) / min(constants) < 1.8
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            sqrt_log_scaling_constant(1.0, 0.5, 1.0)

@@ -1,0 +1,92 @@
+"""Tests for the parameter-optimization analysis."""
+
+import pytest
+
+from repro.analysis.optimization import (
+    OptimizationError,
+    evaluate,
+    optimal_parameters,
+    pareto_frontier,
+)
+from repro.analysis.privacy_bounds import expected_lop_bound
+from repro.core.params import minimum_rounds
+
+
+class TestEvaluate:
+    def test_matches_closed_forms(self):
+        choice = evaluate(1.0, 0.5, 1e-3)
+        assert choice.rounds_required == minimum_rounds(1.0, 0.5, 1e-3)
+        assert choice.expected_lop_peak == expected_lop_bound(1.0, 0.5)
+
+
+class TestP0OneIsOptimal:
+    def test_peak_decreasing_in_p0(self):
+        # For any d, raising p0 never raises the Eq. 6 peak.
+        for d in (0.25, 0.5, 0.75):
+            peaks = [expected_lop_bound(p0, d) for p0 in (0.25, 0.5, 0.75, 1.0)]
+            assert peaks == sorted(peaks, reverse=True)
+
+    def test_peak_decreasing_in_d_at_p0_one(self):
+        peaks = [expected_lop_bound(1.0, d) for d in (0.25, 0.5, 0.75)]
+        assert peaks == sorted(peaks, reverse=True)
+
+
+class TestOptimalParameters:
+    def test_picks_p0_one(self):
+        assert optimal_parameters(1e-3, max_rounds=6).p0 == 1.0
+
+    def test_budget_caps_d(self):
+        tight = optimal_parameters(1e-3, max_rounds=4)
+        loose = optimal_parameters(1e-3, max_rounds=10)
+        assert tight.d < loose.d
+        assert tight.rounds_required <= 4
+        assert loose.rounds_required <= 10
+
+    def test_paper_default_regime(self):
+        # A ~5-round budget lands in the d ~ 1/2 regime of the paper.
+        choice = optimal_parameters(1e-3, max_rounds=5)
+        assert 0.4 <= choice.d <= 0.65
+        assert choice.rounds_required == 5
+
+    def test_privacy_improves_with_budget(self):
+        tight = optimal_parameters(1e-3, max_rounds=4)
+        loose = optimal_parameters(1e-3, max_rounds=12)
+        assert loose.expected_lop_peak <= tight.expected_lop_peak
+
+    def test_infeasible_budget_is_loud(self):
+        with pytest.raises(OptimizationError, match="no dampening factor"):
+            optimal_parameters(1e-12, max_rounds=1)
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError, match="max_rounds"):
+            optimal_parameters(1e-3, max_rounds=0)
+        with pytest.raises(OptimizationError, match="epsilon"):
+            optimal_parameters(2.0, max_rounds=5)
+
+
+class TestParetoFrontier:
+    def test_frontier_non_empty_and_sorted(self):
+        frontier = pareto_frontier(1e-3)
+        assert frontier
+        rounds = [c.rounds_required for c in frontier]
+        assert rounds == sorted(rounds)
+
+    def test_frontier_members_not_dominated(self):
+        frontier = pareto_frontier(1e-3)
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                strictly_better = (
+                    b.rounds_required <= a.rounds_required
+                    and b.expected_lop_peak <= a.expected_lop_peak
+                    and (
+                        b.rounds_required < a.rounds_required
+                        or b.expected_lop_peak < a.expected_lop_peak
+                    )
+                )
+                assert not strictly_better
+
+    def test_paper_default_is_on_or_near_the_frontier(self):
+        frontier = pareto_frontier(1e-3)
+        assert any(c.p0 == 1.0 and c.d == 0.5 for c in frontier)

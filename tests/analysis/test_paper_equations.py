@@ -1,0 +1,168 @@
+"""Numerical audit of the paper's equations, independent of the protocol code.
+
+Each closed form of Section 4 is re-derived here by direct Monte-Carlo
+simulation of the random process it describes — no protocol machinery, just
+the probability statements — so an error in the analytic modules and an
+error in the protocol cannot mask each other.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.correctness import precision_lower_bound
+from repro.analysis.efficiency import minimum_rounds
+from repro.analysis.privacy_bounds import (
+    expected_lop_round_term,
+    harmonic_number,
+    naive_average_lop,
+    naive_estimator_average,
+)
+from repro.core.schedule import ExponentialSchedule
+
+
+class TestEquation2Schedule:
+    def test_monte_carlo_randomization_frequency(self):
+        # A node asked to randomize with P_r(r) should do so at that rate.
+        rng = random.Random(5)
+        schedule = ExponentialSchedule(p0=0.8, d=0.5)
+        for round_number in (1, 2, 3):
+            p = schedule.probability(round_number)
+            hits = sum(rng.random() < p for _ in range(20_000))
+            assert hits / 20_000 == pytest.approx(p, abs=0.01)
+
+
+class TestEquation3Correctness:
+    def test_monte_carlo_failure_chain(self):
+        """P(max-holder randomized in every round) vs the Eq. 3 complement.
+
+        The paper's argument: the protocol can only still be wrong after
+        round r if the (single) max-holder randomized in rounds 1..r.
+        Simulate exactly that Bernoulli chain.
+        """
+        rng = random.Random(11)
+        p0, d = 1.0, 0.5
+        schedule = ExponentialSchedule(p0=p0, d=d)
+        trials = 40_000
+        for rounds in (1, 2, 3, 4):
+            failures = 0
+            for _ in range(trials):
+                if all(
+                    rng.random() < schedule.probability(j)
+                    for j in range(1, rounds + 1)
+                ):
+                    failures += 1
+            simulated_success = 1 - failures / trials
+            bound = precision_lower_bound(p0, d, rounds)
+            # The bound is exact for a single max-holder.
+            assert simulated_success == pytest.approx(bound, abs=0.01)
+
+    def test_bound_is_conservative_with_multiple_holders(self):
+        # With h > 1 holders the success probability only improves.
+        rng = random.Random(13)
+        schedule = ExponentialSchedule(p0=1.0, d=0.5)
+        rounds, holders, trials = 3, 3, 20_000
+        failures = 0
+        for _ in range(trials):
+            if all(
+                all(
+                    rng.random() < schedule.probability(j)
+                    for j in range(1, rounds + 1)
+                )
+                for _ in range(holders)
+            ):
+                failures += 1
+        simulated_success = 1 - failures / trials
+        assert simulated_success >= precision_lower_bound(1.0, 0.5, rounds)
+
+
+class TestEquation4Efficiency:
+    def test_rmin_inverts_equation3(self):
+        # Running r_min rounds always meets the requested precision per the
+        # (weakened) bound — cross-check through Eq. 3 directly.
+        for eps in (1e-2, 1e-4, 1e-6):
+            r = minimum_rounds(1.0, 0.5, eps)
+            assert precision_lower_bound(1.0, 0.5, r) >= 1 - eps
+
+    def test_closed_form_against_brute_force(self):
+        # r_min equals the smallest r satisfying p0 * d^(r(r-1)/2) <= eps.
+        for p0 in (0.5, 1.0):
+            for d in (0.25, 0.5, 0.75):
+                for eps in (1e-1, 1e-3, 1e-5):
+                    brute = next(
+                        r
+                        for r in range(1, 100)
+                        if p0 * d ** (r * (r - 1) / 2) <= eps
+                    )
+                    assert minimum_rounds(p0, d, eps) == brute
+
+
+class TestEquation5NaiveLop:
+    def test_monte_carlo_naive_positional_leak(self):
+        """Simulate the naive ring directly: node i's output equals its own
+        value iff it is the running max of the first i values.
+
+        The estimator convention (claim value in the final result counts as
+        zero) gives exactly ``(H_n − 1)/n``; the paper's Equation 1
+        convention (subtract the 1/n prior only when the output *is* the
+        max) gives the slightly larger :func:`naive_average_lop`.  Both are
+        audited here.
+        """
+        rng = random.Random(17)
+        n, trials = 6, 20_000
+        estimator_exposed = [0] * n
+        paper_lop = 0.0
+        for _ in range(trials):
+            values = [rng.random() for _ in range(n)]
+            vmax = max(values)
+            running = 0.0
+            for i, value in enumerate(values):
+                running = max(running, value)
+                if running == value and value != vmax:
+                    estimator_exposed[i] += 1
+                # Paper convention: 1/i posterior, minus prior iff running
+                # max is the global max.
+                posterior = 1.0 / (i + 1)
+                prior = 1.0 / n if running == vmax else 0.0
+                paper_lop += max(0.0, posterior - prior)
+        simulated_estimator = sum(e / trials for e in estimator_exposed) / n
+        assert simulated_estimator == pytest.approx(
+            naive_estimator_average(n), abs=0.01
+        )
+        assert paper_lop / (trials * n) == pytest.approx(
+            naive_average_lop(n), abs=0.01
+        )
+
+    def test_harmonic_asymptotics(self):
+        # H_n - ln(n) -> Euler-Mascheroni; used implicitly by Eq. 5.
+        gamma = 0.5772156649
+        assert harmonic_number(100_000) - math.log(100_000) == pytest.approx(
+            gamma, abs=1e-4
+        )
+
+
+class TestEquation6ProbabilisticLop:
+    def test_structure_of_the_inner_term(self):
+        # f(r) = (1/2^(r-1)) (1 - p0 d^(r-1)): the first factor models the
+        # probability the global value has not yet overtaken the node (the
+        # expected gap halves each round), the second the reveal probability.
+        for p0 in (0.25, 1.0):
+            for d in (0.25, 0.75):
+                for r in (1, 2, 5):
+                    gap_factor = 1.0 / 2 ** (r - 1)
+                    reveal_factor = 1.0 - p0 * d ** (r - 1)
+                    assert expected_lop_round_term(p0, d, r) == pytest.approx(
+                        gap_factor * reveal_factor
+                    )
+
+    def test_gap_halving_premise(self):
+        """The '1/2^(r-1)' premise: a uniform random draw from [g, v) halves
+        the remaining gap to v in expectation."""
+        rng = random.Random(19)
+        v, g, trials = 1.0, 0.0, 40_000
+        total = 0.0
+        for _ in range(trials):
+            total += rng.uniform(g, v)
+        expected_remaining_gap = v - total / trials
+        assert expected_remaining_gap == pytest.approx((v - g) / 2, abs=0.01)

@@ -1,0 +1,90 @@
+"""Unit tests for the Equations 5 and 6 privacy bounds."""
+
+import math
+
+import pytest
+
+from repro.analysis.privacy_bounds import (
+    expected_lop_bound,
+    expected_lop_round_term,
+    expected_lop_series,
+    harmonic_number,
+    naive_average_lop,
+    naive_average_lop_bound,
+    naive_worst_case_lop,
+    peak_lop_round,
+)
+
+
+class TestHarmonic:
+    def test_known_values(self):
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_n_validated(self):
+        with pytest.raises(ValueError):
+            harmonic_number(0)
+
+
+class TestEquation5:
+    def test_exact_average(self):
+        # n=4: (H_4 - (n+1)/(2n))/n = (H_4 - 5/8)/4.
+        assert naive_average_lop(4) == pytest.approx((harmonic_number(4) - 5 / 8) / 4)
+
+    def test_bound_holds_for_small_n(self):
+        # The paper: average LoP > ln(n)/n.  (The exact expression exceeds
+        # the bound for n >= 2.)
+        for n in range(2, 200):
+            assert naive_average_lop(n) > naive_average_lop_bound(n) - 1e-12
+
+    def test_bound_value(self):
+        assert naive_average_lop_bound(10) == pytest.approx(math.log(10) / 10)
+
+    def test_decreases_with_n(self):
+        values = [naive_average_lop(n) for n in (4, 8, 16, 32, 64)]
+        assert values == sorted(values, reverse=True)
+
+    def test_worst_case_is_starter(self):
+        assert naive_worst_case_lop(4) == pytest.approx(0.75)
+        assert naive_worst_case_lop(100) == pytest.approx(0.99)
+
+
+class TestEquation6:
+    def test_round_one_with_p0_one_is_zero(self):
+        assert expected_lop_round_term(1.0, 0.5, 1) == 0.0
+
+    def test_round_one_with_small_p0_positive(self):
+        assert expected_lop_round_term(0.25, 0.5, 1) == pytest.approx(0.75)
+
+    def test_round_two_value(self):
+        # f(2) = 1/2 * (1 - p0 d).
+        assert expected_lop_round_term(1.0, 0.5, 2) == pytest.approx(0.25)
+
+    def test_peak_round_moves_with_p0(self):
+        assert peak_lop_round(1.0, 0.5) == 2
+        assert peak_lop_round(0.25, 0.5) == 1
+
+    def test_larger_p0_lower_peak(self):
+        assert expected_lop_bound(1.0, 0.5) < expected_lop_bound(0.25, 0.5)
+
+    def test_larger_d_lower_peak_with_p0_one(self):
+        assert expected_lop_bound(1.0, 0.75) < expected_lop_bound(1.0, 0.25)
+
+    def test_series_shape(self):
+        series = expected_lop_series(1.0, 0.5, 5)
+        assert [r for r, _ in series] == [1, 2, 3, 4, 5]
+
+    def test_terms_decay_to_zero(self):
+        assert expected_lop_round_term(1.0, 0.5, 30) < 1e-8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_lop_round_term(1.0, 0.5, 0)
+        with pytest.raises(ValueError):
+            expected_lop_round_term(1.5, 0.5, 1)
+        with pytest.raises(ValueError):
+            expected_lop_round_term(1.0, 0.0, 1)
+        with pytest.raises(ValueError):
+            expected_lop_bound(1.0, 0.5, max_rounds=0)
+        with pytest.raises(ValueError):
+            expected_lop_series(1.0, 0.5, 0)

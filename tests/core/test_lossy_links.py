@@ -1,0 +1,74 @@
+"""Lossy-link recovery: bounded retransmission without crashes."""
+
+import random
+
+import pytest
+
+from repro.core.driver import DriverError, RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.database.query import Domain, TopKQuery
+from repro.network.failures import FailureInjector
+
+from ..conftest import make_vectors
+
+QUERY = TopKQuery(table="t", attribute="v", k=1, domain=Domain(1, 10_000))
+TOPK = TopKQuery(table="t", attribute="v", k=3, domain=Domain(1, 10_000))
+
+
+def run_lossy(vectors, query, drop, seed=1, rng_seed=1, rounds=8):
+    failures = FailureInjector(drop_probability=drop, rng=random.Random(rng_seed))
+    params = ProtocolParams.paper_defaults(rounds=rounds)
+    config = RunConfig(params=params, seed=seed, failures=failures)
+    return run_protocol_on_vectors(vectors, query, config)
+
+
+class TestLossyLinks:
+    @pytest.mark.parametrize("drop", [0.05, 0.15, 0.3])
+    def test_max_survives_message_loss(self, drop):
+        vectors = make_vectors([100, 9000, 50, 7000, 3000])
+        for rng_seed in range(5):
+            result = run_lossy(vectors, QUERY, drop, rng_seed=rng_seed)
+            assert result.final_vector == [9000.0]
+
+    def test_topk_survives_message_loss(self):
+        vectors = {
+            "a": [9000.0, 100.0],
+            "b": [7000.0],
+            "c": [6500.0, 42.0],
+            "d": [5.0],
+        }
+        for rng_seed in range(5):
+            result = run_lossy(vectors, TOPK, 0.15, rng_seed=rng_seed)
+            assert result.final_vector == [9000.0, 7000.0, 6500.0]
+
+    def test_all_nodes_learn_result_despite_loss(self):
+        vectors = make_vectors([10, 20, 30, 40])
+        result = run_lossy(vectors, QUERY, 0.2, rng_seed=3)
+        # The driver refuses to return unless every survivor has the result,
+        # so reaching here proves the broadcast retries worked.
+        assert result.final_vector == [40.0]
+
+    def test_loss_plus_crash_combined(self):
+        vectors = make_vectors([100, 200, 9000, 50, 375])
+        probe = run_lossy(vectors, QUERY, 0.0, rng_seed=4)
+        victim = next(
+            n
+            for n in probe.ring_order
+            if n != probe.starter and probe.local_vectors[n] != [9000.0]
+        )
+        failures = FailureInjector(drop_probability=0.1, rng=random.Random(4))
+        failures.schedule_crash(victim, after_messages=8)
+        params = ProtocolParams.paper_defaults(rounds=8)
+        result = run_protocol_on_vectors(
+            vectors, QUERY, RunConfig(params=params, seed=1, failures=failures)
+        )
+        assert result.final_vector == [9000.0]
+
+    def test_pathological_loss_fails_loudly(self):
+        vectors = make_vectors([1, 2, 3])
+        failures = FailureInjector(drop_probability=0.95, rng=random.Random(7))
+        params = ProtocolParams.paper_defaults(rounds=4)
+        with pytest.raises(DriverError, match="did not converge|did not terminate"):
+            run_protocol_on_vectors(
+                vectors, QUERY, RunConfig(params=params, seed=2, failures=failures)
+            )

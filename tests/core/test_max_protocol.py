@@ -1,0 +1,99 @@
+"""Unit and property tests for Algorithm 1 (probabilistic max)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.max_protocol import ProbabilisticMaxAlgorithm
+from repro.core.params import ProtocolParams
+from repro.database.query import Domain
+
+DOMAIN = Domain(1, 10_000)
+
+
+def make_algo(value: float, p0: float = 1.0, d: float = 0.5, seed: int = 7):
+    params = ProtocolParams.with_randomization(p0, d)
+    return ProbabilisticMaxAlgorithm(value, params, DOMAIN, random.Random(seed))
+
+
+class TestCase1PassThrough:
+    def test_larger_global_passes_unchanged(self):
+        algo = make_algo(50.0)
+        assert algo.compute([60.0], 1) == [60.0]
+        assert algo.randomized_rounds == []
+
+    def test_equal_global_passes_unchanged(self):
+        algo = make_algo(50.0)
+        assert algo.compute([50.0], 1) == [50.0]
+
+
+class TestCase2Randomization:
+    def test_p0_one_always_randomizes_round_one(self):
+        for seed in range(30):
+            algo = make_algo(100.0, p0=1.0, seed=seed)
+            out = algo.compute([10.0], 1)[0]
+            assert 10.0 <= out < 100.0
+            assert algo.randomized_rounds == [1]
+
+    def test_p0_zero_always_reveals(self):
+        for seed in range(10):
+            algo = make_algo(100.0, p0=0.0, seed=seed)
+            assert algo.compute([10.0], 1) == [100.0]
+            assert algo.revealed_round == 1
+
+    def test_randomized_value_is_integer_on_integral_domain(self):
+        algo = make_algo(100.0, p0=1.0)
+        out = algo.compute([10.0], 1)[0]
+        assert out == int(out)
+
+    def test_reveal_probability_follows_schedule(self):
+        reveals = 0
+        trials = 2000
+        for seed in range(trials):
+            algo = make_algo(100.0, p0=0.5, seed=seed)
+            if algo.compute([10.0], 1) == [100.0]:
+                reveals += 1
+        assert 0.45 < reveals / trials < 0.55
+
+    def test_round_two_randomizes_less(self):
+        # P_r(2) = 0.5 with (p0=1, d=1/2).
+        randomized = 0
+        trials = 2000
+        for seed in range(trials):
+            algo = make_algo(100.0, p0=1.0, d=0.5, seed=seed)
+            out = algo.compute([10.0], 2)
+            if out != [100.0]:
+                randomized += 1
+        assert 0.45 < randomized / trials < 0.55
+
+    def test_scalar_input_required(self):
+        algo = make_algo(5.0)
+        with pytest.raises(ValueError, match="scalar"):
+            algo.compute([1.0, 2.0], 1)
+
+    def test_adjacent_integer_range_returns_global(self):
+        # [g, v) with v = g+1 contains only g: output must equal g.
+        algo = make_algo(11.0, p0=1.0)
+        assert algo.compute([10.0], 1) == [10.0]
+
+
+@given(
+    v=st.integers(min_value=2, max_value=10_000).map(float),
+    g=st.integers(min_value=1, max_value=10_000).map(float),
+    r=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_algorithm1_invariants(v: float, g: float, r: int, seed: int):
+    """The three Section 3.3 properties, as executable invariants."""
+    algo = make_algo(v, p0=1.0, d=0.5, seed=seed)
+    out = algo.compute([g], r)[0]
+    # Monotone: the global value never decreases across a node.
+    assert out >= g
+    # Correct-by-construction: output never exceeds the local max so far.
+    assert out <= max(g, v)
+    # No over-claim: if the node had nothing to add, output is unchanged.
+    if g >= v:
+        assert out == g

@@ -1,0 +1,109 @@
+"""Unit and property tests for the pluggable noise strategies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.noise import (
+    HighBiasedNoise,
+    LowBiasedNoise,
+    UniformNoise,
+    _map_unit_draw,
+)
+from repro.core.sampling import SamplingError
+
+STRATEGIES = [UniformNoise(), HighBiasedNoise(), LowBiasedNoise(), HighBiasedNoise(order=4)]
+
+
+class TestUnitMapping:
+    def test_integral_mapping_covers_range(self):
+        values = {_map_unit_draw(u / 100, 10, 13, integral=True) for u in range(100)}
+        assert values == {10.0, 11.0, 12.0}
+
+    def test_continuous_mapping_half_open(self):
+        assert _map_unit_draw(0.0, 1.0, 2.0, integral=False) == 1.0
+        assert _map_unit_draw(0.999999, 1.0, 2.0, integral=False) < 2.0
+
+    def test_unit_draw_validated(self):
+        with pytest.raises(SamplingError, match="unit draw"):
+            _map_unit_draw(1.0, 0.0, 1.0, integral=False)
+
+    def test_empty_integer_range_rejected(self):
+        with pytest.raises(SamplingError, match="no integer"):
+            _map_unit_draw(0.5, 5.5, 5.9, integral=True)
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: type(s).__name__)
+    @pytest.mark.parametrize("integral", [True, False])
+    def test_draws_in_half_open_range(self, strategy, integral):
+        rng = random.Random(3)
+        for _ in range(300):
+            value = strategy.draw(rng, 10, 60, integral=integral)
+            assert 10 <= value < 60
+            if integral:
+                assert value == int(value)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: type(s).__name__)
+    def test_empty_range_rejected(self, strategy):
+        with pytest.raises(SamplingError):
+            strategy.draw(random.Random(1), 5.0, 5.0, integral=False)
+
+    def test_order_validated(self):
+        with pytest.raises(SamplingError, match="order"):
+            HighBiasedNoise(order=0)
+        with pytest.raises(SamplingError, match="order"):
+            LowBiasedNoise(order=0)
+
+    def test_bias_directions(self):
+        rng = random.Random(9)
+        n = 4000
+        means = {}
+        for strategy in (LowBiasedNoise(), UniformNoise(), HighBiasedNoise()):
+            draws = [strategy.draw(rng, 0, 1000, integral=False) for _ in range(n)]
+            means[type(strategy).__name__] = sum(draws) / n
+        assert means["LowBiasedNoise"] < means["UniformNoise"] < means["HighBiasedNoise"]
+        # Beta(2,1) mean = 2/3; Beta(1,2) mean = 1/3.
+        assert means["HighBiasedNoise"] == pytest.approx(1000 * 2 / 3, rel=0.05)
+        assert means["LowBiasedNoise"] == pytest.approx(1000 / 3, rel=0.05)
+
+
+class TestProtocolIntegration:
+    @pytest.mark.parametrize(
+        "strategy", [UniformNoise(), HighBiasedNoise(), LowBiasedNoise()],
+        ids=lambda s: type(s).__name__,
+    )
+    def test_protocol_correct_under_any_strategy(self, strategy):
+        from repro.core.driver import RunConfig, run_protocol_on_vectors
+        from repro.core.params import ProtocolParams
+        from repro.core.schedule import ExponentialSchedule
+        from repro.database.query import Domain, TopKQuery
+
+        params = ProtocolParams(
+            schedule=ExponentialSchedule(1.0, 0.5), rounds=10, noise=strategy
+        )
+        query = TopKQuery(table="t", attribute="v", k=3, domain=Domain(1, 10_000))
+        vectors = {
+            "a": [9000.0, 10.0],
+            "b": [7000.0],
+            "c": [8000.0, 50.0],
+            "d": [42.0],
+        }
+        result = run_protocol_on_vectors(vectors, query, RunConfig(params=params, seed=2))
+        assert result.final_vector == [9000.0, 8000.0, 7000.0]
+
+
+@given(
+    low=st.integers(min_value=0, max_value=900),
+    width=st.integers(min_value=1, max_value=100),
+    seed=st.integers(min_value=0, max_value=2**31),
+    order=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_biased_draws_stay_in_range(low, width, seed, order):
+    rng = random.Random(seed)
+    for strategy in (HighBiasedNoise(order=order), LowBiasedNoise(order=order)):
+        value = strategy.draw(rng, low, low + width, integral=True)
+        assert low <= value < low + width

@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.params (including the Equation 4 derivation)."""
+
+import math
+
+import pytest
+
+from repro.core.params import ParamError, ProtocolParams, minimum_rounds
+from repro.core.schedule import ExponentialSchedule, LinearSchedule
+
+
+class TestMinimumRounds:
+    def test_equation_4_manual_check(self):
+        # p0=1, d=1/2, eps=1e-3: r(r-1)/2 >= log2(1000) ~ 9.97 -> r = 5.
+        assert minimum_rounds(1.0, 0.5, 1e-3) == 5
+
+    def test_bound_actually_met(self):
+        # Equation 4 solves the paper's weakened bound p0 * d^(r(r-1)/2) <= eps
+        # (one factor of p0, not p0^r), so check satisfaction of that bound at
+        # r and violation at r-1.
+        def weakened(p0, d, r):
+            return p0 * d ** (r * (r - 1) / 2)
+
+        for p0 in (0.25, 0.5, 1.0):
+            for d in (0.25, 0.5, 0.75):
+                for eps in (1e-1, 1e-3, 1e-6):
+                    r = minimum_rounds(p0, d, eps)
+                    assert weakened(p0, d, r) <= eps * (1 + 1e-9)
+                    # The true failure probability is even smaller.
+                    schedule = ExponentialSchedule(p0=p0, d=d)
+                    assert schedule.cumulative_randomization(r) <= eps * (1 + 1e-9)
+                    if r > 1:
+                        # r is minimal for the weakened bound.
+                        assert weakened(p0, d, r - 1) > eps
+
+    def test_deterministic_needs_one_round(self):
+        assert minimum_rounds(0.0, 0.5, 1e-6) == 1
+
+    def test_p0_below_epsilon_needs_one_round(self):
+        assert minimum_rounds(1e-4, 0.5, 1e-3) == 1
+
+    def test_epsilon_must_be_fractional(self):
+        with pytest.raises(ParamError, match="epsilon"):
+            minimum_rounds(1.0, 0.5, 0.0)
+        with pytest.raises(ParamError, match="epsilon"):
+            minimum_rounds(1.0, 0.5, 1.0)
+
+    def test_d_one_cannot_converge(self):
+        with pytest.raises(ParamError, match="d must"):
+            minimum_rounds(1.0, 1.0, 1e-3)
+
+    def test_sqrt_log_growth(self):
+        # Squaring the precision requirement should far less than double r.
+        r1 = minimum_rounds(1.0, 0.5, 1e-3)
+        r2 = minimum_rounds(1.0, 0.5, 1e-6)
+        assert r2 < 2 * r1
+        assert r2 > r1
+
+    def test_independent_of_n(self):
+        # Structural property: the API takes no n at all; document it with
+        # the closed form from the derivation.
+        eps, p0, d = 1e-4, 1.0, 0.5
+        r = minimum_rounds(p0, d, eps)
+        expected = math.ceil((1 + math.sqrt(1 + 8 * math.log(eps / p0) / math.log(d))) / 2)
+        assert r == expected
+
+
+class TestProtocolParams:
+    def test_paper_defaults(self):
+        params = ProtocolParams.paper_defaults()
+        schedule = params.schedule
+        assert isinstance(schedule, ExponentialSchedule)
+        assert (schedule.p0, schedule.d) == (1.0, 0.5)
+        assert params.epsilon == 1e-3
+
+    def test_paper_defaults_with_overrides(self):
+        params = ProtocolParams.paper_defaults(rounds=7, remap_each_round=True)
+        assert params.rounds == 7
+        assert params.remap_each_round
+
+    def test_with_randomization(self):
+        params = ProtocolParams.with_randomization(0.5, 0.25, rounds=3)
+        assert params.probability(1) == 0.5
+        assert params.rounds == 3
+
+    def test_resolved_rounds_explicit(self):
+        assert ProtocolParams.paper_defaults(rounds=9).resolved_rounds() == 9
+
+    def test_resolved_rounds_from_epsilon(self):
+        params = ProtocolParams.paper_defaults()
+        assert params.resolved_rounds() == minimum_rounds(1.0, 0.5, 1e-3)
+
+    def test_resolved_rounds_requires_exponential(self):
+        params = ProtocolParams(schedule=LinearSchedule())
+        with pytest.raises(ParamError, match="explicitly"):
+            params.resolved_rounds()
+
+    def test_linear_schedule_with_explicit_rounds_ok(self):
+        params = ProtocolParams(schedule=LinearSchedule(), rounds=6)
+        assert params.resolved_rounds() == 6
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ParamError, match="rounds"):
+            ProtocolParams(rounds=0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ParamError, match="epsilon"):
+            ProtocolParams(epsilon=0.0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ParamError, match="delta"):
+            ProtocolParams(delta=0.0)
+
+    def test_probability_delegates_to_schedule(self):
+        params = ProtocolParams.with_randomization(0.8, 0.5)
+        assert params.probability(2) == pytest.approx(0.4)
+
+    def test_probability_invalid_round(self):
+        with pytest.raises(ParamError):
+            ProtocolParams.paper_defaults().probability(0)

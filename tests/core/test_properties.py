@@ -1,0 +1,123 @@
+"""End-to-end property-based tests of the protocol's core guarantees.
+
+These exercise full runs (driver + network + algorithms) under randomly
+generated workloads and check the invariants the paper proves or relies on:
+
+* eventual exactness with enough rounds (the Equation 3 argument);
+* the global vector never regresses below already-established real values;
+* nothing above the true top-k is ever returned (no fabricated winners);
+* determinism given a seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.driver import RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.core.vectors import is_sorted_desc, merge_topk
+from repro.database.query import Domain, TopKQuery
+
+DOMAIN = Domain(1, 10_000)
+
+node_values = st.lists(
+    st.integers(min_value=1, max_value=10_000).map(float), min_size=1, max_size=5
+)
+workloads = st.dictionaries(
+    st.sampled_from([f"n{i}" for i in range(8)]),
+    node_values,
+    min_size=3,
+    max_size=8,
+)
+
+
+def true_topk(vectors: dict[str, list[float]], k: int) -> list[float]:
+    merged: list[float] = []
+    for values in vectors.values():
+        merged = merge_topk(merged, values, k)
+    return merged + [float(DOMAIN.low)] * (k - len(merged))
+
+
+@given(
+    vectors=workloads,
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_enough_rounds_give_exact_topk(vectors, k, seed):
+    """With 12 rounds of (p0=1, d=1/2), failure odds are ~2^-66 per holder."""
+    query = TopKQuery(table="t", attribute="a", k=k, domain=DOMAIN)
+    params = ProtocolParams.paper_defaults(rounds=12)
+    result = run_protocol_on_vectors(vectors, query, RunConfig(params=params, seed=seed))
+    assert result.final_vector == true_topk(vectors, k)
+
+
+@given(
+    vectors=workloads,
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_no_fabricated_winners_even_when_truncated_early(vectors, k, seed):
+    """Even a 1-round run must never output a value above the true top-k.
+
+    This is the displaceability property of the injected noise: every noise
+    value is strictly below the k-th real value at injection time.
+    """
+    query = TopKQuery(table="t", attribute="a", k=k, domain=DOMAIN)
+    params = ProtocolParams.paper_defaults(rounds=1)
+    result = run_protocol_on_vectors(vectors, query, RunConfig(params=params, seed=seed))
+    truth = true_topk(vectors, k)
+    for position, value in enumerate(result.final_vector):
+        assert value <= truth[position]
+    assert is_sorted_desc(result.final_vector)
+
+
+@given(
+    vectors=workloads,
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_max_snapshots_monotone(vectors, seed):
+    """g(r) is non-decreasing across rounds (Section 3.3's monotonicity)."""
+    query = TopKQuery(table="t", attribute="a", k=1, domain=DOMAIN)
+    params = ProtocolParams.paper_defaults(rounds=6)
+    result = run_protocol_on_vectors(vectors, query, RunConfig(params=params, seed=seed))
+    values = [result.round_snapshots[r][0] for r in sorted(result.round_snapshots)]
+    assert values == sorted(values)
+
+
+@given(
+    vectors=workloads,
+    k=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_runs_are_deterministic_given_seed(vectors, k, seed):
+    query = TopKQuery(table="t", attribute="a", k=k, domain=DOMAIN)
+    config = RunConfig(seed=seed)
+    first = run_protocol_on_vectors(vectors, query, config)
+    second = run_protocol_on_vectors(vectors, query, config)
+    assert first.final_vector == second.final_vector
+    assert first.ring_order == second.ring_order
+    # msg_ids come from a process-global counter, so compare content only.
+    def trace(result):
+        return [(o.round, o.sender, o.receiver, o.vector) for o in result.event_log]
+
+    assert trace(first) == trace(second)
+
+
+@given(
+    vectors=workloads,
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_intermediate_vector_well_formed(vectors, k, seed):
+    """Every token on the wire is a valid global vector within the domain."""
+    query = TopKQuery(table="t", attribute="a", k=k, domain=DOMAIN)
+    params = ProtocolParams.paper_defaults(rounds=8)
+    result = run_protocol_on_vectors(vectors, query, RunConfig(params=params, seed=seed))
+    for observation in result.event_log:
+        assert len(observation.vector) == k
+        assert is_sorted_desc(list(observation.vector))
+        assert all(DOMAIN.low <= v <= DOMAIN.high for v in observation.vector)

@@ -1,0 +1,119 @@
+"""Unit and property tests for repro.core.schedule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import (
+    PAPER_DEFAULT_SCHEDULE,
+    ConstantCutoffSchedule,
+    ExponentialSchedule,
+    LinearSchedule,
+    ScheduleError,
+)
+
+
+class TestExponentialSchedule:
+    def test_equation_2_values(self):
+        schedule = ExponentialSchedule(p0=1.0, d=0.5)
+        assert schedule.probability(1) == 1.0
+        assert schedule.probability(2) == 0.5
+        assert schedule.probability(3) == 0.25
+
+    def test_paper_default(self):
+        assert PAPER_DEFAULT_SCHEDULE == ExponentialSchedule(p0=1.0, d=0.5)
+
+    def test_p0_out_of_range(self):
+        with pytest.raises(ScheduleError, match="p0"):
+            ExponentialSchedule(p0=1.5)
+        with pytest.raises(ScheduleError, match="p0"):
+            ExponentialSchedule(p0=-0.1)
+
+    def test_d_out_of_range(self):
+        with pytest.raises(ScheduleError, match="d must"):
+            ExponentialSchedule(d=0.0)
+        with pytest.raises(ScheduleError, match="d must"):
+            ExponentialSchedule(d=1.5)
+
+    def test_rounds_are_one_based(self):
+        with pytest.raises(ScheduleError, match="1-based"):
+            ExponentialSchedule().probability(0)
+
+    def test_p0_zero_reduces_to_deterministic(self):
+        schedule = ExponentialSchedule(p0=0.0, d=0.5)
+        assert all(schedule.probability(r) == 0.0 for r in range(1, 5))
+
+    def test_cumulative_randomization_closed_form(self):
+        schedule = ExponentialSchedule(p0=0.8, d=0.5)
+        expected = 0.8**3 * 0.5 ** (3 * 2 / 2)
+        assert schedule.cumulative_randomization(3) == pytest.approx(expected)
+
+    def test_cumulative_randomization_zero_rounds(self):
+        assert ExponentialSchedule().cumulative_randomization(0) == 1.0
+
+    def test_cumulative_randomization_p0_zero(self):
+        assert ExponentialSchedule(p0=0.0).cumulative_randomization(2) == 0.0
+
+    def test_cumulative_negative_rounds_rejected(self):
+        with pytest.raises(ScheduleError):
+            ExponentialSchedule().cumulative_randomization(-1)
+
+    @given(
+        p0=st.floats(min_value=0.01, max_value=1.0),
+        d=st.floats(min_value=0.01, max_value=0.99),
+        r=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_decreasing_and_bounded(self, p0: float, d: float, r: int):
+        schedule = ExponentialSchedule(p0=p0, d=d)
+        current, following = schedule.probability(r), schedule.probability(r + 1)
+        assert 0.0 <= following <= current <= 1.0
+
+    @given(
+        p0=st.floats(min_value=0.01, max_value=1.0),
+        d=st.floats(min_value=0.01, max_value=0.99),
+        r=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_cumulative_matches_product(self, p0: float, d: float, r: int):
+        schedule = ExponentialSchedule(p0=p0, d=d)
+        product = 1.0
+        for j in range(1, r + 1):
+            product *= schedule.probability(j)
+        assert schedule.cumulative_randomization(r) == pytest.approx(
+            product, rel=1e-9, abs=1e-300
+        )
+
+
+class TestLinearSchedule:
+    def test_decreases_to_zero(self):
+        schedule = LinearSchedule(p0=1.0, slope=0.4)
+        assert schedule.probability(1) == 1.0
+        assert schedule.probability(2) == pytest.approx(0.6)
+        assert schedule.probability(4) == 0.0
+        assert schedule.probability(10) == 0.0
+
+    def test_slope_must_be_positive(self):
+        with pytest.raises(ScheduleError, match="slope"):
+            LinearSchedule(slope=0.0)
+
+    def test_rounds_one_based(self):
+        with pytest.raises(ScheduleError, match="1-based"):
+            LinearSchedule().probability(0)
+
+
+class TestConstantCutoffSchedule:
+    def test_constant_then_zero(self):
+        schedule = ConstantCutoffSchedule(p0=0.5, cutoff=2)
+        assert schedule.probability(1) == 0.5
+        assert schedule.probability(2) == 0.5
+        assert schedule.probability(3) == 0.0
+
+    def test_p0_one_rejected(self):
+        # p0=1 constant would never let the true value through.
+        with pytest.raises(ScheduleError, match="never converge"):
+            ConstantCutoffSchedule(p0=1.0)
+
+    def test_negative_cutoff_rejected(self):
+        with pytest.raises(ScheduleError, match="cutoff"):
+            ConstantCutoffSchedule(cutoff=-1)

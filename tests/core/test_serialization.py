@@ -1,0 +1,92 @@
+"""Tests for protocol-trace persistence."""
+
+import json
+
+import pytest
+
+from repro.core.driver import RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.core.serialization import (
+    SerializationError,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.database.query import Domain, TopKQuery
+from repro.privacy.lop import average_lop, node_lop, worst_case_lop
+
+
+@pytest.fixture(scope="module")
+def result():
+    query = TopKQuery(table="t", attribute="v", k=3, domain=Domain(1, 10_000))
+    vectors = {
+        "a": [9000.0, 100.0],
+        "b": [7000.0],
+        "c": [6500.0, 42.0],
+        "d": [5.0],
+    }
+    params = ProtocolParams.paper_defaults(rounds=6)
+    return run_protocol_on_vectors(vectors, query, RunConfig(params=params, seed=8))
+
+
+class TestRoundTrip:
+    def test_public_fields_survive(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.final_vector == result.final_vector
+        assert restored.ring_order == result.ring_order
+        assert restored.starter == result.starter
+        assert restored.round_snapshots == result.round_snapshots
+        assert restored.protocol == result.protocol
+        assert restored.query == result.query
+
+    def test_event_log_survives(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        original = [(o.round, o.sender, o.receiver, o.vector, o.kind) for o in result.event_log]
+        loaded = [(o.round, o.sender, o.receiver, o.vector, o.kind) for o in restored.event_log]
+        assert original == loaded
+
+    def test_privacy_metrics_recomputable(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        assert average_lop(restored) == average_lop(result)
+        assert worst_case_lop(restored) == worst_case_lop(result)
+        for node in result.ring_order:
+            assert node_lop(restored, node) == node_lop(result, node)
+
+    def test_schedule_survives(self, result):
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.schedule == result.schedule
+
+    def test_file_round_trip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "traces" / "run.json")
+        restored = load_result(path)
+        assert restored.final_vector == result.final_vector
+        # The file is plain JSON a reviewer can read.
+        document = json.loads(path.read_text())
+        assert document["format_version"] == 1
+
+
+class TestErrors:
+    def test_bad_version(self, result):
+        document = result_to_dict(result)
+        document["format_version"] = 99
+        with pytest.raises(SerializationError, match="format version"):
+            result_from_dict(document)
+
+    def test_missing_field(self, result):
+        document = result_to_dict(result)
+        del document["final_vector"]
+        with pytest.raises(SerializationError, match="malformed"):
+            result_from_dict(document)
+
+    def test_unknown_schedule_type(self, result):
+        document = result_to_dict(result)
+        document["schedule"] = {"type": "quantum"}
+        with pytest.raises(SerializationError, match="unknown schedule"):
+            result_from_dict(document)
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError, match="not valid JSON"):
+            load_result(path)

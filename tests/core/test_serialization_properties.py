@@ -1,0 +1,45 @@
+"""Property test: every run's trace round-trips losslessly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.driver import ANONYMOUS_NAIVE, NAIVE, PROBABILISTIC
+from repro.core.driver import RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.core.serialization import result_from_dict, result_to_dict
+from repro.database.query import Domain, TopKQuery
+from repro.privacy.lop import average_lop, worst_case_lop
+
+DOMAIN = Domain(1, 10_000)
+
+workloads = st.dictionaries(
+    st.sampled_from([f"n{i}" for i in range(6)]),
+    st.lists(
+        st.integers(min_value=1, max_value=10_000).map(float), min_size=1, max_size=4
+    ),
+    min_size=3,
+    max_size=6,
+)
+
+
+@given(
+    vectors=workloads,
+    k=st.integers(min_value=1, max_value=3),
+    protocol=st.sampled_from([PROBABILISTIC, NAIVE, ANONYMOUS_NAIVE]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_trace_round_trip_preserves_everything(vectors, k, protocol, seed):
+    query = TopKQuery(table="t", attribute="v", k=k, domain=DOMAIN)
+    params = ProtocolParams.paper_defaults(rounds=6)
+    result = run_protocol_on_vectors(
+        vectors, query, RunConfig(protocol=protocol, params=params, seed=seed)
+    )
+    restored = result_from_dict(result_to_dict(result))
+    assert restored.final_vector == result.final_vector
+    assert restored.ring_order == result.ring_order
+    assert restored.round_snapshots == result.round_snapshots
+    assert restored.local_vectors == result.local_vectors
+    # The privacy analysis recomputes to identical numbers.
+    assert average_lop(restored) == average_lop(result)
+    assert worst_case_lop(restored) == worst_case_lop(result)

@@ -1,0 +1,120 @@
+"""Unit tests for repro.database.database."""
+
+import pytest
+
+from repro.database.database import (
+    PrivateDatabase,
+    common_query,
+    database_from_values,
+)
+from repro.database.query import Domain, QueryError, TopKQuery
+from repro.database.schema import Schema, SchemaError
+
+
+@pytest.fixture
+def db() -> PrivateDatabase:
+    database = PrivateDatabase("acme")
+    table = database.create_table("sales", Schema.of(("amount", "INTEGER")))
+    table.insert_many({"amount": v} for v in [10, 500, 30, 999, 2])
+    return database
+
+
+class TestDDL:
+    def test_owner_required(self):
+        with pytest.raises(ValueError, match="owner"):
+            PrivateDatabase("")
+
+    def test_create_and_lookup(self, db: PrivateDatabase):
+        assert "sales" in db
+        assert db.table("sales").name == "sales"
+
+    def test_duplicate_table_rejected(self, db: PrivateDatabase):
+        with pytest.raises(SchemaError, match="already exists"):
+            db.create_table("sales", Schema.of(("x", "INTEGER")))
+
+    def test_drop_table(self, db: PrivateDatabase):
+        db.drop_table("sales")
+        assert "sales" not in db
+
+    def test_drop_missing_table(self, db: PrivateDatabase):
+        with pytest.raises(SchemaError, match="no such table"):
+            db.drop_table("ghost")
+
+    def test_table_names_sorted(self, db: PrivateDatabase):
+        db.create_table("aaa", Schema.of(("x", "INTEGER")))
+        assert db.table_names == ("aaa", "sales")
+
+
+class TestLocalTopK:
+    def test_local_topk(self, db: PrivateDatabase):
+        query = TopKQuery(table="sales", attribute="amount", k=2)
+        assert db.local_topk(query) == [999, 500]
+
+    def test_local_bottomk(self, db: PrivateDatabase):
+        query = TopKQuery(table="sales", attribute="amount", k=2, smallest=True)
+        assert db.local_topk(query) == [2, 10]
+
+    def test_out_of_domain_value_rejected(self, db: PrivateDatabase):
+        query = TopKQuery(
+            table="sales", attribute="amount", k=1, domain=Domain(1, 100)
+        )
+        with pytest.raises(QueryError, match="outside the public domain"):
+            db.local_topk(query)
+
+    def test_domain_check(self, db: PrivateDatabase):
+        ok = TopKQuery(table="sales", attribute="amount", k=1)
+        narrow = TopKQuery(table="sales", attribute="amount", k=1, domain=Domain(1, 100))
+        assert db.attribute_domain_check(ok)
+        assert not db.attribute_domain_check(narrow)
+
+
+class TestDatabaseFromValues:
+    def test_builds_integer_table(self):
+        db = database_from_values("x", [3, 1, 2])
+        assert db.table("data").top_k("value", 2) == [3, 2]
+
+    def test_builds_real_table_for_floats(self):
+        db = database_from_values("x", [3.5, 1.0])
+        assert db.table("data").schema.column("value").type == "REAL"
+
+    def test_custom_table_and_attribute(self):
+        db = database_from_values("x", [1], table="t", attribute="v")
+        assert db.table("t").top_k("v", 1) == [1]
+
+
+class TestCommonQuery:
+    def _db(self, owner: str, schema: Schema) -> PrivateDatabase:
+        db = PrivateDatabase(owner)
+        db.create_table("sales", schema)
+        return db
+
+    def test_accepts_matching_schemas(self):
+        schema = Schema.of(("amount", "INTEGER"))
+        dbs = [self._db(f"org{i}", schema) for i in range(3)]
+        query = TopKQuery(table="sales", attribute="amount", k=1)
+        assert common_query(dbs, query) is query
+
+    def test_rejects_empty_database_list(self):
+        query = TopKQuery(table="sales", attribute="amount", k=1)
+        with pytest.raises(QueryError, match="no databases"):
+            common_query([], query)
+
+    def test_rejects_mismatched_schemas(self):
+        a = self._db("a", Schema.of(("amount", "INTEGER")))
+        b = self._db("b", Schema.of(("amount", "INTEGER"), ("extra", "TEXT")))
+        query = TopKQuery(table="sales", attribute="amount", k=1)
+        with pytest.raises(SchemaError, match="does not match peers"):
+            common_query([a, b], query)
+
+    def test_rejects_non_numeric_attribute(self):
+        db = PrivateDatabase("a")
+        db.create_table("sales", Schema.of(("amount", "TEXT")))
+        query = TopKQuery(table="sales", attribute="amount", k=1)
+        with pytest.raises(SchemaError, match="not numeric"):
+            common_query([db], query)
+
+    def test_rejects_missing_table(self):
+        db = PrivateDatabase("a")
+        query = TopKQuery(table="sales", attribute="amount", k=1)
+        with pytest.raises(SchemaError, match="no such table"):
+            common_query([db], query)

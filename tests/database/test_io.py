@@ -1,0 +1,120 @@
+"""Tests for CSV import/export of private databases."""
+
+import pytest
+
+from repro.database.database import PrivateDatabase
+from repro.database.io import (
+    TableIOError,
+    database_from_csv_dir,
+    load_csv_table,
+    save_csv_table,
+)
+from repro.database.schema import Column, Schema
+
+SCHEMA = Schema.of(("amount", "INTEGER"), ("store", "TEXT"))
+
+
+def write_csv(path, text):
+    path.write_text(text)
+    return path
+
+
+class TestLoad:
+    def test_load_basic(self, tmp_path):
+        path = write_csv(tmp_path / "sales.csv", "amount,store\n100,east\n250,west\n")
+        db = PrivateDatabase("acme")
+        table = load_csv_table(db, "sales", SCHEMA, path)
+        assert len(table) == 2
+        assert table.top_k("amount", 1) == [250]
+
+    def test_header_order_insensitive(self, tmp_path):
+        path = write_csv(tmp_path / "sales.csv", "store,amount\neast,100\n")
+        db = PrivateDatabase("acme")
+        table = load_csv_table(db, "sales", SCHEMA, path)
+        assert table.scan()[0] == {"amount": 100, "store": "east"}
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = write_csv(tmp_path / "sales.csv", "amount,region\n100,east\n")
+        with pytest.raises(TableIOError, match="does not match schema"):
+            load_csv_table(PrivateDatabase("acme"), "sales", SCHEMA, path)
+
+    def test_unparsable_cell_rejected(self, tmp_path):
+        path = write_csv(tmp_path / "sales.csv", "amount,store\nlots,east\n")
+        with pytest.raises(TableIOError, match="cannot parse"):
+            load_csv_table(PrivateDatabase("acme"), "sales", SCHEMA, path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = write_csv(tmp_path / "sales.csv", "")
+        with pytest.raises(TableIOError, match="no header"):
+            load_csv_table(PrivateDatabase("acme"), "sales", SCHEMA, path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TableIOError, match="cannot read"):
+            load_csv_table(
+                PrivateDatabase("acme"), "sales", SCHEMA, tmp_path / "ghost.csv"
+            )
+
+    def test_bad_row_leaves_database_unchanged(self, tmp_path):
+        path = write_csv(tmp_path / "sales.csv", "amount,store\n100,east\nbad,west\n")
+        db = PrivateDatabase("acme")
+        with pytest.raises(TableIOError):
+            load_csv_table(db, "sales", SCHEMA, path)
+        assert "sales" not in db
+
+    def test_nullable_cells(self, tmp_path):
+        schema = Schema.of(Column("amount", "INTEGER", nullable=True))
+        path = write_csv(tmp_path / "t.csv", "amount\n5\n\n7\n")
+        db = PrivateDatabase("acme")
+        table = load_csv_table(db, "t", schema, path)
+        assert table.numeric_values("amount") == [5, 7]
+
+    def test_empty_non_nullable_rejected(self, tmp_path):
+        path = write_csv(tmp_path / "t.csv", "amount,store\n,east\n")
+        with pytest.raises(TableIOError, match="non-nullable"):
+            load_csv_table(PrivateDatabase("acme"), "t", SCHEMA, path)
+
+
+class TestRoundTrip:
+    def test_save_and_reload(self, tmp_path):
+        db = PrivateDatabase("acme")
+        table = db.create_table("sales", SCHEMA)
+        table.insert_many(
+            [{"amount": 100, "store": "east"}, {"amount": 250, "store": "west"}]
+        )
+        path = save_csv_table(table, tmp_path / "out" / "sales.csv")
+        reloaded = load_csv_table(PrivateDatabase("other"), "sales", SCHEMA, path)
+        assert reloaded.scan() == table.scan()
+
+    def test_none_round_trips_as_empty(self, tmp_path):
+        schema = Schema.of(Column("amount", "REAL", nullable=True))
+        db = PrivateDatabase("acme")
+        table = db.create_table("t", schema)
+        table.insert_many([{"amount": 1.5}, {"amount": None}])
+        path = save_csv_table(table, tmp_path / "t.csv")
+        reloaded = load_csv_table(PrivateDatabase("b"), "t", schema, path)
+        assert reloaded.project("amount") == [1.5, None]
+
+
+class TestDirectoryLoad:
+    def test_multi_table_database(self, tmp_path):
+        write_csv(tmp_path / "sales.csv", "amount,store\n100,east\n")
+        write_csv(tmp_path / "returns.csv", "amount,store\n7,east\n")
+        db = database_from_csv_dir(
+            "acme", tmp_path, {"sales": SCHEMA, "returns": SCHEMA}
+        )
+        assert db.table_names == ("returns", "sales")
+
+    def test_integration_with_protocol(self, tmp_path):
+        from repro.core.driver import RunConfig, run_topk_query
+        from repro.database.query import TopKQuery
+
+        databases = []
+        for i, amounts in enumerate([[100, 900], [9000], [50, 7000]]):
+            rows = "amount,store\n" + "".join(f"{a},s{i}\n" for a in amounts)
+            write_csv(tmp_path / f"org{i}.csv", rows)
+            db = PrivateDatabase(f"org{i}")
+            load_csv_table(db, "sales", SCHEMA, tmp_path / f"org{i}.csv")
+            databases.append(db)
+        query = TopKQuery(table="sales", attribute="amount", k=2)
+        result = run_topk_query(databases, query, RunConfig(seed=3))
+        assert result.final_vector == [9000.0, 7000.0]

@@ -1,0 +1,118 @@
+"""Unit tests for repro.database.table."""
+
+import pytest
+
+from repro.database.schema import Schema, SchemaError
+from repro.database.table import Table
+
+
+@pytest.fixture
+def sales() -> Table:
+    table = Table("sales", Schema.of(("amount", "INTEGER"), ("region", "TEXT")))
+    table.insert_many(
+        [
+            {"amount": 100, "region": "east"},
+            {"amount": 250, "region": "west"},
+            {"amount": 50, "region": "east"},
+            {"amount": 900, "region": "north"},
+        ]
+    )
+    return table
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError, match="non-empty"):
+            Table("", Schema.of(("a", "INTEGER")))
+
+    def test_starts_empty(self):
+        assert len(Table("t", Schema.of(("a", "INTEGER")))) == 0
+
+
+class TestInsert:
+    def test_insert_validates(self, sales: Table):
+        with pytest.raises(SchemaError):
+            sales.insert({"amount": "lots", "region": "east"})
+
+    def test_insert_copies_rows(self, sales: Table):
+        row = {"amount": 1, "region": "east"}
+        sales.insert(row)
+        row["amount"] = 999_999
+        assert 999_999 not in sales.project("amount")
+
+    def test_insert_many_is_atomic(self, sales: Table):
+        before = len(sales)
+        with pytest.raises(SchemaError):
+            sales.insert_many(
+                [{"amount": 1, "region": "east"}, {"amount": None, "region": "x"}]
+            )
+        assert len(sales) == before
+
+    def test_insert_many_returns_count(self, sales: Table):
+        assert sales.insert_many([{"amount": 1, "region": "a"}] * 3) == 3
+
+
+class TestQueries:
+    def test_scan_all(self, sales: Table):
+        assert len(sales.scan()) == 4
+
+    def test_scan_filtered(self, sales: Table):
+        east = sales.scan(lambda r: r["region"] == "east")
+        assert [r["amount"] for r in east] == [100, 50]
+
+    def test_scan_returns_copies(self, sales: Table):
+        sales.scan()[0]["amount"] = -1
+        assert -1 not in sales.project("amount")
+
+    def test_project(self, sales: Table):
+        assert sales.project("region") == ["east", "west", "east", "north"]
+
+    def test_project_unknown_column(self, sales: Table):
+        with pytest.raises(SchemaError, match="no such column"):
+            sales.project("ghost")
+
+    def test_numeric_values_rejects_text(self, sales: Table):
+        with pytest.raises(SchemaError, match="not numeric"):
+            sales.numeric_values("region")
+
+    def test_numeric_values_skips_nulls(self):
+        from repro.database.schema import Column
+
+        nullable = Table("t", Schema.of(Column("a", "REAL", nullable=True)))
+        nullable.insert_many([{"a": 1.0}, {"a": None}, {"a": 2.0}])
+        assert nullable.numeric_values("a") == [1.0, 2.0]
+
+
+class TestTopK:
+    def test_top_k_descending(self, sales: Table):
+        assert sales.top_k("amount", 2) == [900, 250]
+
+    def test_top_k_more_than_rows(self, sales: Table):
+        assert sales.top_k("amount", 10) == [900, 250, 100, 50]
+
+    def test_top_k_k_must_be_positive(self, sales: Table):
+        with pytest.raises(ValueError, match="k must be"):
+            sales.top_k("amount", 0)
+
+    def test_bottom_k_ascending(self, sales: Table):
+        assert sales.bottom_k("amount", 2) == [50, 100]
+
+    def test_top_k_with_filter(self, sales: Table):
+        assert sales.top_k("amount", 1, lambda r: r["region"] == "east") == [100]
+
+
+class TestAggregates:
+    @pytest.mark.parametrize(
+        "func,expected",
+        [("max", 900), ("min", 50), ("sum", 1300.0), ("avg", 325.0), ("count", 4.0)],
+    )
+    def test_aggregates(self, sales: Table, func: str, expected: float):
+        assert sales.aggregate("amount", func) == expected
+
+    def test_aggregate_empty_returns_none(self):
+        table = Table("t", Schema.of(("a", "INTEGER")))
+        assert table.aggregate("a", "max") is None
+
+    def test_unknown_aggregate(self, sales: Table):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            sales.aggregate("amount", "median")

@@ -1,0 +1,61 @@
+"""Tests for the asyncio deployment substrate, including 3-way parity."""
+
+import pytest
+
+from repro.core.driver import RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.database.query import Domain, TopKQuery
+from repro.deploy import DeployError, run_tcp_topk
+from repro.deploy.async_runner import run_async_topk
+
+DOMAIN = Domain(1, 10_000)
+VECTORS = {
+    "a": [9000.0, 100.0],
+    "b": [7000.0],
+    "c": [6500.0, 42.0],
+    "d": [5.0],
+}
+
+
+class TestAsyncRuns:
+    def test_topk_over_asyncio(self):
+        query = TopKQuery(table="t", attribute="v", k=3, domain=DOMAIN)
+        outcome = run_async_topk(VECTORS, query, seed=4)
+        assert outcome.final_vector == [9000.0, 7000.0, 6500.0]
+        assert all(
+            vec == outcome.final_vector for vec in outcome.per_party_results.values()
+        )
+
+    def test_naive_protocol(self):
+        query = TopKQuery(table="t", attribute="v", k=1, domain=DOMAIN)
+        outcome = run_async_topk(VECTORS, query, seed=5, protocol="naive")
+        assert outcome.final_vector == [9000.0]
+
+    def test_minimum_parties(self):
+        query = TopKQuery(table="t", attribute="v", k=1, domain=DOMAIN)
+        with pytest.raises(DeployError, match="n >= 3"):
+            run_async_topk({"a": [1.0], "b": [2.0]}, query)
+
+    def test_smallest_rejected(self):
+        query = TopKQuery(
+            table="t", attribute="v", k=1, domain=DOMAIN, smallest=True
+        )
+        with pytest.raises(DeployError, match="negate first"):
+            run_async_topk(VECTORS, query)
+
+
+class TestThreeWayParity:
+    @pytest.mark.parametrize("seed", [3, 21])
+    def test_simulator_threads_and_asyncio_agree_exactly(self, seed):
+        query = TopKQuery(table="t", attribute="v", k=2, domain=DOMAIN)
+        params = ProtocolParams.paper_defaults(rounds=5)
+        sim = run_protocol_on_vectors(
+            VECTORS, query, RunConfig(params=params, seed=seed)
+        )
+        threads = run_tcp_topk(VECTORS, query, params=params, seed=seed)
+        loop = run_async_topk(VECTORS, query, params=params, seed=seed)
+        assert threads.final_vector == loop.final_vector == sim.final_vector
+        assert threads.ring_order == loop.ring_order == sim.ring_order
+        assert threads.starter == loop.starter == sim.starter
+        # Every party saw the same token stream on all three substrates.
+        assert threads.observations == loop.observations

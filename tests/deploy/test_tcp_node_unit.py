@@ -1,0 +1,43 @@
+"""Direct unit tests of TcpParty's protocol-state guards."""
+
+import pytest
+
+from repro.deploy.tcp_node import TcpNodeError, TcpParty
+
+
+class Echo:
+    def compute(self, incoming, round_number):
+        return incoming
+
+
+@pytest.fixture
+def party():
+    p = TcpParty("solo", Echo(), total_rounds=2)
+    yield p
+    p.shutdown()
+
+
+class TestGuards:
+    def test_non_starter_cannot_kick_off(self, party):
+        with pytest.raises(TcpNodeError, match="not the starting party"):
+            party.kick_off([1.0])
+
+    def test_starter_without_successor_fails(self):
+        starter = TcpParty("s", Echo(), is_starter=True, total_rounds=1)
+        try:
+            with pytest.raises(TcpNodeError, match="no successor"):
+                starter.kick_off([1.0])
+        finally:
+            starter.shutdown()
+
+    def test_address_stable_after_shutdown(self, party):
+        address = party.address
+        party.shutdown()
+        assert party.address == address
+
+    def test_observations_start_empty(self, party):
+        assert party.observations == []
+
+    def test_double_shutdown_is_safe(self, party):
+        party.shutdown()
+        party.shutdown()

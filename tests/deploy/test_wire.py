@@ -1,0 +1,75 @@
+"""Unit tests for the TCP framing layer."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.deploy.wire import (
+    MAX_FRAME_BYTES,
+    WireError,
+    recv_frame,
+    send_frame,
+)
+
+
+def socket_pair():
+    return socket.socketpair()
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket_pair()
+        with a, b:
+            send_frame(a, b"hello")
+            assert recv_frame(b) == b"hello"
+
+    def test_empty_frame(self):
+        a, b = socket_pair()
+        with a, b:
+            send_frame(a, b"")
+            assert recv_frame(b) == b""
+
+    def test_multiple_frames_preserve_boundaries(self):
+        a, b = socket_pair()
+        with a, b:
+            send_frame(a, b"first")
+            send_frame(a, b"second, longer frame")
+            assert recv_frame(b) == b"first"
+            assert recv_frame(b) == b"second, longer frame"
+
+    def test_large_frame(self):
+        a, b = socket_pair()
+        body = b"x" * 200_000
+        received = {}
+
+        def reader():
+            received["body"] = recv_frame(b)
+
+        thread = threading.Thread(target=reader)
+        with a, b:
+            thread.start()
+            send_frame(a, body)
+            thread.join(timeout=5)
+        assert received["body"] == body
+
+    def test_oversized_send_rejected(self):
+        a, b = socket_pair()
+        with a, b:
+            with pytest.raises(WireError, match="exceeds"):
+                send_frame(a, b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_oversized_declared_length_rejected(self):
+        a, b = socket_pair()
+        with a, b:
+            a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(WireError, match="declared frame"):
+                recv_frame(b)
+
+    def test_truncated_stream_detected(self):
+        a, b = socket_pair()
+        with b:
+            with a:
+                a.sendall((10).to_bytes(4, "big") + b"only4")
+            with pytest.raises(WireError, match="closed"):
+                recv_frame(b)

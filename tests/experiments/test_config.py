@@ -1,0 +1,72 @@
+"""Unit tests for repro.experiments.config."""
+
+import pytest
+
+from repro.experiments.config import PAPER_TRIALS, TrialSetup
+
+
+class TestValidation:
+    def test_defaults(self):
+        setup = TrialSetup(n=4)
+        assert setup.trials == PAPER_TRIALS
+        assert setup.k == 1
+        assert setup.distribution == "uniform"
+
+    def test_minimum_nodes(self):
+        with pytest.raises(ValueError, match="n >= 3"):
+            TrialSetup(n=2)
+
+    def test_k_positive(self):
+        with pytest.raises(ValueError, match="k must"):
+            TrialSetup(n=4, k=0)
+
+    def test_trials_positive(self):
+        with pytest.raises(ValueError, match="trials"):
+            TrialSetup(n=4, trials=0)
+
+    def test_values_per_node_positive(self):
+        with pytest.raises(ValueError, match="values_per_node"):
+            TrialSetup(n=4, values_per_node=0)
+
+    def test_protocol_validated(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            TrialSetup(n=4, protocol="magic")
+
+    def test_distribution_validated(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            TrialSetup(n=4, distribution="cauchy")
+
+
+class TestSweepHelper:
+    def test_with_copies(self):
+        base = TrialSetup(n=4)
+        other = base.with_(n=8, k=3)
+        assert (other.n, other.k) == (8, 3)
+        assert base.n == 4
+
+
+class TestSeeding:
+    def test_trial_seeds_distinct(self):
+        setup = TrialSetup(n=4, seed=7)
+        seeds = {setup.trial_seed(t) for t in range(100)}
+        assert len(seeds) == 100
+
+    def test_trial_seed_stable(self):
+        assert TrialSetup(n=4, seed=7).trial_seed(3) == TrialSetup(
+            n=4, seed=7
+        ).trial_seed(3)
+
+    def test_negative_trial_rejected(self):
+        with pytest.raises(ValueError, match="trial_index"):
+            TrialSetup(n=4).trial_seed(-1)
+
+    def test_paired_datasets_across_protocols(self):
+        # Same seed + trial -> same data regardless of protocol (paired
+        # comparison property used by Figures 10/12).
+        a = TrialSetup(n=4, protocol="naive", seed=9)
+        b = TrialSetup(n=4, protocol="probabilistic", seed=9)
+        assert a.data_rng(5).random() == b.data_rng(5).random()
+
+    def test_data_and_protocol_seeds_differ(self):
+        setup = TrialSetup(n=4, seed=9)
+        assert setup.protocol_seed(0) != setup.trial_seed(0) * 2 + 1

@@ -1,0 +1,132 @@
+"""Shape tests for the extension experiments (reduced trials for speed)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    ext_bayes,
+    ext_collusion,
+    ext_communication,
+    ext_distributions,
+)
+
+TRIALS = 15
+SEED = 9
+
+
+class TestDistributions:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return ext_distributions.run(trials=TRIALS, seed=SEED)
+
+    def test_all_distributions_converge(self, panels):
+        precision_panel = panels[0]
+        for series in precision_panel.series:
+            assert series.ys[-1] == 1.0
+
+    def test_lop_similar_across_distributions(self, panels):
+        lop_panel = panels[1]
+        values = lop_panel.series[0].ys
+        assert max(values) - min(values) < 0.15  # "results are similar"
+
+
+class TestCommunication:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return ext_communication.run(trials=TRIALS, seed=SEED)
+
+    def test_measured_within_model_envelope(self, panels):
+        messages = panels[0]
+        for variant in ("flat", "grouped"):
+            measured = messages.series_by_label(f"{variant} measured")
+            model = messages.series_by_label(f"{variant} model")
+            for x, y in measured.points:
+                assert y <= model.y_at(x) * 1.05
+
+    def test_measured_linear_in_n(self, panels):
+        measured = panels[0].series_by_label("flat measured")
+        assert measured.y_at(128.0) == pytest.approx(
+            16 * measured.y_at(8.0), rel=0.05
+        )
+
+    def test_grouping_flattens_latency(self, panels):
+        latency = panels[1]
+        flat = latency.series_by_label("flat")
+        grouped = latency.series_by_label("grouped")
+        assert grouped.y_at(128.0) < flat.y_at(128.0) / 3
+
+
+class TestCollusion:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return ext_collusion.run(trials=TRIALS, seed=SEED)
+
+    def test_coalition_dominates_single(self, panels):
+        lop = panels[0]
+        for n in (4.0, 32.0):
+            assert lop.series_by_label("colluding pair").y_at(n) >= lop.series_by_label(
+                "successor only"
+            ).y_at(n)
+
+    def test_static_ring_always_sandwiched(self, panels):
+        sandwich = panels[1]
+        for _, rate in sandwich.series_by_label("static ring").points:
+            assert rate == 1.0
+
+    def test_remap_dilutes_sandwiching(self, panels):
+        sandwich = panels[1]
+        for n in (8.0, 32.0):
+            assert sandwich.series_by_label("remap each round").y_at(n) < 0.5
+
+
+class TestNoise:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        from repro.experiments.figures import ext_noise
+
+        return ext_noise.run(trials=40, seed=SEED)
+
+    def test_all_strategies_converge(self, panels):
+        for series in panels[0].series:
+            assert series.ys[-1] == 1.0
+
+    def test_lop_ordering(self, panels):
+        # x index: 0=uniform, 1=high-biased, 2=low-biased.
+        lop = panels[1].series[0]
+        assert lop.y_at(1.0) < lop.y_at(0.0) < lop.y_at(2.0)
+
+
+class TestBoundCheck:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        from repro.experiments.figures import ext_bound_check
+
+        return ext_bound_check.run(trials=40, seed=SEED)
+
+    def test_measured_below_bound(self, panels):
+        for panel in panels:
+            bound = panel.series_by_label("Eq. 6 bound")
+            measured = panel.series_by_label("measured")
+            for x, y in measured.points:
+                assert y <= bound.y_at(x) + 0.05  # sampling tolerance
+
+    def test_shapes_agree_for_p0_one(self, panels):
+        panel = panels[0]  # (p0=1, d=0.5)
+        measured = panel.series_by_label("measured")
+        assert measured.y_at(1.0) == 0.0
+        assert measured.y_at(2.0) == max(measured.ys)
+
+
+class TestBayes:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return ext_bayes.run(trials=40, seed=SEED)[0]
+
+    def test_gain_monotone_in_rounds(self, figure):
+        for series in figure.series:
+            ys = series.ys
+            assert all(b >= a - 1e-9 for a, b in zip(ys, ys[1:]))
+
+    def test_more_noise_means_less_information(self, figure):
+        # Larger p0 = more randomized outputs = lower adversary gain.
+        final_gain = {s.label: s.ys[-1] for s in figure.series}
+        assert final_gain["p0=1.0"] < final_gain["p0=0.25"]

@@ -1,0 +1,93 @@
+"""Unit tests for repro.experiments.report and ascii_plot."""
+
+import pytest
+
+from repro.experiments.ascii_plot import render_plot, render_series_table
+from repro.experiments.report import load_csv, render_figure, render_table, write_csv
+from repro.experiments.series import FigureData, Series
+
+
+def make_figure(log_x: bool = False) -> FigureData:
+    return FigureData(
+        figure_id="figX",
+        title="Demo",
+        xlabel="rounds",
+        ylabel="precision",
+        series=(
+            Series("a", ((1.0, 0.5), (2.0, 0.7), (3.0, 1.0))),
+            Series("b", ((1.0, 0.1), (3.0, 0.9))),
+        ),
+        expectation="rises to 1",
+        log_x=log_x,
+    )
+
+
+class TestRenderTable:
+    def test_contains_all_series_and_xs(self):
+        text = render_table(make_figure())
+        assert "Demo" in text
+        for token in ("a", "b", "expected shape: rises to 1"):
+            assert token in text
+        # Missing point rendered as '-'.
+        assert "-" in text
+
+    def test_values_formatted(self):
+        text = render_table(make_figure())
+        assert "0.5" in text and "0.9" in text
+
+
+class TestRenderPlot:
+    def test_plot_contains_markers_and_legend(self):
+        text = render_plot(make_figure())
+        assert "o = a" in text and "x = b" in text
+        assert "x: rounds" in text and "y: precision" in text
+
+    def test_log_x_requires_positive(self):
+        figure = FigureData(
+            "f", "t", "eps", "r",
+            (Series("a", ((0.0, 1.0), (1.0, 2.0))),),
+            log_x=True,
+        )
+        with pytest.raises(ValueError, match="log-x"):
+            render_plot(figure)
+
+    def test_log_x_renders(self):
+        figure = FigureData(
+            "f", "t", "eps", "r",
+            (Series("a", ((0.001, 5.0), (0.1, 3.0))),),
+            log_x=True,
+        )
+        assert "(log scale)" in render_plot(figure)
+
+    def test_tiny_plot_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            render_plot(make_figure(), width=4, height=2)
+
+    def test_flat_series_renders(self):
+        figure = FigureData(
+            "f", "t", "x", "y", (Series("a", ((1.0, 0.5), (2.0, 0.5))),)
+        )
+        assert "0.5" not in ""  # smoke: just ensure no exception below
+        render_plot(figure)
+
+    def test_render_figure_combines(self):
+        text = render_figure(make_figure())
+        assert "==" in text and "o = a" in text
+
+    def test_render_series_table(self):
+        text = render_series_table(Series("a", ((1.0, 2.0),)))
+        assert "1" in text and "2" in text
+
+
+class TestCsvRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        path = write_csv([make_figure()], tmp_path / "out" / "fig.csv")
+        rows = load_csv(path)
+        assert ("figX", "a", 2.0, 0.7) in rows
+        assert len(rows) == 5
+
+    def test_load_rejects_foreign_csv(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="unexpected CSV header"):
+            load_csv(path)

@@ -1,0 +1,59 @@
+"""Tests for the one-shot reproduction report generator."""
+
+import pytest
+
+from repro.experiments.summary import generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report() -> str:
+    # Paper-only keeps this fast: the extension experiments are covered by
+    # their own test module.
+    return generate_report(trials=3, seed=1, include_extensions=False)
+
+
+class TestGenerate:
+    def test_contains_every_paper_artifact(self, report):
+        for artifact in ("Table 1", "Figure 3", "Figure 7", "Figure 12"):
+            assert artifact in report
+
+    def test_extension_experiments_excluded_when_asked(self, report):
+        assert "ext-bayes" not in report
+
+    def test_extension_experiments_included_by_default(self):
+        from repro.experiments.figures.registry import EXPERIMENTS
+
+        # Just check the wiring (not a full run): the registry has them and
+        # the default flag includes them.
+        assert any(e.kind == "extension" for e in EXPERIMENTS.values())
+
+    def test_tables_rendered_in_code_fences(self, report):
+        assert report.count("```") >= 2
+        assert "expected shape:" in report
+
+    def test_parameters_noted(self, report):
+        assert "trials per measured point: 3" in report
+
+
+class TestWrite:
+    def test_writes_markdown_file(self, tmp_path):
+        path = write_report(
+            tmp_path / "sub" / "REPORT.md",
+            trials=3,
+            seed=1,
+            include_extensions=False,
+        )
+        assert path.exists()
+        assert path.read_text().startswith("# Reproduction report")
+
+
+class TestCli:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "REPORT.md"
+        assert main(
+            ["report", "--trials", "3", "--paper-only", "--out", str(out)]
+        ) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

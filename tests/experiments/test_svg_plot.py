@@ -1,0 +1,81 @@
+"""Tests for the SVG chart renderer."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.experiments.series import FigureData, Series
+from repro.experiments.svg_plot import render_svg, write_all_svgs, write_svg
+
+
+def make_figure(log_x: bool = False) -> FigureData:
+    return FigureData(
+        figure_id="figX",
+        title="Demo <plot> & more",
+        xlabel="rounds",
+        ylabel="precision",
+        series=(
+            Series("alpha", ((1.0, 0.2), (2.0, 0.7), (3.0, 1.0))),
+            Series("beta", ((1.0, 0.1), (3.0, 0.9))),
+        ),
+        log_x=log_x,
+    )
+
+
+class TestRender:
+    def test_valid_xml(self):
+        xml.dom.minidom.parseString(render_svg(make_figure()))
+
+    def test_contains_series_and_labels(self):
+        svg = render_svg(make_figure())
+        assert "alpha" in svg and "beta" in svg
+        assert "rounds" in svg and "precision" in svg
+        assert "polyline" in svg
+
+    def test_title_escaped(self):
+        svg = render_svg(make_figure())
+        assert "&lt;plot&gt; &amp; more" in svg
+        assert "<plot>" not in svg
+
+    def test_log_x_renders_decade_ticks(self):
+        figure = FigureData(
+            "f", "t", "eps", "r",
+            (Series("a", ((0.001, 8.0), (0.1, 4.0))),),
+            log_x=True,
+        )
+        svg = render_svg(figure)
+        xml.dom.minidom.parseString(svg)
+        assert "0.01" in svg  # intermediate decade tick
+
+    def test_log_x_rejects_nonpositive(self):
+        figure = FigureData(
+            "f", "t", "x", "y", (Series("a", ((0.0, 1.0), (1.0, 2.0))),), log_x=True
+        )
+        with pytest.raises(ValueError, match="positive"):
+            render_svg(figure)
+
+    def test_flat_series_renders(self):
+        figure = FigureData(
+            "f", "t", "x", "y", (Series("a", ((1.0, 0.5), (2.0, 0.5))),)
+        )
+        xml.dom.minidom.parseString(render_svg(figure))
+
+
+class TestWrite:
+    def test_write_svg(self, tmp_path):
+        path = write_svg(make_figure(), tmp_path / "sub" / "fig.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_write_all_named_by_figure_id(self, tmp_path):
+        paths = write_all_svgs([make_figure()], tmp_path)
+        assert [p.name for p in paths] == ["figX.svg"]
+
+
+class TestCliIntegration:
+    def test_figure_svg_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["figure", "fig3", "--no-plot", "--svg", str(tmp_path)]) == 0
+        assert (tmp_path / "fig3a.svg").exists()
+        assert (tmp_path / "fig3b.svg").exists()

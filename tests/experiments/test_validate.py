@@ -1,0 +1,64 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.experiments.validate import (
+    Check,
+    render_scorecard,
+    scorecard,
+    validate_experiment,
+)
+
+TRIALS = 25
+SEED = 7
+
+
+class TestValidateExperiment:
+    def test_unknown_artifact(self):
+        with pytest.raises(KeyError, match="no validator"):
+            validate_experiment("table1")
+
+    def test_analytic_figures_all_pass(self):
+        for figure in ("fig3", "fig4", "fig5"):
+            checks = validate_experiment(figure)
+            assert checks, figure
+            assert all(c.passed for c in checks), figure
+
+    def test_empirical_figure_passes(self):
+        checks = validate_experiment("fig7", trials=60, seed=SEED)
+        assert all(c.passed for c in checks)
+
+    def test_checks_carry_ids_and_claims(self):
+        checks = validate_experiment("fig3")
+        assert all(c.experiment_id == "fig3" for c in checks)
+        assert all(c.claim for c in checks)
+
+
+class TestScorecard:
+    def test_selected_subset(self):
+        checks = scorecard(trials=TRIALS, seed=SEED, experiment_ids=["fig3", "fig11"])
+        ids = {c.experiment_id for c in checks}
+        assert ids == {"fig3", "fig11"}
+        assert all(c.passed for c in checks)
+
+    def test_render_counts(self):
+        checks = [
+            Check("figX", "claim one", True),
+            Check("figX", "claim two", False, detail="off by a lot"),
+        ]
+        text = render_scorecard(checks)
+        assert "PASS" in text and "FAIL" in text
+        assert "off by a lot" in text
+        assert "1/2 claims reproduced" in text
+
+
+class TestCli:
+    def test_validate_subset_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["validate", "--trials", str(TRIALS), "--seed", str(SEED),
+             "--only", "fig3", "fig5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "claims reproduced" in out

@@ -1,0 +1,103 @@
+"""Unit tests for the malicious-model attack simulations."""
+
+import pytest
+
+from repro.core.driver import RunConfig
+from repro.database.query import Domain, TopKQuery
+from repro.extensions.attacks import (
+    AttackError,
+    run_hiding_attack,
+    run_spoofing_attack,
+)
+
+QUERY_K1 = TopKQuery(table="t", attribute="a", k=1, domain=Domain(1, 10_000))
+QUERY_K3 = TopKQuery(table="t", attribute="a", k=3, domain=Domain(1, 10_000))
+
+HONEST = {
+    "h0": [5000.0, 100.0],
+    "h1": [7000.0],
+    "h2": [6500.0, 42.0],
+    "h3": [300.0],
+}
+
+
+class TestSpoofing:
+    def test_spoofed_max_pollutes_result(self):
+        outcome = run_spoofing_attack(HONEST, QUERY_K1, config=RunConfig(seed=1))
+        assert outcome.returned == [10_000.0]
+        assert outcome.pollution() == 1.0
+
+    def test_spoofed_topk_partial_pollution(self):
+        outcome = run_spoofing_attack(
+            HONEST,
+            QUERY_K3,
+            spoofed_values=[9999.0],
+            config=RunConfig(seed=2),
+        )
+        # One fabricated value: it displaces exactly one honest winner.
+        assert outcome.pollution() == pytest.approx(1 / 3)
+        assert 9999.0 in outcome.returned
+
+    def test_attacker_learns_honest_runner_up(self):
+        outcome = run_spoofing_attack(HONEST, QUERY_K3, config=RunConfig(seed=3))
+        # With a k-vector of spoofed maxima, the attack hides all honest
+        # values from the final result; what the attacker saw en route is in
+        # the event log (semi-honest protocols cannot prevent this).
+        assert outcome.honest_truth == [7000.0, 6500.0, 5000.0]
+
+    def test_attacker_name_collision_rejected(self):
+        with pytest.raises(AttackError, match="collides"):
+            run_spoofing_attack(HONEST, QUERY_K1, attacker="h0")
+
+    def test_out_of_domain_spoof_rejected(self):
+        with pytest.raises(AttackError, match="outside the public domain"):
+            run_spoofing_attack(HONEST, QUERY_K1, spoofed_values=[99_999.0])
+
+
+class TestHiding:
+    def test_full_hiding_suppresses_nothing_from_honest_view(self):
+        outcome = run_hiding_attack(
+            HONEST, QUERY_K1, true_values=[9500.0], config=RunConfig(seed=4)
+        )
+        # The honest parties' own max still wins...
+        assert outcome.returned == [7000.0]
+        assert outcome.suppression() == 0.0
+        # ...but the result is wrong w.r.t. the full data (9500 was hidden).
+        assert outcome.pollution() == 1.0
+
+    def test_partial_hiding(self):
+        outcome = run_hiding_attack(
+            HONEST,
+            QUERY_K3,
+            true_values=[9500.0, 9400.0],
+            hide_fraction=0.5,
+            config=RunConfig(seed=5),
+        )
+        # Half the values hidden: the larger one (9500) vanishes, 9400 plays.
+        assert 9400.0 in outcome.returned
+        assert 9500.0 not in outcome.returned
+
+    def test_no_hiding_equals_honest_participation(self):
+        outcome = run_hiding_attack(
+            HONEST,
+            QUERY_K1,
+            true_values=[9500.0],
+            hide_fraction=0.0,
+            config=RunConfig(seed=6),
+        )
+        assert outcome.returned == [9500.0]
+        assert outcome.pollution() == 0.0
+
+    def test_hide_fraction_validated(self):
+        with pytest.raises(AttackError, match="hide_fraction"):
+            run_hiding_attack(
+                HONEST, QUERY_K1, true_values=[1.0], hide_fraction=1.5
+            )
+
+    def test_attacker_still_learns_result(self):
+        outcome = run_hiding_attack(
+            HONEST, QUERY_K1, true_values=[9500.0], config=RunConfig(seed=7)
+        )
+        # The free-rider received the final result like everyone else.
+        received = outcome.result.event_log.received_by(outcome.attacker)
+        assert any(o.kind == "result" for o in received)

@@ -1,0 +1,87 @@
+"""Tests for commitment-based spoofing deterrence."""
+
+import pytest
+
+from repro.extensions.commitments import (
+    Commitment,
+    CommitmentError,
+    Opening,
+    audit_values,
+    commit,
+    verify_opening,
+)
+
+
+class TestCommit:
+    def test_round_trip(self):
+        commitment, opening = commit("acme", [900.0, 100.0])
+        assert verify_opening(commitment, opening)
+
+    def test_party_required(self):
+        with pytest.raises(CommitmentError, match="party"):
+            commit("", [1.0])
+
+    def test_order_insensitive(self):
+        commitment, _ = commit("acme", [100.0, 900.0])
+        _, opening = commit("acme", [900.0, 100.0])
+        # Different salts, so digests differ; but the canonical ordering
+        # means an opening with either order of the same values verifies
+        # against its own commitment.
+        c2, o2 = commit("acme", [900.0, 100.0])
+        assert verify_opening(c2, o2)
+
+    def test_digest_length_validated(self):
+        with pytest.raises(CommitmentError, match="wrong length"):
+            Commitment(party="a", digest=b"short")
+
+    def test_salts_blind_equal_vectors(self):
+        c1, _ = commit("acme", [5.0])
+        c2, _ = commit("acme", [5.0])
+        assert c1.digest != c2.digest  # no dictionary attacks on low entropy
+
+
+class TestVerify:
+    def test_wrong_values_fail(self):
+        commitment, opening = commit("acme", [900.0])
+        forged = Opening(party="acme", salt=opening.salt, values=(901.0,))
+        assert not verify_opening(commitment, forged)
+
+    def test_wrong_salt_fails(self):
+        commitment, opening = commit("acme", [900.0])
+        forged = Opening(party="acme", salt=b"x" * 32, values=opening.values)
+        assert not verify_opening(commitment, forged)
+
+    def test_wrong_party_fails(self):
+        commitment, opening = commit("acme", [900.0])
+        forged = Opening(party="bravo", salt=opening.salt, values=opening.values)
+        assert not verify_opening(commitment, forged)
+
+
+class TestAudit:
+    def test_honest_party_clears_audit(self):
+        commitment, opening = commit("acme", [900.0, 100.0])
+        outcome = audit_values(commitment, opening, [900.0])
+        assert outcome == {"opening_valid": True, "all_suspected_committed": True}
+
+    def test_spoofer_caught_on_uncommitted_value(self):
+        # The spoofer committed to its real data, then injected 10000.
+        commitment, opening = commit("mallory", [500.0])
+        outcome = audit_values(commitment, opening, [10_000.0])
+        assert outcome["opening_valid"]
+        assert not outcome["all_suspected_committed"]
+
+    def test_committed_fabrication_is_at_least_attributable(self):
+        # A spoofer may commit to the fabrication itself — the audit then
+        # passes, but the published commitment pins the value on it.
+        commitment, opening = commit("mallory", [10_000.0])
+        outcome = audit_values(commitment, opening, [10_000.0])
+        assert outcome["all_suspected_committed"]
+
+    def test_invalid_opening_fails_everything(self):
+        commitment, opening = commit("mallory", [500.0])
+        forged = Opening(party="mallory", salt=b"y" * 32, values=(500.0,))
+        outcome = audit_values(commitment, forged, [500.0])
+        assert outcome == {
+            "opening_valid": False,
+            "all_suspected_committed": False,
+        }

@@ -1,0 +1,151 @@
+"""Unit tests for the privacy-preserving kNN extension."""
+
+import random
+
+import pytest
+
+from repro.extensions.knn import (
+    KNNError,
+    LabeledPoint,
+    PrivateKNNClassifier,
+    PrivateParty,
+    euclidean,
+)
+
+
+def two_cluster_parties(n_parties: int = 4, per_party: int = 25, seed: int = 3):
+    rng = random.Random(seed)
+    parties = []
+    for i in range(n_parties):
+        party = PrivateParty(f"org{i}")
+        for _ in range(per_party):
+            if rng.random() < 0.5:
+                party.add((rng.gauss(0, 0.6), rng.gauss(0, 0.6)), "blue")
+            else:
+                party.add((rng.gauss(5, 0.6), rng.gauss(5, 0.6)), "red")
+        parties.append(party)
+    return parties
+
+
+class TestPrimitives:
+    def test_euclidean(self):
+        assert euclidean((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_euclidean_dimension_mismatch(self):
+        with pytest.raises(KNNError, match="dimension"):
+            euclidean((0.0,), (1.0, 2.0))
+
+    def test_labeled_point_validation(self):
+        with pytest.raises(KNNError, match="features"):
+            LabeledPoint((), "a")
+        with pytest.raises(KNNError, match="label"):
+            LabeledPoint((1.0,), "")
+
+    def test_party_distances(self):
+        party = PrivateParty("a")
+        party.add((0.0, 0.0), "x")
+        party.add((3.0, 4.0), "x")
+        assert party.distances_to((0.0, 0.0)) == [0.0, 5.0]
+
+    def test_party_labels(self):
+        party = PrivateParty("a")
+        party.add((0.0,), "x")
+        party.add((1.0,), "y")
+        assert party.labels() == {"x", "y"}
+
+
+class TestClassifierValidation:
+    def test_requires_three_parties(self):
+        parties = two_cluster_parties(n_parties=4)[:2]
+        with pytest.raises(KNNError, match="n >= 3"):
+            PrivateKNNClassifier(parties, k=3)
+
+    def test_k_positive(self):
+        with pytest.raises(KNNError, match="k must"):
+            PrivateKNNClassifier(two_cluster_parties(), k=0)
+
+    def test_duplicate_party_names(self):
+        parties = two_cluster_parties()
+        parties[1].name = parties[0].name
+        with pytest.raises(KNNError, match="duplicate"):
+            PrivateKNNClassifier(parties, k=3)
+
+    def test_empty_party_rejected(self):
+        parties = two_cluster_parties()
+        parties[2].points.clear()
+        with pytest.raises(KNNError, match="no training points"):
+            PrivateKNNClassifier(parties, k=3)
+
+
+class TestClassification:
+    @pytest.fixture(scope="class")
+    def classifier(self):
+        return PrivateKNNClassifier(two_cluster_parties(), k=7, seed=11)
+
+    def test_classifies_cluster_centers(self, classifier):
+        assert classifier.classify((0.0, 0.0)).label == "blue"
+        assert classifier.classify((5.0, 5.0)).label == "red"
+
+    def test_votes_sum_to_at_least_k_neighbours(self, classifier):
+        prediction = classifier.classify((0.0, 0.0))
+        assert sum(prediction.votes.values()) >= classifier.k
+
+    def test_neighbour_distances_sorted_ascending(self, classifier):
+        prediction = classifier.classify((0.0, 0.0))
+        assert prediction.neighbour_distances == sorted(
+            prediction.neighbour_distances
+        )
+        assert len(prediction.neighbour_distances) == classifier.k
+
+    def test_messages_accounted(self, classifier):
+        prediction = classifier.classify((1.0, 1.0))
+        # top-k run plus one secure sum per label.
+        assert prediction.messages_total > 0
+
+    def test_majority_reflects_neighbourhood(self, classifier):
+        # Near the blue cluster the blue votes dominate.
+        prediction = classifier.classify((0.2, -0.1))
+        assert prediction.votes["blue"] > prediction.votes.get("red", 0)
+
+    def test_exact_match_distance_zero(self):
+        parties = two_cluster_parties()
+        target = parties[0].points[0]
+        clf = PrivateKNNClassifier(parties, k=3, seed=2)
+        prediction = clf.classify(target.features)
+        assert prediction.neighbour_distances[0] == 0.0
+
+
+class TestHeldOutAccuracy:
+    def test_private_knn_matches_plain_knn_quality(self):
+        """End-to-end quality: >= 90% held-out accuracy on separated clusters,
+        and per-point agreement with a plain (non-private) kNN on the pooled
+        data — the privacy machinery must not change the classifier."""
+        rng = random.Random(31)
+        parties = two_cluster_parties(n_parties=4, per_party=30, seed=31)
+        classifier = PrivateKNNClassifier(parties, k=7, seed=31)
+
+        pooled = [p for party in parties for p in party.points]
+
+        def plain_knn(features):
+            ranked = sorted(
+                pooled,
+                key=lambda point: sum(
+                    (a - b) ** 2 for a, b in zip(point.features, features)
+                ),
+            )[:7]
+            votes = {}
+            for point in ranked:
+                votes[point.label] = votes.get(point.label, 0) + 1
+            return max(sorted(votes), key=lambda lab: votes[lab])
+
+        correct = agreement = total = 0
+        for _ in range(30):
+            label = rng.choice(["blue", "red"])
+            centre = 0.0 if label == "blue" else 5.0
+            features = (rng.gauss(centre, 0.6), rng.gauss(centre, 0.6))
+            predicted = classifier.classify(features).label
+            total += 1
+            correct += predicted == label
+            agreement += predicted == plain_knn(features)
+        assert correct / total >= 0.9
+        assert agreement / total >= 0.9

@@ -1,0 +1,121 @@
+"""Tests for the interactive federation shell (driven programmatically)."""
+
+import io
+
+import pytest
+
+from repro.federation.shell import FederationShell
+
+
+@pytest.fixture
+def shell():
+    return FederationShell(seed=11, stdout=io.StringIO())
+
+
+def output_of(shell) -> str:
+    return shell.stdout.getvalue()
+
+
+def run(shell, *commands: str) -> str:
+    for command in commands:
+        shell.onecmd(command)
+    return output_of(shell)
+
+
+class TestRegistration:
+    def test_register_synthetic(self, shell):
+        out = run(shell, "register acme 10", "members")
+        assert "registered 'acme' with 10 values" in out
+        assert "acme" in out
+
+    def test_register_explicit_values(self, shell):
+        run(shell, "register acme 5,9000,42")
+        assert shell.federation.members == ("acme",)
+
+    def test_register_usage_error(self, shell):
+        out = run(shell, "register")
+        assert "usage: register" in out
+
+    def test_register_duplicate(self, shell):
+        out = run(shell, "register acme 3", "register acme 3")
+        assert "error: party 'acme' already registered" in out
+
+    def test_seedparties(self, shell):
+        run(shell, "seedparties 4 5")
+        assert len(shell.federation.members) == 4
+
+    def test_members_empty(self, shell):
+        assert "no parties registered" in run(shell, "members")
+
+
+class TestQueries:
+    def test_sql_max(self, shell):
+        out = run(
+            shell,
+            "register a 10,20",
+            "register b 9000",
+            "register c 55",
+            "sql SELECT MAX(value) FROM data",
+        )
+        assert "9000" in out
+        assert "[probabilistic]" in out
+
+    def test_bare_select_dispatches_to_sql(self, shell):
+        out = run(
+            shell,
+            "register a 10,2",
+            "register b 20,4",
+            "register c 30,6",
+            "SELECT TOP 2 value FROM data",
+        )
+        assert "30, 20" in out
+
+    def test_sql_error_reported(self, shell):
+        out = run(shell, "sql SELECT MEDIAN(value) FROM data")
+        assert "error:" in out
+
+    def test_quorum_error_reported(self, shell):
+        out = run(shell, "register a 5", "sql SELECT MAX(value) FROM data")
+        assert "error: the protocols require n >= 3" in out
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in run(shell, "frobnicate")
+
+
+class TestProtocolSwitch:
+    def test_show_protocol(self, shell):
+        assert "protocol: probabilistic" in run(shell, "protocol")
+
+    def test_switch_preserves_members(self, shell):
+        out = run(
+            shell,
+            "register a 5",
+            "register b 5",
+            "register c 5",
+            "protocol naive",
+            "members",
+            "sql SELECT MAX(value) FROM data",
+        )
+        assert "protocol set to naive" in out
+        assert "[naive]" in out
+
+    def test_unknown_protocol(self, shell):
+        assert "error: unknown protocol" in run(shell, "protocol quantum")
+
+
+class TestAuditAndExit:
+    def test_audit_after_queries(self, shell):
+        out = run(
+            shell,
+            "register a 5",
+            "register b 5",
+            "register c 5",
+            "sql SELECT SUM(value) FROM data",
+            "audit",
+        )
+        assert "shell" in out
+        assert "total: 1 queries" in out
+
+    def test_quit_returns_true(self, shell):
+        assert shell.onecmd("quit") is True
+        assert shell.onecmd("exit") is True

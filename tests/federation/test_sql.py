@@ -1,0 +1,87 @@
+"""Unit tests for the federated SQL dialect parser."""
+
+import pytest
+
+from repro.federation.sql import FederatedStatement, SqlError, parse
+
+
+class TestRankingStatements:
+    def test_top(self):
+        stmt = parse("SELECT TOP 5 revenue FROM sales")
+        assert stmt.operation == "TOP"
+        assert stmt.k == 5
+        assert stmt.attribute == "revenue"
+        assert stmt.table == "sales"
+        assert stmt.is_ranking
+        assert not stmt.smallest
+
+    def test_bottom(self):
+        stmt = parse("SELECT BOTTOM 3 latency FROM probes")
+        assert stmt.operation == "BOTTOM"
+        assert stmt.smallest
+
+    def test_max_min(self):
+        assert parse("SELECT MAX(revenue) FROM sales").operation == "MAX"
+        stmt = parse("SELECT MIN(revenue) FROM sales")
+        assert stmt.operation == "MIN"
+        assert stmt.k == 1
+        assert stmt.smallest
+
+    def test_case_insensitive(self):
+        stmt = parse("select top 2 x from t")
+        assert stmt.operation == "TOP"
+        assert stmt.k == 2
+
+    def test_trailing_semicolon(self):
+        assert parse("SELECT MAX(x) FROM t;").operation == "MAX"
+
+    def test_whitespace_tolerant(self):
+        assert parse("  SELECT   SUM( x )   FROM   t  ").operation == "SUM"
+
+
+class TestAdditiveStatements:
+    @pytest.mark.parametrize("func", ["SUM", "COUNT", "AVG"])
+    def test_additive(self, func):
+        stmt = parse(f"SELECT {func}(amount) FROM ledger")
+        assert stmt.operation == func
+        assert not stmt.is_ranking
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "SELECT * FROM t",
+            "SELECT TOP 0 x FROM t",
+            "SELECT MEDIAN(x) FROM t",
+            "SELECT TOP five x FROM t",
+            "SELECT TOP 3 x FROM t WHERE x > 5",
+            "INSERT INTO t VALUES (1)",
+            "SELECT TOP 3 x, y FROM t",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SqlError):
+            parse(bad)
+
+    def test_error_message_is_actionable(self):
+        with pytest.raises(SqlError, match="dialect supports"):
+            parse("SELECT * FROM t")
+
+
+class TestStatementProperties:
+    def test_frozen(self):
+        stmt = parse("SELECT TOP 1 x FROM t")
+        with pytest.raises(AttributeError):
+            stmt.k = 2  # type: ignore[misc]
+
+    def test_text_preserved(self):
+        stmt = parse("  SELECT TOP 1 x FROM t  ")
+        assert stmt.text == "SELECT TOP 1 x FROM t"
+
+    def test_equality(self):
+        assert parse("SELECT TOP 1 x FROM t") == FederatedStatement(
+            "TOP", 1, "x", "t", "SELECT TOP 1 x FROM t"
+        )

@@ -1,0 +1,57 @@
+"""Tests for the size-aware bandwidth latency model."""
+
+import pytest
+
+from repro.network.message import token_message
+from repro.network.transport import BandwidthLatency, InMemoryTransport
+
+
+class TestModel:
+    def test_delay_formula(self):
+        model = BandwidthLatency(base_seconds=0.01, bytes_per_second=1000)
+        assert model.delay("a", "b", 500) == pytest.approx(0.01 + 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="base latency"):
+            BandwidthLatency(base_seconds=-1)
+        with pytest.raises(ValueError, match="bandwidth"):
+            BandwidthLatency(bytes_per_second=0)
+
+
+class TestTransportIntegration:
+    def _clock_after_one_message(self, vector_length: int) -> float:
+        transport = InMemoryTransport(
+            latency=BandwidthLatency(base_seconds=0.0, bytes_per_second=100.0)
+        )
+        transport.register("a", lambda m: None)
+        transport.register("b", lambda m: None)
+        transport.send(token_message("a", "b", 1, [1.0] * vector_length))
+        transport.run_until_idle()
+        return transport.now
+
+    def test_bigger_payloads_take_longer(self):
+        assert self._clock_after_one_message(50) > self._clock_after_one_message(1)
+
+    def test_clock_matches_message_size(self):
+        transport = InMemoryTransport(
+            latency=BandwidthLatency(base_seconds=0.0, bytes_per_second=100.0)
+        )
+        transport.register("a", lambda m: None)
+        transport.register("b", lambda m: None)
+        message = token_message("a", "b", 1, [1.0, 2.0, 3.0])
+        transport.send(message)
+        transport.run_until_idle()
+        assert transport.now == pytest.approx(message.size_bytes / 100.0)
+
+    def test_protocol_run_with_bandwidth_model(self):
+        from repro.core.driver import RunConfig, run_protocol_on_vectors
+        from repro.database.query import Domain, TopKQuery
+
+        query = TopKQuery(table="t", attribute="v", k=4, domain=Domain(1, 10_000))
+        vectors = {f"n{i}": [float(100 * i + 7)] for i in range(5)}
+        config = RunConfig(
+            seed=3, latency=BandwidthLatency(base_seconds=0.001, bytes_per_second=10_000)
+        )
+        result = run_protocol_on_vectors(vectors, query, config)
+        assert result.is_exact()
+        assert result.simulated_seconds > 0.001 * result.stats.messages_total

@@ -1,0 +1,61 @@
+"""Unit tests for repro.network.events."""
+
+from repro.network.events import EventLog, Observation
+from repro.network.message import Message, MessageType, result_message, token_message
+
+
+def make_log() -> EventLog:
+    log = EventLog()
+    log.record(token_message("a", "b", 1, [5.0]))
+    log.record(token_message("b", "c", 1, [7.0]))
+    log.record(token_message("c", "a", 1, [7.0]))
+    log.record(token_message("a", "b", 2, [9.0]))
+    log.record(result_message("a", "b", 3, [9.0]))
+    return log
+
+
+class TestRecording:
+    def test_token_and_result_recorded(self):
+        assert len(make_log()) == 5
+
+    def test_control_messages_ignored(self):
+        log = EventLog()
+        log.record(Message(sender="a", receiver="b", round=0, type=MessageType.CONTROL))
+        assert len(log) == 0
+
+    def test_observation_from_message(self):
+        obs = Observation.from_message(token_message("a", "b", 2, [1.0, 2.0]))
+        assert obs.vector == (1.0, 2.0)
+        assert obs.kind == "token"
+        assert (obs.sender, obs.receiver, obs.round) == ("a", "b", 2)
+
+
+class TestViews:
+    def test_received_by(self):
+        log = make_log()
+        assert [o.round for o in log.received_by("b")] == [1, 2, 3]
+
+    def test_sent_by(self):
+        log = make_log()
+        assert [o.round for o in log.sent_by("a")] == [1, 2, 3]
+
+    def test_outputs_exclude_result_broadcast(self):
+        outputs = make_log().outputs_of("a")
+        assert outputs == {1: (5.0,), 2: (9.0,)}
+
+    def test_inputs_exclude_result_broadcast(self):
+        inputs = make_log().inputs_of("b")
+        assert inputs == {1: (5.0,), 2: (9.0,)}
+
+    def test_rounds_token_only(self):
+        assert make_log().rounds() == [1, 2]
+
+    def test_coalition_view_unions_send_and_receive(self):
+        log = make_log()
+        view = log.coalition_view({"c"})
+        # c received b->c and sent c->a.
+        assert {(o.sender, o.receiver) for o in view} == {("b", "c"), ("c", "a")}
+
+    def test_iteration_order_is_recording_order(self):
+        rounds = [o.round for o in make_log()]
+        assert rounds == [1, 1, 1, 2, 3]

@@ -1,0 +1,56 @@
+"""Unit tests for repro.network.failures."""
+
+import random
+
+import pytest
+
+from repro.network.failures import FailureInjector
+from repro.network.message import token_message
+
+
+class TestCrashes:
+    def test_crash_and_recover(self):
+        injector = FailureInjector()
+        injector.crash("a")
+        assert injector.is_crashed("a")
+        injector.recover("a")
+        assert not injector.is_crashed("a")
+
+    def test_crashed_nodes_frozen_view(self):
+        injector = FailureInjector()
+        injector.crash("a")
+        snapshot = injector.crashed_nodes
+        injector.crash("b")
+        assert snapshot == frozenset({"a"})
+
+    def test_messages_from_crashed_node_dropped(self):
+        injector = FailureInjector()
+        injector.crash("a")
+        assert injector.should_drop(token_message("a", "b", 1, [1.0]))
+
+    def test_messages_to_crashed_node_dropped(self):
+        injector = FailureInjector()
+        injector.crash("b")
+        assert injector.should_drop(token_message("a", "b", 1, [1.0]))
+
+    def test_healthy_traffic_passes(self):
+        assert not FailureInjector().should_drop(token_message("a", "b", 1, [1.0]))
+
+
+class TestProbabilisticDrops:
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError, match="drop_probability"):
+            FailureInjector(drop_probability=1.0)
+        with pytest.raises(ValueError, match="drop_probability"):
+            FailureInjector(drop_probability=-0.1)
+
+    def test_drop_rate_roughly_matches(self):
+        injector = FailureInjector(drop_probability=0.3, rng=random.Random(7))
+        message = token_message("a", "b", 1, [1.0])
+        drops = sum(injector.should_drop(message) for _ in range(5000))
+        assert 1300 < drops < 1700
+
+    def test_zero_probability_never_drops(self):
+        injector = FailureInjector(drop_probability=0.0, rng=random.Random(7))
+        message = token_message("a", "b", 1, [1.0])
+        assert not any(injector.should_drop(message) for _ in range(200))

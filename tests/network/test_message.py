@@ -1,0 +1,80 @@
+"""Unit tests for repro.network.message."""
+
+import pytest
+
+from repro.network.message import (
+    Message,
+    MessageError,
+    MessageType,
+    result_message,
+    token_message,
+)
+
+
+class TestConstruction:
+    def test_requires_sender_and_receiver(self):
+        with pytest.raises(MessageError):
+            Message(sender="", receiver="b", round=1)
+        with pytest.raises(MessageError):
+            Message(sender="a", receiver="", round=1)
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(MessageError, match="round"):
+            Message(sender="a", receiver="b", round=-1)
+
+    def test_round_zero_allowed_for_setup(self):
+        assert Message(sender="a", receiver="b", round=0).round == 0
+
+    def test_unserializable_payload_rejected(self):
+        with pytest.raises(MessageError, match="JSON"):
+            Message(sender="a", receiver="b", round=1, payload={"x": object()})
+
+    def test_message_ids_increase(self):
+        first = Message(sender="a", receiver="b", round=1)
+        second = Message(sender="a", receiver="b", round=1)
+        assert second.msg_id > first.msg_id
+
+
+class TestCodec:
+    def test_round_trip(self):
+        original = token_message("a", "b", 3, [1.0, 2.5, 3.0])
+        decoded = Message.decode(original.encode())
+        assert decoded.sender == "a"
+        assert decoded.receiver == "b"
+        assert decoded.round == 3
+        assert decoded.type is MessageType.TOKEN
+        assert decoded.payload == {"vector": [1.0, 2.5, 3.0]}
+
+    def test_floats_survive_exactly(self):
+        import math
+
+        value = math.sqrt(2) * 1234.56789
+        decoded = Message.decode(token_message("a", "b", 1, [value]).encode())
+        assert decoded.payload["vector"][0] == value
+
+    def test_decode_garbage_raises(self):
+        with pytest.raises(MessageError, match="cannot decode"):
+            Message.decode(b"\xff\xfe not json")
+
+    def test_decode_missing_field_raises(self):
+        with pytest.raises(MessageError):
+            Message.decode(b'{"sender": "a"}')
+
+    def test_size_bytes_positive_and_consistent(self):
+        message = token_message("a", "b", 1, [1.0])
+        assert message.size_bytes == len(message.encode())
+        assert message.size_bytes > 0
+
+
+class TestHelpers:
+    def test_token_message_type(self):
+        assert token_message("a", "b", 1, [1.0]).type is MessageType.TOKEN
+
+    def test_result_message_type(self):
+        assert result_message("a", "b", 1, [1.0]).type is MessageType.RESULT
+
+    def test_vector_is_copied(self):
+        vector = [1.0, 2.0]
+        message = token_message("a", "b", 1, vector)
+        vector.append(3.0)
+        assert message.payload["vector"] == [1.0, 2.0]

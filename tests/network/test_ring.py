@@ -1,0 +1,103 @@
+"""Unit and property tests for repro.network.ring."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.ring import RingError, RingTopology
+
+
+@pytest.fixture
+def ring() -> RingTopology:
+    return RingTopology(["a", "b", "c", "d"])
+
+
+class TestConstruction:
+    def test_minimum_three_nodes(self):
+        with pytest.raises(RingError, match="at least 3"):
+            RingTopology(["a", "b"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(RingError, match="unique"):
+            RingTopology(["a", "b", "a"])
+
+    def test_random_is_permutation(self):
+        members = [f"n{i}" for i in range(10)]
+        ring = RingTopology.random(members, random.Random(3))
+        assert sorted(ring.members) == members
+
+    def test_random_deterministic_with_seed(self):
+        members = [f"n{i}" for i in range(10)]
+        one = RingTopology.random(members, random.Random(5))
+        two = RingTopology.random(members, random.Random(5))
+        assert one.members == two.members
+
+
+class TestNavigation:
+    def test_successor_wraps(self, ring: RingTopology):
+        assert ring.successor("d") == "a"
+
+    def test_predecessor_wraps(self, ring: RingTopology):
+        assert ring.predecessor("a") == "d"
+
+    def test_successor_predecessor_inverse(self, ring: RingTopology):
+        for node in ring.members:
+            assert ring.predecessor(ring.successor(node)) == node
+
+    def test_unknown_node_raises(self, ring: RingTopology):
+        with pytest.raises(RingError, match="not on the ring"):
+            ring.successor("zz")
+
+    def test_walk_from_covers_all_once(self, ring: RingTopology):
+        walk = ring.walk_from("c")
+        assert walk == ["c", "d", "a", "b"]
+
+    def test_neighbors(self, ring: RingTopology):
+        assert ring.neighbors("b") == ("a", "c")
+
+    def test_are_sandwiching(self, ring: RingTopology):
+        assert ring.are_sandwiching(("a", "c"), "b")
+        assert ring.are_sandwiching(("c", "a"), "b")
+        assert not ring.are_sandwiching(("a", "d"), "b")
+
+    def test_contains_and_len(self, ring: RingTopology):
+        assert "a" in ring
+        assert "zz" not in ring
+        assert len(ring) == 4
+
+
+class TestDynamics:
+    def test_remap_same_members(self, ring: RingTopology):
+        remapped = ring.remap(random.Random(1))
+        assert sorted(remapped.members) == sorted(ring.members)
+
+    def test_repair_splices_out_failed_node(self, ring: RingTopology):
+        repaired = ring.repair("b")
+        assert "b" not in repaired
+        assert repaired.successor("a") == "c"
+
+    def test_repair_unknown_node(self, ring: RingTopology):
+        with pytest.raises(RingError, match="not on the ring"):
+            ring.repair("zz")
+
+    def test_repair_below_minimum_raises(self, ring: RingTopology):
+        smaller = ring.repair("a")
+        with pytest.raises(RingError, match="at least 3"):
+            smaller.repair("b")
+
+
+@given(st.integers(min_value=3, max_value=40), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_property_walk_is_a_cycle(n: int, seed: int):
+    members = [f"n{i}" for i in range(n)]
+    ring = RingTopology.random(members, random.Random(seed))
+    start = ring.members[seed % n]
+    walk = ring.walk_from(start)
+    assert len(walk) == n
+    assert sorted(walk) == sorted(members)
+    # Consecutive walk entries respect successor relationships.
+    for i in range(n - 1):
+        assert ring.successor(walk[i]) == walk[i + 1]
+    assert ring.successor(walk[-1]) == walk[0]

@@ -1,0 +1,111 @@
+"""Tests for session-level privacy accounting."""
+
+import pytest
+
+from repro.core.driver import NAIVE, RunConfig, run_protocol_on_vectors
+from repro.database.database import database_from_values
+from repro.database.query import Domain, PAPER_DOMAIN, TopKQuery
+from repro.federation import Federation
+from repro.privacy.accounting import BudgetExceededError, ExposureLedger
+
+from ..conftest import make_vectors
+
+QUERY = TopKQuery(table="t", attribute="a", k=1, domain=Domain(1, 10_000))
+
+
+def naive_run(seed=0):
+    # The naive protocol reliably produces non-zero exposure to charge.
+    return run_protocol_on_vectors(
+        make_vectors([100, 200, 9000, 50]), QUERY, RunConfig(protocol=NAIVE, seed=seed)
+    )
+
+
+class TestLedger:
+    def test_budget_validated(self):
+        with pytest.raises(ValueError, match="budget"):
+            ExposureLedger(budget=0.0)
+
+    def test_charges_accumulate(self):
+        ledger = ExposureLedger()
+        first = ledger.charge(naive_run(seed=1))
+        ledger.charge(naive_run(seed=1))
+        assert ledger.runs_charged == 2
+        for node, increment in first.items():
+            assert ledger.exposure(node) == pytest.approx(2 * increment)
+
+    def test_unknown_party_has_zero_exposure(self):
+        assert ExposureLedger().exposure("ghost") == 0.0
+
+    def test_budget_refusal_is_atomic(self):
+        ledger = ExposureLedger(budget=1.5)
+        ledger.charge(naive_run(seed=1))  # starter charged 1.0
+        before = dict(ledger.charges)
+        with pytest.raises(BudgetExceededError, match="exceed"):
+            ledger.charge(naive_run(seed=1))  # would push starter to 2.0
+        assert ledger.charges == before
+        assert ledger.runs_charged == 1
+
+    def test_remaining_headroom(self):
+        ledger = ExposureLedger(budget=3.0)
+        ledger.charge(naive_run(seed=1))
+        starter_headroom = ledger.remaining("node0")
+        assert starter_headroom is not None
+        assert starter_headroom == pytest.approx(3.0 - ledger.exposure("node0"))
+
+    def test_remaining_none_without_budget(self):
+        assert ExposureLedger().remaining("node0") is None
+
+    def test_most_exposed(self):
+        ledger = ExposureLedger()
+        assert ledger.most_exposed() is None
+        ledger.charge(naive_run(seed=1))
+        party, exposure = ledger.most_exposed()
+        assert exposure == max(ledger.charges.values())
+
+    def test_reset(self):
+        ledger = ExposureLedger()
+        ledger.charge(naive_run(seed=1))
+        ledger.reset()
+        assert ledger.charges == {}
+        assert ledger.runs_charged == 0
+
+    def test_render(self):
+        ledger = ExposureLedger(budget=5.0)
+        assert "no runs charged" in ledger.render()
+        ledger.charge(naive_run(seed=1))
+        text = ledger.render()
+        assert "after 1 runs" in text
+        assert "headroom" in text
+
+
+class TestFederationIntegration:
+    def _federation(self, budget):
+        fed = Federation(
+            domain=PAPER_DOMAIN,
+            config=RunConfig(protocol=NAIVE),
+            seed=4,
+            privacy_budget=budget,
+        )
+        for name, values in (("a", [100]), ("b", [9000]), ("c", [50])):
+            fed.register(database_from_values(name, values))
+        return fed
+
+    def test_queries_charge_the_ledger(self):
+        fed = self._federation(budget=None)
+        fed.max("data", "value")
+        assert fed.ledger.runs_charged == 1
+
+    def test_budget_blocks_and_keeps_audit_clean(self):
+        fed = self._federation(budget=1.5)
+        fed.max("data", "value")
+        audited = len(fed.audit)
+        with pytest.raises(BudgetExceededError):
+            for _ in range(10):
+                fed.max("data", "value")
+        assert len(fed.audit) < audited + 10  # the refused query left no entry
+
+    def test_additive_queries_free(self):
+        fed = self._federation(budget=0.001)
+        fed.sum("data", "value")
+        fed.count("data", "value")
+        assert fed.ledger.runs_charged == 0

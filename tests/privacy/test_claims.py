@@ -1,0 +1,44 @@
+"""Unit tests for repro.privacy.claims."""
+
+import pytest
+
+from repro.privacy.claims import ClaimError, ExposureKind, RangeClaim, ValueClaim
+
+
+class TestValueClaim:
+    def test_kind(self):
+        assert ValueClaim("a", 5.0).kind is ExposureKind.VALUE
+
+    def test_holds_for(self):
+        claim = ValueClaim("a", 5.0)
+        assert claim.holds_for([1.0, 5.0])
+        assert not claim.holds_for([1.0, 2.0])
+
+    def test_frozen(self):
+        claim = ValueClaim("a", 5.0)
+        with pytest.raises(AttributeError):
+            claim.value = 6.0  # type: ignore[misc]
+
+
+class TestRangeClaim:
+    def test_kind_and_width(self):
+        claim = RangeClaim("a", 1.0, 10.0)
+        assert claim.kind is ExposureKind.RANGE
+        assert claim.width == 9.0
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ClaimError, match="empty range"):
+            RangeClaim("a", 10.0, 1.0)
+
+    def test_point_range_allowed(self):
+        assert RangeClaim("a", 5.0, 5.0).width == 0.0
+
+    def test_holds_for_inclusive(self):
+        claim = RangeClaim("a", 1.0, 10.0)
+        assert claim.holds_for([10.0])
+        assert claim.holds_for([1.0])
+        assert not claim.holds_for([11.0])
+
+    def test_exposure_kind_ordering_documented(self):
+        # Value exposure is the most severe; the enum encodes the taxonomy.
+        assert [k.value for k in ExposureKind] == ["value", "range", "distribution"]

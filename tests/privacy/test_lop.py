@@ -1,0 +1,122 @@
+"""Unit and behavioural tests for the LoP estimator (repro.privacy.lop)."""
+
+import pytest
+
+from repro.core.driver import NAIVE, RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.privacy.lop import (
+    average_lop,
+    item_round_lop,
+    node_lop,
+    node_round_lop,
+    per_round_average_lop,
+    worst_case_lop,
+)
+
+from ..conftest import make_vectors
+
+
+class TestItemRoundLop:
+    def test_final_result_values_are_free(self):
+        # Observing a value that is public anyway is not a breach.
+        assert item_round_lop(9.0, [9.0], [9.0]) == 0.0
+
+    def test_exposed_private_value_scores_one(self):
+        assert item_round_lop(5.0, [5.0], [9.0]) == 1.0
+
+    def test_unexposed_value_scores_zero(self):
+        assert item_round_lop(5.0, [7.0], [9.0]) == 0.0
+
+    def test_vector_membership(self):
+        assert item_round_lop(5.0, [9.0, 5.0, 1.0], [9.0, 8.0, 7.0]) == 1.0
+
+
+class TestNaiveProtocolLop:
+    """The naive protocol's known analytic LoP anchors the estimator."""
+
+    def _run(self, values, seed=0):
+        from repro.database.query import Domain, TopKQuery
+
+        query = TopKQuery(table="t", attribute="a", k=1, domain=Domain(1, 10_000))
+        return run_protocol_on_vectors(
+            make_vectors(values), query, RunConfig(protocol=NAIVE, seed=seed)
+        )
+
+    def test_starter_with_non_max_value_fully_exposed(self):
+        # node0 starts the naive protocol; unless it holds the max, its
+        # successor sees its value verbatim: LoP = 1.
+        result = self._run([100, 200, 9000, 50])
+        assert result.starter == "node0"
+        assert node_lop(result, "node0") == 1.0
+
+    def test_starter_holding_max_not_penalized(self):
+        result = self._run([9000, 200, 100, 50])
+        assert node_lop(result, "node0") == 0.0
+
+    def test_node_that_never_wins_scores_zero(self):
+        # A node whose output was always someone else's running max.
+        result = self._run([9000, 1, 2, 3])
+        # Every non-starter node just forwards 9000 (the final result).
+        for node in ("node1", "node2", "node3"):
+            assert node_lop(result, node) == 0.0
+
+    def test_average_and_worst_relationship(self):
+        result = self._run([100, 200, 9000, 50])
+        assert 0.0 <= average_lop(result) <= worst_case_lop(result) <= 1.0
+
+
+class TestProbabilisticLop:
+    def _run(self, values, p0=1.0, d=0.5, rounds=8, seed=0):
+        from repro.database.query import Domain, TopKQuery
+
+        query = TopKQuery(table="t", attribute="a", k=1, domain=Domain(1, 10_000))
+        params = ProtocolParams.with_randomization(p0, d, rounds=rounds)
+        return run_protocol_on_vectors(
+            make_vectors(values), query, RunConfig(params=params, seed=seed)
+        )
+
+    def test_p0_one_round_one_lop_zero(self):
+        # Every contributor randomizes in round 1, so round-1 LoP is 0.
+        for seed in range(10):
+            result = self._run([10, 4000, 7000, 200], seed=seed)
+            per_round = per_round_average_lop(result)
+            assert per_round[1] == 0.0
+
+    def test_max_holder_never_penalized(self):
+        # The node holding v_max only ever emits noise below v_max or v_max
+        # itself (which is public): LoP must be 0.
+        for seed in range(10):
+            result = self._run([10, 20, 9999, 30], seed=seed)
+            holder = next(
+                n for n, vs in result.local_vectors.items() if vs == [9999.0]
+            )
+            assert node_lop(result, holder) == 0.0
+
+    def test_probabilistic_beats_naive_on_average(self):
+        values = [100, 200, 9000, 50, 375, 777]
+        total_prob, total_naive = 0.0, 0.0
+        for seed in range(30):
+            total_prob += average_lop(self._run(values, seed=seed))
+            from repro.database.query import Domain, TopKQuery
+
+            query = TopKQuery(table="t", attribute="a", k=1, domain=Domain(1, 10_000))
+            naive_result = run_protocol_on_vectors(
+                make_vectors(values), query, RunConfig(protocol=NAIVE, seed=seed)
+            )
+            total_naive += average_lop(naive_result)
+        assert total_prob < total_naive
+
+    def test_per_round_keys_match_executed_rounds(self):
+        result = self._run([1, 2, 3], rounds=4)
+        assert sorted(per_round_average_lop(result)) == [1, 2, 3, 4]
+
+    def test_node_round_lop_of_silent_round_is_zero(self):
+        result = self._run([1, 2, 3], rounds=2)
+        assert node_round_lop(result, "node0", 99) == 0.0
+
+    def test_node_lop_is_peak_of_rounds(self):
+        result = self._run([10, 4000, 7000, 200], rounds=6, seed=3)
+        for node in result.ring_order:
+            rounds = result.event_log.rounds()
+            peak = max(node_round_lop(result, node, r) for r in rounds)
+            assert node_lop(result, node) == peak

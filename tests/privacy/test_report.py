@@ -1,0 +1,70 @@
+"""Tests for the consolidated privacy report."""
+
+import pytest
+
+from repro.core.driver import NAIVE, RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.database.query import Domain, TopKQuery
+from repro.privacy.report import privacy_report
+from repro.privacy.spectrum import SpectrumLevel
+
+from ..conftest import make_vectors
+
+QUERY = TopKQuery(table="t", attribute="a", k=1, domain=Domain(1, 1000))
+
+
+def run(values, protocol="probabilistic", seed=0, rounds=6):
+    params = ProtocolParams.paper_defaults(rounds=rounds)
+    return run_protocol_on_vectors(
+        make_vectors(values), QUERY, RunConfig(protocol=protocol, params=params, seed=seed)
+    )
+
+
+class TestReportContents:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return privacy_report(run([100, 700, 350, 220], seed=4))
+
+    def test_one_row_per_node(self, report):
+        assert len(report.rows) == 4
+        assert report.n_nodes == 4
+
+    def test_aggregates_consistent_with_rows(self, report):
+        lops = [row.lop for row in report.rows]
+        assert report.worst_case == max(lops)
+        assert report.average == pytest.approx(sum(lops) / len(lops))
+
+    def test_posterior_column_present_for_max_runs(self, report):
+        assert all(row.information_gain_bits is not None for row in report.rows)
+
+    def test_anonymity_covers_every_circulated_value(self, report):
+        assert report.value_anonymity  # at least the final value circulated
+        assert all(size >= 0 for size in report.value_anonymity.values())
+
+    def test_render_mentions_each_node(self, report):
+        text = report.render()
+        for row in report.rows:
+            assert row.node in text
+        assert "privacy report" in text
+
+
+class TestModes:
+    def test_posteriors_skipped_for_topk(self):
+        query = TopKQuery(table="t", attribute="a", k=2, domain=Domain(1, 1000))
+        result = run_protocol_on_vectors(
+            {"a": [500.0, 400.0], "b": [300.0], "c": [200.0]},
+            query,
+            RunConfig(seed=1),
+        )
+        report = privacy_report(result)
+        assert all(row.information_gain_bits is None for row in report.rows)
+        assert "-" in report.render()
+
+    def test_naive_report_flags_the_starter(self):
+        result = run([100, 700, 350, 220], protocol=NAIVE, seed=2)
+        report = privacy_report(result, with_posteriors=False)
+        by_node = {row.node: row for row in report.rows}
+        starter_row = by_node[result.starter]
+        if result.local_vectors[result.starter] != [700.0]:
+            assert starter_row.lop == 1.0
+            assert starter_row.spectrum is SpectrumLevel.PROVABLY_EXPOSED

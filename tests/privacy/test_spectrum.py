@@ -1,0 +1,38 @@
+"""Unit tests for repro.privacy.spectrum."""
+
+import pytest
+
+from repro.privacy.spectrum import SpectrumLevel, classify
+
+
+class TestClassify:
+    def test_absolute_privacy(self):
+        assert classify(0.0, 10) is SpectrumLevel.ABSOLUTE_PRIVACY
+
+    def test_provably_exposed(self):
+        assert classify(1.0, 10) is SpectrumLevel.PROVABLY_EXPOSED
+
+    def test_beyond_suspicion_at_uniform_prior(self):
+        assert classify(0.1, 10) is SpectrumLevel.BEYOND_SUSPICION
+        assert classify(0.05, 10) is SpectrumLevel.BEYOND_SUSPICION
+
+    def test_probable_innocence(self):
+        assert classify(0.3, 10) is SpectrumLevel.PROBABLE_INNOCENCE
+        assert classify(0.5, 10) is SpectrumLevel.PROBABLE_INNOCENCE
+
+    def test_possible_innocence(self):
+        assert classify(0.7, 10) is SpectrumLevel.POSSIBLE_INNOCENCE
+
+    def test_small_system_beyond_suspicion_threshold(self):
+        # With n=2 the beyond-suspicion threshold is 1/2.
+        assert classify(0.5, 2) is SpectrumLevel.BEYOND_SUSPICION
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            classify(-0.1, 5)
+        with pytest.raises(ValueError, match="probability"):
+            classify(1.1, 5)
+
+    def test_n_nodes_bounds(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            classify(0.5, 0)

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_requires_known_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "fig12" in out and "table1" in out
+
+    def test_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "dampening factor" in capsys.readouterr().out
+
+    def test_analytic_figure_with_plot(self, capsys):
+        assert main(["figure", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "fig3b" in out
+        assert "p0=0.25" in out
+
+    def test_empirical_figure_no_plot(self, capsys):
+        assert main(["figure", "fig7", "--trials", "3", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out
+        assert "x:" not in out  # plots suppressed
+
+    def test_figure_writes_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig3.csv"
+        assert main(["figure", "fig3", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_query_command(self, capsys):
+        assert main(
+            ["query", "--nodes", "5", "--k", "2", "--seed", "3",
+             "--values-per-node", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out and "average LoP" in out
+
+    def test_query_rejects_unknown_protocol(self, capsys):
+        assert main(["query", "--protocol", "magic"]) == 2
+
+    def test_query_naive_protocol(self, capsys):
+        assert main(["query", "--nodes", "4", "--protocol", "naive", "--seed", "1"]) == 0
+        assert "naive" in capsys.readouterr().out
+
+    def test_query_privacy_report(self, capsys):
+        assert main(
+            ["query", "--nodes", "4", "--k", "1", "--seed", "2", "--privacy-report"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "privacy report" in out
+        assert "spectrum" in out
+
+    def test_trace_and_analyze_round_trip(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.json"
+        assert main(
+            ["trace", "--nodes", "5", "--k", "2", "--seed", "9", "--out", str(trace_path)]
+        ) == 0
+        assert trace_path.exists()
+        capsys.readouterr()
+        assert main(["analyze", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "privacy report" in out
+        assert "precision         : 1.000" in out
+
+    def test_analyze_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/trace.json"]) == 2
+        assert "error:" in capsys.readouterr().err

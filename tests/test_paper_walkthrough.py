@@ -1,0 +1,155 @@
+"""Executable versions of the paper's worked examples.
+
+Figure 1 walks the max protocol over four nodes holding 30, 10, 40, 20 with
+``p0 = 1`` and ``d = 1/2``.  The paper's specific random draws (16, 25, 32)
+cannot be forced, but every *structural* fact of the narrative is a protocol
+property we can assert on a seeded run.  Figure 2 illustrates the top-k
+randomized output layout (head copied, tail randomized), asserted here on
+Algorithm 2 directly.
+"""
+
+import random
+
+import pytest
+
+from repro.core.driver import RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.core.schedule import ExponentialSchedule
+from repro.core.topk_protocol import ProbabilisticTopKAlgorithm
+from repro.core.vectors import merge_topk
+from repro.database.query import Domain, TopKQuery
+
+#: Figure 1's setup: four nodes, values 30/10/40/20, p0=1, d=1/2,
+#: domain low of 0 (the paper's walk-through starts the global value at 0).
+FIG1_VALUES = {"n1": [30.0], "n2": [10.0], "n3": [40.0], "n4": [20.0]}
+FIG1_DOMAIN = Domain(0, 100)
+FIG1_QUERY = TopKQuery(table="t", attribute="v", k=1, domain=FIG1_DOMAIN)
+
+
+def fig1_run(seed: int, rounds: int = 6):
+    params = ProtocolParams(
+        schedule=ExponentialSchedule(p0=1.0, d=0.5), rounds=rounds
+    )
+    return run_protocol_on_vectors(
+        FIG1_VALUES, FIG1_QUERY, RunConfig(params=params, seed=seed)
+    )
+
+
+class TestFigure1MaxWalkthrough:
+    def test_final_result_is_forty(self):
+        for seed in range(10):
+            assert fig1_run(seed).final_vector == [40.0]
+
+    def test_round_one_never_shows_the_nodes_own_value(self):
+        # P_r(1) = 1: every contributing node randomizes, and the random
+        # range is open at v_i — so no node's round-1 output can equal its
+        # *own* value whenever it had something to contribute.
+        for seed in range(10):
+            result = fig1_run(seed)
+            for node in result.ring_order:
+                own = result.local_vectors[node][0]
+                output = result.event_log.outputs_of(node).get(1)
+                assert output is not None
+                if node == result.starter:
+                    incoming = 0.0  # the identity vector
+                else:
+                    incoming = result.event_log.inputs_of(node)[1][0]
+                if incoming < own:
+                    assert output[0] != own
+
+    def test_global_value_monotone_along_ring_and_rounds(self):
+        # "the global value monotonically increases as it is passed along
+        # the ring, even in the randomization case."
+        for seed in range(10):
+            result = fig1_run(seed)
+            previous = 0.0
+            for observation in result.event_log:
+                if observation.kind != "token":
+                    continue
+                assert observation.vector[0] >= previous
+                previous = observation.vector[0]
+
+    def test_randomized_values_stay_below_the_maximum(self):
+        # Injected noise can never exceed 40, so it is always displaced.
+        for seed in range(10):
+            result = fig1_run(seed)
+            for observation in result.event_log:
+                assert observation.vector[0] <= 40.0
+
+    def test_nodes_with_smaller_values_pass_on(self):
+        # Node 2 (value 10) ... whenever the incoming value is at least 10
+        # it must forward it unchanged — the "simply passes on" steps of the
+        # narrative.  (For the starter the round-r output is computed from
+        # the round-(r-1) input, so we only check non-starter placements.)
+        for seed in range(10):
+            result = fig1_run(seed)
+            if result.starter == "n2":
+                continue
+            inputs = result.event_log.inputs_of("n2")
+            outputs = result.event_log.outputs_of("n2")
+            for round_number, incoming in inputs.items():
+                if incoming[0] >= 10.0 and round_number in outputs:
+                    assert outputs[round_number][0] == incoming[0]
+
+    def test_termination_round_passes_final_result(self):
+        # "In the termination round all nodes simply passes on the final
+        # result."
+        result = fig1_run(3)
+        result_hops = [o for o in result.event_log if o.kind == "result"]
+        assert len(result_hops) == 4
+        assert all(o.vector == (40.0,) for o in result_hops)
+
+
+class TestFigure2TopKLayout:
+    """Figure 2: m = 3 of the node's values enter a k = 6 vector."""
+
+    def setup_method(self):
+        self.k = 6
+        self.incoming = [90.0, 80.0, 70.0, 60.0, 50.0, 40.0]
+        self.local = [85.0, 75.0, 65.0]  # contributes m = 3
+
+    def _algo(self, seed: int) -> ProbabilisticTopKAlgorithm:
+        params = ProtocolParams(
+            schedule=ExponentialSchedule(p0=1.0, d=0.5), delta=1.0
+        )
+        return ProbabilisticTopKAlgorithm(
+            self.local, self.k, params, Domain(1, 10_000), random.Random(seed)
+        )
+
+    def test_m_counted_as_in_figure(self):
+        real = merge_topk(self.incoming, self.local, self.k)
+        assert real == [90.0, 85.0, 80.0, 75.0, 70.0, 65.0]
+        # Three of the node's values displaced the incoming tail.
+
+    def test_randomized_output_keeps_head_and_randomizes_tail(self):
+        out = self._algo(seed=7).compute(list(self.incoming), 1)
+        # "it copies the first k-m values from G_{i-1}(r)":
+        assert out[:3] == self.incoming[:3]
+        # "and generate last m values randomly ... from
+        # [min(G'[k]-delta, G_{i-1}[k-m+1]), G'[k])":
+        real_kth = 65.0
+        lower = min(real_kth - 1.0, self.incoming[3])
+        for value in out[3:]:
+            assert lower <= value < real_kth
+
+    def test_reveal_branch_outputs_real_topk(self):
+        algo = self._algo(seed=7)
+        out = algo.compute(list(self.incoming), 30)  # P_r ~ 0: reveal
+        assert out == [90.0, 85.0, 80.0, 75.0, 70.0, 65.0]
+        assert algo.has_inserted
+
+    def test_m_equals_k_extreme_case(self):
+        # "when m = k ... it will replace all k values in the global vector
+        # with k random values, each randomly picked from the range between
+        # the first item of G_{i-1}(r) and the kth (last) item of V_i."
+        incoming = [10.0, 8.0, 6.0]
+        local = [100.0, 90.0, 80.0]
+        params = ProtocolParams(
+            schedule=ExponentialSchedule(p0=1.0, d=0.5), delta=1.0
+        )
+        algo = ProbabilisticTopKAlgorithm(
+            local, 3, params, Domain(1, 10_000), random.Random(3)
+        )
+        out = algo.compute(incoming, 1)
+        for value in out:
+            assert 10.0 <= value < 80.0

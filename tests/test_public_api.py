@@ -1,0 +1,49 @@
+"""The public API surface: everything documented in README must import."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_from_module_docstring_runs(self):
+        import random
+
+        from repro import DataGenerator, RunConfig, TopKQuery, run_topk_query
+
+        gen = DataGenerator(rng=random.Random(7))
+        databases = gen.databases(nodes=10, values_per_node=100)
+        query = TopKQuery(table="data", attribute="value", k=5)
+        result = run_topk_query(databases, query, RunConfig(seed=7))
+        assert len(result.answer()) == 5
+        assert result.precision() == 1.0
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.core
+        import repro.database
+        import repro.experiments
+        import repro.extensions
+        import repro.network
+        import repro.privacy
+
+        for module in (
+            repro.analysis,
+            repro.core,
+            repro.database,
+            repro.experiments,
+            repro.extensions,
+            repro.network,
+            repro.privacy,
+        ):
+            assert module.__doc__, f"{module.__name__} lacks a docstring"
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_protocol_constants(self):
+        assert repro.PROTOCOLS == ("probabilistic", "naive", "anonymous-naive")
