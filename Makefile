@@ -1,6 +1,9 @@
 # Convenience targets for the reproduction workflow.
 
 PYTHON ?= python3
+# Worker processes for trial execution (0 = all cores); results are
+# bit-identical at any value.
+JOBS ?= 1
 
 .PHONY: install test bench figures report examples all clean
 
@@ -14,10 +17,10 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 figures:
-	$(PYTHON) -m repro.cli all --trials 100 --no-plot --out results
+	$(PYTHON) -m repro.cli all --trials 100 --no-plot --out results --jobs $(JOBS)
 
 report:
-	$(PYTHON) -m repro.cli report --out results/REPORT.md
+	$(PYTHON) -m repro.cli report --out results/REPORT.md --jobs $(JOBS)
 
 examples:
 	@for script in examples/*.py; do \

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+from collections.abc import Iterator
+from contextlib import contextmanager
 from pathlib import Path
 
 from .core.driver import PROTOCOLS, RunConfig, run_protocol_on_vectors
@@ -39,8 +41,36 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+@contextmanager
+def _timing_scope(enabled: bool) -> Iterator:
+    """Collect trial telemetry for ``--timing``; yields None when off."""
+    if not enabled:
+        yield None
+        return
+    from .experiments import telemetry
+
+    with telemetry.collect() as collector:
+        yield collector
+
+
+def _print_timing(collector) -> None:
+    if collector is None:
+        return
+    print()
+    if collector.points:
+        print(collector.render())
+    else:
+        print("no trial telemetry recorded (analytic artifact, no trials run)")
+
+
 def _run_one(experiment_id: str, args: argparse.Namespace) -> list:
-    outcome = run_experiment(experiment_id, trials=args.trials, seed=args.seed)
+    outcome = run_experiment(
+        experiment_id,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=getattr(args, "jobs", None),
+        timing=getattr(args, "timing", False),
+    )
     if isinstance(outcome, str):
         print(outcome)
         return []
@@ -51,7 +81,8 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> list:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    panels = _run_one(args.id, args)
+    with _timing_scope(args.timing) as collector:
+        panels = _run_one(args.id, args)
     if args.csv and panels:
         path = write_csv(panels, args.csv)
         print(f"wrote {path}")
@@ -60,46 +91,58 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
         for path in write_all_svgs(panels, args.svg):
             print(f"wrote {path}")
+    _print_timing(collector)
     return 0
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
     out_dir = Path(args.out)
-    for experiment_id in all_experiment_ids():
-        print(f"### {experiment_id} ###")
-        panels = _run_one(experiment_id, args)
-        if panels:
-            path = write_csv(panels, out_dir / f"{experiment_id}.csv")
-            print(f"wrote {path}")
-            if args.svg:
-                from .experiments.svg_plot import write_all_svgs
+    with _timing_scope(args.timing) as collector:
+        for experiment_id in all_experiment_ids():
+            print(f"### {experiment_id} ###")
+            panels = _run_one(experiment_id, args)
+            if panels:
+                path = write_csv(panels, out_dir / f"{experiment_id}.csv")
+                print(f"wrote {path}")
+                if args.svg:
+                    from .experiments.svg_plot import write_all_svgs
 
-                for svg_path in write_all_svgs(panels, out_dir / "svg"):
-                    print(f"wrote {svg_path}")
-        print()
+                    for svg_path in write_all_svgs(panels, out_dir / "svg"):
+                        print(f"wrote {svg_path}")
+            print()
+    _print_timing(collector)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.summary import write_report
 
-    path = write_report(
-        args.out,
-        trials=args.trials,
-        seed=args.seed,
-        include_extensions=not args.paper_only,
-    )
+    with _timing_scope(args.timing) as collector:
+        path = write_report(
+            args.out,
+            trials=args.trials,
+            seed=args.seed,
+            include_extensions=not args.paper_only,
+            jobs=args.jobs,
+            timing=args.timing,
+        )
     print(f"wrote {path}")
+    _print_timing(collector)
     return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .experiments.validate import render_scorecard, scorecard
 
-    checks = scorecard(
-        trials=args.trials, seed=args.seed, experiment_ids=args.only
-    )
+    with _timing_scope(args.timing) as collector:
+        checks = scorecard(
+            trials=args.trials,
+            seed=args.seed,
+            experiment_ids=args.only,
+            jobs=args.jobs,
+        )
     print(render_scorecard(checks))
+    _print_timing(collector)
     return 0 if all(c.passed for c in checks) else 1
 
 
@@ -163,6 +206,38 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (1 = serial, 0 = all cores), got {value}"
+        )
+    return value
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """The ``--jobs`` / ``--timing`` pair shared by the experiment commands."""
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=None,
+        help=(
+            "worker processes for trial execution (1 = serial, 0 = all "
+            "cores); results are bit-identical for any value"
+        ),
+    )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="collect and print per-sweep-point runtime telemetry",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-topk",
@@ -186,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--svg", type=str, default=None, help="also write SVG plots to this directory"
     )
+    _add_execution_flags(figure)
     figure.set_defaults(func=_cmd_figure)
 
     everything = sub.add_parser("all", help="run every experiment, write CSVs")
@@ -196,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     everything.add_argument(
         "--svg", action="store_true", help="also write SVG plots under <out>/svg"
     )
+    _add_execution_flags(everything)
     everything.set_defaults(func=_cmd_all)
 
     report = sub.add_parser(
@@ -207,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--paper-only", action="store_true", help="skip the extension experiments"
     )
+    _add_execution_flags(report)
     report.set_defaults(func=_cmd_report)
 
     query = sub.add_parser("query", help="run one ad-hoc top-k query")
@@ -230,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--only", nargs="*", default=None, help="score these figures only"
     )
+    _add_execution_flags(validate)
     validate.set_defaults(func=_cmd_validate)
 
     trace = sub.add_parser(

@@ -3,11 +3,12 @@
 from .async_runner import run_async_topk
 from .runner import DeployError, TcpRunResult, run_tcp_topk
 from .tcp_node import TcpNodeError, TcpParty
-from .wire import MAX_FRAME_BYTES, WireError, recv_frame, send_frame
+from .wire import MAX_FRAME_BYTES, PREFIX_BYTES, WireError, recv_frame, send_frame
 
 __all__ = [
     "DeployError",
     "MAX_FRAME_BYTES",
+    "PREFIX_BYTES",
     "TcpNodeError",
     "TcpParty",
     "TcpRunResult",

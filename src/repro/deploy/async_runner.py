@@ -21,9 +21,7 @@ from ..network.message import Message, MessageType, result_message, token_messag
 from ..network.node import LocalAlgorithm
 from ..network.ring import RingTopology
 from .runner import DeployError
-from .wire import MAX_FRAME_BYTES
-
-_PREFIX = 4
+from .wire import MAX_FRAME_BYTES, PREFIX_BYTES
 
 
 @dataclass
@@ -46,7 +44,7 @@ class _AsyncParty:
     async def handle_connection(
         self, reader: asyncio.StreamReader, _writer: asyncio.StreamWriter
     ) -> None:
-        prefix = await reader.readexactly(_PREFIX)
+        prefix = await reader.readexactly(PREFIX_BYTES)
         length = int.from_bytes(prefix, "big")
         if length > MAX_FRAME_BYTES:
             raise DeployError(f"oversized frame: {length} bytes")
@@ -101,7 +99,7 @@ class _AsyncParty:
         assert successor.address is not None
         _reader, writer = await asyncio.open_connection(*successor.address)
         body = message.encode()
-        writer.write(len(body).to_bytes(_PREFIX, "big") + body)
+        writer.write(len(body).to_bytes(PREFIX_BYTES, "big") + body)
         await writer.drain()
         writer.close()
 

@@ -14,7 +14,14 @@ import socket
 #: anything huge indicates corruption or a protocol error.
 MAX_FRAME_BYTES = 1 << 20
 
-_PREFIX_BYTES = 4
+#: Width of the big-endian length prefix.  Public because every substrate
+#: that speaks this framing (thread-per-party TCP here, asyncio streams in
+#: :mod:`repro.deploy.async_runner`) must share one value or frames written
+#: by one cannot be read by the other.
+PREFIX_BYTES = 4
+
+# Backwards-compatible private alias (pre-1.1 internal name).
+_PREFIX_BYTES = PREFIX_BYTES
 
 
 class WireError(RuntimeError):

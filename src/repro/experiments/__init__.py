@@ -2,20 +2,26 @@
 
 from .config import PAPER_TRIALS, TrialSetup
 from .figures import EXPERIMENTS, Experiment, all_experiment_ids, run_experiment
-from .report import render_figure, render_table, write_csv
+from .report import render_figure, render_table, render_timing, write_csv
 from .runner import (
+    TrialError,
     aggregate_coalition_lop,
     aggregate_node_lop,
     mean_final_precision,
     mean_lop_by_round,
     mean_messages,
     mean_precision_by_round,
+    resolve_jobs,
     run_single_trial,
     run_trials,
+    run_trials_many,
+    shutdown_pool,
+    using_jobs,
 )
 from .series import FigureData, Series
 from .summary import generate_report, write_report
 from .svg_plot import render_svg, write_all_svgs, write_svg
+from .telemetry import PointTelemetry, TelemetryCollector, TrialTiming, collect
 from .validate import Check, render_scorecard, scorecard, validate_experiment
 
 __all__ = [
@@ -24,12 +30,17 @@ __all__ = [
     "Experiment",
     "FigureData",
     "PAPER_TRIALS",
+    "PointTelemetry",
     "Series",
+    "TelemetryCollector",
+    "TrialError",
     "TrialSetup",
+    "TrialTiming",
     "aggregate_coalition_lop",
     "generate_report",
     "aggregate_node_lop",
     "all_experiment_ids",
+    "collect",
     "mean_final_precision",
     "mean_lop_by_round",
     "mean_messages",
@@ -38,10 +49,15 @@ __all__ = [
     "render_scorecard",
     "render_svg",
     "render_table",
+    "render_timing",
+    "resolve_jobs",
     "run_experiment",
     "run_single_trial",
     "run_trials",
+    "run_trials_many",
     "scorecard",
+    "shutdown_pool",
+    "using_jobs",
     "validate_experiment",
     "write_all_svgs",
     "write_csv",

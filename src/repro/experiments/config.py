@@ -10,6 +10,7 @@ the paper reports uniform).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field, replace
 
@@ -54,21 +55,30 @@ class TrialSetup:
         """A modified copy — the sweep helper used by every figure module."""
         return replace(self, **overrides)
 
-    def trial_seed(self, trial_index: int) -> int:
-        """Deterministic per-trial seed (stable across processes).
+    def _derived_seed(self, trial_index: int, stream: str) -> int:
+        """SHA-256-derived 64-bit seed for one ``(seed, trial, stream)`` cell.
 
-        Built arithmetically rather than with ``hash()``, whose string
-        hashing is randomized per interpreter run.  The data seed and the
-        protocol seed both derive from this, so two setups differing only in
-        ``protocol`` see *paired* datasets — the protocol comparisons
-        (Figures 10 and 12) are paired experiments.
+        Built with :mod:`hashlib` rather than ``hash()`` (whose string
+        hashing is randomized per interpreter run) or modular arithmetic
+        (whose 31-bit masking let distinct ``(seed, trial_index)`` pairs —
+        and the old ``2s`` / ``2s+1`` data/protocol streams of *different*
+        setups — collide).  Stable across processes, so parallel trial
+        execution reproduces serial runs bit for bit.  Only ``seed``,
+        ``trial_index`` and the stream tag enter the hash: two setups
+        differing only in ``protocol`` see *paired* datasets — the protocol
+        comparisons (Figures 10 and 12) are paired experiments.
         """
         if trial_index < 0:
             raise ValueError(f"trial_index must be >= 0, got {trial_index}")
-        return (self.seed * 1_000_003 + trial_index * 7_919 + 12_345) & 0x7FFFFFFF
+        material = f"{self.seed}:{trial_index}:{stream}".encode()
+        return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+    def trial_seed(self, trial_index: int) -> int:
+        """Deterministic per-trial seed (stable across processes)."""
+        return self._derived_seed(trial_index, "trial")
 
     def data_rng(self, trial_index: int) -> random.Random:
-        return random.Random(self.trial_seed(trial_index) * 2 + 1)
+        return random.Random(self._derived_seed(trial_index, "data"))
 
     def protocol_seed(self, trial_index: int) -> int:
-        return self.trial_seed(trial_index) * 2
+        return self._derived_seed(trial_index, "protocol")

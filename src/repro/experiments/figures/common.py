@@ -7,9 +7,12 @@ vary the dampening factor ``d`` at fixed ``p0 = 1``.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from ...core.params import ProtocolParams
 from ..config import PAPER_TRIALS, TrialSetup
-from ..runner import run_trials
+from ...core.results import ProtocolResult
+from ..runner import run_trials, run_trials_many
 from ..series import FigureData, Series
 
 #: p0 values swept in the "(a)" panels (paper plots a small spread of p0).
@@ -34,6 +37,8 @@ __all__ = [
     "TrialSetup",
     "params_with",
     "run_trials",
+    "run_trials_many",
+    "sweep_results",
 ]
 
 
@@ -42,3 +47,15 @@ def params_with(
 ) -> ProtocolParams:
     """ProtocolParams with an exponential schedule and optional fixed rounds."""
     return ProtocolParams.with_randomization(p0, d, rounds=rounds, **overrides)
+
+
+def sweep_results(setups: Sequence[TrialSetup]) -> list[list[ProtocolResult]]:
+    """Trials for a whole sweep at once, one result list per setup.
+
+    A thin alias for :func:`repro.experiments.runner.run_trials_many` under
+    the ambient ``jobs`` default: with a worker pool active, the trials of
+    *all* sweep points interleave across workers (no idle tail between
+    points), and the per-setup result lists are bit-identical to running
+    each setup serially.
+    """
+    return run_trials_many(setups)

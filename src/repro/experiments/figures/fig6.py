@@ -10,7 +10,7 @@ first round (small margin); smaller ``d`` reaches 100% much faster.
 from __future__ import annotations
 
 from ..config import PAPER_TRIALS
-from ..runner import mean_precision_by_round, run_trials
+from ..runner import mean_precision_by_round
 from .common import (
     D_SWEEP,
     FIXED_D,
@@ -21,6 +21,7 @@ from .common import (
     Series,
     TrialSetup,
     params_with,
+    sweep_results,
 )
 
 FIGURE_ID = "fig6"
@@ -30,16 +31,24 @@ FIGURE_ID = "fig6"
 N_NODES = 10
 
 
-def _series(p0: float, d: float, label: str, trials: int, seed: int) -> Series:
-    setup = TrialSetup(
+def _setup(p0: float, d: float, trials: int, seed: int) -> TrialSetup:
+    return TrialSetup(
         n=N_NODES,
         k=1,
         params=params_with(p0, d, rounds=MAX_ROUNDS),
         trials=trials,
         seed=seed,
     )
-    results = run_trials(setup)
-    return Series(label, tuple(mean_precision_by_round(results, MAX_ROUNDS)))
+
+
+def _sweep(labels_and_setups: list[tuple[str, TrialSetup]]) -> tuple[Series, ...]:
+    # All sweep points of a panel run as one batch so a worker pool stays
+    # busy across point boundaries; serial runs are unaffected.
+    setups = [setup for _label, setup in labels_and_setups]
+    return tuple(
+        Series(label, tuple(mean_precision_by_round(results, MAX_ROUNDS)))
+        for (label, _setup), results in zip(labels_and_setups, sweep_results(setups))
+    )
 
 
 def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
@@ -49,8 +58,8 @@ def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
         title="Measured max-selection precision vs rounds (varying p0, d=1/2)",
         xlabel="rounds",
         ylabel="precision",
-        series=tuple(
-            _series(p0, FIXED_D, f"p0={p0}", trials, seed) for p0 in P0_SWEEP
+        series=_sweep(
+            [(f"p0={p0}", _setup(p0, FIXED_D, trials, seed)) for p0 in P0_SWEEP]
         ),
         expectation="matches Figure 3a: to 100%, smaller p0 higher early",
         metadata={"n": N_NODES, "trials": trials},
@@ -60,8 +69,8 @@ def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
         title="Measured max-selection precision vs rounds (varying d, p0=1)",
         xlabel="rounds",
         ylabel="precision",
-        series=tuple(
-            _series(FIXED_P0, d, f"d={d}", trials, seed) for d in D_SWEEP
+        series=_sweep(
+            [(f"d={d}", _setup(FIXED_P0, d, trials, seed)) for d in D_SWEEP]
         ),
         expectation="matches Figure 3b: smaller d reaches 100% much faster",
         metadata={"n": N_NODES, "trials": trials},

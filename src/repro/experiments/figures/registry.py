@@ -8,8 +8,11 @@ returns rendered text.
 from __future__ import annotations
 
 from collections.abc import Callable
+from contextlib import nullcontext
 from dataclasses import dataclass
 
+from .. import telemetry
+from ..runner import using_jobs
 from ..series import FigureData
 from . import (
     ext_bayes,
@@ -127,9 +130,23 @@ EXPERIMENTS: dict[str, Experiment] = {
 
 
 def run_experiment(
-    experiment_id: str, *, trials: int | None = None, seed: int = 0
+    experiment_id: str,
+    *,
+    trials: int | None = None,
+    seed: int = 0,
+    jobs: int | None = None,
+    timing: bool = False,
 ) -> list[FigureData] | str:
-    """Run one experiment by id; figures return panels, table1 returns text."""
+    """Run one experiment by id; figures return panels, table1 returns text.
+
+    ``jobs`` fans every sweep point's trials across that many worker
+    processes (results stay bit-identical to serial; ``None`` keeps the
+    ambient default).  ``timing`` embeds the run's cost summary — wall
+    clock, trial compute, worker utilization, failures — into each
+    returned panel's ``metadata["timing"]`` so reports and SVG output can
+    show what the panel cost.  Timing is opt-in because wall-clock values
+    are non-deterministic and would churn otherwise-reproducible artifacts.
+    """
     try:
         experiment = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -137,7 +154,13 @@ def run_experiment(
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
     if experiment.kind == "table":
         return experiment.runner()
-    return experiment.runner(trials=trials, seed=seed)
+    scope = using_jobs(jobs) if jobs is not None else nullcontext()
+    with scope, telemetry.collect() as collector:
+        panels = experiment.runner(trials=trials, seed=seed)
+    if timing and collector.points:
+        for panel in panels:
+            panel.metadata["timing"] = collector.summary()
+    return panels
 
 
 def all_experiment_ids() -> list[str]:

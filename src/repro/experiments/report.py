@@ -37,9 +37,31 @@ def render_table(figure: FigureData, *, precision: int = 4) -> str:
     return "\n".join(lines)
 
 
+def render_timing(figure: FigureData) -> str | None:
+    """One-line cost summary when the run embedded timing telemetry.
+
+    Present only when the experiment ran with ``timing=True`` (the CLI's
+    ``--timing``); see :func:`repro.experiments.figures.registry.run_experiment`.
+    """
+    timing = figure.metadata.get("timing")
+    if not isinstance(timing, dict):
+        return None
+    return (
+        f"cost: {timing.get('trials', '?')} trials in "
+        f"{timing.get('wall_seconds', 0.0):.3f}s wall — "
+        f"jobs={timing.get('jobs', 1)}, "
+        f"utilization={timing.get('utilization', 1.0):.0%}, "
+        f"workers={timing.get('workers', 1)}, "
+        f"failures={timing.get('failures', 0)}"
+    )
+
+
 def render_figure(figure: FigureData, *, plot: bool = True) -> str:
     """Table plus (optionally) the ASCII plot."""
     parts = [render_table(figure)]
+    timing = render_timing(figure)
+    if timing:
+        parts.append(timing)
     if plot:
         parts.append(render_plot(figure))
     return "\n\n".join(parts)

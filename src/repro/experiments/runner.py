@@ -1,9 +1,16 @@
 """Trial execution and cross-trial aggregation.
 
 The paper averages every plotted point over 100 experiments.  This module
-runs those repeated trials and aggregates the two quantities the evaluation
-plots: precision (per round) and loss of privacy (per round, and per node
-aggregated to system average / worst case).
+runs those repeated trials — serially or fanned across a process pool —
+and aggregates the two quantities the evaluation plots: precision (per
+round) and loss of privacy (per round, and per node aggregated to system
+average / worst case).
+
+Parallel execution is an optimization only: each trial is a pure function
+of ``(setup, trial_index)`` (the per-trial seed derivation in
+:mod:`repro.experiments.config` is process-stable), so ``run_trials`` with
+any ``jobs`` value returns results bit-identical to the serial path.  The
+parity tests in ``tests/experiments/test_parallel.py`` enforce this.
 
 Aggregation order matters for the worst case: each node's LoP is averaged
 across trials *first*, and the worst case is the most-exposed node of those
@@ -15,8 +22,15 @@ Figure 10(b) demonstrates.
 
 from __future__ import annotations
 
+import atexit
+import math
+import os
+import time
 from collections import defaultdict
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from pickle import PicklingError
 
 from ..core.driver import RunConfig, run_protocol_on_vectors
 from ..core.results import ProtocolResult
@@ -24,7 +38,19 @@ from ..database.generator import DataGenerator
 from ..database.query import TopKQuery
 from ..privacy.adversary import coalition_lop
 from ..privacy.lop import node_lop, node_round_lop
+from . import telemetry
 from .config import TrialSetup
+from .telemetry import PointTelemetry, TrialTiming
+
+
+class TrialError(RuntimeError):
+    """A trial raised inside the engine; carries the failing trial index."""
+
+    def __init__(self, setup: TrialSetup, trial_index: int, cause: BaseException):
+        super().__init__(
+            f"trial {trial_index} of {_setup_label(setup)} failed: {cause!r}"
+        )
+        self.trial_index = trial_index
 
 
 def run_single_trial(setup: TrialSetup, trial_index: int) -> ProtocolResult:
@@ -45,9 +71,193 @@ def run_single_trial(setup: TrialSetup, trial_index: int) -> ProtocolResult:
     return run_protocol_on_vectors(local_vectors, query, config)
 
 
-def run_trials(setup: TrialSetup) -> list[ProtocolResult]:
-    """All trials of a setup."""
-    return [run_single_trial(setup, t) for t in range(setup.trials)]
+# -- the parallel trial-execution engine -------------------------------------
+
+#: ``jobs`` default used when a call passes ``jobs=None``; settable as a
+#: scope via :func:`using_jobs` so the CLI's ``--jobs`` reaches every
+#: ``run_trials`` call inside a figure without changing figure signatures.
+_DEFAULT_JOBS = 1
+
+#: Chunks per worker: small enough to amortize dispatch overhead, large
+#: enough that an uneven chunk doesn't leave workers idle at the tail.
+_CHUNKS_PER_WORKER = 4
+
+#: Lazily created, reused pool (keyed by worker count) so every sweep
+#: point of a figure shares one set of workers instead of re-forking.
+_POOL: tuple[int, ProcessPoolExecutor] | None = None
+
+
+@contextmanager
+def using_jobs(jobs: int | None) -> Iterator[None]:
+    """Scope the default ``jobs`` for nested ``run_trials`` calls."""
+    global _DEFAULT_JOBS
+    previous = _DEFAULT_JOBS
+    _DEFAULT_JOBS = resolve_jobs(jobs)
+    try:
+        yield
+    finally:
+        _DEFAULT_JOBS = previous
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` request: None -> scoped default, 0 -> all cores."""
+    if jobs is None:
+        return _DEFAULT_JOBS
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared worker pool (idempotent)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL[1].shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+
+
+atexit.register(shutdown_pool)
+
+
+def _shared_pool(jobs: int) -> ProcessPoolExecutor:
+    global _POOL
+    if _POOL is not None and _POOL[0] != jobs:
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = (jobs, ProcessPoolExecutor(max_workers=jobs))
+    return _POOL[1]
+
+
+def _setup_label(setup: TrialSetup) -> str:
+    return (
+        f"{setup.protocol} n={setup.n} k={setup.k} "
+        f"{setup.distribution} seed={setup.seed}"
+    )
+
+
+def _run_chunk(
+    setup: TrialSetup, indices: Sequence[int]
+) -> list[tuple[int, ProtocolResult | None, BaseException | None, float, int]]:
+    """Worker body: run a contiguous block of trials, timing each one.
+
+    Failures are returned (not raised) so one bad trial cannot poison the
+    pool; the parent re-raises after accounting for them.
+    """
+    out = []
+    pid = os.getpid()
+    for trial_index in indices:
+        start = time.perf_counter()
+        try:
+            result: ProtocolResult | None = run_single_trial(setup, trial_index)
+            error: BaseException | None = None
+        except Exception as exc:
+            result, error = None, exc
+        out.append((trial_index, result, error, time.perf_counter() - start, pid))
+    return out
+
+
+def _chunk_indices(trials: int, jobs: int) -> list[range]:
+    size = max(1, math.ceil(trials / (jobs * _CHUNKS_PER_WORKER)))
+    return [range(lo, min(lo + size, trials)) for lo in range(0, trials, size)]
+
+
+def _finish_point(
+    setup: TrialSetup,
+    jobs: int,
+    mode: str,
+    wall_start: float,
+    rows: list[tuple[int, ProtocolResult | None, BaseException | None, float, int]],
+) -> list[ProtocolResult]:
+    """Reassemble ordered results, record telemetry, surface failures."""
+    rows.sort(key=lambda row: row[0])
+    timings = tuple(
+        TrialTiming(trial_index=t, seconds=dt, worker=pid, ok=err is None)
+        for t, _res, err, dt, pid in rows
+    )
+    failures = [(t, err) for t, _res, err, _dt, _pid in rows if err is not None]
+    telemetry.record_point(
+        PointTelemetry(
+            label=_setup_label(setup),
+            trials=setup.trials,
+            jobs=jobs,
+            mode=mode,
+            wall_seconds=time.perf_counter() - wall_start,
+            trial_seconds=sum(t.seconds for t in timings),
+            failures=len(failures),
+            workers=tuple(sorted({t.worker for t in timings})),
+            timings=timings,
+        )
+    )
+    if failures:
+        trial_index, cause = failures[0]
+        raise TrialError(setup, trial_index, cause) from cause
+    results = [res for _t, res, _err, _dt, _pid in rows]
+    assert all(res is not None for res in results)
+    return results  # type: ignore[return-value]
+
+
+def run_trials_many(
+    setups: Sequence[TrialSetup], *, jobs: int | None = None
+) -> list[list[ProtocolResult]]:
+    """Run several sweep points, fanning all their trials over one pool.
+
+    The batched form keeps workers busy across sweep-point boundaries (the
+    tail of one point overlaps the head of the next); results come back
+    grouped per setup, in trial order — bit-identical to calling
+    :func:`run_trials` on each setup serially.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1:
+        return [_run_serial(setup, jobs) for setup in setups]
+    wall_start = time.perf_counter()
+    try:
+        pool = _shared_pool(jobs)
+        pending = [
+            (i, pool.submit(_run_chunk, setup, list(chunk)))
+            for i, setup in enumerate(setups)
+            for chunk in _chunk_indices(setup.trials, jobs)
+        ]
+    except (OSError, PicklingError, NotImplementedError):
+        # No usable pool on this platform/configuration: degrade politely.
+        shutdown_pool()
+        return [_run_serial(setup, jobs, mode="serial-fallback") for setup in setups]
+    per_setup: dict[int, list] = {i: [] for i in range(len(setups))}
+    try:
+        for i, future in pending:
+            per_setup[i].extend(future.result())
+    except BaseException:
+        # A lost worker (or Ctrl-C) leaves the pool unusable; reset it so
+        # the next call starts clean, then let the error surface.
+        shutdown_pool()
+        raise
+    # Note: in batched mode the per-point walls overlap (the pool works on
+    # several sweep points at once), so they sum to more than the batch
+    # wall; each point's wall is "time until its results were ready".
+    return [
+        _finish_point(setup, jobs, "parallel", wall_start, per_setup[i])
+        for i, setup in enumerate(setups)
+    ]
+
+
+def _run_serial(
+    setup: TrialSetup, jobs: int, *, mode: str = "serial"
+) -> list[ProtocolResult]:
+    wall_start = time.perf_counter()
+    rows = _run_chunk(setup, range(setup.trials))
+    return _finish_point(setup, jobs, mode, wall_start, rows)
+
+
+def run_trials(setup: TrialSetup, *, jobs: int | None = None) -> list[ProtocolResult]:
+    """All trials of a setup, optionally fanned across worker processes.
+
+    ``jobs=None`` uses the scoped default (see :func:`using_jobs`, serial
+    unless the CLI's ``--jobs`` raised it), ``jobs=1`` forces the serial
+    path, ``jobs=0`` uses every core.  Any value returns bit-identical
+    results.
+    """
+    return run_trials_many([setup], jobs=jobs)[0]
 
 
 # -- aggregation -------------------------------------------------------------

@@ -7,6 +7,7 @@ rendering (tables, ASCII plots, CSV) lives in :mod:`repro.experiments.report`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -36,8 +37,11 @@ class Series:
         return [p[1] for p in self.points]
 
     def y_at(self, x: float) -> float:
+        # Tolerant match: x values accumulated in float (epsilon sweeps,
+        # round counters built by repeated addition) can differ from the
+        # queried literal by an ulp or two — exact equality silently missed.
         for px, py in self.points:
-            if px == x:
+            if math.isclose(px, x, rel_tol=1e-9, abs_tol=1e-12):
                 return py
         raise KeyError(f"series {self.label!r} has no point at x={x}")
 

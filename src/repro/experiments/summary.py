@@ -11,7 +11,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from .figures.registry import EXPERIMENTS, run_experiment
-from .report import render_table
+from .report import render_table, render_timing
 from .series import FigureData
 
 
@@ -20,9 +20,13 @@ def _panel_markdown(panel: FigureData) -> str:
     lines.append("```")
     lines.append(render_table(panel))
     lines.append("```")
-    if panel.metadata:
-        rendered = ", ".join(f"{k}={v}" for k, v in sorted(panel.metadata.items()))
+    parameters = {k: v for k, v in panel.metadata.items() if k != "timing"}
+    if parameters:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(parameters.items()))
         lines.append(f"*parameters: {rendered}*")
+    timing = render_timing(panel)
+    if timing:
+        lines.append(f"*{timing}*")
     lines.append("")
     return "\n".join(lines)
 
@@ -32,6 +36,8 @@ def generate_report(
     trials: int | None = None,
     seed: int = 0,
     include_extensions: bool = True,
+    jobs: int | None = None,
+    timing: bool = False,
 ) -> str:
     """Run every registered experiment and render the markdown report."""
     sections = [
@@ -52,7 +58,13 @@ def generate_report(
             f"## {experiment.paper_artifact} — {experiment.description}"
         )
         sections.append("")
-        outcome = run_experiment(experiment.experiment_id, trials=trials, seed=seed)
+        outcome = run_experiment(
+            experiment.experiment_id,
+            trials=trials,
+            seed=seed,
+            jobs=jobs,
+            timing=timing,
+        )
         if isinstance(outcome, str):
             sections.extend(["```", outcome, "```", ""])
         else:
@@ -67,13 +79,19 @@ def write_report(
     trials: int | None = None,
     seed: int = 0,
     include_extensions: bool = True,
+    jobs: int | None = None,
+    timing: bool = False,
 ) -> Path:
     """Generate the report and write it to ``path``."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
         generate_report(
-            trials=trials, seed=seed, include_extensions=include_extensions
+            trials=trials,
+            seed=seed,
+            include_extensions=include_extensions,
+            jobs=jobs,
+            timing=timing,
         )
     )
     return path

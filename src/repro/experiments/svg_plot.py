@@ -139,6 +139,17 @@ def render_svg(figure: FigureData) -> str:
             f'<text x="{x1 - 104}" y="{legend_y + 4}">{_escape(series.label)}</text>'
         )
 
+    # Cost footer, present only when the run embedded timing telemetry.
+    from .report import render_timing
+
+    timing = render_timing(figure)
+    if timing:
+        parts.append(
+            f'<text x="{WIDTH - MARGIN_RIGHT}" y="{HEIGHT - 12}" '
+            f'text-anchor="end" font-size="10" fill="#666">'
+            f"{_escape(timing)}</text>"
+        )
+
     parts.append("</svg>")
     return "\n".join(parts)
 

@@ -1,0 +1,164 @@
+"""Run-time observability for the trial-execution engine.
+
+The paper averages every plotted point over 100 trials; regenerating a
+figure therefore runs hundreds to thousands of protocol executions.  This
+module records what that run actually cost: per-trial wall-clock, per-
+sweep-point wall-clock, which worker processes did the work, and how many
+trials failed.  The runner reports into whatever collectors are active
+(see :func:`collect`), so the CLI's ``--timing`` flag and the parity tests
+can observe the same run without threading a collector through every
+figure module.
+
+All quantities here are *observability* data: they never influence the
+experiment results themselves, which stay bit-identical for a given setup
+regardless of ``jobs`` (see :mod:`repro.experiments.runner`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TrialTiming:
+    """Cost of one protocol trial."""
+
+    trial_index: int
+    seconds: float
+    worker: int  # OS pid of the process that ran the trial
+    ok: bool = True
+
+
+@dataclass(frozen=True)
+class PointTelemetry:
+    """Cost of one sweep point (one ``run_trials`` batch).
+
+    ``trial_seconds`` is the summed per-trial compute time; comparing it
+    with ``wall_seconds * jobs`` gives worker utilization — how much of the
+    pool's capacity the batch actually used.
+    """
+
+    label: str
+    trials: int
+    jobs: int
+    mode: str  # "serial" | "parallel" | "serial-fallback"
+    wall_seconds: float
+    trial_seconds: float
+    failures: int
+    workers: tuple[int, ...]
+    timings: tuple[TrialTiming, ...] = ()
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool's wall-clock capacity spent in trials."""
+        capacity = self.wall_seconds * max(1, self.jobs)
+        if capacity <= 0.0:
+            return 1.0
+        return min(1.0, self.trial_seconds / capacity)
+
+
+class TelemetryCollector:
+    """Accumulates sweep-point telemetry for one experiment run."""
+
+    def __init__(self) -> None:
+        self.points: list[PointTelemetry] = []
+
+    def record(self, point: PointTelemetry) -> None:
+        self.points.append(point)
+
+    # -- aggregation ---------------------------------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(p.wall_seconds for p in self.points)
+
+    @property
+    def trial_seconds(self) -> float:
+        return sum(p.trial_seconds for p in self.points)
+
+    @property
+    def trials(self) -> int:
+        return sum(p.trials for p in self.points)
+
+    @property
+    def failures(self) -> int:
+        return sum(p.failures for p in self.points)
+
+    @property
+    def workers(self) -> tuple[int, ...]:
+        seen: set[int] = set()
+        for point in self.points:
+            seen.update(point.workers)
+        return tuple(sorted(seen))
+
+    def summary(self) -> dict[str, object]:
+        """A compact, metadata-embeddable cost summary."""
+        jobs = max((p.jobs for p in self.points), default=1)
+        capacity = sum(p.wall_seconds * max(1, p.jobs) for p in self.points)
+        utilization = (
+            min(1.0, self.trial_seconds / capacity) if capacity > 0 else 1.0
+        )
+        return {
+            "points": len(self.points),
+            "trials": self.trials,
+            "jobs": jobs,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "trial_seconds": round(self.trial_seconds, 6),
+            "utilization": round(utilization, 4),
+            "workers": len(self.workers) or 1,
+            "failures": self.failures,
+        }
+
+    def render(self) -> str:
+        """Human-readable per-point timing table for ``--timing`` output."""
+        lines = [
+            f"{'sweep point':<44} {'trials':>6} {'jobs':>4} {'mode':>15} "
+            f"{'wall (s)':>9} {'util':>6} {'fail':>4}"
+        ]
+        lines.append("-" * len(lines[0]))
+        for point in self.points:
+            lines.append(
+                f"{point.label:<44.44} {point.trials:>6} {point.jobs:>4} "
+                f"{point.mode:>15} {point.wall_seconds:>9.3f} "
+                f"{point.utilization:>6.0%} {point.failures:>4}"
+            )
+        summary = self.summary()
+        lines.append("-" * len(lines[0]))
+        lines.append(
+            f"total: {summary['trials']} trials over {summary['points']} "
+            f"sweep points in {summary['wall_seconds']:.3f}s wall "
+            f"({summary['trial_seconds']:.3f}s of trial compute, "
+            f"{summary['utilization']:.0%} utilization, "
+            f"{summary['workers']} worker(s), "
+            f"{summary['failures']} failure(s))"
+        )
+        return "\n".join(lines)
+
+
+#: Collectors currently listening; the runner reports to all of them so
+#: nested scopes (CLI around registry around runner) each see the run.
+_ACTIVE: list[TelemetryCollector] = []
+
+
+@contextmanager
+def collect() -> Iterator[TelemetryCollector]:
+    """Scope within which trial runs report their telemetry."""
+    collector = TelemetryCollector()
+    _ACTIVE.append(collector)
+    try:
+        yield collector
+    finally:
+        _ACTIVE.remove(collector)
+
+
+def record_point(point: PointTelemetry) -> None:
+    """Report one sweep point to every active collector (runner hook)."""
+    for collector in _ACTIVE:
+        collector.record(point)
+
+
+def active_collectors() -> int:
+    """How many collectors are listening (0 means telemetry is off)."""
+    return len(_ACTIVE)

@@ -1,5 +1,6 @@
 """Unit tests for the TCP framing layer."""
 
+import asyncio
 import socket
 import threading
 
@@ -7,6 +8,7 @@ import pytest
 
 from repro.deploy.wire import (
     MAX_FRAME_BYTES,
+    PREFIX_BYTES,
     WireError,
     recv_frame,
     send_frame,
@@ -73,3 +75,48 @@ class TestFraming:
                 a.sendall((10).to_bytes(4, "big") + b"only4")
             with pytest.raises(WireError, match="closed"):
                 recv_frame(b)
+
+
+class TestCrossSubstrateFraming:
+    """Both deployment substrates must share one framing contract.
+
+    Regression for the asyncio runner hard-coding its own prefix width:
+    a frame emitted by either substrate must parse on the other, byte for
+    byte, so the constant is exported once from :mod:`repro.deploy.wire`.
+    """
+
+    def test_prefix_constant_is_shared(self):
+        from repro.deploy import async_runner, wire
+
+        assert wire.PREFIX_BYTES == 4
+        # The asyncio substrate imports the shared constant instead of
+        # declaring its own width.
+        assert not hasattr(async_runner, "_PREFIX")
+        assert async_runner.PREFIX_BYTES == wire.PREFIX_BYTES
+
+    def test_wire_frame_parses_with_asyncio_reader(self):
+        # Emit with the socket substrate, parse exactly the way
+        # _AsyncParty.handle_connection does.
+        a, b = socket_pair()
+        with a, b:
+            send_frame(a, b"cross-substrate payload")
+            raw = b.recv(4096)
+
+        async def parse():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            prefix = await reader.readexactly(PREFIX_BYTES)
+            length = int.from_bytes(prefix, "big")
+            return await reader.readexactly(length)
+
+        assert asyncio.run(parse()) == b"cross-substrate payload"
+
+    def test_asyncio_frame_parses_with_wire_receiver(self):
+        # Emit the way _AsyncParty.send does, parse with the socket
+        # substrate's recv_frame.
+        body = b"the other direction"
+        a, b = socket_pair()
+        with a, b:
+            a.sendall(len(body).to_bytes(PREFIX_BYTES, "big") + body)
+            assert recv_frame(b) == body

@@ -70,3 +70,32 @@ class TestSeeding:
     def test_data_and_protocol_seeds_differ(self):
         setup = TrialSetup(n=4, seed=9)
         assert setup.protocol_seed(0) != setup.trial_seed(0) * 2 + 1
+
+    def test_streams_injective_over_swept_ranges(self):
+        # Regression for the 31-bit arithmetic derivation: across every
+        # (seed, trial, stream) cell the harness sweeps, no two cells may
+        # share a seed — a collision silently correlates "independent"
+        # trials.
+        seen: dict[int, tuple] = {}
+        for seed in range(8):
+            setup = TrialSetup(n=4, seed=seed)
+            for trial in range(100):
+                for stream in ("trial", "data", "protocol"):
+                    value = setup._derived_seed(trial, stream)
+                    key = (seed, trial, stream)
+                    assert value not in seen, (key, seen.get(value))
+                    seen[value] = key
+
+    def test_old_derivation_collision_fixed(self):
+        # Under the old linear derivation (seed * 1_000_003 + trial * 7_919)
+        # these two cells collided exactly; the hash derivation keeps them
+        # apart.
+        a = TrialSetup(n=4, seed=7_919).trial_seed(0)
+        b = TrialSetup(n=4, seed=0).trial_seed(1_000_003)
+        assert a != b
+
+    def test_seeds_fit_in_64_bits(self):
+        setup = TrialSetup(n=4, seed=123)
+        for trial in (0, 1, 99):
+            assert 0 <= setup.trial_seed(trial) < 2**64
+            assert 0 <= setup.protocol_seed(trial) < 2**64

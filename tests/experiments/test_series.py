@@ -42,6 +42,23 @@ class TestSeries:
         with pytest.raises(KeyError):
             series.y_at(9.0)
 
+    def test_y_at_tolerates_accumulated_float_x(self):
+        # Regression: x values built by repeated addition (0.1 * 3 != 0.3)
+        # used to miss under exact equality and raise KeyError.
+        x = 0.1 + 0.1 + 0.1
+        assert x != 0.3
+        series = Series("a", ((x, 7.0),))
+        assert series.y_at(0.3) == 7.0
+        assert series.y_at(x) == 7.0
+
+    def test_y_at_tolerance_is_tight(self):
+        # Neighbouring sweep points must not alias each other.
+        series = Series("a", ((1.0, 1.0), (1.0001, 2.0)))
+        assert series.y_at(1.0) == 1.0
+        assert series.y_at(1.0001) == 2.0
+        with pytest.raises(KeyError):
+            series.y_at(1.00005)
+
 
 class TestFigureData:
     def test_requires_series(self):

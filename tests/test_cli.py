@@ -43,6 +43,40 @@ class TestCommands:
         assert csv_path.exists()
         assert "wrote" in capsys.readouterr().out
 
+    def test_figure_parallel_with_timing(self, capsys):
+        assert main(
+            ["figure", "fig7", "--trials", "4", "--no-plot",
+             "--jobs", "2", "--timing"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fig7a" in out
+        assert "cost:" in out  # per-panel timing embedded in metadata
+        assert "sweep point" in out  # the --timing telemetry table
+        assert "parallel" in out
+
+    def test_figure_serial_matches_parallel_output(self, capsys):
+        assert main(["figure", "fig7", "--trials", "4", "--no-plot"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            ["figure", "fig7", "--trials", "4", "--no-plot", "--jobs", "3"]
+        ) == 0
+        parallel_out = capsys.readouterr().out
+        # Determinism guarantee: --jobs changes only the wall clock.
+        assert parallel_out == serial_out
+
+    def test_timing_on_analytic_figure_reports_no_trials(self, capsys):
+        assert main(["figure", "fig3", "--no-plot", "--timing"]) == 0
+        assert "no trial telemetry" in capsys.readouterr().out
+
+    def test_validate_with_jobs_and_timing(self, capsys):
+        assert main(
+            ["validate", "--only", "fig6", "--trials", "20",
+             "--jobs", "2", "--timing"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "sweep point" in out
+
     def test_query_command(self, capsys):
         assert main(
             ["query", "--nodes", "5", "--k", "2", "--seed", "3",
