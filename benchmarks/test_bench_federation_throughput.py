@@ -1,0 +1,129 @@
+"""Bench: federated query throughput — pipelined batches and the result cache.
+
+The throughput engine's two claims, measured end to end through
+``Federation.execute_many``:
+
+* **Pipelining**: a batch of Q independent ranking queries interleaves its
+  ring tokens on one shared transport and completes in simulated time close
+  to the slowest query — asserted >= 2x faster than the sum of sequential
+  runs (measured: ~Q x, since same-shape queries take near-equal time).
+* **Result cache**: repeats of an answered statement are O(1) lookups —
+  zero protocol rounds, zero messages, zero new ledger exposure.
+
+Emits ``results/BENCH_federation_throughput.json`` with queries/sec,
+speedup vs sequential, and the cache hit rate for the report tooling.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.database.database import database_from_values
+from repro.database.query import PAPER_DOMAIN
+from repro.federation import Federation
+
+from conftest import BENCH_SEED
+
+#: The acceptance batch size: 8 distinct ranking statements.
+BATCH_QUERIES = 8
+#: Repeats per statement in the cache measurement.
+CACHE_REPEATS = 25
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "results" / "BENCH_federation_throughput.json"
+)
+
+PARTIES = {
+    "acme": [100, 900, 250, 4100, 66],
+    "bravo": [9000, 40, 1200, 380],
+    "corex": [7000, 6500, 3, 2950],
+    "delta": [5, 8100, 777, 1500],
+    "erie": [4800, 23, 610, 5400],
+}
+
+#: Eight distinct ranking statements (all run the probabilistic protocol).
+STATEMENTS = [
+    f"SELECT TOP {k} value FROM data" for k in (1, 2, 3, 4)
+] + [
+    f"SELECT BOTTOM {k} value FROM data" for k in (1, 2, 3)
+] + ["SELECT MAX(value) FROM data"]
+
+
+def fresh_federation() -> Federation:
+    fed = Federation(domain=PAPER_DOMAIN, seed=BENCH_SEED)
+    for owner, values in PARTIES.items():
+        fed.register(database_from_values(owner, values))
+    return fed
+
+
+def test_bench_federation_throughput():
+    assert len(STATEMENTS) == BATCH_QUERIES
+
+    # -- sequential baseline: one statement at a time ----------------------
+    seq_fed = fresh_federation()
+    start = time.perf_counter()
+    sequential = [seq_fed.execute(s) for s in STATEMENTS]
+    seq_wall = time.perf_counter() - start
+    seq_sim = sum(o.simulated_seconds for o in sequential)
+
+    # -- pipelined batch ---------------------------------------------------
+    batch_fed = fresh_federation()
+    start = time.perf_counter()
+    batch = batch_fed.execute_many(STATEMENTS)
+    batch_wall = time.perf_counter() - start
+    batch_sim = max(o.simulated_seconds for o in batch)
+
+    # Parity first: the speedup must not come from computing something else.
+    for b, s in zip(batch, sequential):
+        assert b.values == s.values
+        assert b.rounds == s.rounds
+    for owner in PARTIES:
+        assert batch_fed.ledger.exposure(owner) == seq_fed.ledger.exposure(owner)
+
+    speedup = seq_sim / batch_sim
+    assert speedup >= 2.0, (
+        f"pipelined batch of {BATCH_QUERIES} only {speedup:.2f}x faster than "
+        f"sequential in simulated time (expected >= 2x)"
+    )
+
+    # -- cache: repeats are O(1), zero protocol, zero new exposure ---------
+    cache_fed = fresh_federation()
+    repeated = [STATEMENTS[0]] * CACHE_REPEATS
+    outcomes = cache_fed.execute_many(repeated)
+    assert not outcomes[0].cached
+    hits = outcomes[1:]
+    assert all(o.cached for o in hits)
+    assert all(o.rounds == 0 and o.messages == 0 for o in hits)
+    assert all(o.values == outcomes[0].values for o in hits)
+    exposure_after_first = {
+        owner: cache_fed.ledger.exposure(owner) for owner in PARTIES
+    }
+    # One more wave of repeats: the ledger must not move at all.
+    start = time.perf_counter()
+    cache_fed.execute_many(repeated)
+    repeat_wall = time.perf_counter() - start
+    for owner in PARTIES:
+        assert cache_fed.ledger.exposure(owner) == exposure_after_first[owner]
+    hit_rate = cache_fed.cache.hit_rate
+    assert cache_fed.cache.hits == 2 * CACHE_REPEATS - 1
+
+    payload = {
+        "seed": BENCH_SEED,
+        "batch_queries": BATCH_QUERIES,
+        "sequential_simulated_seconds": seq_sim,
+        "batch_simulated_seconds": batch_sim,
+        "speedup_vs_sequential": speedup,
+        "sequential_wall_seconds": seq_wall,
+        "batch_wall_seconds": batch_wall,
+        "queries_per_second_wall": BATCH_QUERIES / batch_wall,
+        "cached_queries_per_second_wall": CACHE_REPEATS / repeat_wall,
+        "cache_hit_rate": hit_rate,
+        "cache_hits": cache_fed.cache.hits,
+        "cache_misses": cache_fed.cache.misses,
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nbatch of {BATCH_QUERIES}: simulated {batch_sim:.3f}s vs sequential "
+        f"{seq_sim:.3f}s ({speedup:.2f}x); cache hit rate {hit_rate:.2%}; "
+        f"wrote {RESULTS_PATH.name}"
+    )

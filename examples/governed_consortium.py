@@ -55,7 +55,7 @@ def main() -> None:
             .allow("regulator", ANY)
         )
         federation = Federation(
-            domain=PAPER_DOMAIN, seed=55, privacy_budget=0.6, policy=policy
+            domain=PAPER_DOMAIN, seed=55, privacy_budget=2.0, policy=policy
         )
         for insurer, path in csv_paths.items():
             db = PrivateDatabase(insurer)
@@ -81,7 +81,8 @@ def main() -> None:
                 ran += 1
         except BudgetExceededError as exc:
             print(f"regulator: ran {ran} ranking queries, then -> {exc}")
-        print(f"regulator: last answer               = {list(outcome.values)}")
+        if ran:
+            print(f"regulator: last answer               = {list(outcome.values)}")
         print()
 
         print("audit log:")

@@ -34,8 +34,11 @@ from .core import (
     ExponentialSchedule,
     ProtocolParams,
     ProtocolResult,
+    ProtocolSession,
     RunConfig,
+    run_many_on_vectors,
     run_protocol_on_vectors,
+    run_topk_queries,
     run_topk_query,
 )
 from .database import (
@@ -75,6 +78,7 @@ __all__ = [
     "PrivateDatabase",
     "ProtocolParams",
     "ProtocolResult",
+    "ProtocolSession",
     "QueryOutcome",
     "RunConfig",
     "Schema",
@@ -92,7 +96,9 @@ __all__ = [
     "per_round_average_lop",
     "precision",
     "precision_lower_bound",
+    "run_many_on_vectors",
     "run_protocol_on_vectors",
+    "run_topk_queries",
     "run_topk_query",
     "worst_case_lop",
 ]

@@ -8,10 +8,13 @@ from .driver import (
     DriverError,
     RunConfig,
     derived_rounds,
+    run_many_on_vectors,
     run_protocol_on_vectors,
+    run_topk_queries,
     run_topk_query,
     with_protocol,
 )
+from .session import PreparedQuery, ProtocolSession, prepare_query_vectors
 from .max_protocol import ProbabilisticMaxAlgorithm
 from .naive import NaiveMaxAlgorithm, NaiveTopKAlgorithm
 from .noise import HighBiasedNoise, LowBiasedNoise, NoiseStrategy, UniformNoise
@@ -61,10 +64,12 @@ __all__ = [
     "PROBABILISTIC",
     "PROTOCOLS",
     "ParamError",
+    "PreparedQuery",
     "ProbabilisticMaxAlgorithm",
     "ProbabilisticTopKAlgorithm",
     "ProtocolParams",
     "ProtocolResult",
+    "ProtocolSession",
     "RunConfig",
     "SamplingError",
     "SerializationError",
@@ -81,10 +86,13 @@ __all__ = [
     "multiset_difference",
     "multiset_intersection_size",
     "pad_to_k",
+    "prepare_query_vectors",
     "random_value_in",
     "result_from_dict",
     "result_to_dict",
+    "run_many_on_vectors",
     "run_protocol_on_vectors",
+    "run_topk_queries",
     "run_topk_query",
     "save_result",
     "validate_vector",

@@ -5,44 +5,59 @@ the node-to-successor communication scheme, the per-node local computation
 module, and the initialization module that picks the starting node and the
 randomization parameters.
 
-The driver is deliberately synchronous-deterministic: given a seeded RNG it
-produces a bit-identical run, which is what the experiment harness and the
-property-based tests rely on.
+The round loop itself lives in :mod:`repro.core.session` as a resumable
+:class:`~repro.core.session.ProtocolSession`, so that many independent
+queries can interleave their tokens on one shared transport (the multi-query
+pipelining path used by ``Federation.execute_many``).  The single-query entry
+points below run one session on a dedicated transport and are bit-identical
+to the pre-session driver: given a seeded RNG a run produces a bit-identical
+result, which is what the experiment harness and the property-based tests
+rely on.
 """
 
 from __future__ import annotations
 
 import random
-from collections.abc import Callable
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
 from ..database.database import PrivateDatabase, common_query
-from ..database.query import Domain, TopKQuery
+from ..database.query import TopKQuery
 from ..network.crypto import Keyring
 from ..network.failures import FailureInjector
-from ..network.message import result_message, token_message
-from ..network.node import ProtocolNode
-from ..network.ring import RingError, RingTopology
-from ..network.transport import InMemoryTransport, LatencyModel
-from .naive import NaiveTopKAlgorithm
+from ..network.transport import (
+    DEFAULT_MAX_DELIVERIES,
+    InMemoryTransport,
+    LatencyModel,
+)
 from .params import ParamError, ProtocolParams
 from .results import ProtocolResult
-from .topk_protocol import ProbabilisticTopKAlgorithm
-from .vectors import pad_to_k, validate_vector
+from .session import (
+    ANONYMOUS_NAIVE,
+    NAIVE,
+    PROBABILISTIC,
+    PROTOCOLS,
+    DriverError,
+    ProtocolSession,
+    RingBuilder,
+    prepare_query_vectors,
+)
 
-#: Protocol identifiers used throughout the experiments.
-PROBABILISTIC = "probabilistic"
-NAIVE = "naive"
-ANONYMOUS_NAIVE = "anonymous-naive"
-PROTOCOLS = (PROBABILISTIC, NAIVE, ANONYMOUS_NAIVE)
-
-
-class DriverError(RuntimeError):
-    """Raised when a run is misconfigured or fails to terminate."""
-
-
-#: Signature of a custom ring constructor: (node ids, run RNG) -> ring.
-RingBuilder = Callable[[list[str], random.Random], RingTopology]
+__all__ = [
+    "ANONYMOUS_NAIVE",
+    "NAIVE",
+    "PROBABILISTIC",
+    "PROTOCOLS",
+    "DriverError",
+    "RingBuilder",
+    "RunConfig",
+    "derived_rounds",
+    "run_many_on_vectors",
+    "run_protocol_on_vectors",
+    "run_topk_queries",
+    "run_topk_query",
+    "with_protocol",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +90,14 @@ class RunConfig:
 
     def rng(self) -> random.Random:
         return random.Random(self.seed)
+
+
+def _transport_for(config: RunConfig) -> InMemoryTransport:
+    return InMemoryTransport(
+        latency=config.latency,
+        keyring=Keyring() if config.encrypt else None,
+        failures=config.failures,
+    )
 
 
 def run_topk_query(
@@ -112,279 +135,97 @@ def run_protocol_on_vectors(
     workloads.
     """
     config = config or RunConfig()
-    if len(local_vectors) < 3:
-        raise DriverError(
-            f"the protocol requires n >= 3 nodes, got {len(local_vectors)}"
-        )
-    original_query = query
-    vectors = {node: [float(v) for v in values] for node, values in local_vectors.items()}
-    negated = query.smallest
-    if negated:
-        # Bottom-k reduces to top-k on negated values over the mirrored domain.
-        vectors = {n: [-v for v in vs] for n, vs in vectors.items()}
-        query = TopKQuery(
-            table=query.table,
-            attribute=query.attribute,
-            k=query.k,
-            domain=Domain(-query.domain.high, -query.domain.low, query.domain.integral),
-            smallest=False,
-        )
-    # The protocol's initial step: sort locally, keep the local top-k.
-    vectors = {n: sorted(vs, reverse=True)[: query.k] for n, vs in vectors.items()}
-    result = _run_internal(vectors, query, config)
-    result.negated = negated
-    result.original_query = original_query
-    return result
-
-
-def _build_algorithm(
-    protocol: str,
-    values: list[float],
-    query: TopKQuery,
-    params: ProtocolParams,
-    rng: random.Random,
-):
-    padded = pad_to_k(values, query.k, float(query.domain.low))
-    if protocol == PROBABILISTIC:
-        # Each node gets an independent RNG stream so one node's draws cannot
-        # perturb another's (and runs stay reproducible under refactoring).
-        node_rng = random.Random(rng.getrandbits(64))
-        return ProbabilisticTopKAlgorithm(padded, query.k, params, query.domain, node_rng)
-    return NaiveTopKAlgorithm(padded, query.k)
-
-
-def _run_internal(
-    local_vectors: dict[str, list[float]],
-    query: TopKQuery,
-    config: RunConfig,
-) -> ProtocolResult:
-    rng = config.rng()
-    params = config.params
-    node_ids = sorted(local_vectors)
-
-    if config.protocol == PROBABILISTIC:
-        rounds = params.resolved_rounds()
-    else:
-        rounds = 1  # the naive protocols are single-round by construction
-
-    if config.ring_builder is not None:
-        ring = config.ring_builder(list(node_ids), rng)
-        if sorted(ring.members) != node_ids:
-            raise DriverError(
-                "ring_builder must arrange exactly the participating nodes"
-            )
-    else:
-        ring = RingTopology.random(node_ids, rng)
-    keyring = Keyring() if config.encrypt else None
-    transport = InMemoryTransport(
-        latency=config.latency, keyring=keyring, failures=config.failures
-    )
-
-    if config.protocol == NAIVE:
-        # Fixed starting scheme: the first node in canonical order starts.
-        starter = node_ids[0]
-    else:
-        # Randomized starting scheme (initialization module, Section 3.3).
-        starter = rng.choice(node_ids)
-
-    nodes: dict[str, ProtocolNode] = {}
-    for node_id in node_ids:
-        algorithm = _build_algorithm(
-            config.protocol, local_vectors[node_id], query, params, rng
-        )
-        nodes[node_id] = ProtocolNode(
-            node_id,
-            algorithm,
-            transport,
-            is_starter=(node_id == starter),
-            total_rounds=rounds,
-        )
-
-    state = _RunState(ring=ring)
-
-    def apply_ring(current: RingTopology) -> None:
-        # Crashed nodes may have been spliced out; only rewire members.
-        for node_id in node_ids:
-            if node_id in current:
-                nodes[node_id].successor = current.successor(node_id)
-
-    apply_ring(ring)
-
-    snapshots: dict[int, list[float]] = {}
-    ring_history: dict[int, tuple[str, ...]] = {1: ring.members}
-
-    def on_round_complete(round_number: int) -> None:
-        # Called by the starter when the token comes back around.  Snapshot
-        # the end-of-round global vector, then optionally remap the ring for
-        # the next round (Section 4.3 collusion countermeasure).
-        incoming = transport.event_log.inputs_of(starter).get(round_number)
-        if incoming is not None:
-            snapshots[round_number] = [float(v) for v in incoming]
-        if params.remap_each_round and round_number < rounds:
-            state.ring = state.ring.remap(rng)
-            apply_ring(state.ring)
-            ring_history[round_number + 1] = state.ring.members
-
-    if config.initial_vector is not None:
-        start_vector = [float(v) for v in config.initial_vector]
-        validate_vector(start_vector, query.k)
-        if any(v not in query.domain for v in start_vector):
-            raise DriverError("initial_vector contains out-of-domain values")
-    else:
-        start_vector = [float(v) for v in query.identity_vector()]
-
-    nodes[starter].round_hook = on_round_complete
-    nodes[starter].start(start_vector)
+    prepared = prepare_query_vectors(local_vectors, query)
+    transport = _transport_for(config)
+    session = ProtocolSession(prepared, config, transport)
+    session.start()
     transport.run_until_idle()
-    _recover_from_failures(
-        nodes, state, transport, config, query, starter, apply_ring
-    )
-
-    final = nodes[starter].final_result
-    if final is None:
-        raise DriverError("protocol did not terminate with a result")
-    survivors = [
-        n
-        for n in node_ids
-        if config.failures is None or not config.failures.is_crashed(n)
-    ]
-    missing = [n for n in survivors if nodes[n].final_result is None]
-    if missing:
-        raise DriverError(f"nodes never learned the final result: {missing}")
-
-    return ProtocolResult(
-        query=query,
-        protocol=config.protocol,
-        final_vector=final,
-        ring_order=ring.members,
-        starter=starter,
-        local_vectors={n: sorted(v, reverse=True) for n, v in local_vectors.items()},
-        round_snapshots=snapshots,
-        event_log=transport.event_log,
-        stats=transport.stats,
-        ring_history=ring_history,
-        simulated_seconds=transport.now,
-        schedule=params.schedule if config.protocol == PROBABILISTIC else None,
-    )
+    session.recover()
+    return session.finalize()
 
 
-@dataclass
-class _RunState:
-    """Mutable ring reference shared between the round hook and the driver."""
+def run_many_on_vectors(
+    jobs: Sequence[tuple[dict[str, list[float]], TopKQuery, RunConfig]],
+) -> list[ProtocolResult]:
+    """Run many independent queries pipelined on one shared transport.
 
-    ring: RingTopology
+    Each job is ``(local_vectors, query, config)``.  All sessions start at
+    simulated time zero and interleave their tokens by delivery timestamp, so
+    the batch completes in simulated time close to the slowest query rather
+    than the sum of all queries (the ring-pipelining throughput win).
 
+    Every query draws its randomness from its *own* config's seed, in the
+    same order the single-query path does, so each result is bit-identical
+    to running that query alone with the same config — values, rounds and
+    privacy exposure included.  (Byte accounting differs by the few bytes of
+    the per-message query tag.)
 
-def _recover_from_failures(
-    nodes: dict[str, ProtocolNode],
-    state: _RunState,
-    transport: InMemoryTransport,
-    config: RunConfig,
-    query: TopKQuery,
-    starter: str,
-    apply_ring,
-) -> None:
-    """Ring-repair recovery (Section 3.2) and loss retransmission.
-
-    A crash-stopped node swallows the token and the protocol stalls.  The
-    paper's remedy: "the ring can be reconstructed from scratch or simply by
-    connecting the predecessor and successor of the failed node."  We take
-    the splice approach: drop every crashed node from the ring, rewire the
-    survivors, and have the starting node re-emit its output for the round
-    that stalled (survivors that already processed it simply treat the
-    replayed token per their local algorithm — correctness is unaffected
-    because outputs never exceed the true top-k and insertion is
-    idempotent).  A crashed *starting* node is unrecoverable by splicing
-    (the paper's from-scratch rebuild covers it) and reported loudly.
-
-    Lossy links (a drop probability with no crash) use the same machinery
-    minus the splice: the starter retransmits the stalled round's token, with
-    a bounded retry budget so a pathological loss rate still fails loudly.
+    Transport-level settings (``encrypt``, ``latency``, ``failures``) must
+    be shared across the batch, since one transport carries all queries.
     """
-    failures = config.failures
-    if failures is None:
-        return
-    lossy = getattr(failures, "drop_probability", 0.0) > 0.0
-    attempts = 0
-    while nodes[starter].final_result is None:
-        crashed = [n for n in state.ring.members if failures.is_crashed(n)]
-        if not crashed and not lossy:
-            return  # nothing to repair; let the caller report the stall
-        if failures.is_crashed(starter):
-            raise DriverError(
-                "the starting node crashed; the ring must be rebuilt from "
-                "scratch with a fresh initialization"
-            )
-        attempts += 1
-        # Each retransmission restarts one stalled round, so the budget
-        # scales with the round count; it only bounds pathological loss
-        # rates, not normal operation.
-        retry_budget = max(len(nodes), 16, 8 * nodes[starter].total_rounds)
-        if attempts > retry_budget:
-            raise DriverError(
-                "ring repair / retransmission did not converge"
-            )
-        try:
-            for failed in crashed:
-                state.ring = state.ring.repair(failed)
-        except RingError as exc:
-            raise DriverError(f"cannot repair ring: {exc}") from exc
-        apply_ring(state.ring)
-        # Values inserted into the lost token segment are gone; survivors
-        # must be allowed to contribute again, and must *forget* the
-        # insertions the replay erases (those of the stalled round) or they
-        # would mis-attribute equal surviving values as their own.  The
-        # starter's stalled-round insertion is the exception: it is embodied
-        # in the replayed vector itself.
-        stalled_round = nodes[starter].rounds_completed + 1
-        for node_id, node in nodes.items():
-            if not failures.is_crashed(node_id):
-                rearm = getattr(node.algorithm, "rearm", None)
-                if rearm is not None:
-                    rearm(None if node_id == starter else stalled_round)
-        # Replay exactly what the starter last emitted for the stalled
-        # round; the node-side copy survives even when the transport dropped
-        # the send before any log saw it.
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    base = jobs[0][2]
+    for _vectors, _query, config in jobs:
         if (
-            nodes[starter].last_sent_vector is not None
-            and nodes[starter].last_sent_round == stalled_round
+            config.encrypt != base.encrypt
+            or config.latency is not base.latency
+            or config.failures is not base.failures
         ):
-            vector = list(nodes[starter].last_sent_vector)
-        else:
-            vector = [float(v) for v in query.identity_vector()]
-        transport.send(
-            token_message(
-                starter, state.ring.successor(starter), stalled_round, vector
+            raise DriverError(
+                "batched queries must share transport settings "
+                "(encrypt, latency, failures)"
             )
+    transport = _transport_for(base)
+    sessions = [
+        ProtocolSession(
+            prepare_query_vectors(vectors, query),
+            config,
+            transport,
+            query_id=f"q{index}",
         )
-        transport.run_until_idle()
+        for index, (vectors, query, config) in enumerate(jobs)
+    ]
+    for session in sessions:
+        session.start()
+    # Scale the runaway bound with the number of interleaved queries so a
+    # legitimately large batch is not misdiagnosed as a non-quiescing run.
+    transport.run_until_idle(
+        max_deliveries=DEFAULT_MAX_DELIVERIES * len(sessions)
+    )
+    results = []
+    for session in sessions:
+        session.recover()
+        results.append(session.finalize())
+    return results
 
-    # The token phase finished; make sure the result broadcast also survived
-    # (it too can be eaten by a crash or a lossy link).
-    final = nodes[starter].final_result
-    rebroadcasts = 0
-    while True:
-        survivors = [n for n in state.ring.members if not failures.is_crashed(n)]
-        if all(nodes[n].final_result is not None for n in survivors):
-            return
-        rebroadcasts += 1
-        if rebroadcasts > max(len(nodes), 16):
-            raise DriverError("result broadcast did not converge")
-        try:
-            for failed in [n for n in state.ring.members if failures.is_crashed(n)]:
-                state.ring = state.ring.repair(failed)
-        except RingError as exc:
-            raise DriverError(f"cannot repair ring: {exc}") from exc
-        apply_ring(state.ring)
-        transport.send(
-            result_message(
-                starter,
-                state.ring.successor(starter),
-                nodes[starter].rounds_completed + 1,
-                list(final),
-            )
+
+def run_topk_queries(
+    databases: list[PrivateDatabase],
+    queries: Sequence[TopKQuery],
+    configs: Sequence[RunConfig],
+) -> list[ProtocolResult]:
+    """Batch counterpart of :func:`run_topk_query`: one config per query.
+
+    Validates the schema precondition per query, extracts local vectors, and
+    pipelines all runs on one shared transport via
+    :func:`run_many_on_vectors`.
+    """
+    if len(queries) != len(configs):
+        raise DriverError(
+            f"got {len(queries)} queries but {len(configs)} configs"
         )
-        transport.run_until_idle()
+    owners = [db.owner for db in databases]
+    if len(set(owners)) != len(owners):
+        raise DriverError(f"duplicate database owners: {owners}")
+    jobs = []
+    for query, config in zip(queries, configs):
+        common_query(databases, query)
+        jobs.append(
+            ({db.owner: db.local_topk(query) for db in databases}, query, config)
+        )
+    return run_many_on_vectors(jobs)
 
 
 def derived_rounds(params: ProtocolParams) -> int:

@@ -24,6 +24,7 @@ class PrivateDatabase:
             raise ValueError("owner must be non-empty")
         self.owner = owner
         self._tables: dict[str, Table] = {}
+        self._ddl_version = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"PrivateDatabase(owner={self.owner!r}, tables={sorted(self._tables)})"
@@ -35,12 +36,27 @@ class PrivateDatabase:
             raise SchemaError(f"table {name!r} already exists in {self.owner}'s database")
         table = Table(name, schema)
         self._tables[name] = table
+        self._ddl_version += 1
         return table
 
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise SchemaError(f"no such table: {name!r}")
+        # Absorb the dropped table's row-version into the DDL counter so the
+        # database-wide version stays monotone (a drop must not *decrease*
+        # it, or a recreate could replay a previously seen version).
+        self._ddl_version += self._tables[name].version + 1
         del self._tables[name]
+
+    @property
+    def data_version(self) -> int:
+        """Monotone version covering both schema (DDL) and row mutations.
+
+        Any insert, create or drop strictly increases it, which is what the
+        federation's query-result cache keys on to invalidate answers after
+        the underlying private data changes.
+        """
+        return self._ddl_version + sum(t.version for t in self._tables.values())
 
     def table(self, name: str) -> Table:
         try:

@@ -27,6 +27,7 @@ class Table:
         self.name = name
         self.schema = schema
         self._rows: list[Row] = []
+        self._version = 0
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -44,6 +45,7 @@ class Table:
         self.schema.validate_row(row)
         # Store a copy so later caller-side mutation cannot corrupt the table.
         self._rows.append(dict(row))
+        self._version += 1
 
     def insert_many(self, rows: Iterable[Row]) -> int:
         """Insert rows, returning how many were inserted.
@@ -55,7 +57,18 @@ class Table:
             self.schema.validate_row(row)
             staged.append(dict(row))
         self._rows.extend(staged)
+        if staged:
+            self._version += 1
         return len(staged)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter, bumped by every batch of inserts.
+
+        Consumers (e.g. the federation's query-result cache) compare
+        versions to detect that previously computed answers may be stale.
+        """
+        return self._version
 
     # -- queries -----------------------------------------------------------
 

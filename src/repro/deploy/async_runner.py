@@ -14,7 +14,7 @@ import asyncio
 import random
 from dataclasses import dataclass, field
 
-from ..core.driver import _build_algorithm  # deliberate reuse of the factory
+from ..core.session import build_algorithm  # deliberate reuse of the factory
 from ..core.params import ProtocolParams
 from ..database.query import TopKQuery
 from ..network.message import Message, MessageType, result_message, token_message
@@ -126,7 +126,7 @@ async def _run_async(
     parties = {
         node_id: _AsyncParty(
             node_id=node_id,
-            algorithm=_build_algorithm(
+            algorithm=build_algorithm(
                 protocol, truncated[node_id], query, params, rng
             ),
             is_starter=(node_id == starter),

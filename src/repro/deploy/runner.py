@@ -14,7 +14,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from ..core.driver import _build_algorithm  # deliberate reuse of the factory
+from ..core.session import build_algorithm  # deliberate reuse of the factory
 from ..core.params import ProtocolParams
 from ..core.vectors import merge_topk
 from ..database.query import TopKQuery
@@ -91,7 +91,7 @@ def run_tcp_topk(
     parties: dict[str, TcpParty] = {}
     try:
         for node_id in node_ids:
-            algorithm = _build_algorithm(
+            algorithm = build_algorithm(
                 protocol, truncated[node_id], query, params, rng
             )
             parties[node_id] = TcpParty(

@@ -7,6 +7,7 @@ execution is auditable.
 """
 
 from .audit import AuditEntry, AuditLog
+from .cache import CachedAnswer, CacheKey, ResultCache, canonical_statement
 from .coordinator import Federation, FederationError, QueryOutcome
 from .policy import (
     ADDITIVE,
@@ -24,6 +25,7 @@ from .sql import (
     FederatedStatement,
     SqlError,
     parse,
+    validate_identifier,
 )
 
 __all__ = [
@@ -33,6 +35,8 @@ __all__ = [
     "AccessPolicy",
     "AuditEntry",
     "AuditLog",
+    "CacheKey",
+    "CachedAnswer",
     "FederatedStatement",
     "Federation",
     "FederationError",
@@ -41,8 +45,11 @@ __all__ = [
     "RANKING",
     "QueryOutcome",
     "RANKING_AGGREGATES",
+    "ResultCache",
     "Rule",
     "SqlError",
+    "canonical_statement",
     "parse",
     "permissive_policy",
+    "validate_identifier",
 ]

@@ -29,6 +29,10 @@ class AuditEntry:
     messages: int
     result_public: tuple[float, ...]
     average_lop: float | None = None
+    #: True when the answer was re-served from the result cache: no protocol
+    #: ran, no messages flowed, and no new exposure was charged.  Recorded so
+    #: a compliance review can distinguish re-publication from re-execution.
+    cached: bool = False
 
     @classmethod
     def for_query(
@@ -41,6 +45,7 @@ class AuditEntry:
         messages: int,
         result_public: tuple[float, ...],
         average_lop: float | None = None,
+        cached: bool = False,
     ) -> "AuditEntry":
         return cls(
             entry_id=next(_entry_ids),
@@ -52,6 +57,7 @@ class AuditEntry:
             messages=messages,
             result_public=result_public,
             average_lop=average_lop,
+            cached=cached,
         )
 
 
@@ -84,9 +90,10 @@ class AuditLog:
             f"{'id':>4} {'issuer':<14} {'protocol':<16} {'msgs':>6} {'rounds':>6}  statement"
         ]
         for e in self.entries:
+            suffix = "  [cached]" if e.cached else ""
             lines.append(
                 f"{e.entry_id:>4} {e.issuer:<14} {e.protocol:<16} "
-                f"{e.messages:>6} {e.rounds:>6}  {e.statement}"
+                f"{e.messages:>6} {e.rounds:>6}  {e.statement}{suffix}"
             )
         lines.append(
             f"total: {len(self.entries)} queries, {self.total_messages()} messages"

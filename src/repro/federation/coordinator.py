@@ -7,6 +7,15 @@ queries (top-k/bottom-k/max/min) run the paper's probabilistic protocol;
 additive aggregates (sum/count/avg) run the additive-masking secure sum.
 Every execution is recorded in the audit log.
 
+Throughput paths: :meth:`Federation.execute` runs one statement on a
+dedicated transport; :meth:`Federation.execute_many` serves a *batch* —
+statements are parsed and policy-checked up front, duplicates are deduped,
+repeats of already-answered statements are served from the result cache
+(:mod:`repro.federation.cache`; zero protocol rounds, zero new exposure),
+and the remaining ranking queries run *pipelined*, interleaving their ring
+tokens on one shared transport so the batch completes in simulated time
+close to the slowest query rather than the sum.
+
 The coordinator holds no data.  It sequences protocol runs, validates the
 well-matched-schema precondition, and owns only public artifacts (results,
 costs, the audit trail) — it is *not* the trusted third party the paper
@@ -15,10 +24,12 @@ rejects, because nothing private ever reaches it.
 
 from __future__ import annotations
 
+import hashlib
 import random
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, replace
 
-from ..core.driver import PROBABILISTIC, RunConfig, run_topk_query
+from ..core.driver import PROBABILISTIC, RunConfig, run_topk_queries, run_topk_query
 from ..core.results import ProtocolResult
 from ..database.database import PrivateDatabase, common_query
 from ..database.query import Domain, TopKQuery
@@ -26,8 +37,9 @@ from ..extensions.securesum import run_secure_sum
 from ..privacy.accounting import ExposureLedger
 from ..privacy.lop import average_lop
 from .audit import AuditEntry, AuditLog
+from .cache import CachedAnswer, CacheKey, ResultCache, canonical_statement
 from .policy import AccessPolicy
-from .sql import FederatedStatement, SqlError, parse
+from .sql import FederatedStatement, SqlError, parse, validate_identifier
 
 
 class FederationError(RuntimeError):
@@ -43,8 +55,15 @@ class QueryOutcome:
     protocol: str
     rounds: int
     messages: int
-    #: Full protocol trace for ranking queries (None for additive ones).
+    #: Full protocol trace for ranking queries (None for additive ones and
+    #: for cache hits — a hit re-serves the public answer, not the trace).
     trace: ProtocolResult | None = None
+    #: True when the answer was served from the result cache: no protocol
+    #: ran and no new exposure was charged.
+    cached: bool = False
+    #: Simulated network time this query's protocol occupied (0.0 for cache
+    #: hits and additive aggregates).
+    simulated_seconds: float = 0.0
 
     @property
     def scalar(self) -> float:
@@ -67,6 +86,7 @@ class Federation:
         seed: int | None = None,
         privacy_budget: float | None = None,
         policy: "AccessPolicy | None" = None,
+        cache_entries: int = 1024,
     ) -> None:
         """``privacy_budget`` caps any party's *cumulative* measured exposure
         across the session's ranking queries (see
@@ -74,15 +94,25 @@ class Federation:
         refused.  Additive aggregates flow through mask-blinded secure sums
         and are charged nothing.  ``policy`` gates execution by issuer and
         operation (deny-by-default; ``None`` permits everything).
+        ``cache_entries`` bounds the batch-path result cache.
         """
         self.domain = domain
         self._base_config = config or RunConfig()
-        self._rng = random.Random(seed)
+        # Per-query seeds are SHA-256-derived from (session seed, draw index,
+        # stream) — the parallel-harness scheme — so they are collision-free,
+        # stable across processes, and identical whether statements run one
+        # at a time or batched (the batch/sequential parity guarantee).
+        self._session_seed = (
+            seed if seed is not None else random.SystemRandom().getrandbits(64)
+        )
+        self._draw_index = 0
         self._parties: dict[str, PrivateDatabase] = {}
         self._attribute_domains: dict[tuple[str, str], Domain] = {}
+        self._membership_epoch = 0
         self.audit = AuditLog()
         self.ledger = ExposureLedger(budget=privacy_budget)
         self.policy = policy
+        self.cache = ResultCache(max_entries=cache_entries)
 
     # -- domains ------------------------------------------------------------
 
@@ -102,15 +132,23 @@ class Federation:
     # -- membership -----------------------------------------------------------
 
     def register(self, database: PrivateDatabase) -> None:
-        """Enroll one organization's private database."""
+        """Enroll one organization's private database.
+
+        Membership changes invalidate the result cache: cached answers were
+        computed by (and about) a different set of parties.
+        """
         if database.owner in self._parties:
             raise FederationError(f"party {database.owner!r} already registered")
         self._parties[database.owner] = database
+        self._membership_epoch += 1
+        self.cache.clear()
 
     def deregister(self, owner: str) -> None:
         if owner not in self._parties:
             raise FederationError(f"no such party: {owner!r}")
         del self._parties[owner]
+        self._membership_epoch += 1
+        self.cache.clear()
 
     @property
     def members(self) -> tuple[str, ...]:
@@ -123,10 +161,50 @@ class Federation:
             )
         return [self._parties[name] for name in sorted(self._parties)]
 
+    # -- result cache --------------------------------------------------------
+
+    def invalidate_cache(self) -> None:
+        """Operator hook: explicitly drop all cached answers."""
+        self.cache.clear()
+
+    def _data_versions(self) -> tuple[tuple[str, int], ...]:
+        return tuple(
+            (owner, self._parties[owner].data_version)
+            for owner in sorted(self._parties)
+        )
+
+    def _cache_key(
+        self,
+        statement: FederatedStatement,
+        data_versions: tuple[tuple[str, int], ...] | None = None,
+    ) -> CacheKey:
+        return CacheKey(
+            statement=canonical_statement(statement),
+            membership_epoch=self._membership_epoch,
+            data_versions=(
+                data_versions if data_versions is not None else self._data_versions()
+            ),
+        )
+
     # -- query API ----------------------------------------------------------------
 
-    def execute(self, statement_text: str, *, issuer: str = "anonymous") -> QueryOutcome:
-        """Parse and run one statement of the SQL-ish dialect."""
+    def execute(
+        self,
+        statement_text: str,
+        *,
+        issuer: str = "anonymous",
+        use_cache: bool = False,
+    ) -> QueryOutcome:
+        """Parse and run one statement of the SQL-ish dialect.
+
+        With ``use_cache=True`` the statement flows through the batch path:
+        a repeat of an already-answered statement (same membership, same
+        data) is served from the result cache without running any protocol
+        or charging new exposure.  The default re-executes unconditionally,
+        matching the classic single-query semantics.
+        """
+        if use_cache:
+            return self.execute_many([statement_text], issuer=issuer)[0]
         statement = parse(statement_text)
         if self.policy is not None:
             self.policy.check(issuer, statement)
@@ -134,62 +212,216 @@ class Federation:
             return self._run_ranking(statement, issuer)
         return self._run_additive(statement, issuer)
 
+    def execute_many(
+        self, statements: Iterable[str], *, issuer: str = "anonymous"
+    ) -> list[QueryOutcome]:
+        """Serve a batch of statements: dedupe, cache, and pipeline.
+
+        Semantics, in order:
+
+        1. Every statement is parsed and policy-checked *before* anything
+           runs (a batch with an unauthorized or malformed statement does
+           not execute at all).
+        2. Statements whose canonical form was already answered — earlier in
+           this batch or in a previous call, under the same membership epoch
+           and data versions — are served from the result cache: zero
+           protocol rounds, zero messages, zero new ledger exposure.  Hits
+           are audit-logged with the ``cached`` flag.
+        3. All remaining ranking queries run their ring protocols *pipelined*
+           on one shared transport, interleaving tokens so the batch's
+           simulated completion time approaches the slowest query's rather
+           than the sum.  Additive aggregates run their secure sums.
+        4. Ledger charges, audit entries and cache population happen in
+           statement order, so a batch is indistinguishable — values,
+           rounds, exposure — from issuing the same statements one at a
+           time (with ``use_cache=True``) under the same session seed.
+
+        A privacy-budget refusal aborts the batch at the refusing statement
+        (statements before it remain charged and audited, like a sequential
+        session interrupted at the same point).
+        """
+        statements = list(statements)
+        if not statements:
+            return []
+        parsed = [parse(text) for text in statements]
+        if self.policy is not None:
+            for statement in parsed:
+                self.policy.check(issuer, statement)
+        databases = self._require_quorum()
+        data_versions = self._data_versions()
+        keys = [self._cache_key(st, data_versions) for st in parsed]
+
+        # Plan: pick the statements that must actually execute (first
+        # occurrence of each canonical form not already cached), drawing
+        # their seeds in statement order — exactly the draws a sequential
+        # session would make, which is what the parity guarantee rests on.
+        planned: set[CacheKey] = set()
+        ranking_indices: list[int] = []
+        ranking_configs: dict[int, RunConfig] = {}
+        additive_seeds: dict[int, tuple[int | None, int | None]] = {}
+        for index, (statement, key) in enumerate(zip(parsed, keys)):
+            if key in planned or self.cache.peek(key) is not None:
+                continue
+            planned.add(key)
+            if statement.is_ranking:
+                ranking_configs[index] = self._next_config()
+                ranking_indices.append(index)
+            else:
+                sum_seed = (
+                    self._derive_seed("secure-sum")
+                    if statement.operation in ("SUM", "AVG")
+                    else None
+                )
+                count_seed = (
+                    self._derive_seed("secure-sum")
+                    if statement.operation in ("COUNT", "AVG")
+                    else None
+                )
+                additive_seeds[index] = (sum_seed, count_seed)
+
+        # Pipeline all ranking misses on one shared transport.
+        ranking_results: dict[int, ProtocolResult] = {}
+        if ranking_indices:
+            results = run_topk_queries(
+                databases,
+                [self._ranking_query(parsed[i]) for i in ranking_indices],
+                [ranking_configs[i] for i in ranking_indices],
+            )
+            ranking_results = dict(zip(ranking_indices, results))
+
+        # Serve in statement order: charges, audit entries and cache stores
+        # land exactly where a sequential session would put them.
+        outcomes: list[QueryOutcome] = []
+        for index, (statement, key) in enumerate(zip(parsed, keys)):
+            if index in ranking_results:
+                outcome = self._finish_ranking(
+                    statement, issuer, ranking_results[index]
+                )
+                self.cache.misses += 1
+                self.cache.store(
+                    key,
+                    CachedAnswer(values=outcome.values, protocol=outcome.protocol),
+                )
+            elif index in additive_seeds:
+                sum_seed, count_seed = additive_seeds[index]
+                outcome = self._run_additive(
+                    statement, issuer, sum_seed=sum_seed, count_seed=count_seed
+                )
+                self.cache.misses += 1
+                self.cache.store(
+                    key,
+                    CachedAnswer(values=outcome.values, protocol=outcome.protocol),
+                )
+            else:
+                answer = self.cache.lookup(key)
+                if answer is None:  # pragma: no cover - planning guarantees it
+                    raise FederationError(
+                        f"cache entry vanished mid-batch for {statement.text!r}"
+                    )
+                outcome = self._serve_cached(statement, issuer, answer)
+            outcomes.append(outcome)
+        return outcomes
+
     def topk(
         self, table: str, attribute: str, k: int, *, issuer: str = "anonymous"
     ) -> QueryOutcome:
+        self._validate_names(table, attribute, k=k)
         return self.execute(f"SELECT TOP {k} {attribute} FROM {table}", issuer=issuer)
 
     def bottomk(
         self, table: str, attribute: str, k: int, *, issuer: str = "anonymous"
     ) -> QueryOutcome:
+        self._validate_names(table, attribute, k=k)
         return self.execute(
             f"SELECT BOTTOM {k} {attribute} FROM {table}", issuer=issuer
         )
 
     def max(self, table: str, attribute: str, *, issuer: str = "anonymous") -> float:
+        self._validate_names(table, attribute)
         return self.execute(
             f"SELECT MAX({attribute}) FROM {table}", issuer=issuer
         ).scalar
 
     def min(self, table: str, attribute: str, *, issuer: str = "anonymous") -> float:
+        self._validate_names(table, attribute)
         return self.execute(
             f"SELECT MIN({attribute}) FROM {table}", issuer=issuer
         ).scalar
 
     def sum(self, table: str, attribute: str, *, issuer: str = "anonymous") -> float:
+        self._validate_names(table, attribute)
         return self.execute(
             f"SELECT SUM({attribute}) FROM {table}", issuer=issuer
         ).scalar
 
     def count(self, table: str, attribute: str, *, issuer: str = "anonymous") -> float:
+        self._validate_names(table, attribute)
         return self.execute(
             f"SELECT COUNT({attribute}) FROM {table}", issuer=issuer
         ).scalar
 
     def avg(self, table: str, attribute: str, *, issuer: str = "anonymous") -> float:
+        self._validate_names(table, attribute)
         return self.execute(
             f"SELECT AVG({attribute}) FROM {table}", issuer=issuer
         ).scalar
 
     # -- execution ---------------------------------------------------------------
 
+    @staticmethod
+    def _validate_names(table: str, attribute: str, k: int | None = None) -> None:
+        """Reject crafted identifiers before they reach statement text.
+
+        The typed helpers interpolate their arguments into dialect text; a
+        "name" containing spaces or keywords could otherwise smuggle
+        arbitrary statement text past the typed API into the parser.
+        """
+        validate_identifier(table, "table name")
+        validate_identifier(attribute, "attribute name")
+        if k is not None and (not isinstance(k, int) or isinstance(k, bool)):
+            raise SqlError(f"k must be an integer, got {k!r}")
+
+    def _derive_seed(self, stream: str) -> int:
+        """SHA-256-derived 64-bit seed for the next randomized step.
+
+        Mirrors :meth:`repro.experiments.config.TrialSetup._derived_seed`:
+        built with :mod:`hashlib` rather than ``hash()`` (randomized per
+        interpreter) or modular arithmetic (collision-prone), so sessions
+        reproduce across processes and distinct draws never collide.  The
+        draw index advances on every derivation, which keeps repeated
+        *executions* of the same statement on fresh randomness (an observer
+        must not be able to difference out the noise).
+        """
+        material = f"{self._session_seed}:{self._draw_index}:{stream}".encode()
+        self._draw_index += 1
+        return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
     def _next_config(self) -> RunConfig:
         # Fresh seed per query so repeated queries do not replay identical
         # randomness (which would let an observer difference-out the noise).
-        return replace(self._base_config, seed=self._rng.getrandbits(32))
+        return replace(self._base_config, seed=self._derive_seed("query"))
 
-    def _run_ranking(
-        self, statement: FederatedStatement, issuer: str
-    ) -> QueryOutcome:
-        databases = self._require_quorum()
-        query = TopKQuery(
+    def _ranking_query(self, statement: FederatedStatement) -> TopKQuery:
+        return TopKQuery(
             table=statement.table,
             attribute=statement.attribute,
             k=statement.k,
             domain=self.domain_for(statement.table, statement.attribute),
             smallest=statement.smallest,
         )
-        result = run_topk_query(databases, query, self._next_config())
+
+    def _run_ranking(
+        self, statement: FederatedStatement, issuer: str
+    ) -> QueryOutcome:
+        databases = self._require_quorum()
+        result = run_topk_query(
+            databases, self._ranking_query(statement), self._next_config()
+        )
+        return self._finish_ranking(statement, issuer, result)
+
+    def _finish_ranking(
+        self, statement: FederatedStatement, issuer: str, result: ProtocolResult
+    ) -> QueryOutcome:
         # Charge the session ledger first: a budget refusal must leave no
         # trace in the audit log and return nothing to the issuer.
         self.ledger.charge(result)
@@ -200,6 +432,7 @@ class Federation:
             rounds=result.rounds_executed,
             messages=result.stats.messages_total,
             trace=result,
+            simulated_seconds=result.simulated_seconds,
         )
         self.audit.record(
             AuditEntry.for_query(
@@ -215,6 +448,34 @@ class Federation:
         )
         return outcome
 
+    def _serve_cached(
+        self, statement: FederatedStatement, issuer: str, answer: CachedAnswer
+    ) -> QueryOutcome:
+        """Re-publish an already-public answer: no protocol, no new exposure."""
+        outcome = QueryOutcome(
+            statement=statement.text,
+            values=answer.values,
+            protocol=answer.protocol,
+            rounds=0,
+            messages=0,
+            trace=None,
+            cached=True,
+        )
+        self.audit.record(
+            AuditEntry.for_query(
+                issuer=issuer,
+                statement=statement.text,
+                protocol=answer.protocol,
+                participants=self.members,
+                rounds=0,
+                messages=0,
+                result_public=answer.values,
+                average_lop=None,
+                cached=True,
+            )
+        )
+        return outcome
+
     def _local_aggregate(
         self, db: PrivateDatabase, statement: FederatedStatement
     ) -> float:
@@ -225,8 +486,19 @@ class Federation:
         return float(value) if value is not None else 0.0
 
     def _run_additive(
-        self, statement: FederatedStatement, issuer: str
+        self,
+        statement: FederatedStatement,
+        issuer: str,
+        *,
+        sum_seed: int | None = None,
+        count_seed: int | None = None,
     ) -> QueryOutcome:
+        """Run a SUM/COUNT/AVG statement over mask-blinded secure sums.
+
+        ``sum_seed``/``count_seed`` let the batch path pre-draw the secure
+        sums' randomness in statement order (the parity guarantee); when
+        omitted they are drawn here, in the same stream and order.
+        """
         databases = self._require_quorum()
         # Schema precondition applies to additive queries too.
         common_query(
@@ -249,10 +521,14 @@ class Federation:
                 db, replace_operation(statement, "COUNT")
             )
         if statement.operation in ("SUM", "AVG"):
-            sum_outcome = run_secure_sum(sums, seed=self._rng.getrandbits(32))
+            if sum_seed is None:
+                sum_seed = self._derive_seed("secure-sum")
+            sum_outcome = run_secure_sum(sums, seed=sum_seed)
             messages += sum_outcome.stats.messages_total
         if statement.operation in ("COUNT", "AVG"):
-            count_outcome = run_secure_sum(counts, seed=self._rng.getrandbits(32))
+            if count_seed is None:
+                count_seed = self._derive_seed("secure-sum")
+            count_outcome = run_secure_sum(counts, seed=count_seed)
             messages += count_outcome.stats.messages_total
 
         if statement.operation == "SUM":

@@ -31,6 +31,8 @@ class Observation:
     vector: tuple[float, ...]
     msg_id: int
     kind: str = "token"
+    #: Query tag for multi-query traffic ("" for single-query runs).
+    query: str = ""
 
     @classmethod
     def from_message(cls, message: Message) -> "Observation":
@@ -42,6 +44,7 @@ class Observation:
             vector=vector,
             msg_id=message.msg_id,
             kind=message.type.value,
+            query=message.query,
         )
 
 

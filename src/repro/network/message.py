@@ -51,6 +51,11 @@ class Message:
     msg_id:
         Monotonically increasing id, assigned at construction; used for
         stable ordering in logs.
+    query:
+        Query id tagging which protocol run the message belongs to.  The
+        empty string (the default) is the classic single-query traffic; a
+        non-empty tag lets several independent queries interleave their
+        tokens on one shared transport (the multi-query pipelining path).
     """
 
     sender: str
@@ -59,6 +64,7 @@ class Message:
     type: MessageType = MessageType.TOKEN
     payload: dict[str, Any] = field(default_factory=dict)
     msg_id: int = field(default_factory=lambda: next(_message_ids))
+    query: str = ""
 
     def __post_init__(self) -> None:
         if not self.sender or not self.receiver:
@@ -86,6 +92,10 @@ class Message:
                 "type": self.type.value,
                 "payload": self.payload,
             }
+            if self.query:
+                # Only tagged (multi-query) traffic pays the extra field, so
+                # single-query byte accounting matches the paper's analysis.
+                body["query"] = self.query
             cached = json.dumps(body, separators=(",", ":"), sort_keys=True).encode()
             # frozen dataclass: stash through object.__setattr__.
             object.__setattr__(self, "_encoded", cached)
@@ -106,12 +116,15 @@ class Message:
                 raise MessageError("sender and receiver must be strings")
             if not isinstance(body.get("payload"), dict):
                 raise MessageError("message payload must be an object")
+            if not isinstance(body.get("query", ""), str):
+                raise MessageError("message query tag must be a string")
             return cls(
                 sender=body["sender"],
                 receiver=body["receiver"],
                 round=body["round"],
                 type=MessageType(body["type"]),
                 payload=body["payload"],
+                query=body.get("query", ""),
             )
         except (KeyError, TypeError, ValueError, UnicodeDecodeError) as exc:
             if isinstance(exc, MessageError):
@@ -124,7 +137,12 @@ class Message:
 
 
 def token_message(
-    sender: str, receiver: str, round_number: int, vector: list[float]
+    sender: str,
+    receiver: str,
+    round_number: int,
+    vector: list[float],
+    *,
+    query: str = "",
 ) -> Message:
     """Build the TOKEN message carrying the global vector."""
     return Message(
@@ -133,11 +151,17 @@ def token_message(
         round=round_number,
         type=MessageType.TOKEN,
         payload={"vector": list(vector)},
+        query=query,
     )
 
 
 def result_message(
-    sender: str, receiver: str, round_number: int, vector: list[float]
+    sender: str,
+    receiver: str,
+    round_number: int,
+    vector: list[float],
+    *,
+    query: str = "",
 ) -> Message:
     """Build the RESULT message broadcasting the final answer."""
     return Message(
@@ -146,4 +170,5 @@ def result_message(
         round=round_number,
         type=MessageType.RESULT,
         payload={"vector": list(vector)},
+        query=query,
     )

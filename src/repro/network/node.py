@@ -53,6 +53,7 @@ class ProtocolNode:
         *,
         is_starter: bool = False,
         total_rounds: int = 1,
+        query_id: str = "",
     ) -> None:
         if total_rounds < 1:
             raise NodeError("total_rounds must be >= 1")
@@ -61,6 +62,10 @@ class ProtocolNode:
         self.transport = transport
         self.is_starter = is_starter
         self.total_rounds = total_rounds
+        #: Which query's traffic this node instance handles.  One party
+        #: participates in Q in-flight queries through Q node instances, each
+        #: registered on its own transport channel.
+        self.query_id = query_id
         self.successor: str | None = None
         #: Final result vector, set once the RESULT token reaches this node.
         self.final_result: list[float] | None = None
@@ -73,7 +78,7 @@ class ProtocolNode:
         #: snapshot state or remap the ring between rounds).
         self.round_hook: RoundHook | None = None
         self._rounds_completed = 0
-        transport.register(node_id, self.handle)
+        transport.register(node_id, self.handle, channel=query_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         role = "starter" if self.is_starter else "member"
@@ -131,14 +136,20 @@ class ProtocolNode:
         self.last_sent_round = round_number
         self.last_sent_vector = list(vector)
         self.transport.send(
-            token_message(self.node_id, self.successor, round_number, vector)
+            token_message(
+                self.node_id, self.successor, round_number, vector,
+                query=self.query_id,
+            )
         )
 
     def _forward_result(self, round_number: int, vector: list[float]) -> None:
         if self.successor is None:
             raise NodeError(f"{self.node_id} has no successor configured")
         self.transport.send(
-            result_message(self.node_id, self.successor, round_number, vector)
+            result_message(
+                self.node_id, self.successor, round_number, vector,
+                query=self.query_id,
+            )
         )
 
     @property

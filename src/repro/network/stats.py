@@ -23,6 +23,9 @@ class TrafficStats:
     per_link: Counter = field(default_factory=Counter)
     per_round: Counter = field(default_factory=Counter)
     per_type: Counter = field(default_factory=Counter)
+    #: Messages per query tag ("" for untagged single-query traffic) — the
+    #: per-query accounting of the multi-query pipelining path.
+    per_query: Counter = field(default_factory=Counter)
 
     def record(self, message: Message) -> None:
         size = message.size_bytes
@@ -31,6 +34,10 @@ class TrafficStats:
         self.per_link[(message.sender, message.receiver)] += 1
         self.per_round[message.round] += 1
         self.per_type[message.type.value] += 1
+        self.per_query[message.query] += 1
+
+    def messages_for_query(self, query: str) -> int:
+        return self.per_query.get(query, 0)
 
     def messages_in_round(self, round_number: int) -> int:
         return self.per_round.get(round_number, 0)
@@ -48,6 +55,7 @@ class TrafficStats:
         self.per_link.update(other.per_link)
         self.per_round.update(other.per_round)
         self.per_type.update(other.per_type)
+        self.per_query.update(other.per_query)
 
     def summary(self) -> dict[str, float]:
         """Flat summary used by reports and benchmarks."""

@@ -11,6 +11,17 @@ from a latency model; ``deliver_next`` pops messages in timestamp order and
 hands them to the registered handler.  Payloads are round-tripped through the
 channel cipher when a keyring is configured, so the encryption path is
 genuinely exercised.
+
+Multi-query pipelining: endpoints register under a *channel* (the message's
+``query`` tag), so several independent protocol runs — each with the same
+party names — can interleave their tokens on one shared transport.  Delivery
+remains strictly (timestamp, seq)-ordered across channels, which is what
+makes the interleaving fair: no query can starve another, and a batch of Q
+queries completes in simulated time close to the *slowest* query rather than
+the sum.  Per-channel accounting (:meth:`InMemoryTransport.open_channel`)
+gives every query its own :class:`~repro.network.stats.TrafficStats`,
+:class:`~repro.network.events.EventLog` and completion clock, identical to
+what a dedicated transport would have recorded.
 """
 
 from __future__ import annotations
@@ -19,7 +30,7 @@ import heapq
 import itertools
 import random
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .crypto import Keyring
 from .events import EventLog
@@ -30,6 +41,10 @@ from .stats import TrafficStats
 #: Latency models map (sender, receiver) -> seconds.
 LatencyModel = Callable[[str, str], float]
 Handler = Callable[[Message], None]
+
+#: Delivery bound covering one query's worth of traffic; multi-query callers
+#: scale this by the number of interleaved queries.
+DEFAULT_MAX_DELIVERIES = 1_000_000
 
 
 def constant_latency(seconds: float = 0.001) -> LatencyModel:
@@ -79,6 +94,22 @@ class TransportError(RuntimeError):
     """Raised on misuse of the transport (unknown endpoints, etc.)."""
 
 
+@dataclass
+class ChannelAccounting:
+    """Per-query bookkeeping on a shared transport.
+
+    ``last_delivery_at`` is the simulated timestamp of the channel's most
+    recent delivery — for a completed protocol run it is that query's
+    completion time, the quantity the throughput benchmarks compare against
+    sequential execution.
+    """
+
+    stats: TrafficStats = field(default_factory=TrafficStats)
+    event_log: EventLog = field(default_factory=EventLog)
+    last_delivery_at: float = 0.0
+    deliveries: int = 0
+
+
 @dataclass(frozen=True)
 class _Envelope:
     deliver_at: float
@@ -104,7 +135,10 @@ class InMemoryTransport:
         self._latency = latency or constant_latency()
         self._keyring = keyring
         self._failures = failures
-        self._handlers: dict[str, Handler] = {}
+        #: Handlers keyed by (channel, node id); channel "" is the classic
+        #: single-query traffic, a query id otherwise.
+        self._handlers: dict[tuple[str, str], Handler] = {}
+        self._channels: dict[str, ChannelAccounting] = {}
         self._queue: list[_Envelope] = []
         self._seq = itertools.count()
         self._clock = 0.0
@@ -114,18 +148,43 @@ class InMemoryTransport:
 
     # -- membership -----------------------------------------------------------
 
-    def register(self, node_id: str, handler: Handler) -> None:
-        """Attach a delivery handler for ``node_id``."""
-        if node_id in self._handlers:
-            raise TransportError(f"node {node_id!r} already registered")
-        self._handlers[node_id] = handler
+    def register(self, node_id: str, handler: Handler, *, channel: str = "") -> None:
+        """Attach a delivery handler for ``node_id`` on ``channel``.
 
-    def unregister(self, node_id: str) -> None:
-        self._handlers.pop(node_id, None)
+        The same node id may be registered once per channel, which is how one
+        party participates in many in-flight queries simultaneously.
+        """
+        if (channel, node_id) in self._handlers:
+            raise TransportError(
+                f"node {node_id!r} already registered"
+                + (f" on channel {channel!r}" if channel else "")
+            )
+        self._handlers[(channel, node_id)] = handler
+
+    def unregister(self, node_id: str, *, channel: str = "") -> None:
+        self._handlers.pop((channel, node_id), None)
 
     @property
     def endpoints(self) -> tuple[str, ...]:
-        return tuple(sorted(self._handlers))
+        return tuple(sorted({node for _channel, node in self._handlers}))
+
+    # -- per-query accounting -------------------------------------------------
+
+    def open_channel(self, channel: str) -> ChannelAccounting:
+        """Create (or return) the accounting record for ``channel``.
+
+        Deliveries tagged with ``channel`` are recorded into its stats and
+        event log *in addition to* the transport-wide ones, so a query on a
+        shared transport sees exactly the accounting a dedicated transport
+        would have produced.
+        """
+        return self._channels.setdefault(channel, ChannelAccounting())
+
+    def channel(self, channel: str) -> ChannelAccounting:
+        try:
+            return self._channels[channel]
+        except KeyError:
+            raise TransportError(f"no such channel: {channel!r}") from None
 
     # -- clock ------------------------------------------------------------------
 
@@ -138,8 +197,11 @@ class InMemoryTransport:
 
     def send(self, message: Message) -> None:
         """Enqueue ``message`` for future delivery."""
-        if message.receiver not in self._handlers:
-            raise TransportError(f"unknown receiver: {message.receiver!r}")
+        if (message.query, message.receiver) not in self._handlers:
+            raise TransportError(
+                f"unknown receiver: {message.receiver!r}"
+                + (f" on channel {message.query!r}" if message.query else "")
+            )
         if self._failures and self._failures.should_drop(message):
             self.dropped += 1
             return
@@ -179,20 +241,32 @@ class InMemoryTransport:
         if self._failures and self._failures.is_crashed(message.receiver):
             self.dropped += 1
             return None
-        handler = self._handlers.get(message.receiver)
+        handler = self._handlers.get((message.query, message.receiver))
         if handler is None:
             self.dropped += 1
             return None
         self.stats.record(message)
         self.event_log.record(message)
+        accounting = self._channels.get(message.query)
+        if accounting is not None:
+            # Record before invoking the handler: round hooks fired from the
+            # handler read the channel's event log for the just-delivered
+            # message.
+            accounting.stats.record(message)
+            accounting.event_log.record(message)
+            accounting.last_delivery_at = self._clock
+            accounting.deliveries += 1
         handler(message)
         return message
 
-    def run_until_idle(self, max_deliveries: int = 1_000_000) -> int:
+    def run_until_idle(self, max_deliveries: int = DEFAULT_MAX_DELIVERIES) -> int:
         """Pump the queue until empty; returns the number of deliveries.
 
         ``max_deliveries`` bounds runaway protocols (a delivery may enqueue
-        follow-up messages).
+        follow-up messages).  The default covers one query's worth of
+        traffic; callers pumping Q interleaved queries should scale the
+        bound by Q (``DEFAULT_MAX_DELIVERIES * q``) so a legitimate
+        multi-query load is not misdiagnosed as a runaway protocol.
         """
         delivered = 0
         while self._queue:

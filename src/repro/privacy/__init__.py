@@ -28,6 +28,7 @@ from .lop import (
     node_lop,
     node_round_lop,
     per_round_average_lop,
+    value_in,
     worst_case_lop,
 )
 from .accounting import BudgetExceededError, ExposureLedger
@@ -79,6 +80,7 @@ __all__ = [
     "precision",
     "privacy_report",
     "range_claim_lop",
+    "value_in",
     "victim_is_sandwiched",
     "worst_case_lop",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 from ..core.results import ProtocolResult
 from ..network.ring import RingTopology
 from .claims import RangeClaim
+from .lop import value_in
 
 
 class AdversaryError(ValueError):
@@ -77,8 +78,8 @@ def coalition_round_lop(
     final = result.final_vector
     total = 0.0
     for item in items:
-        claim_true = item in outgoing
-        prior = 1.0 / n if item in final else 0.0
+        claim_true = value_in(item, outgoing)
+        prior = 1.0 / n if value_in(item, final) else 0.0
         total += max(0.0, (1.0 if claim_true else 0.0) - prior)
     return total / len(items)
 

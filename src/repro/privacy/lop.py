@@ -25,9 +25,25 @@ the mean (average case) or max (worst case) over nodes.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 
 from ..core.results import ProtocolResult
+
+
+def value_in(item: float, values: Sequence[float]) -> bool:
+    """Tolerant float membership: is ``item`` (an ulp or two close to) a value?
+
+    Protocol vectors accumulate float arithmetic — AVG divisions, noise
+    perturbation, encode/decode round-trips — so a node's data item can
+    differ from its occurrence in an observed vector by rounding alone.
+    Exact ``in`` would then under-count exposure (a claim that *is* true
+    scored as false), silently biasing every LoP estimate downward.  The
+    tolerances match :meth:`repro.experiments.series.Series.y_at`.
+    """
+    return any(
+        math.isclose(item, v, rel_tol=1e-9, abs_tol=1e-12) for v in values
+    )
 
 
 def item_round_lop(
@@ -36,9 +52,9 @@ def item_round_lop(
     final_result: Sequence[float],
 ) -> float:
     """Per-trial LoP contribution of one data item in one round."""
-    if item in final_result:
+    if value_in(item, final_result):
         return 0.0
-    return 1.0 if item in output_vector else 0.0
+    return 1.0 if value_in(item, output_vector) else 0.0
 
 
 def node_round_lop(result: ProtocolResult, node: str, round_number: int) -> float:

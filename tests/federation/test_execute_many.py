@@ -1,0 +1,258 @@
+"""Tests for the batch execution path: dedupe, result cache, parity.
+
+Covers the throughput engine's federation layer: ``Federation.execute_many``
+must be indistinguishable from sequential execution (values, rounds,
+exposure), serve repeats from the result cache at zero protocol cost, and
+invalidate that cache on membership or data changes.
+"""
+
+import pytest
+
+from repro.database.database import database_from_values
+from repro.database.query import PAPER_DOMAIN
+from repro.federation import (
+    AccessPolicy,
+    Federation,
+    FederationError,
+    PolicyViolation,
+    SqlError,
+)
+from repro.privacy.accounting import BudgetExceededError
+
+DATASETS = {
+    "acme": [100, 900, 250],
+    "bravo": [9000, 40],
+    "corex": [7000, 6500, 3],
+    "delta": [5],
+}
+
+
+def fresh_federation(seed=7, **kwargs) -> Federation:
+    fed = Federation(domain=PAPER_DOMAIN, seed=seed, **kwargs)
+    for owner, values in DATASETS.items():
+        fed.register(database_from_values(owner, values))
+    return fed
+
+
+@pytest.fixture
+def federation() -> Federation:
+    return fresh_federation()
+
+
+MIXED_STATEMENTS = [
+    "SELECT TOP 3 value FROM data",
+    "SELECT SUM(value) FROM data",
+    "SELECT BOTTOM 2 value FROM data",
+    "SELECT AVG(value) FROM data",
+    "SELECT MAX(value) FROM data",
+]
+
+
+class TestBatchSequentialParity:
+    """The ISSUE's determinism guarantee: batch == sequential, bit for bit."""
+
+    def test_unique_statements_match_sequential_execute(self):
+        batch_fed, seq_fed = fresh_federation(), fresh_federation()
+        batch = batch_fed.execute_many(MIXED_STATEMENTS)
+        sequential = [seq_fed.execute(s) for s in MIXED_STATEMENTS]
+        for b, s in zip(batch, sequential):
+            assert b.values == s.values
+            assert b.rounds == s.rounds
+            assert b.messages == s.messages
+            assert b.protocol == s.protocol
+
+    def test_ranking_traces_identical(self):
+        batch_fed, seq_fed = fresh_federation(), fresh_federation()
+        (b,) = batch_fed.execute_many(["SELECT TOP 3 value FROM data"])
+        s = seq_fed.execute("SELECT TOP 3 value FROM data")
+        assert b.trace.final_vector == s.trace.final_vector
+        assert b.trace.ring_order == s.trace.ring_order
+        assert b.trace.rounds_executed == s.trace.rounds_executed
+        assert b.trace.round_snapshots == s.trace.round_snapshots
+
+    def test_exposure_charges_identical(self):
+        batch_fed, seq_fed = fresh_federation(), fresh_federation()
+        batch_fed.execute_many(MIXED_STATEMENTS)
+        for s in MIXED_STATEMENTS:
+            seq_fed.execute(s)
+        for owner in DATASETS:
+            assert batch_fed.ledger.exposure(owner) == seq_fed.ledger.exposure(
+                owner
+            )
+
+    def test_repeats_match_sequential_cached_execution(self):
+        statements = [
+            "SELECT TOP 2 value FROM data",
+            "SELECT SUM(value) FROM data",
+            "SELECT TOP 2 value FROM data",
+            "SELECT TOP 2 value FROM data",
+        ]
+        batch_fed, seq_fed = fresh_federation(), fresh_federation()
+        batch = batch_fed.execute_many(statements)
+        sequential = [seq_fed.execute(s, use_cache=True) for s in statements]
+        for b, s in zip(batch, sequential):
+            assert b.values == s.values
+            assert b.cached == s.cached
+            assert b.rounds == s.rounds
+        for owner in DATASETS:
+            assert batch_fed.ledger.exposure(owner) == seq_fed.ledger.exposure(
+                owner
+            )
+
+    def test_empty_batch(self, federation):
+        assert federation.execute_many([]) == []
+
+
+class TestDedupeAndCache:
+    def test_duplicates_deduped_within_batch(self, federation):
+        outcomes = federation.execute_many(["SELECT TOP 2 value FROM data"] * 5)
+        assert [o.cached for o in outcomes] == [False, True, True, True, True]
+        assert len({o.values for o in outcomes}) == 1
+        assert federation.cache.hits == 4
+        assert federation.cache.misses == 1
+
+    def test_canonicalization_merges_formatting_variants(self, federation):
+        outcomes = federation.execute_many(
+            ["SELECT TOP 2 value FROM data", "select top 2 value from data;"]
+        )
+        assert not outcomes[0].cached
+        assert outcomes[1].cached
+        assert outcomes[0].values == outcomes[1].values
+
+    def test_cache_hit_runs_no_protocol_and_charges_nothing(self, federation):
+        first = federation.execute("SELECT TOP 3 value FROM data", use_cache=True)
+        exposure_before = {
+            owner: federation.ledger.exposure(owner) for owner in DATASETS
+        }
+        runs_before = federation.ledger.runs_charged
+        hit = federation.execute("SELECT TOP 3 value FROM data", use_cache=True)
+        assert hit.cached
+        assert hit.values == first.values
+        assert hit.rounds == 0
+        assert hit.messages == 0
+        assert hit.trace is None
+        assert hit.simulated_seconds == 0.0
+        # Zero *new* exposure: the ledger is untouched by a hit.
+        assert federation.ledger.runs_charged == runs_before
+        for owner in DATASETS:
+            assert federation.ledger.exposure(owner) == exposure_before[owner]
+
+    def test_cache_hits_are_audited(self, federation):
+        federation.execute_many(["SELECT MAX(value) FROM data"] * 2)
+        entries = federation.audit.entries[-2:]
+        assert [e.cached for e in entries] == [False, True]
+        assert "[cached]" in federation.audit.render()
+
+    def test_plain_execute_bypasses_cache(self, federation):
+        federation.execute("SELECT TOP 2 value FROM data", use_cache=True)
+        outcome = federation.execute("SELECT TOP 2 value FROM data")
+        assert not outcome.cached
+        assert outcome.rounds > 0
+
+    def test_additive_results_cached_too(self, federation):
+        outcomes = federation.execute_many(["SELECT AVG(value) FROM data"] * 2)
+        assert not outcomes[0].cached
+        assert outcomes[1].cached
+        assert outcomes[1].values == outcomes[0].values
+
+
+class TestCacheInvalidation:
+    def test_membership_change_invalidates(self, federation):
+        federation.execute("SELECT TOP 2 value FROM data", use_cache=True)
+        assert len(federation.cache) == 1
+        federation.register(database_from_values("echo", [8500]))
+        assert len(federation.cache) == 0
+        outcome = federation.execute("SELECT TOP 2 value FROM data", use_cache=True)
+        assert not outcome.cached
+        assert 8500.0 in outcome.values
+
+    def test_deregister_invalidates(self, federation):
+        federation.execute("SELECT MAX(value) FROM data", use_cache=True)
+        federation.deregister("bravo")  # bravo held the 9000 maximum
+        outcome = federation.execute("SELECT MAX(value) FROM data", use_cache=True)
+        assert not outcome.cached
+        assert outcome.values == (7000.0,)
+
+    def test_data_mutation_invalidates(self, federation):
+        federation.execute("SELECT MAX(value) FROM data", use_cache=True)
+        federation._parties["delta"].insert("data", {"value": 9999})
+        outcome = federation.execute("SELECT MAX(value) FROM data", use_cache=True)
+        assert not outcome.cached
+        assert outcome.values == (9999.0,)
+
+    def test_explicit_invalidation(self, federation):
+        federation.execute("SELECT MAX(value) FROM data", use_cache=True)
+        federation.invalidate_cache()
+        outcome = federation.execute("SELECT MAX(value) FROM data", use_cache=True)
+        assert not outcome.cached
+
+
+class TestBatchGating:
+    def test_policy_checked_before_anything_runs(self):
+        policy = AccessPolicy().allow("analyst", "SUM")
+        fed = fresh_federation(policy=policy)
+        with pytest.raises(PolicyViolation):
+            fed.execute_many(
+                ["SELECT SUM(value) FROM data", "SELECT TOP 2 value FROM data"],
+                issuer="analyst",
+            )
+        # The permitted first statement must not have run either.
+        assert len(fed.audit) == 0
+
+    def test_parse_errors_abort_whole_batch(self, federation):
+        with pytest.raises(SqlError):
+            federation.execute_many(
+                ["SELECT TOP 2 value FROM data", "DROP TABLE data"]
+            )
+        assert len(federation.audit) == 0
+
+    def test_budget_refusal_aborts_at_refusing_statement(self):
+        # Seed 0 is known to charge acme exposure 1.0 on this query, which a
+        # tiny budget refuses.  The refused statement must leave no trace:
+        # no audit entry, no cached answer an issuer could still read.
+        fed = fresh_federation(seed=0, privacy_budget=1e-9)
+        with pytest.raises(BudgetExceededError):
+            fed.execute_many(["SELECT TOP 3 value FROM data"])
+        assert len(fed.audit) == 0
+        assert len(fed.cache) == 0
+
+    def test_quorum_required(self):
+        fed = Federation(domain=PAPER_DOMAIN, seed=3)
+        fed.register(database_from_values("a", [1]))
+        with pytest.raises(FederationError, match="n >= 3"):
+            fed.execute_many(["SELECT MAX(value) FROM data"])
+
+
+class TestIdentifierValidation:
+    """Typed helpers must reject crafted names before SQL interpolation."""
+
+    @pytest.mark.parametrize(
+        "table, attribute",
+        [
+            ("data; DROP", "value"),
+            ("data", "value FROM other"),
+            ("", "value"),
+            ("data", ""),
+            ("1data", "value"),
+            ("data", "va lue"),
+            (None, "value"),
+            ("data", 42),
+        ],
+    )
+    def test_bad_identifiers_rejected(self, federation, table, attribute):
+        with pytest.raises(SqlError, match="invalid"):
+            federation.topk(table, attribute, 2)
+        with pytest.raises(SqlError, match="invalid"):
+            federation.sum(table, attribute)
+
+    def test_non_integer_k_rejected(self, federation):
+        with pytest.raises(SqlError, match="k must be an integer"):
+            federation.topk("data", "value", "2")
+        with pytest.raises(SqlError, match="k must be an integer"):
+            federation.bottomk("data", "value", True)
+
+    def test_underscored_identifiers_accepted(self, federation):
+        # Valid-but-unusual identifiers pass validation and fail later only
+        # if the table genuinely does not exist.
+        with pytest.raises(Exception, match="no such table"):
+            federation.max("_private_table", "value_2")

@@ -1,0 +1,210 @@
+"""Multi-query transport tests: channels, fairness, delivery accounting.
+
+The pipelined execution engine hangs many independent protocol runs off one
+shared :class:`InMemoryTransport`, each under its own channel (the message's
+``query`` tag).  These tests pin down the contracts that make that safe:
+per-channel registration and accounting isolation, strictly
+(timestamp, seq)-ordered delivery across channels (fairness — no query can
+starve another), and ``max_deliveries`` semantics under multi-query load.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.message import Message, token_message
+from repro.network.transport import (
+    DEFAULT_MAX_DELIVERIES,
+    InMemoryTransport,
+    TransportError,
+    constant_latency,
+)
+
+
+def make_message(sender, receiver, *, query="", round_number=1, vector=(1.0,)):
+    return token_message(sender, receiver, round_number, list(vector), query=query)
+
+
+class TestChannelRegistration:
+    def test_same_node_registers_once_per_channel(self):
+        transport = InMemoryTransport()
+        seen = []
+        transport.register("alice", seen.append)
+        transport.register("alice", seen.append, channel="q1")
+        transport.register("alice", seen.append, channel="q2")
+        assert transport.endpoints == ("alice",)
+
+    def test_duplicate_channel_registration_rejected(self):
+        transport = InMemoryTransport()
+        transport.register("alice", lambda m: None, channel="q1")
+        with pytest.raises(TransportError, match="already registered"):
+            transport.register("alice", lambda m: None, channel="q1")
+
+    def test_send_requires_matching_channel(self):
+        transport = InMemoryTransport()
+        transport.register("bob", lambda m: None, channel="q1")
+        with pytest.raises(TransportError, match="unknown receiver"):
+            transport.send(make_message("alice", "bob"))  # channel "" not registered
+        with pytest.raises(TransportError, match="unknown receiver"):
+            transport.send(make_message("alice", "bob", query="q2"))
+        transport.send(make_message("alice", "bob", query="q1"))
+        assert transport.pending == 1
+
+    def test_delivery_routed_to_channel_handler(self):
+        transport = InMemoryTransport()
+        received = {"": [], "q1": []}
+        transport.register("bob", received[""].append)
+        transport.register("bob", received["q1"].append, channel="q1")
+        transport.send(make_message("alice", "bob"))
+        transport.send(make_message("alice", "bob", query="q1"))
+        transport.run_until_idle()
+        assert [m.query for m in received[""]] == [""]
+        assert [m.query for m in received["q1"]] == ["q1"]
+
+    def test_unknown_channel_lookup_rejected(self):
+        transport = InMemoryTransport()
+        with pytest.raises(TransportError, match="no such channel"):
+            transport.channel("ghost")
+
+
+class TestChannelAccounting:
+    def test_per_channel_stats_isolated(self):
+        transport = InMemoryTransport()
+        for q in ("q1", "q2"):
+            transport.open_channel(q)
+            transport.register("bob", lambda m: None, channel=q)
+        for _ in range(3):
+            transport.send(make_message("alice", "bob", query="q1"))
+        transport.send(make_message("alice", "bob", query="q2"))
+        transport.run_until_idle()
+        assert transport.channel("q1").stats.messages_total == 3
+        assert transport.channel("q2").stats.messages_total == 1
+        # Transport-wide stats still see everything.
+        assert transport.stats.messages_total == 4
+        assert transport.stats.messages_for_query("q1") == 3
+
+    def test_per_channel_event_logs_isolated(self):
+        transport = InMemoryTransport()
+        for q in ("q1", "q2"):
+            transport.open_channel(q)
+            transport.register("bob", lambda m: None, channel=q)
+        transport.send(make_message("alice", "bob", query="q1", round_number=1))
+        transport.send(make_message("alice", "bob", query="q2", round_number=7))
+        transport.run_until_idle()
+        assert transport.channel("q1").event_log.rounds() == [1]
+        assert transport.channel("q2").event_log.rounds() == [7]
+
+    def test_last_delivery_at_tracks_channel_completion(self):
+        transport = InMemoryTransport(latency=constant_latency(1.0))
+        for q in ("q1", "q2"):
+            transport.open_channel(q)
+            transport.register("bob", lambda m: None, channel=q)
+        transport.send(make_message("alice", "bob", query="q1"))
+        transport.run_until_idle()
+        transport.send(make_message("alice", "bob", query="q2"))
+        transport.run_until_idle()
+        assert transport.channel("q1").last_delivery_at == pytest.approx(1.0)
+        assert transport.channel("q2").last_delivery_at == pytest.approx(2.0)
+        assert transport.channel("q1").deliveries == 1
+        assert transport.channel("q2").deliveries == 1
+
+
+class TestFairness:
+    """Delivery is strictly (timestamp, seq)-ordered across channels."""
+
+    def test_equal_latency_interleaves_round_robin(self):
+        # Q queries sending at the same instants deliver strictly
+        # interleaved, never one query's whole run before another's.
+        transport = InMemoryTransport(latency=constant_latency(1.0))
+        order = []
+        queries = [f"q{i}" for i in range(4)]
+        for q in queries:
+            transport.open_channel(q)
+            transport.register("bob", lambda m: order.append(m.query), channel=q)
+        for round_number in (1, 2, 3):
+            for q in queries:
+                transport.send(
+                    make_message("alice", "bob", query=q, round_number=round_number)
+                )
+            transport.run_until_idle()
+        assert order == queries * 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        latencies=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    def test_delivery_order_is_timestamp_then_seq(self, latencies):
+        # Property: whatever per-message latencies the queries see, the
+        # delivery order sorts by (deliver_at, send seq) — the shared
+        # transport never reorders beyond what timestamps dictate.
+        transport = InMemoryTransport(latency=constant_latency(0.0))
+        delivered = []
+        for i in range(len(latencies)):
+            q = f"q{i}"
+            transport.open_channel(q)
+            transport.register(
+                "bob", lambda m, q=q: delivered.append(q), channel=q
+            )
+        sent = []
+        for i, latency in enumerate(latencies):
+            transport._latency = constant_latency(latency)
+            transport.send(make_message("alice", "bob", query=f"q{i}"))
+            sent.append((latency, i, f"q{i}"))
+        transport.run_until_idle()
+        expected = [q for _latency, _seq, q in sorted(sent)]
+        assert delivered == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(rounds=st.integers(min_value=1, max_value=6))
+    def test_no_starvation_under_sustained_load(self, rounds):
+        # A chatty query cannot starve a quiet one: every queued message is
+        # eventually delivered and each channel's count is exact.
+        transport = InMemoryTransport(latency=constant_latency(0.5))
+        counts = {"busy": 0, "quiet": 0}
+
+        def handler_for(q):
+            def handler(message):
+                counts[q] += 1
+
+            return handler
+
+        for q in counts:
+            transport.open_channel(q)
+            transport.register("bob", handler_for(q), channel=q)
+        for _ in range(rounds):
+            for _ in range(10):
+                transport.send(make_message("alice", "bob", query="busy"))
+            transport.send(make_message("alice", "bob", query="quiet"))
+        transport.run_until_idle()
+        assert counts == {"busy": rounds * 10, "quiet": rounds}
+        assert transport.channel("quiet").deliveries == rounds
+
+
+class TestMaxDeliveries:
+    def test_bound_counts_all_channels(self):
+        transport = InMemoryTransport()
+        for q in ("q1", "q2"):
+            transport.register("bob", lambda m: None, channel=q)
+        for q in ("q1", "q2"):
+            for _ in range(3):
+                transport.send(make_message("alice", "bob", query=q))
+        # 6 messages across 2 channels: a bound of 5 must trip.
+        with pytest.raises(TransportError, match="did not quiesce"):
+            transport.run_until_idle(max_deliveries=5)
+
+    def test_scaled_bound_covers_multi_query_load(self):
+        transport = InMemoryTransport()
+        queries = ("q1", "q2", "q3")
+        for q in queries:
+            transport.register("bob", lambda m: None, channel=q)
+        for q in queries:
+            for _ in range(4):
+                transport.send(make_message("alice", "bob", query=q))
+        delivered = transport.run_until_idle(
+            max_deliveries=DEFAULT_MAX_DELIVERIES * len(queries)
+        )
+        assert delivered == 12

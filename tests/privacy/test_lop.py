@@ -10,10 +10,45 @@ from repro.privacy.lop import (
     node_lop,
     node_round_lop,
     per_round_average_lop,
+    value_in,
     worst_case_lop,
 )
 
 from ..conftest import make_vectors
+
+
+class TestTolerantMembership:
+    """Float-equality regression: estimators must not miss ulp-off matches.
+
+    Protocol vectors accumulate float arithmetic, so a node's item can differ
+    from its occurrence in an observed vector by rounding alone.  The old
+    exact ``in`` silently under-counted exposure in that case.
+    """
+
+    # The canonical float-accumulation mismatch: 0.1 + 0.2 != 0.3 exactly.
+    DRIFTED = 0.1 + 0.2
+
+    def test_value_in_exact_match(self):
+        assert value_in(5.0, [1.0, 5.0, 9.0])
+
+    def test_value_in_tolerates_accumulated_rounding(self):
+        assert self.DRIFTED != 0.3
+        assert value_in(0.3, [self.DRIFTED])
+
+    def test_value_in_rejects_distinct_values(self):
+        assert not value_in(0.3, [0.31])
+        assert not value_in(5.0, [])
+
+    def test_drifted_final_result_value_stays_free(self):
+        # The item IS (up to rounding) the public result: no breach.  Exact
+        # equality used to score this 1.0 — pure float noise read as exposure.
+        assert item_round_lop(0.3, [self.DRIFTED], [self.DRIFTED]) == 0.0
+
+    def test_drifted_private_exposure_still_counts(self):
+        # The observed vector holds a rounded copy of the private item; the
+        # adversary's claim is true and must score 1.0 even though exact
+        # equality would call it false.
+        assert item_round_lop(0.3, [self.DRIFTED], [9.0]) == 1.0
 
 
 class TestItemRoundLop:
