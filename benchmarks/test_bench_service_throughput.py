@@ -1,0 +1,128 @@
+"""Bench: serving throughput — continuous batching vs one-at-a-time.
+
+The query service's claims, measured end to end through the gateway on its
+seeded simulated clock:
+
+* **Continuous batching**: a burst of Q distinct ranking queries coalesces
+  into ``execute_many`` batches and completes in simulated time close to
+  the slowest query — asserted >= 2x faster than serving the same burst
+  with ``max_batch=1`` (one protocol run at a time).
+* **Load shedding**: a burst beyond queue capacity sheds the excess with
+  typed ``Overloaded`` errors instead of queuing unboundedly; everything
+  admitted is still served.
+
+Emits ``results/BENCH_service_throughput.json`` with queries/sec, latency
+percentiles, and the shed rate at overload for the report tooling.
+"""
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from repro.service import Overloaded, QueryService
+from repro.service.workload import synthetic_federation
+
+from conftest import BENCH_SEED
+
+#: Distinct ranking statements (every one runs a full protocol).
+STATEMENTS = [
+    f"SELECT TOP {k} value FROM data" for k in (1, 2, 3, 4)
+] + [
+    f"SELECT BOTTOM {k} value FROM data" for k in (1, 2, 3)
+] + ["SELECT MAX(value) FROM data"]
+
+OVERLOAD_BURST = 64
+OVERLOAD_QUEUE = 8
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "results"
+    / "BENCH_service_throughput.json"
+)
+
+
+def serve_burst(statements, **service_kwargs):
+    service = QueryService(
+        synthetic_federation(parties=5, values_per_party=20, seed=BENCH_SEED),
+        **service_kwargs,
+    )
+
+    async def scenario():
+        async with service:
+            return await service.submit_many(
+                statements, return_exceptions=True
+            )
+
+    start = time.perf_counter()
+    results = asyncio.run(scenario())
+    wall = time.perf_counter() - start
+    return service, results, wall
+
+
+def test_bench_service_throughput():
+    # -- one-at-a-time baseline: every query its own batch -----------------
+    seq_service, seq_results, seq_wall = serve_burst(STATEMENTS, max_batch=1)
+    assert not any(isinstance(r, BaseException) for r in seq_results)
+    seq_sim = seq_service.clock.now()
+
+    # -- continuous batching ----------------------------------------------
+    batch_service, batch_results, batch_wall = serve_burst(
+        STATEMENTS, max_batch=len(STATEMENTS)
+    )
+    assert not any(isinstance(r, BaseException) for r in batch_results)
+    batch_sim = batch_service.clock.now()
+
+    # Parity first: the speedup must not come from computing something else.
+    for b, s in zip(batch_results, seq_results):
+        assert b.values == s.values
+        assert b.rounds == s.rounds
+    assert batch_service.metrics.batches == 1
+
+    speedup = seq_sim / batch_sim
+    assert speedup >= 2.0, (
+        f"batched serving of {len(STATEMENTS)} queries only {speedup:.2f}x "
+        f"faster than one-at-a-time in simulated time (expected >= 2x)"
+    )
+
+    # -- overload: bounded queue sheds typed, never hangs ------------------
+    overload_statements = [
+        f"SELECT TOP {1 + i % 5} value FROM data" for i in range(OVERLOAD_BURST)
+    ]
+    over_service, over_results, _ = serve_burst(
+        overload_statements, max_batch=1, max_queue=OVERLOAD_QUEUE
+    )
+    shed = [r for r in over_results if isinstance(r, Overloaded)]
+    served = [r for r in over_results if not isinstance(r, BaseException)]
+    assert len(shed) + len(served) == OVERLOAD_BURST
+    assert shed, "overload burst produced no load shedding"
+    assert over_service.metrics.shed_rate > 0.0
+    assert over_service.metrics.queue_high_water <= OVERLOAD_QUEUE
+    assert over_service.queue_depth == 0  # drained, not hung
+
+    snapshot = batch_service.metrics_snapshot()
+    payload = {
+        "seed": BENCH_SEED,
+        "burst_queries": len(STATEMENTS),
+        "sequential_simulated_seconds": seq_sim,
+        "batched_simulated_seconds": batch_sim,
+        "speedup_vs_one_at_a_time": speedup,
+        "sequential_wall_seconds": seq_wall,
+        "batched_wall_seconds": batch_wall,
+        "queries_per_second_wall": len(STATEMENTS) / batch_wall,
+        "queries_per_second_simulated": len(STATEMENTS) / batch_sim,
+        "latency_p50_s": snapshot["latency_p50_s"],
+        "latency_p99_s": snapshot["latency_p99_s"],
+        "batch_occupancy": snapshot["batch_occupancy"],
+        "overload_burst": OVERLOAD_BURST,
+        "overload_queue": OVERLOAD_QUEUE,
+        "overload_shed": len(shed),
+        "overload_shed_rate": over_service.metrics.shed_rate,
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nburst of {len(STATEMENTS)}: simulated {batch_sim:.3f}s vs "
+        f"one-at-a-time {seq_sim:.3f}s ({speedup:.2f}x); overload shed rate "
+        f"{over_service.metrics.shed_rate:.2%}; wrote {RESULTS_PATH.name}"
+    )

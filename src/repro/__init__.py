@@ -54,6 +54,7 @@ from .database import (
     min_query,
 )
 from .federation import Federation, QueryOutcome
+from .service import QueryService
 from .privacy import (
     average_lop,
     node_lop,
@@ -80,6 +81,7 @@ __all__ = [
     "ProtocolResult",
     "ProtocolSession",
     "QueryOutcome",
+    "QueryService",
     "RunConfig",
     "Schema",
     "Table",

@@ -206,6 +206,123 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_statements(args: argparse.Namespace) -> list[str]:
+    """Positional statements, or stdin lines (blank / ``#`` lines skipped)."""
+    if args.statements:
+        return list(args.statements)
+    lines = (line.strip() for line in sys.stdin)
+    return [line for line in lines if line and not line.startswith("#")]
+
+
+def _serve_workload(service, statements: list[str], args: argparse.Namespace):
+    """Drive one burst through the gateway; returns settled results."""
+    import asyncio
+
+    async def scenario():
+        async with service:
+            return await service.submit_many(
+                statements,
+                timeout=args.timeout,
+                return_exceptions=True,
+            )
+
+    return asyncio.run(scenario())
+
+
+def _print_service_summary(service, *, jsonl: str | None) -> dict:
+    snapshot = service.metrics_snapshot()
+    print()
+    print(
+        f"served {snapshot['completed']}/{snapshot['submitted']} "
+        f"({snapshot['cache_fast_hits']} cache fast hits, "
+        f"{snapshot['shed']} shed, {snapshot['refused']} refused, "
+        f"{snapshot['failed']} failed)"
+    )
+    print(
+        f"batches           : {snapshot['batches']} "
+        f"(occupancy {snapshot['batch_occupancy']:.2f})"
+    )
+    print(
+        f"latency (sim)     : p50 {snapshot['latency_p50_s']:.4f}s  "
+        f"p95 {snapshot['latency_p95_s']:.4f}s  "
+        f"p99 {snapshot['latency_p99_s']:.4f}s"
+    )
+    print(f"cache hit rate    : {snapshot['cache_hit_rate']:.2%}")
+    if jsonl:
+        import json
+
+        path = Path(jsonl)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as handle:
+            handle.write(json.dumps(snapshot, sort_keys=True) + "\n")
+        print(f"appended metrics to {path}")
+    return snapshot
+
+
+def _build_service(args: argparse.Namespace):
+    from .service import QueryService
+    from .service.workload import synthetic_federation
+
+    federation = synthetic_federation(
+        parties=args.parties,
+        values_per_party=args.values_per_node,
+        seed=args.seed,
+    )
+    return QueryService(
+        federation,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    statements = _read_statements(args)
+    if not statements:
+        print("no statements to serve (stdin was empty)", file=sys.stderr)
+        return 2
+    service = _build_service(args)
+    results = _serve_workload(service, statements, args)
+    exit_code = 0
+    for statement, result in zip(statements, results):
+        if isinstance(result, BaseException):
+            print(f"ERROR  {statement!r}: {type(result).__name__}: {result}")
+            exit_code = 1
+        else:
+            flag = "cached" if result.cached else f"{result.rounds} rounds"
+            print(f"OK     {statement!r} -> {list(result.values)} ({flag})")
+    _print_service_summary(service, jsonl=args.jsonl)
+    return exit_code
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from .service.workload import mixed_workload
+
+    statements = mixed_workload(
+        args.queries, seed=args.seed, repeat_fraction=args.repeat_fraction
+    )
+    service = _build_service(args)
+    results = _serve_workload(service, statements, args)
+    errors = [r for r in results if isinstance(r, BaseException)]
+    snapshot = _print_service_summary(service, jsonl=args.jsonl)
+    if args.strict:
+        # CI smoke contract: a mixed workload within capacity must be served
+        # in full — zero sheds — and its repeats must actually hit the cache.
+        problems = []
+        if snapshot["shed"]:
+            problems.append(f"{snapshot['shed']} requests shed")
+        if errors:
+            problems.append(f"{len(errors)} requests errored")
+        if not snapshot["cache_fast_hits"]:
+            problems.append("no cache fast hits (repeats missed the cache)")
+        if problems:
+            print("STRICT FAIL: " + "; ".join(problems), file=sys.stderr)
+            return 1
+        print("strict checks passed: zero sheds, repeats served from cache")
+    return 0
+
+
 def _jobs_count(text: str) -> int:
     try:
         value = int(text)
@@ -327,6 +444,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("trace", type=str)
     analyze.set_defaults(func=_cmd_analyze)
+
+    def add_service_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--parties", type=int, default=5)
+        p.add_argument("--values-per-node", type=int, default=20)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--max-queue", type=int, default=256)
+        p.add_argument("--max-batch", type=int, default=16)
+        p.add_argument(
+            "--rate-limit", type=float, default=None, help="per-issuer queries/sec"
+        )
+        p.add_argument("--rate-burst", type=int, default=8)
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="per-query deadline in service-clock seconds",
+        )
+        p.add_argument(
+            "--jsonl", type=str, default=None, help="append metrics snapshot here"
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve statements through the batching query service",
+        description=(
+            "Run federated statements through the QueryService gateway "
+            "(continuous batching + result cache) over a synthetic "
+            "federation.  Statements come from the command line or stdin, "
+            "one per line."
+        ),
+    )
+    serve.add_argument("statements", nargs="*", help="statements (default: stdin)")
+    add_service_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="serve a synthetic mixed workload and report service metrics",
+    )
+    bench_serve.add_argument(
+        "--queries", type=int, default=40, help="workload size"
+    )
+    bench_serve.add_argument(
+        "--repeat-fraction",
+        type=float,
+        default=0.3,
+        help="fraction of queries that repeat earlier ones",
+    )
+    bench_serve.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail unless zero sheds/errors and >0 cache fast hits (CI smoke)",
+    )
+    add_service_flags(bench_serve)
+    bench_serve.set_defaults(func=_cmd_bench_serve)
 
     return parser
 

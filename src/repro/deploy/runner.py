@@ -64,6 +64,8 @@ def run_tcp_topk(
     encrypt: bool = False,
     host: str = "127.0.0.1",
     timeout: float = 30.0,
+    connect_timeout: float = 5.0,
+    connect_retries: int = 3,
 ) -> TcpRunResult:
     """Run one top-k query with every party on its own TCP endpoint.
 
@@ -101,6 +103,11 @@ def run_tcp_topk(
                 is_starter=(node_id == starter),
                 total_rounds=rounds,
                 keyring=keyring,
+                connect_timeout=connect_timeout,
+                connect_retries=connect_retries,
+                # No retry_rng from the run RNG: jitter is timing-only, and
+                # drawing here would shift the algorithm seed streams away
+                # from the simulator's (breaking TCP/simulator parity).
             )
         for node_id in node_ids:
             successor = ring.successor(node_id)

@@ -13,8 +13,10 @@ opened on receipt — the same cipher the simulator exercises.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
+import time
 
 from ..network.crypto import Keyring
 from ..network.message import Message, MessageType, result_message, token_message
@@ -39,12 +41,37 @@ class TcpParty:
         total_rounds: int = 1,
         keyring: Keyring | None = None,
         accept_timeout: float = 0.2,
+        connect_timeout: float = 5.0,
+        connect_retries: int = 3,
+        retry_base_delay: float = 0.05,
+        retry_max_delay: float = 2.0,
+        retry_rng: random.Random | None = None,
     ) -> None:
+        """``connect_timeout`` bounds each successor-connect attempt;
+        ``connect_retries`` extra attempts follow a failed connect, spaced by
+        exponential backoff with full jitter (``retry_base_delay`` doubling
+        up to ``retry_max_delay``), so a ring whose peers start at different
+        speeds converges instead of failing on the first slow starter.
+        ``retry_rng`` seeds the jitter for deterministic tests.
+        """
+        if connect_timeout <= 0:
+            raise ValueError(f"connect_timeout must be > 0, got {connect_timeout}")
+        if connect_retries < 0:
+            raise ValueError(f"connect_retries must be >= 0, got {connect_retries}")
+        if retry_base_delay <= 0 or retry_max_delay < retry_base_delay:
+            raise ValueError(
+                "retry delays must satisfy 0 < retry_base_delay <= retry_max_delay"
+            )
         self.node_id = node_id
         self.algorithm = algorithm
         self.is_starter = is_starter
         self.total_rounds = total_rounds
         self.keyring = keyring
+        self.connect_timeout = connect_timeout
+        self.connect_retries = connect_retries
+        self.retry_base_delay = retry_base_delay
+        self.retry_max_delay = retry_max_delay
+        self._retry_rng = retry_rng if retry_rng is not None else random.Random()
         self.successor_address: tuple[str, int] | None = None
         #: Logical ids of the ring neighbours; set by the runner when the
         #: ring is wired.  Needed for per-link channel keys.
@@ -110,7 +137,7 @@ class TcpParty:
                             return  # the shutdown wake-up connection
                         raise
                 self._handle_raw(body)
-        except (WireError, OSError, ValueError) as exc:
+        except (WireError, OSError, ValueError, TcpNodeError) as exc:
             if self._stop.is_set():
                 return  # failures during teardown are not protocol errors
             self.error = exc
@@ -183,5 +210,38 @@ class TcpParty:
         body = message.encode()
         if self.keyring is not None:
             body = self.keyring.seal(self.node_id, self._successor(), body)
-        with socket.create_connection(self.successor_address, timeout=5.0) as sock:
+        with self._connect_successor() as sock:
             send_frame(sock, body)
+
+    def _connect_successor(self) -> socket.socket:
+        """Connect to the successor, retrying with backoff + full jitter.
+
+        A freshly-deployed ring has no ordering guarantee between "party A
+        sends" and "party B finished binding": tolerate slow-starting peers
+        by retrying refused/timed-out connects, sleeping a uniformly-jittered
+        slice of an exponentially-growing window between attempts (full
+        jitter avoids synchronized retry storms when a whole ring waits on
+        one slow peer).
+        """
+        assert self.successor_address is not None
+        last_error: OSError | None = None
+        for attempt in range(self.connect_retries + 1):
+            if self._stop.is_set():
+                raise TcpNodeError(f"{self.node_id} is shutting down")
+            try:
+                return socket.create_connection(
+                    self.successor_address, timeout=self.connect_timeout
+                )
+            except OSError as exc:
+                last_error = exc
+                if attempt == self.connect_retries:
+                    break
+                window = min(
+                    self.retry_max_delay, self.retry_base_delay * (2**attempt)
+                )
+                time.sleep(self._retry_rng.uniform(0.0, window))
+        raise TcpNodeError(
+            f"{self.node_id} could not connect to successor at "
+            f"{self.successor_address} after {self.connect_retries + 1} "
+            f"attempt(s): {last_error}"
+        ) from last_error

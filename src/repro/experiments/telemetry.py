@@ -137,6 +137,73 @@ class TelemetryCollector:
         return "\n".join(lines)
 
 
+class LatencyHistogram:
+    """Exact streaming latency distribution with percentile queries.
+
+    Used by the query-serving layer (:mod:`repro.service`) for its p50 /
+    p95 / p99 latency metrics, and available to any experiment that wants a
+    latency distribution rather than a mean.  Samples are kept exactly and
+    percentiles computed by linear interpolation on the sorted sample, so
+    two runs that record the same samples report bit-identical quantiles —
+    the determinism the service's seeded simulated clock relies on.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._sorted: list[float] | None = []
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"latency must be non-negative, got {seconds}")
+        self._samples.append(float(seconds))
+        self._sorted = None  # invalidate the sort cache
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100), interpolated; 0.0 when empty."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ordered = self._sorted
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def summary(self) -> dict[str, float]:
+        """The compact quantile summary the service metrics export."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+            "max": self.max,
+        }
+
+
 #: Collectors currently listening; the runner reports to all of them so
 #: nested scopes (CLI around registry around runner) each see the run.
 _ACTIVE: list[TelemetryCollector] = []

@@ -8,7 +8,7 @@ execution is auditable.
 
 from .audit import AuditEntry, AuditLog
 from .cache import CachedAnswer, CacheKey, ResultCache, canonical_statement
-from .coordinator import Federation, FederationError, QueryOutcome
+from .coordinator import Federation, FederationError, QueryOutcome, QueryRefused
 from .policy import (
     ADDITIVE,
     ANY,
@@ -44,6 +44,7 @@ __all__ = [
     "PolicyViolation",
     "RANKING",
     "QueryOutcome",
+    "QueryRefused",
     "RANKING_AGGREGATES",
     "ResultCache",
     "Rule",

@@ -34,11 +34,11 @@ from ..core.results import ProtocolResult
 from ..database.database import PrivateDatabase, common_query
 from ..database.query import Domain, TopKQuery
 from ..extensions.securesum import run_secure_sum
-from ..privacy.accounting import ExposureLedger
+from ..privacy.accounting import BudgetExceededError, ExposureLedger
 from ..privacy.lop import average_lop
 from .audit import AuditEntry, AuditLog
 from .cache import CachedAnswer, CacheKey, ResultCache, canonical_statement
-from .policy import AccessPolicy
+from .policy import AccessPolicy, PolicyViolation
 from .sql import FederatedStatement, SqlError, parse, validate_identifier
 
 
@@ -73,6 +73,22 @@ class QueryOutcome:
                 f"query returned {len(self.values)} values; use .values"
             )
         return self.values[0]
+
+
+@dataclass(frozen=True)
+class QueryRefused:
+    """One statement's refusal on the settled batch path.
+
+    :meth:`Federation.execute_many_settled` returns this in place of a
+    :class:`QueryOutcome` when a statement is individually unservable — a
+    parse error, a policy violation, or a privacy-budget refusal — so a
+    multi-tenant batch (the query service's continuous batches) degrades
+    per-statement instead of aborting whole batches.  ``error`` carries the
+    original typed exception.
+    """
+
+    statement: str
+    error: Exception
 
 
 class Federation:
@@ -212,6 +228,27 @@ class Federation:
             return self._run_ranking(statement, issuer)
         return self._run_additive(statement, issuer)
 
+    def try_cached(
+        self, statement_text: str, *, issuer: str = "anonymous"
+    ) -> QueryOutcome | None:
+        """Serve a statement from the result cache, or ``None`` on a miss.
+
+        The query service's admission fast path: a hit re-publishes the
+        already-public answer immediately — audit-logged, policy-checked,
+        zero protocol rounds, zero new exposure — without occupying a batch
+        slot.  A miss returns ``None`` without counting a cache miss or
+        consuming a quota unit; the statement will be charged for both when
+        it actually executes.
+        """
+        statement = parse(statement_text)
+        answer = self.cache.peek(self._cache_key(statement))
+        if answer is None:
+            return None
+        if self.policy is not None:
+            self.policy.check(issuer, statement)
+        self.cache.hits += 1
+        return self._serve_cached(statement, issuer, answer)
+
     def execute_many(
         self, statements: Iterable[str], *, issuer: str = "anonymous"
     ) -> list[QueryOutcome]:
@@ -238,18 +275,59 @@ class Federation:
 
         A privacy-budget refusal aborts the batch at the refusing statement
         (statements before it remain charged and audited, like a sequential
-        session interrupted at the same point).
+        session interrupted at the same point).  Long-running services that
+        must degrade per-statement instead use
+        :meth:`execute_many_settled`.
         """
-        statements = list(statements)
+        outcomes = self._execute_batch(list(statements), issuer, settle=False)
+        return outcomes  # type: ignore[return-value]  # no refusals when raising
+
+    def execute_many_settled(
+        self, statements: Iterable[str], *, issuer: str = "anonymous"
+    ) -> "list[QueryOutcome | QueryRefused]":
+        """:meth:`execute_many`, but refusals settle per statement.
+
+        The query service's batch hook: a statement that cannot be served —
+        malformed, denied by policy, or refused by the privacy budget —
+        yields a :class:`QueryRefused` at its position while every other
+        statement in the batch is served normally.  Seed draws still happen
+        in statement order for every statement that *plans* (refused
+        statements never plan), so served statements stay bit-identical to
+        a sequential session that skipped the same refusals.
+        """
+        return self._execute_batch(list(statements), issuer, settle=True)
+
+    def _execute_batch(
+        self, statements: list[str], issuer: str, settle: bool
+    ) -> "list[QueryOutcome | QueryRefused]":
         if not statements:
             return []
-        parsed = [parse(text) for text in statements]
-        if self.policy is not None:
-            for statement in parsed:
-                self.policy.check(issuer, statement)
+        refusals: dict[int, Exception] = {}
+        parsed: list[FederatedStatement | None]
+        if settle:
+            parsed = []
+            for index, text in enumerate(statements):
+                statement: FederatedStatement | None
+                try:
+                    statement = parse(text)
+                    if self.policy is not None:
+                        self.policy.check(issuer, statement)
+                except (SqlError, PolicyViolation) as exc:
+                    refusals[index] = exc
+                    statement = None
+                parsed.append(statement)
+        else:
+            parsed = list(parse(text) for text in statements)
+            if self.policy is not None:
+                for checked in parsed:
+                    assert checked is not None
+                    self.policy.check(issuer, checked)
         databases = self._require_quorum()
         data_versions = self._data_versions()
-        keys = [self._cache_key(st, data_versions) for st in parsed]
+        keys = [
+            self._cache_key(st, data_versions) if st is not None else None
+            for st in parsed
+        ]
 
         # Plan: pick the statements that must actually execute (first
         # occurrence of each canonical form not already cached), drawing
@@ -260,6 +338,8 @@ class Federation:
         ranking_configs: dict[int, RunConfig] = {}
         additive_seeds: dict[int, tuple[int | None, int | None]] = {}
         for index, (statement, key) in enumerate(zip(parsed, keys)):
+            if statement is None or key is None:
+                continue  # refused at parse/policy time; never plans
             if key in planned or self.cache.peek(key) is not None:
                 continue
             planned.add(key)
@@ -291,12 +371,27 @@ class Federation:
 
         # Serve in statement order: charges, audit entries and cache stores
         # land exactly where a sequential session would put them.
-        outcomes: list[QueryOutcome] = []
+        outcomes: list[QueryOutcome | QueryRefused] = []
+        refused_keys: dict[CacheKey, Exception] = {}
         for index, (statement, key) in enumerate(zip(parsed, keys)):
-            if index in ranking_results:
-                outcome = self._finish_ranking(
-                    statement, issuer, ranking_results[index]
+            if statement is None:
+                outcomes.append(
+                    QueryRefused(statement=statements[index], error=refusals[index])
                 )
+                continue
+            if index in ranking_results:
+                try:
+                    outcome = self._finish_ranking(
+                        statement, issuer, ranking_results[index]
+                    )
+                except BudgetExceededError as exc:
+                    if not settle:
+                        raise
+                    refused_keys[key] = exc
+                    outcomes.append(
+                        QueryRefused(statement=statements[index], error=exc)
+                    )
+                    continue
                 self.cache.misses += 1
                 self.cache.store(
                     key,
@@ -314,8 +409,18 @@ class Federation:
                 )
             else:
                 answer = self.cache.lookup(key)
-                if answer is None:  # pragma: no cover - planning guarantees it
-                    raise FederationError(
+                if answer is None:
+                    # A duplicate of a statement whose execution was refused
+                    # in this very batch: settle it with the same error.
+                    if settle and key in refused_keys:
+                        outcomes.append(
+                            QueryRefused(
+                                statement=statements[index],
+                                error=refused_keys[key],
+                            )
+                        )
+                        continue
+                    raise FederationError(  # pragma: no cover - planning guarantees it
                         f"cache entry vanished mid-batch for {statement.text!r}"
                     )
                 outcome = self._serve_cached(statement, issuer, answer)
@@ -579,6 +684,7 @@ __all__ = [
     "Federation",
     "FederationError",
     "QueryOutcome",
+    "QueryRefused",
     "SqlError",
     "parse",
 ]

@@ -1,0 +1,47 @@
+"""Query-serving layer: a production-shaped service above the federation.
+
+``federation/`` answers queries; ``service/`` serves *traffic*.  The
+:class:`QueryService` gateway accepts a continuous stream of statements,
+coalesces them into the federation's pipelined batches (continuous
+batching), serves repeats from the result cache without occupying batch
+slots, enforces per-client rate limits and per-request deadlines, and sheds
+load with typed errors — :class:`Overloaded`, :class:`RateLimited`,
+:class:`DeadlineExceeded` — instead of queuing unboundedly.  Operational
+state exports through :class:`ServiceMetrics` (queue depth, batch occupancy,
+latency percentiles, shed rate, cache hit rate) as a dict or JSONL.
+
+Everything is deterministic under the default seeded
+:class:`SimulatedClock`; swap in :class:`SystemClock` to serve in wall-clock
+time.  Entry points: ``python -m repro.cli serve`` (statements on stdin) and
+``python -m repro.cli bench-serve`` (synthetic workload + metrics snapshot).
+"""
+
+from .clock import Clock, SimulatedClock, SystemClock
+from .errors import (
+    DeadlineExceeded,
+    Overloaded,
+    QueryFailed,
+    RateLimited,
+    ServiceClosed,
+    ServiceError,
+)
+from .gateway import QueryService
+from .metrics import ServiceMetrics
+from .scheduler import AdmissionQueue, QueuedRequest, TokenBucket
+
+__all__ = [
+    "AdmissionQueue",
+    "Clock",
+    "DeadlineExceeded",
+    "Overloaded",
+    "QueryFailed",
+    "QueryService",
+    "QueuedRequest",
+    "RateLimited",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceMetrics",
+    "SimulatedClock",
+    "SystemClock",
+    "TokenBucket",
+]

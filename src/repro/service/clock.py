@@ -1,0 +1,56 @@
+"""Service time sources: wall clock or a deterministic simulated clock.
+
+Every time-dependent decision the service makes — deadline expiry, rate-limit
+refill, latency measurement — goes through a :class:`Clock`, never through
+``time`` directly.  With a :class:`SimulatedClock` (the default) the gateway
+advances time itself by each batch's *simulated* protocol seconds, so a
+seeded workload produces bit-identical latency histograms, shed decisions and
+metrics on every run — the same property the protocol simulator provides for
+results.  A :class:`SystemClock` swaps in real monotonic time for wall-clock
+deployments.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: ``now()`` in seconds, plus ``advance`` for simulated time."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def advance(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SimulatedClock(Clock):
+    """A manually-advanced clock; deterministic by construction."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance time by {seconds}")
+        self._now += seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimulatedClock(now={self._now})"
+
+
+class SystemClock(Clock):
+    """Real monotonic time; ``advance`` is a no-op (time passes on its own)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def advance(self, seconds: float) -> None:
+        return None
+
+
+__all__ = ["Clock", "SimulatedClock", "SystemClock"]

@@ -1,0 +1,378 @@
+"""The asyncio query gateway: a long-running service over a ``Federation``.
+
+The paper's protocols answer one query per ring traversal;
+``Federation.execute_many`` amortizes cost across a batch; this gateway adds
+the missing layer for *continuous* traffic — the same shape modern inference
+servers use.  Clients ``await submit(statement)``; a background scheduler
+coalesces whatever is queued into ``execute_many`` batches (continuous
+batching), serves repeats from the result cache without spending a batch
+slot, and sheds load with typed errors instead of queuing unboundedly.
+
+Determinism: with the default :class:`~repro.service.clock.SimulatedClock`
+the service advances time itself by each batch's simulated protocol seconds,
+so a seeded workload reproduces bit-identically — results (the federation's
+batch/sequential parity guarantee), latency percentiles, shed decisions and
+all.  Results served through the gateway are bit-identical to a sequential
+``Federation.execute(..., use_cache=True)`` session issuing the same
+statements in serve order under the same session seed.
+
+Lifecycle::
+
+    service = QueryService(federation, max_queue=64, max_batch=8)
+    async with service:                       # or: await service.start()
+        outcome = await service.submit("SELECT TOP 3 value FROM data")
+        many = await service.submit_many(statements, timeout=5.0)
+    # __aexit__ drains gracefully: queued work finishes, new work is refused
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from collections.abc import Iterable, Sequence
+
+from ..federation.coordinator import Federation, QueryOutcome, QueryRefused
+from ..federation.sql import parse
+from .clock import Clock, SimulatedClock
+from .errors import (
+    DeadlineExceeded,
+    QueryFailed,
+    RateLimited,
+    ServiceClosed,
+    ServiceError,
+)
+from .metrics import ServiceMetrics
+from .scheduler import AdmissionQueue, QueuedRequest, TokenBucket
+
+
+class QueryService:
+    """Async gateway serving a continuous stream of federated queries.
+
+    Parameters
+    ----------
+    federation:
+        The registered :class:`~repro.federation.coordinator.Federation`
+        that executes the queries.
+    max_queue:
+        Admission-queue bound; a full queue rejects new requests with
+        :class:`~repro.service.errors.Overloaded`.
+    max_batch:
+        Most queries coalesced into one ``execute_many`` call.
+    batch_window:
+        Real seconds the scheduler lingers after waking so concurrent
+        submitters can join the forming batch; 0 yields to the event loop
+        exactly once, which already coalesces everything submitted in the
+        same loop iteration (e.g. one ``submit_many`` call).
+    rate_limit / rate_burst:
+        Per-issuer token bucket (requests/second and burst capacity) checked
+        on the service clock; ``None`` disables rate limiting.
+    clock:
+        Time source for deadlines, rate limits and latency metrics.  The
+        default :class:`~repro.service.clock.SimulatedClock` advances by
+        each batch's simulated protocol time (deterministic); pass
+        :class:`~repro.service.clock.SystemClock` for wall-clock serving.
+    """
+
+    def __init__(
+        self,
+        federation: Federation,
+        *,
+        max_queue: int = 256,
+        max_batch: int = 16,
+        batch_window: float = 0.0,
+        rate_limit: float | None = None,
+        rate_burst: int = 8,
+        clock: Clock | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        self.federation = federation
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.metrics = ServiceMetrics(batch_capacity=max_batch)
+        self._queue = AdmissionQueue(max_queue)
+        self._max_batch = max_batch
+        self._batch_window = batch_window
+        self._rate_limit = rate_limit
+        self._rate_burst = rate_burst
+        self._buckets: dict[str, TokenBucket] = {}
+        self._seq = itertools.count()
+        self._wakeup = asyncio.Event()
+        self._runner: asyncio.Task | None = None
+        self._draining = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "QueryService":
+        """Start the scheduler task (idempotent; ``submit`` also lazy-starts)."""
+        self._ensure_runner()
+        return self
+
+    async def __aenter__(self) -> "QueryService":
+        return await self.start()
+
+    async def __aexit__(self, *_exc_info) -> None:
+        await self.close(drain=True)
+
+    async def close(self, *, drain: bool = True) -> None:
+        """Stop the service.
+
+        With ``drain=True`` (graceful): new submissions are refused with
+        :class:`ServiceClosed`, queued work is served to completion, then
+        the scheduler exits.  With ``drain=False``: queued requests fail
+        immediately with :class:`ServiceClosed`.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        if not drain:
+            for request in self._queue.drain_all():
+                self._fail(request, ServiceClosed("service closed before serving"))
+        self._wakeup.set()
+        if self._runner is not None:
+            await self._runner
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.depth
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """Service counters plus the federation cache's hit statistics."""
+        snapshot = self.metrics.snapshot(queue_depth=self._queue.depth)
+        cache = self.federation.cache
+        snapshot["cache_hits"] = cache.hits
+        snapshot["cache_misses"] = cache.misses
+        snapshot["cache_hit_rate"] = round(cache.hit_rate, 6)
+        return snapshot
+
+    # -- submission ------------------------------------------------------------
+
+    async def submit(
+        self,
+        statement: str,
+        *,
+        issuer: str = "anonymous",
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> QueryOutcome:
+        """Admit one statement and await its outcome.
+
+        ``timeout`` is a relative deadline in service-clock seconds: a
+        request still queued when it expires is shed with
+        :class:`DeadlineExceeded`.  Once a request is dispatched into a
+        batch its result is always delivered — the protocol ran and the
+        exposure was charged, so discarding the public answer would waste
+        both.  ``priority`` orders batch formation (higher first, FIFO
+        within a level).  Service-level rejections raise
+        :class:`~repro.service.errors.ServiceError` subclasses; per-query
+        federation refusals (``SqlError``, ``PolicyViolation``,
+        ``BudgetExceededError``) propagate as their original typed errors.
+        """
+        self.metrics.submitted += 1
+        if self.closed:
+            raise ServiceClosed("service is closed to new queries")
+        parse(statement)  # malformed statements never reach the queue
+        now = self.clock.now()
+        if timeout is not None and timeout <= 0:
+            self.metrics.shed_deadline += 1
+            raise DeadlineExceeded(f"timeout {timeout}s already expired")
+        if self._rate_limit is not None and not self._bucket(issuer).try_take(now):
+            self.metrics.shed_rate_limited += 1
+            raise RateLimited(
+                f"issuer {issuer!r} exceeded {self._rate_limit}/s "
+                f"(burst {self._rate_burst})"
+            )
+        # Cache fast path: an already-public answer is re-served immediately
+        # and never occupies a queue or batch slot.
+        cached = self.federation.try_cached(statement, issuer=issuer)
+        if cached is not None:
+            self.metrics.cache_fast_hits += 1
+            self.metrics.completed += 1
+            self.metrics.latency.record(0.0)
+            return cached
+        request = QueuedRequest(
+            statement=statement,
+            issuer=issuer,
+            priority=priority,
+            deadline=(now + timeout) if timeout is not None else None,
+            admitted_at=now,
+            seq=next(self._seq),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        try:
+            self._queue.push(request)
+        except ServiceError:
+            self.metrics.shed_overload += 1
+            raise
+        self.metrics.admitted += 1
+        self.metrics.queue_high_water = max(
+            self.metrics.queue_high_water, self._queue.depth
+        )
+        self._ensure_runner()
+        self._wakeup.set()
+        return await request.future
+
+    async def submit_many(
+        self,
+        statements: Iterable[str],
+        *,
+        issuer: str = "anonymous",
+        priority: int = 0,
+        timeout: float | None = None,
+        return_exceptions: bool = False,
+    ) -> "Sequence[QueryOutcome | BaseException]":
+        """Submit a burst concurrently; results in statement order.
+
+        All statements are admitted in the same event-loop iteration, so
+        they coalesce into as few batches as capacity allows.  With
+        ``return_exceptions=True`` shed/refused entries appear as exception
+        *objects* at their positions instead of aborting the gather —
+        the natural mode under deliberate overload.
+        """
+        return await asyncio.gather(
+            *(
+                self.submit(
+                    statement, issuer=issuer, priority=priority, timeout=timeout
+                )
+                for statement in statements
+            ),
+            return_exceptions=return_exceptions,
+        )
+
+    # -- scheduler ------------------------------------------------------------
+
+    def _bucket(self, issuer: str) -> TokenBucket:
+        bucket = self._buckets.get(issuer)
+        if bucket is None:
+            assert self._rate_limit is not None
+            bucket = TokenBucket(
+                rate=self._rate_limit,
+                burst=float(self._rate_burst),
+                updated=self.clock.now(),
+            )
+            self._buckets[issuer] = bucket
+        return bucket
+
+    def _ensure_runner(self) -> None:
+        if self._runner is None or self._runner.done():
+            if self._runner is not None and not self._runner.cancelled():
+                # Surface a crashed scheduler instead of silently restarting.
+                error = self._runner.exception()
+                if error is not None:
+                    raise QueryFailed("scheduler crashed", cause=error)
+            self._runner = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-query-service"
+            )
+
+    async def _run(self) -> None:
+        try:
+            while True:
+                if not self._queue.depth:
+                    if self._draining:
+                        return
+                    self._wakeup.clear()
+                    await self._wakeup.wait()
+                    continue
+                # Let submitters scheduled in this loop iteration join the
+                # forming batch (continuous batching's coalescing window).
+                if self._batch_window > 0:
+                    await asyncio.sleep(self._batch_window)
+                else:
+                    await asyncio.sleep(0)
+                self._serve_cycle()
+        finally:
+            for request in self._queue.drain_all():
+                self._fail(request, ServiceClosed("service stopped"))
+
+    def _serve_cycle(self) -> None:
+        """One scheduling cycle: shed, fast-path, then execute one batch."""
+        now = self.clock.now()
+        for request in self._queue.expire(now):
+            self.metrics.shed_deadline += 1
+            self._fail(
+                request,
+                DeadlineExceeded(
+                    f"deadline expired after {now - request.admitted_at:.6f}s "
+                    f"in queue"
+                ),
+            )
+        # Dequeue-time cache fast path: an earlier batch may have answered a
+        # statement that was already queued; serve those hits now so they do
+        # not occupy batch slots.
+        for request in self._queue.snapshot():
+            try:
+                cached = self.federation.try_cached(
+                    request.statement, issuer=request.issuer
+                )
+            except Exception as refusal:  # e.g. quota exhausted since admission
+                self._queue.remove(request)
+                self.metrics.refused += 1
+                self._fail(request, refusal)
+                continue
+            if cached is not None:
+                self._queue.remove(request)
+                self.metrics.cache_fast_hits += 1
+                self._complete(request, cached, now)
+        batch = self._queue.next_batch(self._max_batch)
+        if not batch:
+            return
+        self.metrics.batches += 1
+        self.metrics.batched_queries += len(batch)
+        issuer = batch[0].issuer
+        try:
+            settled = self.federation.execute_many_settled(
+                [request.statement for request in batch], issuer=issuer
+            )
+        except Exception as exc:
+            # Batch-level failure (e.g. an unrecoverable ring crash): every
+            # request in the batch fails with a typed, attributable error.
+            for request in batch:
+                self.metrics.failed += 1
+                self._fail(
+                    request, QueryFailed(f"batch execution failed: {exc}", cause=exc)
+                )
+            return
+        # Advance simulated time by the batch's makespan: interleaved queries
+        # complete together at the slowest query's finish line.
+        self.clock.advance(
+            max(
+                (
+                    outcome.simulated_seconds
+                    for outcome in settled
+                    if isinstance(outcome, QueryOutcome)
+                ),
+                default=0.0,
+            )
+        )
+        now = self.clock.now()
+        for request, outcome in zip(batch, settled):
+            if isinstance(outcome, QueryRefused):
+                self.metrics.refused += 1
+                self._fail(request, outcome.error)
+            else:
+                self._complete(request, outcome, now)
+
+    # -- resolution ------------------------------------------------------------
+
+    def _complete(
+        self, request: QueuedRequest, outcome: QueryOutcome, now: float
+    ) -> None:
+        self.metrics.completed += 1
+        self.metrics.latency.record(max(0.0, now - request.admitted_at))
+        if not request.future.done():
+            request.future.set_result(outcome)
+
+    @staticmethod
+    def _fail(request: QueuedRequest, error: BaseException) -> None:
+        if not request.future.done():
+            request.future.set_exception(error)
+
+
+__all__ = ["QueryService"]

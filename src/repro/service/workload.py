@@ -1,0 +1,83 @@
+"""Synthetic serving workloads for the CLI and the throughput benchmark.
+
+A serving benchmark needs two things the experiment harness does not
+provide: a federation over synthetic private databases, and a *query
+stream* with the statistical shape of real traffic — a mix of ranking and
+aggregate statements where a tunable fraction are repeats of earlier
+queries (the cache's bread and butter).  Both are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..database.database import database_from_values
+from ..database.generator import DataGenerator
+from ..database.query import PAPER_DOMAIN
+from ..federation.coordinator import Federation
+
+
+def synthetic_federation(
+    *,
+    parties: int = 5,
+    values_per_party: int = 20,
+    seed: int = 0,
+    **federation_kwargs,
+) -> Federation:
+    """A federation of ``parties`` synthetic single-attribute databases."""
+    if parties < 3:
+        raise ValueError(f"the protocol requires >= 3 parties, got {parties}")
+    generator = DataGenerator(rng=random.Random(seed))
+    datasets = generator.node_datasets(parties, values_per_party)
+    federation = Federation(domain=PAPER_DOMAIN, seed=seed, **federation_kwargs)
+    for index, values in enumerate(datasets):
+        federation.register(
+            database_from_values(f"org{index:02d}", [float(v) for v in values])
+        )
+    return federation
+
+
+#: Statement templates the generator draws from (all over the synthetic
+#: schema registered by :func:`synthetic_federation`).
+_TEMPLATES = (
+    "SELECT TOP {k} value FROM data",
+    "SELECT BOTTOM {k} value FROM data",
+    "SELECT MAX(value) FROM data",
+    "SELECT MIN(value) FROM data",
+    "SELECT SUM(value) FROM data",
+    "SELECT COUNT(value) FROM data",
+    "SELECT AVG(value) FROM data",
+)
+
+
+def mixed_workload(
+    queries: int,
+    *,
+    seed: int = 0,
+    repeat_fraction: float = 0.3,
+    max_k: int = 5,
+) -> list[str]:
+    """A deterministic stream of ``queries`` statements with repeats.
+
+    Each draw is either a repeat of an earlier statement (probability
+    ``repeat_fraction``, once any exist) or a fresh draw from the template
+    mix; ranking templates get a uniformly drawn ``k``.  Repeats are the
+    cache fast path's workload, so serving metrics on this stream exercise
+    admission, batching and the cache together.
+    """
+    if queries < 1:
+        raise ValueError(f"queries must be >= 1, got {queries}")
+    if not 0.0 <= repeat_fraction < 1.0:
+        raise ValueError(f"repeat_fraction must be in [0, 1), got {repeat_fraction}")
+    rng = random.Random(seed)
+    statements: list[str] = []
+    for _ in range(queries):
+        if statements and rng.random() < repeat_fraction:
+            statements.append(rng.choice(statements))
+            continue
+        template = rng.choice(_TEMPLATES)
+        statements.append(template.format(k=rng.randint(1, max_k)))
+    return statements
+
+
+__all__ = ["mixed_workload", "synthetic_federation"]

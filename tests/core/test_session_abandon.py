@@ -1,0 +1,96 @@
+"""Abandonable sessions: withdrawing one query from a pipelined batch.
+
+The serving layer sheds queries whose deadline expires; a shed query that is
+already mid-flight must stop consuming transport deliveries without
+perturbing the queries pipelined with it.  These tests drive
+``ProtocolSession.abandon`` directly at the transport level.
+"""
+
+import pytest
+
+from repro.core.driver import RunConfig, run_protocol_on_vectors
+from repro.core.session import DriverError, ProtocolSession, prepare_query_vectors
+from repro.database.query import TopKQuery
+from repro.network.transport import InMemoryTransport
+
+VECTORS = {
+    "a": [10.0, 20.0, 30.0],
+    "b": [40.0, 50.0, 60.0],
+    "c": [70.0, 80.0, 90.0],
+}
+QUERY = TopKQuery(table="data", attribute="value", k=2)
+
+
+def _sessions(count: int, transport: InMemoryTransport) -> list[ProtocolSession]:
+    return [
+        ProtocolSession(
+            prepare_query_vectors(VECTORS, QUERY),
+            RunConfig(seed=100 + index),
+            transport,
+            query_id=f"q{index}",
+        )
+        for index in range(count)
+    ]
+
+
+class TestAbandon:
+    def test_abandoned_session_cannot_finalize(self):
+        transport = InMemoryTransport()
+        (session,) = _sessions(1, transport)
+        session.start()
+        session.abandon()
+        transport.run_until_idle()
+        with pytest.raises(DriverError, match="abandoned"):
+            session.finalize()
+        assert not session.finished
+
+    def test_abandon_is_idempotent_and_blocks_start(self):
+        transport = InMemoryTransport()
+        (session,) = _sessions(1, transport)
+        session.abandon()
+        session.abandon()
+        with pytest.raises(DriverError, match="abandoned"):
+            session.start()
+
+    def test_in_flight_tokens_are_dropped_not_delivered(self):
+        transport = InMemoryTransport()
+        (session,) = _sessions(1, transport)
+        session.start()
+        # A round-1 token is in flight; abandoning must drop it on delivery.
+        assert transport.pending > 0
+        session.abandon()
+        transport.run_until_idle()
+        assert transport.dropped > 0
+        assert not session.finished
+
+    def test_batch_mates_unaffected_bit_identically(self):
+        # Three queries pipelined; the middle one is abandoned mid-flight.
+        transport = InMemoryTransport()
+        sessions = _sessions(3, transport)
+        for session in sessions:
+            session.start()
+        # Deliver a few messages, then withdraw q1 while its token is live.
+        for _ in range(4):
+            transport.deliver_next()
+        sessions[1].abandon()
+        transport.run_until_idle()
+        survivors = [sessions[0], sessions[2]]
+        for session in survivors:
+            session.recover()
+        results = [session.finalize() for session in survivors]
+
+        # Solo reference runs: the survivors must be bit-identical to running
+        # alone under the same config seed.
+        for session, result in zip(survivors, results):
+            solo = run_protocol_on_vectors(VECTORS, QUERY, session.config)
+            assert result.final_vector == solo.final_vector
+            assert result.rounds_executed == solo.rounds_executed
+
+    def test_abandoned_recover_is_a_noop(self):
+        transport = InMemoryTransport()
+        (session,) = _sessions(1, transport)
+        session.start()
+        session.abandon()
+        session.recover()  # must not raise or loop
+        with pytest.raises(DriverError, match="abandoned"):
+            session.finalize()

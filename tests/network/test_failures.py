@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.network.failures import FailureInjector
+from repro.network.failures import NO_FAILURES, FailureInjector, NullFailureInjector
 from repro.network.message import token_message
 
 
@@ -35,6 +35,31 @@ class TestCrashes:
 
     def test_healthy_traffic_passes(self):
         assert not FailureInjector().should_drop(token_message("a", "b", 1, [1.0]))
+
+
+class TestNullInjector:
+    """NO_FAILURES is shared module-wide, so it must be immutable."""
+
+    def test_never_drops_and_never_mutates(self):
+        message = token_message("a", "b", 1, [1.0])
+        before = NO_FAILURES._messages_seen
+        for _ in range(10):
+            assert not NO_FAILURES.should_drop(message)
+        assert NO_FAILURES._messages_seen == before
+
+    def test_mutators_refuse(self):
+        with pytest.raises(TypeError, match="immutable"):
+            NO_FAILURES.crash("a")
+        with pytest.raises(TypeError, match="immutable"):
+            NO_FAILURES.schedule_crash("a", after_messages=1)
+        with pytest.raises(TypeError, match="immutable"):
+            NO_FAILURES.recover("a")
+        assert not NO_FAILURES.is_crashed("a")
+
+    def test_fresh_null_injector_equals_singleton_behaviour(self):
+        injector = NullFailureInjector()
+        assert not injector.should_drop(token_message("x", "y", 1, [2.0]))
+        assert injector.crashed_nodes == frozenset()
 
 
 class TestProbabilisticDrops:

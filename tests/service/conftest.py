@@ -1,0 +1,32 @@
+"""Shared fixtures for the query-service tests.
+
+The tests run coroutines with plain ``asyncio.run`` (no asyncio pytest
+plugin is assumed); each test builds its own federation so cache and ledger
+state never leaks between tests.
+"""
+
+from repro.database.database import database_from_values
+from repro.database.query import PAPER_DOMAIN
+from repro.federation import Federation
+
+DATASETS = {
+    "acme": [100, 900, 250],
+    "bravo": [9000, 40],
+    "corex": [7000, 6500, 3],
+    "delta": [5],
+}
+
+MIXED_STATEMENTS = [
+    "SELECT TOP 3 value FROM data",
+    "SELECT SUM(value) FROM data",
+    "SELECT BOTTOM 2 value FROM data",
+    "SELECT AVG(value) FROM data",
+    "SELECT MAX(value) FROM data",
+]
+
+
+def fresh_federation(seed: int = 7, **kwargs) -> Federation:
+    fed = Federation(domain=PAPER_DOMAIN, seed=seed, **kwargs)
+    for owner, values in DATASETS.items():
+        fed.register(database_from_values(owner, values))
+    return fed

@@ -115,3 +115,83 @@ class TestCommands:
     def test_analyze_missing_file(self, capsys):
         assert main(["analyze", "/nonexistent/trace.json"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeCommands:
+    def test_serve_statements_from_argv(self, capsys):
+        assert main(
+            [
+                "serve",
+                "SELECT TOP 3 value FROM data",
+                "SELECT TOP 3 value FROM data",
+                "--seed",
+                "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK    ") == 2
+        assert "(cached)" in out
+        assert "cache hit rate" in out
+
+    def test_serve_statements_from_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("# comment\nSELECT MAX(value) FROM data\n\n"),
+        )
+        assert main(["serve", "--seed", "4"]) == 0
+        assert "SELECT MAX(value) FROM data" in capsys.readouterr().out
+
+    def test_serve_empty_stdin_is_an_error(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["serve"]) == 2
+        assert "no statements" in capsys.readouterr().err
+
+    def test_serve_reports_bad_statement_typed(self, capsys):
+        assert main(["serve", "SELECT NONSENSE"]) == 1
+        out = capsys.readouterr().out
+        assert "ERROR" in out and "SqlError" in out
+
+    def test_bench_serve_strict_passes_within_capacity(self, capsys, tmp_path):
+        jsonl = tmp_path / "serve.jsonl"
+        assert main(
+            [
+                "bench-serve",
+                "--queries",
+                "25",
+                "--seed",
+                "3",
+                "--strict",
+                "--jsonl",
+                str(jsonl),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "strict checks passed" in out
+        assert jsonl.exists()
+        import json
+
+        record = json.loads(jsonl.read_text().splitlines()[0])
+        assert record["shed"] == 0
+        assert record["cache_fast_hits"] > 0
+
+    def test_bench_serve_strict_fails_under_overload(self, capsys):
+        assert main(
+            [
+                "bench-serve",
+                "--queries",
+                "25",
+                "--seed",
+                "3",
+                "--max-queue",
+                "2",
+                "--max-batch",
+                "1",
+                "--strict",
+            ]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "STRICT FAIL" in err and "shed" in err
