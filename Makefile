@@ -5,16 +5,22 @@ PYTHON ?= python3
 # bit-identical at any value.
 JOBS ?= 1
 
-.PHONY: install test bench figures report examples all clean
+.PHONY: install test bench bench-kernel figures report examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
+# The tier-1 gate, exactly as CI runs it.
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Kernel-vs-session speedup sweep; writes results/BENCH_kernel_speedup.json
+# and fails below the 5x floor at n=50.
+bench-kernel:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_kernel.py -q -s
 
 figures:
 	$(PYTHON) -m repro.cli all --trials 100 --no-plot --out results --jobs $(JOBS)

@@ -13,12 +13,32 @@ Algorithm 2 delta, insert-once, and group-parallel scaling.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 #: Trials per measured point.  Small enough to keep the full harness quick,
 #: large enough that the qualitative shape assertions are stable.
 BENCH_TRIALS = 10
 BENCH_SEED = 2025
+
+
+def make_vectors(
+    n: int, per_node: int, seed: int, *, prefix: str = "n"
+) -> dict[str, list[float]]:
+    """Synthetic per-node workloads on the paper's integer domain [1, 10000].
+
+    The single source of the bench modules' input data.  The draw order
+    (one seeded RNG, nodes outer, values inner) is part of the contract:
+    several benches assert exact results for a given seed, so changing it
+    would silently re-seed every one of them.  ``prefix`` only renames the
+    node ids ("n0..." vs "p0...") and does not perturb the value stream.
+    """
+    rng = random.Random(seed)
+    return {
+        f"{prefix}{i}": [float(rng.randint(1, 10_000)) for _ in range(per_node)]
+        for i in range(n)
+    }
 
 
 @pytest.fixture

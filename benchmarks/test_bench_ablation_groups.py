@@ -5,15 +5,13 @@ wall-clock latency, because groups run concurrently.  Also checks the
 analytic cost model against the simulator's actual message counts.
 """
 
-import random
-
 from repro.analysis.efficiency import grouped_total_messages, total_messages
 from repro.core.driver import RunConfig, run_protocol_on_vectors
 from repro.core.params import ProtocolParams
 from repro.database.query import Domain, TopKQuery
 from repro.extensions.groups import run_grouped_max
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, make_vectors
 
 QUERY = TopKQuery(table="t", attribute="v", k=1, domain=Domain(1, 10_000))
 N_NODES = 64
@@ -21,8 +19,7 @@ GROUP_SIZE = 8
 
 
 def measure(seed: int) -> dict[str, dict[str, float]]:
-    rng = random.Random(seed)
-    vectors = {f"n{i}": [float(rng.randint(1, 10_000))] for i in range(N_NODES)}
+    vectors = make_vectors(N_NODES, 1, seed)
     params = ProtocolParams.paper_defaults()
     flat = run_protocol_on_vectors(vectors, QUERY, RunConfig(params=params, seed=seed))
     grouped = run_grouped_max(

@@ -4,8 +4,6 @@ Trace persistence, SQL parsing, the channel cipher and the secure-sum ring
 all sit on hot paths of deployments; these benches keep their costs visible.
 """
 
-import random
-
 from repro.core.driver import RunConfig, run_protocol_on_vectors
 from repro.core.params import ProtocolParams
 from repro.core.serialization import result_from_dict, result_to_dict
@@ -14,14 +12,11 @@ from repro.extensions.securesum import run_secure_sum
 from repro.federation.sql import parse
 from repro.network.crypto import ChannelKey
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, make_vectors
 
 
 def _sample_result():
-    rng = random.Random(BENCH_SEED)
-    vectors = {
-        f"n{i}": [float(rng.randint(1, 10_000)) for _ in range(3)] for i in range(10)
-    }
+    vectors = make_vectors(10, 3, BENCH_SEED)
     query = TopKQuery(table="t", attribute="v", k=5, domain=Domain(1, 10_000))
     params = ProtocolParams.paper_defaults(rounds=6)
     return run_protocol_on_vectors(vectors, query, RunConfig(params=params, seed=1))

@@ -1,0 +1,148 @@
+"""Bench: the message-free kernel vs the transport-backed session path.
+
+The kernel (:mod:`repro.core.kernel`) exists to make Monte Carlo trials
+cheap: same protocols, same RNG draw order, bit-identical results — minus
+the Message objects, the codec, the delivery heap and the per-delivery
+accounting.  This bench measures that claim at figure scales (n in
+{10, 50, 200}, 100 trials each), asserts the acceptance floor (>= 5x
+trials/second at n=50), checks that the speedup composes with the
+``--jobs`` process parallelism on machines with spare cores, and emits
+``results/BENCH_kernel_speedup.json`` for the report tooling and CI.
+
+Timings are best-of-``REPS`` on both backends, so a noisy neighbour slows
+a rep, not the measurement.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.driver import KERNEL, SESSION, RunConfig, run_protocol_on_vectors
+from repro.core.params import ProtocolParams
+from repro.database.query import Domain, TopKQuery
+from repro.experiments.config import TrialSetup
+from repro.experiments.runner import run_trials, shutdown_pool
+
+from conftest import BENCH_SEED, make_vectors
+
+#: Figure-style sweep: small, paper-default, and large rings.
+N_SWEEP = (10, 50, 200)
+#: The paper's per-point trial count.
+TRIALS = 100
+#: Best-of repetitions per (backend, n) measurement.
+REPS = 3
+#: The acceptance floor: kernel trials/second over session trials/second.
+SPEEDUP_FLOOR = 5.0
+FLOOR_AT_N = 50
+#: Cores needed before the jobs-composition assertion is meaningful.
+MIN_CORES_FOR_JOBS = 2
+JOBS = 2
+
+DOMAIN = Domain(1, 10_000)
+VALUES_PER_NODE = 12
+K = 5
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "results" / "BENCH_kernel_speedup.json"
+)
+
+
+def _workloads(n: int) -> list[dict[str, list[float]]]:
+    return [make_vectors(n, VALUES_PER_NODE, BENCH_SEED + t) for t in range(TRIALS)]
+
+
+def _run_all(backend: str, workloads, query) -> list:
+    return [
+        run_protocol_on_vectors(
+            vectors, query, RunConfig(seed=BENCH_SEED + t), backend=backend
+        )
+        for t, vectors in enumerate(workloads)
+    ]
+
+
+def _best_seconds(backend: str, workloads, query) -> float:
+    best = float("inf")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        _run_all(backend, workloads, query)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_kernel_speedup():
+    query = TopKQuery(table="t", attribute="v", k=K, domain=DOMAIN)
+    points = {}
+    for n in N_SWEEP:
+        workloads = _workloads(n)
+
+        # Parity before performance: the speedup must not come from
+        # computing something else.
+        session_results = _run_all(SESSION, workloads, query)
+        kernel_results = _run_all(KERNEL, workloads, query)
+        for a, b in zip(session_results, kernel_results):
+            assert a.final_vector == b.final_vector
+            assert a.round_snapshots == b.round_snapshots
+            assert a.stats == b.stats
+
+        session_seconds = _best_seconds(SESSION, workloads, query)
+        kernel_seconds = _best_seconds(KERNEL, workloads, query)
+        points[n] = {
+            "trials": TRIALS,
+            "session_trials_per_second": round(TRIALS / session_seconds, 1),
+            "kernel_trials_per_second": round(TRIALS / kernel_seconds, 1),
+            "speedup": round(session_seconds / kernel_seconds, 2),
+        }
+
+    # -- jobs composition: the kernel speedup multiplies, not replaces,
+    # the process-pool parallelism of PR 2's trial engine.
+    setup = TrialSetup(
+        n=FLOOR_AT_N,
+        k=K,
+        params=ProtocolParams.paper_defaults(),
+        trials=TRIALS,
+        seed=BENCH_SEED,
+    )
+    start = time.perf_counter()
+    serial = run_trials(setup, jobs=1, backend=KERNEL)
+    serial_seconds = time.perf_counter() - start
+    # Fork the pool before timing so startup cost isn't charged to the
+    # steady-state throughput.
+    run_trials(setup.with_(trials=JOBS), jobs=JOBS, backend=KERNEL)
+    start = time.perf_counter()
+    parallel = run_trials(setup, jobs=JOBS, backend=KERNEL)
+    parallel_seconds = time.perf_counter() - start
+    shutdown_pool()
+    for a, b in zip(serial, parallel):
+        assert a.final_vector == b.final_vector
+    jobs_speedup = serial_seconds / parallel_seconds
+    cores = os.cpu_count() or 1
+
+    document = {
+        "bench": "kernel_speedup",
+        "floor": {"at_n": FLOOR_AT_N, "min_speedup": SPEEDUP_FLOOR},
+        "points": points,
+        "jobs_composition": {
+            "jobs": JOBS,
+            "cores": cores,
+            "kernel_serial_seconds": round(serial_seconds, 4),
+            "kernel_parallel_seconds": round(parallel_seconds, 4),
+            "speedup": round(jobs_speedup, 2),
+            "asserted": cores >= MIN_CORES_FOR_JOBS,
+        },
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    floor_point = points[FLOOR_AT_N]
+    assert floor_point["speedup"] >= SPEEDUP_FLOOR, (
+        f"kernel speedup {floor_point['speedup']}x at n={FLOOR_AT_N} is below "
+        f"the {SPEEDUP_FLOOR}x floor ({RESULTS_PATH} has the full sweep)"
+    )
+    # Every sweep point should still come out clearly ahead.
+    for n, point in points.items():
+        assert point["speedup"] > 2.0, f"kernel barely faster at n={n}: {point}"
+    if cores >= MIN_CORES_FOR_JOBS:
+        assert jobs_speedup > 1.15, (
+            f"kernel speedup does not compose with --jobs: {jobs_speedup:.2f}x "
+            f"with {JOBS} workers on {cores} cores"
+        )

@@ -7,14 +7,12 @@ cost structures: the search pays O(log |domain|) secure-sum rings, the
 top-k protocol pays O(r_min) token rings with k-sized payloads.
 """
 
-import random
-
 from repro.core.driver import RunConfig, run_protocol_on_vectors
 from repro.core.params import ProtocolParams
 from repro.database.query import Domain, TopKQuery
 from repro.extensions.kth_element import kth_largest
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, make_vectors
 
 DOMAIN = Domain(1, 10_000)
 N_PARTIES = 8
@@ -23,11 +21,7 @@ K = 5
 
 
 def measure(seed: int) -> dict[str, dict[str, float]]:
-    rng = random.Random(seed)
-    parties = {
-        f"p{i}": [float(rng.randint(1, 10_000)) for _ in range(VALUES_PER_PARTY)]
-        for i in range(N_PARTIES)
-    }
+    parties = make_vectors(N_PARTIES, VALUES_PER_PARTY, seed, prefix="p")
     truth = sorted((v for vs in parties.values() for v in vs), reverse=True)[K - 1]
 
     search = kth_largest(parties, K, DOMAIN, seed=seed)

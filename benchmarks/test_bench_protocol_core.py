@@ -5,25 +5,15 @@ regressions in the hot path (message codec, merge, local algorithms) are
 visible.
 """
 
-import random
-
 import pytest
 
 from repro.core.driver import RunConfig, run_protocol_on_vectors
 from repro.core.params import ProtocolParams
 from repro.database.query import Domain, TopKQuery
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, make_vectors
 
 DOMAIN = Domain(1, 10_000)
-
-
-def make_vectors(n: int, per_node: int, seed: int) -> dict[str, list[float]]:
-    rng = random.Random(seed)
-    return {
-        f"n{i}": [float(rng.randint(1, 10_000)) for _ in range(per_node)]
-        for i in range(n)
-    }
 
 
 @pytest.mark.parametrize("n", [10, 50, 200])

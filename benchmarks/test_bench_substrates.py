@@ -7,15 +7,13 @@ it); the two socket substrates document the real cost of process-local
 deployment.
 """
 
-import random
-
 from repro.core.driver import RunConfig, run_protocol_on_vectors
 from repro.core.params import ProtocolParams
 from repro.database.query import Domain, TopKQuery
 from repro.deploy import run_tcp_topk
 from repro.deploy.async_runner import run_async_topk
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, make_vectors
 
 DOMAIN = Domain(1, 10_000)
 N_PARTIES = 6
@@ -23,11 +21,7 @@ PARAMS_ROUNDS = 4
 
 
 def make_inputs():
-    rng = random.Random(BENCH_SEED)
-    vectors = {
-        f"p{i}": [float(rng.randint(1, 10_000)) for _ in range(3)]
-        for i in range(N_PARTIES)
-    }
+    vectors = make_vectors(N_PARTIES, 3, BENCH_SEED, prefix="p")
     query = TopKQuery(table="t", attribute="v", k=2, domain=DOMAIN)
     params = ProtocolParams.paper_defaults(rounds=PARAMS_ROUNDS)
     return vectors, query, params

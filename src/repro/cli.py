@@ -43,22 +43,30 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 @contextmanager
 def _timing_scope(enabled: bool) -> Iterator:
-    """Collect trial telemetry for ``--timing``; yields None when off."""
+    """Collect trial telemetry for ``--timing``; yields None when off.
+
+    Also profiles the kernel backend's execution phases (setup, ring
+    build, round loop, finalize), so ``--timing`` shows where the fast
+    path spends its time alongside the per-sweep-point table.
+    """
     if not enabled:
         yield None
         return
     from .experiments import telemetry
 
-    with telemetry.collect() as collector:
-        yield collector
+    with telemetry.collect() as collector, telemetry.profile_phases() as phases:
+        yield (collector, phases)
 
 
-def _print_timing(collector) -> None:
-    if collector is None:
+def _print_timing(scope) -> None:
+    if scope is None:
         return
+    collector, phases = scope
     print()
     if collector.points:
         print(collector.render())
+        print()
+        print(phases.render())
     else:
         print("no trial telemetry recorded (analytic artifact, no trials run)")
 
@@ -69,6 +77,7 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> list:
         trials=args.trials,
         seed=args.seed,
         jobs=getattr(args, "jobs", None),
+        backend=getattr(args, "backend", None),
         timing=getattr(args, "timing", False),
     )
     if isinstance(outcome, str):
@@ -124,6 +133,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             seed=args.seed,
             include_extensions=not args.paper_only,
             jobs=args.jobs,
+            backend=args.backend,
             timing=args.timing,
         )
     print(f"wrote {path}")
@@ -140,6 +150,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             seed=args.seed,
             experiment_ids=args.only,
             jobs=args.jobs,
+            backend=args.backend,
         )
     print(render_scorecard(checks))
     _print_timing(collector)
@@ -338,7 +349,7 @@ def _jobs_count(text: str) -> int:
 
 
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
-    """The ``--jobs`` / ``--timing`` pair shared by the experiment commands."""
+    """The ``--jobs``/``--backend``/``--timing`` trio of the experiment commands."""
     parser.add_argument(
         "--jobs",
         type=_jobs_count,
@@ -346,6 +357,16 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         help=(
             "worker processes for trial execution (1 = serial, 0 = all "
             "cores); results are bit-identical for any value"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("session", "kernel"),
+        default=None,
+        help=(
+            "trial execution substrate: 'kernel' (default) runs the "
+            "message-free fast path, 'session' the full transport "
+            "simulation; results are bit-identical either way"
         ),
     )
     parser.add_argument(

@@ -2,10 +2,14 @@
 
 from .driver import (
     ANONYMOUS_NAIVE,
+    BACKENDS,
+    KERNEL,
     NAIVE,
     PROBABILISTIC,
     PROTOCOLS,
+    SESSION,
     DriverError,
+    KernelUnsupported,
     RunConfig,
     derived_rounds,
     run_many_on_vectors,
@@ -14,6 +18,7 @@ from .driver import (
     run_topk_query,
     with_protocol,
 )
+from .kernel import KernelRun, kernel_refusal, run_kernel_on_vectors
 from .session import PreparedQuery, ProtocolSession, prepare_query_vectors
 from .max_protocol import ProbabilisticMaxAlgorithm
 from .naive import NaiveMaxAlgorithm, NaiveTopKAlgorithm
@@ -50,10 +55,14 @@ from .vectors import (
 
 __all__ = [
     "ANONYMOUS_NAIVE",
+    "BACKENDS",
     "ConstantCutoffSchedule",
     "DriverError",
     "ExponentialSchedule",
     "HighBiasedNoise",
+    "KERNEL",
+    "KernelRun",
+    "KernelUnsupported",
     "LowBiasedNoise",
     "LinearSchedule",
     "NAIVE",
@@ -71,6 +80,7 @@ __all__ = [
     "ProtocolResult",
     "ProtocolSession",
     "RunConfig",
+    "SESSION",
     "SamplingError",
     "SerializationError",
     "Schedule",
@@ -79,6 +89,7 @@ __all__ = [
     "VectorError",
     "derived_rounds",
     "is_sorted_desc",
+    "kernel_refusal",
     "load_result",
     "merge_topk",
     "minimum_rounds",
@@ -90,6 +101,7 @@ __all__ = [
     "random_value_in",
     "result_from_dict",
     "result_to_dict",
+    "run_kernel_on_vectors",
     "run_many_on_vectors",
     "run_protocol_on_vectors",
     "run_topk_queries",

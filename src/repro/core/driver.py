@@ -30,6 +30,7 @@ from ..network.transport import (
     InMemoryTransport,
     LatencyModel,
 )
+from .kernel import KernelUnsupported, run_kernel_on_vectors
 from .params import ParamError, ProtocolParams
 from .results import ProtocolResult
 from .session import (
@@ -45,10 +46,14 @@ from .session import (
 
 __all__ = [
     "ANONYMOUS_NAIVE",
+    "BACKENDS",
+    "KERNEL",
     "NAIVE",
     "PROBABILISTIC",
     "PROTOCOLS",
+    "SESSION",
     "DriverError",
+    "KernelUnsupported",
     "RingBuilder",
     "RunConfig",
     "derived_rounds",
@@ -58,6 +63,14 @@ __all__ = [
     "run_topk_query",
     "with_protocol",
 ]
+
+#: Execution backends for single-query runs.  ``SESSION`` is the transport-
+#: backed simulation (encryption, latency, failures, full accounting);
+#: ``KERNEL`` is the message-free fast path (:mod:`repro.core.kernel`),
+#: bit-identical on the configs it accepts and refusing the rest.
+SESSION = "session"
+KERNEL = "kernel"
+BACKENDS = (SESSION, KERNEL)
 
 
 @dataclass(frozen=True)
@@ -124,6 +137,8 @@ def run_protocol_on_vectors(
     local_vectors: dict[str, list[float]],
     query: TopKQuery,
     config: RunConfig | None = None,
+    *,
+    backend: str = SESSION,
 ) -> ProtocolResult:
     """Run the protocol when each party's local top-k vector is already known.
 
@@ -133,8 +148,17 @@ def run_protocol_on_vectors(
     its values and takes the local set of topk values", Section 3.4).  The
     experiment harness uses this entry point directly with synthetic
     workloads.
+
+    ``backend`` selects the execution substrate: :data:`SESSION` (default)
+    simulates the full transport; :data:`KERNEL` runs the message-free fast
+    path, bit-identical under the same seed but refusing configs it cannot
+    honor exactly (encryption, latency models, failure injectors).
     """
+    if backend not in BACKENDS:
+        raise DriverError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     config = config or RunConfig()
+    if backend == KERNEL:
+        return run_kernel_on_vectors(local_vectors, query, config)
     prepared = prepare_query_vectors(local_vectors, query)
     transport = _transport_for(config)
     session = ProtocolSession(prepared, config, transport)

@@ -1,0 +1,501 @@
+"""Message-free fast path for the ring protocols.
+
+The transport substrate (:mod:`repro.network.transport`) earns its keep when
+a run needs what only a simulated network can provide: encryption
+round-trips, latency models, failure injection, multi-query interleaving.
+The Monte Carlo trials behind the paper's figures need none of that — they
+run thousands of failure-free, unencrypted, single-query protocols and read
+back values, rounds, counters and the event log.  On that workload the
+simulation stack is pure overhead: every hop constructs a ``Message``
+(JSON-validating its payload), pushes it through a delivery heap, serializes
+it for byte accounting, and records it into two stats/event-log pairs.
+
+This module executes the same protocols as a tight in-process loop over the
+ring: no ``Message`` objects, no serialization, no heap, no per-delivery
+double accounting.  It is not an approximation.  The kernel replays the
+exact RNG draw order of :class:`~repro.core.session.ProtocolSession` — ring
+mapping, starter selection, per-node algorithm streams in canonical node
+order, Eq. 2 coin flips and noise draws in token order, per-round remaps —
+and reconstructs the byte accounting from the wire format's arithmetic
+instead of serializing, so the :class:`~repro.core.results.ProtocolResult`
+is **bit-identical** to the transport-backed path under the same seed:
+final vector, snapshots, ring history, traffic stats, simulated clock, and
+every event-log observation (message ids aside, which are process-global).
+
+Configs the kernel cannot honor exactly are refused loudly
+(:class:`KernelUnsupported`): encryption, custom latency models, and any
+real failure injector.  Callers that need those pin ``backend="session"``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..network.events import EventLog, Observation
+from ..network.failures import NullFailureInjector
+from ..network.message import next_message_id
+from ..network.ring import RingTopology
+from ..network.stats import TrafficStats
+from .results import ProtocolResult
+from .session import (
+    NAIVE,
+    PROBABILISTIC,
+    DriverError,
+    PreparedQuery,
+    build_algorithm,
+    prepare_query_vectors,
+)
+from .vectors import validate_vector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (driver imports us)
+    from ..database.query import TopKQuery
+    from .driver import RunConfig
+
+__all__ = [
+    "KernelPhaseSample",
+    "KernelRun",
+    "KernelUnsupported",
+    "execute",
+    "kernel_refusal",
+    "run_kernel_on_vectors",
+    "set_phase_sink",
+]
+
+
+class KernelUnsupported(DriverError):
+    """The config needs the transport substrate; run ``backend="session"``."""
+
+
+#: The transport's default link delay (``constant_latency()``).  The kernel
+#: advances its clock by this per hop, in the same float-addition order the
+#: transport would, so ``simulated_seconds`` stays bit-identical.
+_LATENCY = 0.001
+
+# -- wire-format arithmetic ---------------------------------------------------
+#
+# ``Message.encode`` is a sort_keys/compact json.dumps of
+# ``{payload: {vector: [...]}, receiver, round, sender, type}`` (single-query
+# traffic has no ``query`` field).  Its byte length therefore decomposes into
+# a fixed template plus the variable parts: the two JSON-quoted endpoint ids,
+# the round's digits, the type string, and the vector body
+# ``[v1,...,vm]`` = ``1 + m + sum(len(repr(v)))`` (json renders floats with
+# ``float.__repr__``, and the whole body is ASCII).  The fixed part is
+# measured from a probe encoding rather than hand-counted.
+_PROBE = json.dumps(
+    {
+        "payload": {"vector": [0.5]},
+        "receiver": "r",
+        "round": 1,
+        "sender": "s",
+        "type": "t",
+    },
+    separators=(",", ":"),
+    sort_keys=True,
+)
+_FIXED = (
+    len(_PROBE)
+    - len(json.dumps("r"))
+    - len(json.dumps("s"))
+    - len("1")
+    - len("t")
+    - (2 + len(repr(0.5)))
+)
+_TOKEN_LEN = len("token")
+_RESULT_LEN = len("result")
+
+#: JSON-encoded lengths of node ids, cached process-wide: trial harnesses
+#: reuse the same ids ("node0".."nodeN") across thousands of runs.
+_ID_LEN_CACHE: dict[str, int] = {}
+
+
+def _id_len(node_id: str) -> int:
+    length = _ID_LEN_CACHE.get(node_id)
+    if length is None:
+        length = _ID_LEN_CACHE[node_id] = len(json.dumps(node_id))
+    return length
+
+
+def _vector_bytes(vector: tuple[float, ...]) -> int:
+    """Encoded length of the payload's ``[v1,...,vm]`` body."""
+    total = 1 + len(vector)
+    for v in vector:
+        total += len(repr(v))
+    return total
+
+
+# -- lazy event log -----------------------------------------------------------
+
+class _LazyKernelLog(EventLog):
+    """Event log that materializes :class:`Observation` objects on first read.
+
+    The kernel's hot loop records each ring pass as one compact tuple
+    ``(kind, round, walk order, vectors)`` instead of building a frozen
+    dataclass per hop.  Most figure workloads (precision, rounds,
+    communication cost) never read the log at all, so the per-observation
+    construction — and the process-global message-id draws — happen only
+    when an adversary view, ``inputs_of``, or serialization first touches
+    it.  Once materialized, the observations are cached and bit-identical
+    to what the transport-backed path records (message ids aside).
+    """
+
+    def __init__(self, passes: list[tuple[str, int, tuple[str, ...], object]]):
+        self._passes = passes
+        self._cache: list[Observation] | None = None
+
+    @property
+    def _observations(self) -> list[Observation]:
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = self._materialize()
+        return cache
+
+    def _materialize(self) -> list[Observation]:
+        obs_list: list[Observation] = []
+        append = obs_list.append
+        obs_new = Observation.__new__
+        set_dict = object.__setattr__
+        for kind, round_number, order, vectors in self._passes:
+            n = len(order)
+            for j in range(n):
+                # ``order`` is the ring walk from the starter, so hop j goes
+                # order[j] -> order[j+1] and the pass closes at order[0].
+                obs = obs_new(Observation)
+                set_dict(
+                    obs,
+                    "__dict__",
+                    {
+                        "round": round_number,
+                        "sender": order[j],
+                        "receiver": order[j + 1] if j + 1 < n else order[0],
+                        "vector": vectors if kind == "result" else vectors[j],
+                        "msg_id": next_message_id(),
+                        "kind": kind,
+                        "query": "",
+                    },
+                )
+                append(obs)
+        return obs_list
+
+
+# -- per-phase profiling ------------------------------------------------------
+
+@dataclass(frozen=True)
+class KernelPhaseSample:
+    """Where one kernel run spent its time (``--timing`` observability)."""
+
+    setup_seconds: float
+    ring_seconds: float
+    round_loop_seconds: float
+    finalize_seconds: float
+    rounds: int
+    nodes: int
+
+
+#: When set, every kernel run reports a :class:`KernelPhaseSample` here.
+#: ``None`` (the default) keeps ``time.perf_counter`` off the hot path.
+_phase_sink: Callable[[KernelPhaseSample], None] | None = None
+
+
+def set_phase_sink(
+    sink: Callable[[KernelPhaseSample], None] | None,
+) -> Callable[[KernelPhaseSample], None] | None:
+    """Install a phase-sample sink; returns the previous one (for restoring)."""
+    global _phase_sink
+    previous = _phase_sink
+    _phase_sink = sink
+    return previous
+
+
+# -- execution ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class KernelRun:
+    """One kernel execution: the result plus the per-node algorithm objects.
+
+    ``algorithms`` (node id -> local computation module) exposes the
+    diagnostic counters — ``randomized_rounds``, ``revealed_round`` — that
+    the session path keeps on its nodes; the parity tests compare them.
+    """
+
+    result: ProtocolResult
+    algorithms: dict[str, object]
+
+
+def kernel_refusal(config: "RunConfig") -> str | None:
+    """Why the kernel cannot run ``config`` bit-identically; None if it can.
+
+    The kernel has no wire, no delivery clock beyond the constant default,
+    and no drop/crash machinery, so it refuses rather than approximate.
+    """
+    if config.encrypt:
+        return "encryption needs the transport's cipher round-trip"
+    if config.latency is not None:
+        return "custom latency models need the transport's delivery clock"
+    failures = config.failures
+    if failures is not None and not isinstance(failures, NullFailureInjector):
+        return "failure injection needs transport drops and ring repair"
+    return None
+
+
+def execute(prepared: PreparedQuery, config: "RunConfig") -> KernelRun:
+    """Run one protocol on the fast path; bit-identical to a session run."""
+    reason = kernel_refusal(config)
+    if reason is not None:
+        raise KernelUnsupported(
+            f"kernel backend cannot honor this config exactly: {reason}; "
+            'use backend="session"'
+        )
+
+    sink = _phase_sink
+    timed = sink is not None
+    t0 = time.perf_counter() if timed else 0.0
+
+    # Setup, in the session's exact RNG draw order: run RNG, round count,
+    # then (ring, starter) and per-node algorithm streams below.
+    rng = config.rng()
+    params = config.params
+    query = prepared.query
+    node_ids = sorted(prepared.vectors)
+    if config.protocol == PROBABILISTIC:
+        total_rounds = params.resolved_rounds()
+    else:
+        total_rounds = 1  # the naive protocols are single-round
+
+    t1 = time.perf_counter() if timed else 0.0
+
+    if config.ring_builder is not None:
+        ring = config.ring_builder(list(node_ids), rng)
+        if sorted(ring.members) != node_ids:
+            raise DriverError(
+                "ring_builder must arrange exactly the participating nodes"
+            )
+    else:
+        ring = RingTopology.random(node_ids, rng)
+    initial_ring = ring
+    if config.protocol == NAIVE:
+        # Fixed starting scheme: the first node in canonical order starts.
+        starter = node_ids[0]
+    else:
+        # Randomized starting scheme (initialization module, Section 3.3).
+        starter = rng.choice(node_ids)
+
+    t2 = time.perf_counter() if timed else 0.0
+
+    algorithms = {
+        node_id: build_algorithm(
+            config.protocol, prepared.vectors[node_id], query, params, rng
+        )
+        for node_id in node_ids
+    }
+    if config.initial_vector is not None:
+        start_vector = [float(v) for v in config.initial_vector]
+        validate_vector(start_vector, query.k)
+        if any(v not in query.domain for v in start_vector):
+            raise DriverError("initial_vector contains out-of-domain values")
+    else:
+        start_vector = [float(v) for v in query.identity_vector()]
+
+    t3 = time.perf_counter() if timed else 0.0
+
+    n = len(node_ids)
+    # Every ring pass has each node send once and receive once, so the
+    # endpoint-id bytes per pass are a constant, and a round's total is
+    # ``n * (template + round digits + type) + id bytes + per-hop vectors``.
+    ids_bytes = 2 * sum(_id_len(node_id) for node_id in node_ids)
+    clock = 0.0
+    bytes_total = 0
+    # One compact record per ring pass; the lazy event log expands them
+    # into per-hop observations only if the log is ever read.
+    log_passes: list[tuple[str, int, tuple[str, ...], object]] = []
+    log_pass = log_passes.append
+    snapshots: dict[int, list[float]] = {}
+    ring_history: dict[int, tuple[str, ...]] = {1: ring.members}
+    remap = params.remap_each_round
+    #: (ring members, passes made on that ring) — per-link counts fall out
+    #: of this at the end without touching a Counter on the hot path.
+    ring_passes: list[tuple[tuple[str, ...], int]] = [(ring.members, 0)]
+    # Per-hop vector caches.  ``changed`` tracks whether any compute ran
+    # since the last hop: when it did not, the vector object is untouched
+    # and both the observation tuple and its encoded length carry over.
+    # When it did, equal content still implies equal reprs — except for
+    # pairs that compare equal with different reprs: 0.0 vs -0.0, and int
+    # vs float (integral noise draws enter the vector as ints).  Any zero
+    # disables the content cache; any non-float forces a recount and a
+    # float coercion, because the session's receiving node re-reads every
+    # payload as floats (``ProtocolNode._handle_token``) — on the wire an
+    # int lives for exactly one hop.
+    prev_tuple: tuple[float, ...] | None = None
+    prev_vec_bytes = 0
+    changed = True
+    # Under the paper's insert-once rule, a node that has revealed passes
+    # every later token on unchanged; ``compute`` would validate, copy and
+    # return with zero RNG draws, so skipping the call is bit-identical.
+    skip_inserted = params.insert_once and config.protocol == PROBABILISTIC
+
+    # Round loop.  Token-passing order is the ring walk from the starter;
+    # each hop is one delivery: observe, account, then the receiver computes
+    # (except the starter, who closes the round).  The starter's compute for
+    # the *next* round happens after the end-of-round snapshot and remap,
+    # exactly as the session's round hook sequences it.
+    vector = algorithms[starter].compute(list(start_vector), 1)
+    for round_number in range(1, total_rounds + 1):
+        order = ring.walk_from(starter)
+        ring_passes[-1] = (ring_passes[-1][0], ring_passes[-1][1] + 1)
+        bytes_total += (
+            n * (_FIXED + len(str(round_number)) + _TOKEN_LEN) + ids_bytes
+        )
+        hop_vectors: list[tuple[float, ...]] = []
+        record_hop = hop_vectors.append
+        # ``order`` starts at the starter, so hop j delivers to order[j+1];
+        # receivers order[1..n-1] compute, and the closing hop back to the
+        # starter (who already computed this round) is delivery only.
+        for j in range(1, n):
+            clock += _LATENCY
+            if changed:
+                sent = tuple(vector)
+                coerce = False
+                for v in sent:
+                    if type(v) is not float:
+                        coerce = True
+                        break
+                if coerce or sent != prev_tuple or 0.0 in sent:
+                    sent_bytes = _vector_bytes(sent)
+                else:
+                    sent_bytes = prev_vec_bytes
+                bytes_total += sent_bytes
+                record_hop(sent)
+                if coerce:
+                    vector = [float(v) for v in sent]
+                    prev_tuple = tuple(vector)
+                    prev_vec_bytes = _vector_bytes(prev_tuple)
+                else:
+                    prev_tuple = sent
+                    prev_vec_bytes = sent_bytes
+                changed = False
+            else:
+                bytes_total += prev_vec_bytes
+                record_hop(prev_tuple)
+            algorithm = algorithms[order[j]]
+            if not skip_inserted or not algorithm.has_inserted:
+                vector = algorithm.compute(vector, round_number)
+                changed = True
+        clock += _LATENCY
+        if changed:
+            sent = tuple(vector)
+            coerce = False
+            for v in sent:
+                if type(v) is not float:
+                    coerce = True
+                    break
+            if coerce or sent != prev_tuple or 0.0 in sent:
+                sent_bytes = _vector_bytes(sent)
+            else:
+                sent_bytes = prev_vec_bytes
+            bytes_total += sent_bytes
+            record_hop(sent)
+            if coerce:
+                vector = [float(v) for v in sent]
+                prev_tuple = tuple(vector)
+                prev_vec_bytes = _vector_bytes(prev_tuple)
+            else:
+                prev_tuple = sent
+                prev_vec_bytes = sent_bytes
+            changed = False
+        else:
+            bytes_total += prev_vec_bytes
+            record_hop(prev_tuple)
+        log_pass(("token", round_number, order, hop_vectors))
+        snapshots[round_number] = list(vector)
+        if round_number < total_rounds:
+            if remap:
+                ring = ring.remap(rng)
+                ring_history[round_number + 1] = ring.members
+                ring_passes.append((ring.members, 0))
+            algorithm = algorithms[starter]
+            if not skip_inserted or not algorithm.has_inserted:
+                vector = algorithm.compute(vector, round_number + 1)
+                changed = True
+
+    # Result broadcast: the final vector circulates once along the current
+    # ring in round ``total_rounds + 1``; nobody computes on it.
+    final_vector = list(vector)
+    final_tuple = tuple(vector)
+    result_round = total_rounds + 1
+    bytes_total += (
+        n * (_FIXED + len(str(result_round)) + _RESULT_LEN)
+        + ids_bytes
+        + n * _vector_bytes(final_tuple)
+    )
+    ring_passes[-1] = (ring_passes[-1][0], ring_passes[-1][1] + 1)
+    log_pass(("result", result_round, ring.walk_from(starter), final_tuple))
+    for _ in range(n):
+        clock += _LATENCY
+
+    t4 = time.perf_counter() if timed else 0.0
+
+    event_log = _LazyKernelLog(log_passes)
+
+    per_link: Counter = Counter()
+    for members, passes in ring_passes:
+        if passes:
+            for i, sender in enumerate(members):
+                per_link[(sender, members[(i + 1) % n])] += passes
+    stats = TrafficStats(
+        messages_total=n * (total_rounds + 1),
+        bytes_total=bytes_total,
+        per_link=per_link,
+        per_round=Counter({r: n for r in range(1, total_rounds + 2)}),
+        per_type=Counter({"token": n * total_rounds, "result": n}),
+        per_query=Counter({"": n * (total_rounds + 1)}),
+    )
+    result = ProtocolResult(
+        query=query,
+        protocol=config.protocol,
+        final_vector=final_vector,
+        ring_order=initial_ring.members,
+        starter=starter,
+        local_vectors={
+            node: sorted(v, reverse=True) for node, v in prepared.vectors.items()
+        },
+        round_snapshots=snapshots,
+        event_log=event_log,
+        stats=stats,
+        ring_history=ring_history,
+        simulated_seconds=clock,
+        schedule=(params.schedule if config.protocol == PROBABILISTIC else None),
+    )
+    result.negated = prepared.negated
+    result.original_query = prepared.original_query
+
+    if timed:
+        t5 = time.perf_counter()
+        sink(
+            KernelPhaseSample(
+                setup_seconds=(t1 - t0) + (t3 - t2),
+                ring_seconds=t2 - t1,
+                round_loop_seconds=t4 - t3,
+                finalize_seconds=t5 - t4,
+                rounds=total_rounds,
+                nodes=n,
+            )
+        )
+    return KernelRun(result=result, algorithms=algorithms)
+
+
+def run_kernel_on_vectors(
+    local_vectors: dict[str, list[float]],
+    query: "TopKQuery",
+    config: "RunConfig | None" = None,
+) -> ProtocolResult:
+    """Fast-path counterpart of :func:`~repro.core.driver.run_protocol_on_vectors`."""
+    if config is None:
+        from .driver import RunConfig
+
+        config = RunConfig()
+    prepared = prepare_query_vectors(local_vectors, query)
+    return execute(prepared, config).result

@@ -19,7 +19,12 @@ class VectorError(ValueError):
 
 
 def is_sorted_desc(values: Sequence[float]) -> bool:
-    return all(values[i] >= values[i + 1] for i in range(len(values) - 1))
+    # A plain loop, not all(<genexpr>): this runs on every token hop of
+    # every trial, and the generator frame costs more than the comparison.
+    for i in range(len(values) - 1):
+        if not values[i] >= values[i + 1]:
+            return False
+    return True
 
 
 def validate_vector(vector: Sequence[float], k: int) -> None:
@@ -51,11 +56,17 @@ def multiset_difference(
     Each occurrence in ``subtrahend`` cancels at most one occurrence in
     ``minuend``.  The result preserves descending order.
     """
-    remaining = Counter(subtrahend)
+    # Two-pointer walk over the descending-sorted operands instead of a
+    # Counter: this is Algorithm 2's inner step, called once per token hop.
+    sub = sorted(subtrahend, reverse=True)
+    n = len(sub)
+    i = 0
     result = []
     for value in sorted(minuend, reverse=True):
-        if remaining[value] > 0:
-            remaining[value] -= 1
+        while i < n and sub[i] > value:
+            i += 1
+        if i < n and sub[i] == value:
+            i += 1
         else:
             result.append(value)
     return result

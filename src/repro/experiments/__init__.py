@@ -11,17 +11,26 @@ from .runner import (
     mean_lop_by_round,
     mean_messages,
     mean_precision_by_round,
+    resolve_backend,
     resolve_jobs,
     run_single_trial,
     run_trials,
     run_trials_many,
     shutdown_pool,
+    using_backend,
     using_jobs,
 )
 from .series import FigureData, Series
 from .summary import generate_report, write_report
 from .svg_plot import render_svg, write_all_svgs, write_svg
-from .telemetry import PointTelemetry, TelemetryCollector, TrialTiming, collect
+from .telemetry import (
+    PhaseProfiler,
+    PointTelemetry,
+    TelemetryCollector,
+    TrialTiming,
+    collect,
+    profile_phases,
+)
 from .validate import Check, render_scorecard, scorecard, validate_experiment
 
 __all__ = [
@@ -30,6 +39,7 @@ __all__ = [
     "Experiment",
     "FigureData",
     "PAPER_TRIALS",
+    "PhaseProfiler",
     "PointTelemetry",
     "Series",
     "TelemetryCollector",
@@ -50,6 +60,8 @@ __all__ = [
     "render_svg",
     "render_table",
     "render_timing",
+    "profile_phases",
+    "resolve_backend",
     "resolve_jobs",
     "run_experiment",
     "run_single_trial",
@@ -57,6 +69,7 @@ __all__ = [
     "run_trials_many",
     "scorecard",
     "shutdown_pool",
+    "using_backend",
     "using_jobs",
     "validate_experiment",
     "write_all_svgs",

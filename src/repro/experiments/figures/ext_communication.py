@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 
 from ...analysis.efficiency import grouped_total_messages, total_messages
-from ...core.driver import RunConfig, run_protocol_on_vectors
+from ...core.driver import SESSION, RunConfig, run_protocol_on_vectors
 from ...database.generator import DataGenerator
 from ...database.query import PAPER_DOMAIN, TopKQuery
 from ...extensions.groups import run_grouped_max
@@ -46,8 +46,14 @@ def run(trials: int | None = None, seed: int = 0) -> list[FigureData]:
         flat_secs = grouped_secs = 0.0
         for t in range(trials):
             vectors = _vectors(n, seed * 1000 + t)
+            # Pinned to the transport-backed session path: this figure
+            # measures communication cost, and the byte/message accounting
+            # it plots should come from real encoded messages on a real
+            # (simulated) wire — not the kernel's closed-form reconstruction
+            # of them, however bit-identical.
             flat = run_protocol_on_vectors(
-                vectors, query, RunConfig(params=params, seed=seed + t)
+                vectors, query, RunConfig(params=params, seed=seed + t),
+                backend=SESSION,
             )
             grouped = run_grouped_max(
                 vectors, query, group_size=GROUP_SIZE, params=params, seed=seed + t

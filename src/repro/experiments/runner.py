@@ -32,7 +32,7 @@ from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from pickle import PicklingError
 
-from ..core.driver import RunConfig, run_protocol_on_vectors
+from ..core.driver import BACKENDS, KERNEL, RunConfig, run_protocol_on_vectors
 from ..core.results import ProtocolResult
 from ..database.generator import DataGenerator
 from ..database.query import TopKQuery
@@ -53,8 +53,16 @@ class TrialError(RuntimeError):
         self.trial_index = trial_index
 
 
-def run_single_trial(setup: TrialSetup, trial_index: int) -> ProtocolResult:
-    """One protocol run on freshly drawn (per-trial-seeded) data."""
+def run_single_trial(
+    setup: TrialSetup, trial_index: int, *, backend: str | None = None
+) -> ProtocolResult:
+    """One protocol run on freshly drawn (per-trial-seeded) data.
+
+    ``backend`` selects the execution substrate (``None`` uses the scoped
+    default, see :func:`using_backend`).  Trial configs are always
+    failure-free, unencrypted and latency-free, so both backends produce
+    bit-identical results; the kernel is simply faster.
+    """
     generator = DataGenerator(
         domain=setup.domain,
         distribution=setup.distribution,
@@ -68,7 +76,9 @@ def run_single_trial(setup: TrialSetup, trial_index: int) -> ProtocolResult:
         params=setup.params,
         seed=setup.protocol_seed(trial_index),
     )
-    return run_protocol_on_vectors(local_vectors, query, config)
+    return run_protocol_on_vectors(
+        local_vectors, query, config, backend=resolve_backend(backend)
+    )
 
 
 # -- the parallel trial-execution engine -------------------------------------
@@ -77,6 +87,12 @@ def run_single_trial(setup: TrialSetup, trial_index: int) -> ProtocolResult:
 #: scope via :func:`using_jobs` so the CLI's ``--jobs`` reaches every
 #: ``run_trials`` call inside a figure without changing figure signatures.
 _DEFAULT_JOBS = 1
+
+#: ``backend`` default used when a call passes ``backend=None``.  The
+#: trial harness runs failure-free, unencrypted, latency-free configs, so
+#: the message-free kernel is safe (bit-identical) and much faster; the
+#: communication-cost figures pin ``backend=SESSION`` explicitly.
+_DEFAULT_BACKEND = KERNEL
 
 #: Chunks per worker: small enough to amortize dispatch overhead, large
 #: enough that an uneven chunk doesn't leave workers idle at the tail.
@@ -110,6 +126,34 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+@contextmanager
+def using_backend(backend: str | None) -> Iterator[None]:
+    """Scope the default execution backend for nested ``run_trials`` calls.
+
+    Used by the CLI's ``--backend`` flag and by figures that must pin a
+    substrate (e.g. the communication-cost experiments run on the session
+    path, whose transport does the byte accounting they measure).
+    """
+    global _DEFAULT_BACKEND
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = resolve_backend(backend)
+    try:
+        yield
+    finally:
+        _DEFAULT_BACKEND = previous
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Normalize a ``backend`` request: None -> scoped default."""
+    if backend is None:
+        return _DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
 def shutdown_pool() -> None:
     """Tear down the shared worker pool (idempotent)."""
     global _POOL
@@ -138,19 +182,24 @@ def _setup_label(setup: TrialSetup) -> str:
 
 
 def _run_chunk(
-    setup: TrialSetup, indices: Sequence[int]
+    setup: TrialSetup, indices: Sequence[int], backend: str
 ) -> list[tuple[int, ProtocolResult | None, BaseException | None, float, int]]:
     """Worker body: run a contiguous block of trials, timing each one.
 
-    Failures are returned (not raised) so one bad trial cannot poison the
-    pool; the parent re-raises after accounting for them.
+    ``backend`` arrives pre-resolved: worker processes do not inherit the
+    parent's :func:`using_backend` scope, so the parent resolves the scoped
+    default before submitting.  Failures are returned (not raised) so one
+    bad trial cannot poison the pool; the parent re-raises after accounting
+    for them.
     """
     out = []
     pid = os.getpid()
     for trial_index in indices:
         start = time.perf_counter()
         try:
-            result: ProtocolResult | None = run_single_trial(setup, trial_index)
+            result: ProtocolResult | None = run_single_trial(
+                setup, trial_index, backend=backend
+            )
             error: BaseException | None = None
         except Exception as exc:
             result, error = None, exc
@@ -167,6 +216,7 @@ def _finish_point(
     setup: TrialSetup,
     jobs: int,
     mode: str,
+    backend: str,
     wall_start: float,
     rows: list[tuple[int, ProtocolResult | None, BaseException | None, float, int]],
 ) -> list[ProtocolResult]:
@@ -188,6 +238,7 @@ def _finish_point(
             failures=len(failures),
             workers=tuple(sorted({t.worker for t in timings})),
             timings=timings,
+            backend=backend,
         )
     )
     if failures:
@@ -199,30 +250,37 @@ def _finish_point(
 
 
 def run_trials_many(
-    setups: Sequence[TrialSetup], *, jobs: int | None = None
+    setups: Sequence[TrialSetup],
+    *,
+    jobs: int | None = None,
+    backend: str | None = None,
 ) -> list[list[ProtocolResult]]:
     """Run several sweep points, fanning all their trials over one pool.
 
     The batched form keeps workers busy across sweep-point boundaries (the
     tail of one point overlaps the head of the next); results come back
     grouped per setup, in trial order — bit-identical to calling
-    :func:`run_trials` on each setup serially.
+    :func:`run_trials` on each setup serially, on either backend.
     """
     jobs = resolve_jobs(jobs)
+    backend = resolve_backend(backend)
     if jobs <= 1:
-        return [_run_serial(setup, jobs) for setup in setups]
+        return [_run_serial(setup, jobs, backend) for setup in setups]
     wall_start = time.perf_counter()
     try:
         pool = _shared_pool(jobs)
         pending = [
-            (i, pool.submit(_run_chunk, setup, list(chunk)))
+            (i, pool.submit(_run_chunk, setup, list(chunk), backend))
             for i, setup in enumerate(setups)
             for chunk in _chunk_indices(setup.trials, jobs)
         ]
     except (OSError, PicklingError, NotImplementedError):
         # No usable pool on this platform/configuration: degrade politely.
         shutdown_pool()
-        return [_run_serial(setup, jobs, mode="serial-fallback") for setup in setups]
+        return [
+            _run_serial(setup, jobs, backend, mode="serial-fallback")
+            for setup in setups
+        ]
     per_setup: dict[int, list] = {i: [] for i in range(len(setups))}
     try:
         for i, future in pending:
@@ -236,28 +294,31 @@ def run_trials_many(
     # several sweep points at once), so they sum to more than the batch
     # wall; each point's wall is "time until its results were ready".
     return [
-        _finish_point(setup, jobs, "parallel", wall_start, per_setup[i])
+        _finish_point(setup, jobs, "parallel", backend, wall_start, per_setup[i])
         for i, setup in enumerate(setups)
     ]
 
 
 def _run_serial(
-    setup: TrialSetup, jobs: int, *, mode: str = "serial"
+    setup: TrialSetup, jobs: int, backend: str, *, mode: str = "serial"
 ) -> list[ProtocolResult]:
     wall_start = time.perf_counter()
-    rows = _run_chunk(setup, range(setup.trials))
-    return _finish_point(setup, jobs, mode, wall_start, rows)
+    rows = _run_chunk(setup, range(setup.trials), backend)
+    return _finish_point(setup, jobs, mode, backend, wall_start, rows)
 
 
-def run_trials(setup: TrialSetup, *, jobs: int | None = None) -> list[ProtocolResult]:
+def run_trials(
+    setup: TrialSetup, *, jobs: int | None = None, backend: str | None = None
+) -> list[ProtocolResult]:
     """All trials of a setup, optionally fanned across worker processes.
 
     ``jobs=None`` uses the scoped default (see :func:`using_jobs`, serial
     unless the CLI's ``--jobs`` raised it), ``jobs=1`` forces the serial
-    path, ``jobs=0`` uses every core.  Any value returns bit-identical
-    results.
+    path, ``jobs=0`` uses every core.  ``backend=None`` uses the scoped
+    default (see :func:`using_backend`; the kernel fast path unless pinned
+    otherwise).  Any combination returns bit-identical results.
     """
-    return run_trials_many([setup], jobs=jobs)[0]
+    return run_trials_many([setup], jobs=jobs, backend=backend)[0]
 
 
 # -- aggregation -------------------------------------------------------------

@@ -49,6 +49,7 @@ class PointTelemetry:
     failures: int
     workers: tuple[int, ...]
     timings: tuple[TrialTiming, ...] = ()
+    backend: str = "session"  # execution substrate ("session" | "kernel")
 
     @property
     def utilization(self) -> float:
@@ -100,12 +101,16 @@ class TelemetryCollector:
         utilization = (
             min(1.0, self.trial_seconds / capacity) if capacity > 0 else 1.0
         )
+        wall = self.wall_seconds
+        backends = sorted({p.backend for p in self.points})
         return {
             "points": len(self.points),
             "trials": self.trials,
             "jobs": jobs,
-            "wall_seconds": round(self.wall_seconds, 6),
+            "backend": "/".join(backends) if backends else "session",
+            "wall_seconds": round(wall, 6),
             "trial_seconds": round(self.trial_seconds, 6),
+            "trials_per_second": round(self.trials / wall, 2) if wall > 0 else 0.0,
             "utilization": round(utilization, 4),
             "workers": len(self.workers) or 1,
             "failures": self.failures,
@@ -129,12 +134,110 @@ class TelemetryCollector:
         lines.append(
             f"total: {summary['trials']} trials over {summary['points']} "
             f"sweep points in {summary['wall_seconds']:.3f}s wall "
-            f"({summary['trial_seconds']:.3f}s of trial compute, "
+            f"({summary['trials_per_second']:.1f} trials/s on the "
+            f"{summary['backend']} backend, "
+            f"{summary['trial_seconds']:.3f}s of trial compute, "
             f"{summary['utilization']:.0%} utilization, "
             f"{summary['workers']} worker(s), "
             f"{summary['failures']} failure(s))"
         )
         return "\n".join(lines)
+
+
+class PhaseProfiler:
+    """Aggregates the kernel's per-run phase samples (``--timing`` output).
+
+    The fast-path kernel (:mod:`repro.core.kernel`) reports where each run
+    spent its time — setup (RNG, params, algorithm construction), ring
+    build, the round loop, and result finalization — whenever a sink is
+    installed.  :func:`profile_phases` installs this profiler as that sink
+    for a scope; the CLI shows the resulting table next to the trial-level
+    timing one.  Session-backend runs report nothing here (the profiler
+    stays empty), so the table doubles as confirmation of which backend
+    actually executed.
+    """
+
+    _PHASES = ("setup", "ring", "round_loop", "finalize")
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.rounds = 0
+        self._totals = dict.fromkeys(self._PHASES, 0.0)
+
+    def record(self, sample: object) -> None:
+        """Sink for :func:`repro.core.kernel.set_phase_sink`."""
+        self.runs += 1
+        self.rounds += sample.rounds
+        totals = self._totals
+        totals["setup"] += sample.setup_seconds
+        totals["ring"] += sample.ring_seconds
+        totals["round_loop"] += sample.round_loop_seconds
+        totals["finalize"] += sample.finalize_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self._totals.values())
+
+    def summary(self) -> dict[str, object]:
+        """Per-phase totals plus run throughput, metadata-embeddable."""
+        total = self.total_seconds
+        return {
+            "runs": self.runs,
+            "rounds": self.rounds,
+            "seconds": {p: round(s, 6) for p, s in self._totals.items()},
+            "runs_per_second": round(self.runs / total, 2) if total > 0 else 0.0,
+        }
+
+    def render(self) -> str:
+        """Human-readable phase breakdown for ``--timing`` output."""
+        if not self.runs:
+            return "kernel phases: no kernel runs (session backend?)"
+        total = self.total_seconds
+        lines = [f"{'kernel phase':<12} {'total (s)':>10} {'share':>7} {'per run (us)':>13}"]
+        lines.append("-" * len(lines[0]))
+        for phase in self._PHASES:
+            seconds = self._totals[phase]
+            share = seconds / total if total > 0 else 0.0
+            lines.append(
+                f"{phase:<12} {seconds:>10.4f} {share:>7.1%} "
+                f"{seconds / self.runs * 1e6:>13.1f}"
+            )
+        lines.append("-" * len(lines[0]))
+        per_run = total / self.runs if self.runs else 0.0
+        rate = 1.0 / per_run if per_run > 0 else 0.0
+        lines.append(
+            f"{self.runs} kernel runs ({self.rounds} protocol rounds) in "
+            f"{total:.4f}s inside the kernel ({rate:.1f} runs/s)"
+        )
+        return "\n".join(lines)
+
+
+@contextmanager
+def profile_phases() -> Iterator[PhaseProfiler]:
+    """Scope within which kernel runs report per-phase timings.
+
+    Installs a :class:`PhaseProfiler` as the kernel's phase sink, chaining
+    to any previously installed sink so nested scopes each see the runs.
+    The sink is process-local: with ``--jobs`` fanning trials to worker
+    processes, only runs executed in *this* process are profiled.  The
+    import is deferred so this observability module stays importable
+    without the core package's execution machinery.
+    """
+    from ..core.kernel import set_phase_sink
+
+    profiler = PhaseProfiler()
+    previous = set_phase_sink(None)
+
+    def sink(sample: object) -> None:
+        profiler.record(sample)
+        if previous is not None:
+            previous(sample)
+
+    set_phase_sink(sink)
+    try:
+        yield profiler
+    finally:
+        set_phase_sink(previous)
 
 
 class LatencyHistogram:

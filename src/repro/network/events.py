@@ -64,6 +64,17 @@ class EventLog:
         if message.type in (MessageType.TOKEN, MessageType.RESULT):
             self._observations.append(Observation.from_message(message))
 
+    def observe(self, observation: Observation) -> None:
+        """Append a pre-built observation (the message-free kernel's path)."""
+        self._observations.append(observation)
+
+    @classmethod
+    def from_observations(cls, observations: list[Observation]) -> "EventLog":
+        """Adopt a pre-built observation list (ownership transfers)."""
+        log = cls()
+        log._observations = observations
+        return log
+
     # -- adversary views -----------------------------------------------------
 
     def received_by(self, node: str) -> list[Observation]:

@@ -17,6 +17,17 @@ from typing import Any
 _message_ids = itertools.count(1)
 
 
+def next_message_id() -> int:
+    """Claim the next id from the global message-id sequence.
+
+    The message-free kernel (:mod:`repro.core.kernel`) records observations
+    without constructing :class:`Message` objects but draws from the same
+    sequence, so ids stay unique and ordered even when kernel and session
+    runs interleave in one process.
+    """
+    return next(_message_ids)
+
+
 class MessageType(Enum):
     """Kinds of protocol traffic.
 

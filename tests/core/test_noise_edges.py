@@ -1,0 +1,245 @@
+"""Edge cases of the randomized draw (Algorithms 1 and 2, noise strategies).
+
+The privacy argument leans on injected noise being indistinguishable from
+real values, and the correctness argument on noise always sitting strictly
+below the values it hides.  Both get fragile exactly at the boundaries this
+module pins down:
+
+* single-point integral ranges — ``v_i == g_prev + 1`` leaves exactly one
+  admissible integer, and every strategy must collapse to it;
+* ties — duplicate values between a node's local vector and the incoming
+  global vector must not be double-counted into the injection count ``m``;
+* k-vector boundary ranges — ``m == k`` anchors the range at the incoming
+  vector's head, and a ``kth_real`` crowding the domain floor degenerates
+  the range to the floor-injection fallback.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.max_protocol import ProbabilisticMaxAlgorithm
+from repro.core.noise import (
+    HighBiasedNoise,
+    LowBiasedNoise,
+    UniformNoise,
+    _map_unit_draw,
+)
+from repro.core.params import ProtocolParams
+from repro.core.sampling import SamplingError, random_value_in
+from repro.core.schedule import ExponentialSchedule
+from repro.core.topk_protocol import ProbabilisticTopKAlgorithm
+from repro.database.query import Domain
+
+INTEGRAL = Domain(1, 10_000)
+STRATEGIES = (
+    UniformNoise(),
+    HighBiasedNoise(),
+    HighBiasedNoise(order=5),
+    LowBiasedNoise(),
+    LowBiasedNoise(order=5),
+)
+
+#: ``P_r(r) = 1`` forever: the randomize branch always taken.
+ALWAYS_RANDOMIZE = ProtocolParams(schedule=ExponentialSchedule(p0=1.0, d=1.0))
+#: ``P_r(r) = 0``: the node reveals at its first opportunity.
+ALWAYS_REVEAL = ProtocolParams(schedule=ExponentialSchedule(p0=0.0))
+
+
+# -- single-point integral ranges ---------------------------------------------
+
+
+class TestSinglePointIntegralRange:
+    def test_only_integer_in_range_is_drawn(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            value = random_value_in(rng, 7, 8, integral=True)
+            assert value == 7.0
+            # Drawn as an integer but typed float: injected noise must be
+            # indistinguishable from real (float) values on the wire.
+            assert type(value) is float
+
+    def test_every_strategy_collapses_to_the_single_integer(self):
+        rng = random.Random(3)
+        for strategy in STRATEGIES:
+            assert strategy.draw(rng, 7, 8, integral=True) == 7.0
+
+    def test_fractional_bounds_bracketing_one_integer(self):
+        rng = random.Random(3)
+        assert random_value_in(rng, 4.2, 5.3, integral=True) == 5.0
+
+    def test_integerless_range_raises(self):
+        rng = random.Random(3)
+        for strategy in STRATEGIES:
+            with pytest.raises(SamplingError):
+                strategy.draw(rng, 5.2, 5.9, integral=True)
+
+    def test_empty_range_raises(self):
+        rng = random.Random(3)
+        for strategy in STRATEGIES:
+            with pytest.raises(SamplingError):
+                strategy.draw(rng, 5, 5, integral=True)
+
+    def test_algorithm1_adjacent_value_always_echoes_predecessor(self):
+        """``v_i == g_prev + 1``: the randomize branch can only emit g_prev.
+
+        The output is then identical to passing the global value on — the
+        adversary cannot even tell the node randomized.
+        """
+        algorithm = ProbabilisticMaxAlgorithm(
+            local_value=42,
+            params=ALWAYS_RANDOMIZE,
+            domain=INTEGRAL,
+            rng=random.Random(11),
+        )
+        for _ in range(25):
+            output = algorithm.compute([41.0], round_number=1)
+            assert output == [41.0]
+            assert type(output[0]) is float
+        assert algorithm.randomized_rounds  # it did take the noise branch
+
+
+# -- unit-draw mapping --------------------------------------------------------
+
+
+class TestUnitDrawMapping:
+    def test_integral_endpoints(self):
+        assert _map_unit_draw(0.0, 5, 8, integral=True) == 5.0
+        assert _map_unit_draw(0.999999, 5, 8, integral=True) == 7.0
+
+    def test_integral_covers_every_admissible_integer(self):
+        rng = random.Random(5)
+        seen = {_map_unit_draw(rng.random(), 5, 8, integral=True) for _ in range(200)}
+        assert seen == {5.0, 6.0, 7.0}
+
+    def test_real_draw_stays_in_half_open_range(self):
+        rng = random.Random(5)
+        for _ in range(200):
+            value = _map_unit_draw(rng.random(), 2.5, 3.5, integral=False)
+            assert 2.5 <= value < 3.5
+
+    def test_unit_draw_out_of_range_raises(self):
+        with pytest.raises(SamplingError):
+            _map_unit_draw(1.0, 5, 8, integral=True)
+        with pytest.raises(SamplingError):
+            _map_unit_draw(-0.1, 5, 8, integral=True)
+
+
+# -- ties between local and incoming values -----------------------------------
+
+
+class TestTies:
+    def _algorithm(self, values, k, params=ALWAYS_REVEAL, seed=0):
+        return ProbabilisticTopKAlgorithm(
+            local_values=values,
+            k=k,
+            params=params,
+            domain=INTEGRAL,
+            rng=random.Random(seed),
+        )
+
+    def test_tied_values_merge_as_a_multiset(self):
+        """Local [50, 50] against incoming [50, 10]: one more 50 belongs."""
+        algorithm = self._algorithm([50.0, 50.0], k=2)
+        output = algorithm.compute([50.0, 10.0], round_number=1)
+        assert output == [50.0, 50.0]
+        assert algorithm.revealed_round == 1
+
+    def test_anothers_equal_value_is_a_distinct_copy(self):
+        """Incoming [50, 40] vs local [50, 40]: the incoming 50 is someone
+        else's copy, so our own 50 still belongs in the multiset top-2."""
+        algorithm = self._algorithm([50.0, 40.0], k=2)
+        output = algorithm.compute([50.0, 40.0], round_number=1)
+        assert output == [50.0, 50.0]
+        assert algorithm.revealed_round == 1
+
+    def test_dominated_values_contribute_nothing(self):
+        """Incoming strictly dominates: m == 0, pass through untouched."""
+        algorithm = self._algorithm([30.0, 20.0], k=2)
+        output = algorithm.compute([50.0, 40.0], round_number=1)
+        assert output == [50.0, 40.0]
+        # Nothing of ours belonged, so neither counter moved.
+        assert algorithm.revealed_round is None
+        assert algorithm.randomized_rounds == []
+
+    def test_reinsertion_does_not_double_count_own_tied_copy(self):
+        """After inserting 50, seeing 50 in the vector is *our* circulating
+        copy; a second local 50 must still be eligible to merge."""
+        algorithm = self._algorithm(
+            [50.0, 50.0], k=2, params=ProtocolParams(
+                schedule=ExponentialSchedule(p0=0.0), insert_once=False
+            )
+        )
+        first = algorithm.compute([50.0, 10.0], round_number=1)
+        assert first == [50.0, 50.0]
+        # Re-offered its own output: both 50s accounted for, nothing to add.
+        second = algorithm.compute([50.0, 50.0], round_number=2)
+        assert second == [50.0, 50.0]
+        assert sum(algorithm._inserted.values()) == 1
+
+
+# -- k-vector boundary injection ranges ---------------------------------------
+
+
+class TestBoundaryInjectionRanges:
+    def test_m_equals_k_range_anchors_at_incoming_head(self):
+        """All k entries ours: noise in [min(kth_real - delta, g_prev[0]), kth_real)."""
+        algorithm = ProbabilisticTopKAlgorithm(
+            local_values=[100.0, 90.0],
+            k=2,
+            params=ALWAYS_RANDOMIZE,
+            domain=INTEGRAL,
+            rng=random.Random(7),
+        )
+        for _ in range(25):
+            output = algorithm.compute([1.0, 1.0], round_number=1)
+            assert len(output) == 2
+            assert output[0] >= output[1]  # spliced vector stays sorted
+            for value in output:
+                # Anchor g_prev[0] == 1.0 dominates kth_real - delta, and
+                # noise sits strictly below kth_real == 90.
+                assert 1.0 <= value < 90.0
+                assert value == int(value)  # integral domain draws integers
+
+    def test_kth_real_at_domain_floor_injects_the_floor(self):
+        """Empty prescribed range: the only correct-and-safe noise is the floor.
+
+        The fallback injects ``domain.low`` verbatim — for the paper's
+        integer domain that is the int ``1``, which the receiving node's
+        payload re-read turns into ``1.0`` (the kernel mirrors exactly that,
+        see test_kernel_parity).
+        """
+        algorithm = ProbabilisticTopKAlgorithm(
+            local_values=[2.0, 1.0],
+            k=2,
+            params=ALWAYS_RANDOMIZE,
+            domain=INTEGRAL,
+            rng=random.Random(7),
+        )
+        output = algorithm.compute([1.0, 1.0], round_number=1)
+        # merged top-k is [2, 1], one contribution, kth_real == 1 == floor.
+        assert output == [1.0, 1]
+        assert algorithm.randomized_rounds == [1]
+
+    def test_delta_widens_the_range_below_the_kth_value(self):
+        """With a huge delta the range floor is kth_real - delta, clamped."""
+        algorithm = ProbabilisticTopKAlgorithm(
+            local_values=[100.0],
+            k=1,
+            params=ProtocolParams(
+                schedule=ExponentialSchedule(p0=1.0, d=1.0), delta=500.0
+            ),
+            domain=INTEGRAL,
+            rng=random.Random(7),
+        )
+        draws = set()
+        for _ in range(200):
+            output = algorithm.compute([60.0], round_number=1)
+            assert 1.0 <= output[0] < 100.0
+            draws.add(output[0])
+        # kth_real - delta == -400 clamps to the domain floor, so draws
+        # must reach below the incoming value 60 (plain Algorithm 1 never
+        # would).
+        assert any(v < 60.0 for v in draws)

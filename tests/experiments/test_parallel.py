@@ -166,10 +166,10 @@ class TestFailureAccounting:
     def test_serial_failure_raises_trial_error(self, monkeypatch):
         import repro.experiments.runner as runner_module
 
-        def explode(setup, trial_index):
+        def explode(setup, trial_index, **kwargs):
             if trial_index == 2:
                 raise RuntimeError("boom")
-            return original(setup, trial_index)
+            return original(setup, trial_index, **kwargs)
 
         original = runner_module.run_single_trial
         monkeypatch.setattr(runner_module, "run_single_trial", explode)
