@@ -1,0 +1,129 @@
+"""Bench: tracing must be free when off, and affordable when on.
+
+The observability layer's contract is "zero-cost when disabled": every
+integration point guards on ``trace is not None`` / an activated tracer
+before building a single span object.  This bench measures kernel trial
+throughput three ways — tracing disabled, tracing enabled, tracing enabled
+with value capture — at the PR 4 kernel-bench configuration (n=50, k=5,
+100 trials), asserts the disabled path stays within ``OVERHEAD_FLOOR`` of
+the untraced baseline, and emits
+``results/BENCH_observability_overhead.json``.
+
+The disabled comparison is measured in-process (best-of-``REPS`` on both
+sides, same workloads, same interpreter state) rather than against the
+stored PR 4 numbers, so a slower CI machine can't fail the bench; the
+stored baseline is still recorded in the document for cross-run context.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.driver import KERNEL, RunConfig, run_protocol_on_vectors
+from repro.database.query import Domain, TopKQuery
+from repro.observability import TraceRecorder, tracing
+
+from conftest import BENCH_SEED, make_vectors
+
+N = 50
+K = 5
+TRIALS = 100
+REPS = 5
+VALUES_PER_NODE = 12
+DOMAIN = Domain(1, 10_000)
+#: Disabled-tracing throughput must stay within 5% of the untraced run.
+OVERHEAD_FLOOR = 0.95
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "results"
+    / "BENCH_observability_overhead.json"
+)
+KERNEL_BASELINE_PATH = RESULTS_PATH.parent / "BENCH_kernel_speedup.json"
+
+
+def _workloads() -> list[dict[str, list[float]]]:
+    return [make_vectors(N, VALUES_PER_NODE, BENCH_SEED + t) for t in range(TRIALS)]
+
+
+def _run_all(workloads, query, tracer=None):
+    def run():
+        return [
+            run_protocol_on_vectors(
+                vectors, query, RunConfig(seed=BENCH_SEED + t), backend=KERNEL
+            )
+            for t, vectors in enumerate(workloads)
+        ]
+
+    if tracer is None:
+        return run()
+    with tracing(tracer):
+        return run()
+
+
+def _best_trials_per_second(workloads, query, make_tracer=None) -> float:
+    best = float("inf")
+    for _ in range(REPS):
+        tracer = make_tracer() if make_tracer else None
+        start = time.perf_counter()
+        _run_all(workloads, query, tracer)
+        best = min(best, time.perf_counter() - start)
+    return TRIALS / best
+
+
+def _stored_kernel_baseline() -> float | None:
+    try:
+        stored = json.loads(KERNEL_BASELINE_PATH.read_text())
+        return stored["points"][str(N)]["kernel_trials_per_second"]
+    except (OSError, KeyError, ValueError):
+        return None
+
+
+def test_bench_observability_overhead():
+    query = TopKQuery(table="t", attribute="v", k=K, domain=DOMAIN)
+    workloads = _workloads()
+
+    # Warm caches so neither side pays first-run costs.
+    _run_all(workloads[:2], query)
+
+    disabled_tps = _best_trials_per_second(workloads, query)
+    enabled_tps = _best_trials_per_second(workloads, query, TraceRecorder)
+    capture_tps = _best_trials_per_second(
+        workloads, query, lambda: TraceRecorder(capture_values=True)
+    )
+    # Untraced control measured last, interleaved risk shared equally.
+    baseline_tps = _best_trials_per_second(workloads, query)
+
+    reference = max(baseline_tps, disabled_tps)
+    disabled_ratio = disabled_tps / baseline_tps
+
+    document = {
+        "bench": "observability_overhead",
+        "config": {"n": N, "k": K, "trials": TRIALS, "reps": REPS},
+        "floor": {"disabled_over_baseline": OVERHEAD_FLOOR},
+        "trials_per_second": {
+            "baseline_untraced": round(baseline_tps, 1),
+            "tracing_disabled": round(disabled_tps, 1),
+            "tracing_enabled": round(enabled_tps, 1),
+            "tracing_enabled_capture_values": round(capture_tps, 1),
+        },
+        "ratios": {
+            "disabled_over_baseline": round(disabled_ratio, 4),
+            "enabled_over_baseline": round(enabled_tps / baseline_tps, 4),
+            "capture_over_baseline": round(capture_tps / baseline_tps, 4),
+        },
+        "stored_pr4_kernel_trials_per_second": _stored_kernel_baseline(),
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    assert disabled_ratio >= OVERHEAD_FLOOR, (
+        f"disabled tracing costs {(1 - disabled_ratio):.1%} of kernel "
+        f"throughput (floor: {1 - OVERHEAD_FLOOR:.0%}); see {RESULTS_PATH}"
+    )
+    # Enabled tracing is allowed to cost real time (it records every hop),
+    # but it must not fall off a cliff.
+    assert enabled_tps > reference * 0.2, (
+        f"enabled tracing is anomalously slow: {enabled_tps:.1f}/s vs "
+        f"{reference:.1f}/s untraced"
+    )

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Nightly chaos sweep: lossy links at increasing drop probabilities.
+
+For every drop probability in the sweep, run several transport-simulated
+queries with a :class:`~repro.network.failures.FailureInjector` on the
+wire and distributed tracing enabled.  A run fails if the protocol raises
+or returns anything other than the exact top-k.  On failure the offending
+run's trace is exported (JSONL + Chrome) so the flight recorder rides
+along with the bug report; a machine-readable summary is always written.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/chaos_sweep.py --out-dir results/chaos
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.driver import RunConfig, run_protocol_on_vectors  # noqa: E402
+from repro.database.generator import DataGenerator  # noqa: E402
+from repro.database.query import TopKQuery  # noqa: E402
+from repro.network.failures import FailureInjector  # noqa: E402
+from repro.observability import TraceRecorder, tracing  # noqa: E402
+
+
+def run_once(
+    *, drop: float, trial: int, nodes: int, k: int, seed: int
+) -> tuple[bool, str, TraceRecorder]:
+    """One traced lossy run; (ok, detail, recorder)."""
+    recorder = TraceRecorder()
+    run_seed = seed + trial
+    generator = DataGenerator(rng=random.Random(run_seed))
+    datasets = generator.node_datasets(nodes, 12)
+    vectors = {f"node{i}": [float(v) for v in vs] for i, vs in enumerate(datasets)}
+    query = TopKQuery(table="data", attribute="value", k=k)
+    injector = FailureInjector(
+        drop_probability=drop, rng=random.Random(run_seed + 1000)
+    )
+    config = RunConfig(protocol="probabilistic", seed=run_seed, failures=injector)
+    try:
+        with tracing(recorder):
+            result = run_protocol_on_vectors(vectors, query, config)
+    except Exception as exc:  # noqa: BLE001 — any escape is the finding
+        return False, f"raised {type(exc).__name__}: {exc}", recorder
+    if list(result.answer()) != list(result.true_topk()):
+        return (
+            False,
+            f"wrong answer {result.answer()} != {result.true_topk()}",
+            recorder,
+        )
+    return True, f"ok in {result.rounds_executed} rounds", recorder
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--drops",
+        type=str,
+        default="0.0,0.05,0.1,0.2",
+        help="comma-separated drop probabilities to sweep",
+    )
+    parser.add_argument("--trials", type=int, default=5, help="runs per probability")
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--k", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out-dir", type=Path, default=Path("results/chaos"))
+    args = parser.parse_args(argv)
+
+    drops = [float(d) for d in args.drops.split(",") if d.strip()]
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    failures: list[dict] = []
+    summary: list[dict] = []
+    for drop in drops:
+        for trial in range(args.trials):
+            ok, detail, recorder = run_once(
+                drop=drop, trial=trial, nodes=args.nodes, k=args.k, seed=args.seed
+            )
+            record = {"drop": drop, "trial": trial, "ok": ok, "detail": detail}
+            summary.append(record)
+            status = "ok  " if ok else "FAIL"
+            print(f"{status} drop={drop:<5} trial={trial} {detail}")
+            if not ok:
+                stem = args.out_dir / f"fail_drop{drop}_trial{trial}"
+                record["trace_jsonl"] = str(
+                    recorder.write_jsonl(stem.with_suffix(".jsonl"))
+                )
+                record["trace_chrome"] = str(
+                    recorder.write_chrome(stem.with_suffix(".chrome.json"))
+                )
+                failures.append(record)
+    summary_path = args.out_dir / "chaos_summary.json"
+    summary_path.write_text(
+        json.dumps(
+            {"runs": summary, "failures": len(failures)}, indent=2, sort_keys=True
+        )
+        + "\n"
+    )
+    print(f"wrote {summary_path}")
+    if failures:
+        print(f"{len(failures)} chaos runs failed; traces exported", file=sys.stderr)
+        return 1
+    print(f"all {len(summary)} chaos runs survived the sweep")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate exported traces — the CI observability smoke's gate.
+
+Checks a Chrome ``trace_event`` file (``--chrome``) and/or a span JSONL
+export (``--jsonl``) for structural validity:
+
+* Chrome: top-level ``traceEvents`` list; every event carries the required
+  keys for its phase; complete ("X") events have non-negative durations.
+* JSONL: every line is a self-contained span record; parent references
+  resolve within the same trace; spans never end before they start; no
+  span is left unclosed (unless ``--allow-unclosed``).
+* ``--expect-connected``: every trace forms a single tree — exactly one
+  root span, every other span reachable from it.
+* ``--min-spans`` / ``--min-traces``: lower bounds on what was captured.
+
+Stdlib only, exit 0 on success, 1 with a diagnostic on the first failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def fail(message: str) -> int:
+    print(f"TRACE CHECK FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_chrome(path: Path) -> str | None:
+    """None when valid, else the failure reason."""
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return f"{path}: unreadable Chrome trace: {exc}"
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return f"{path}: missing traceEvents list"
+    if not events:
+        return f"{path}: traceEvents is empty"
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            return f"{path}: event {index} is not an object"
+        phase = event.get("ph")
+        if phase not in ("X", "M", "i", "B", "E"):
+            return f"{path}: event {index} has unsupported phase {phase!r}"
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                return f"{path}: event {index} ({phase}) lacks {key!r}"
+        if phase == "X":
+            if "ts" not in event or "dur" not in event:
+                return f"{path}: event {index} lacks ts/dur"
+            if event["dur"] < 0:
+                return f"{path}: event {index} has negative duration"
+    complete = sum(1 for e in events if e.get("ph") == "X")
+    if not complete:
+        return f"{path}: no complete ('X') events"
+    return None
+
+
+def check_jsonl(
+    path: Path, *, allow_unclosed: bool, expect_connected: bool
+) -> tuple[str | None, int, int]:
+    """(failure reason or None, span count, trace count)."""
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        return f"{path}: unreadable JSONL: {exc}", 0, 0
+    spans_by_trace: dict[str, dict[int, dict]] = defaultdict(dict)
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            span = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return f"{path}:{number}: not JSON: {exc}", 0, 0
+        for key in ("trace", "span", "name", "kind", "start", "end", "attrs"):
+            if key not in span:
+                return f"{path}:{number}: span lacks {key!r}", 0, 0
+        if span["end"] is None and not allow_unclosed:
+            return f"{path}:{number}: unclosed span {span['name']!r}", 0, 0
+        if span["end"] is not None and span["end"] < span["start"]:
+            return f"{path}:{number}: span ends before it starts", 0, 0
+        spans_by_trace[span["trace"]][span["span"]] = span
+    total = sum(len(spans) for spans in spans_by_trace.values())
+    if not total:
+        return f"{path}: no spans", 0, 0
+    for trace_id, spans in spans_by_trace.items():
+        for span in spans.values():
+            parent = span["parent"]
+            if parent is not None and parent not in spans:
+                return (
+                    f"{path}: trace {trace_id}: span {span['span']} has "
+                    f"dangling parent {parent}",
+                    0,
+                    0,
+                )
+        if expect_connected:
+            roots = [s for s in spans.values() if s["parent"] is None]
+            if len(roots) != 1:
+                return (
+                    f"{path}: trace {trace_id}: expected one root span, "
+                    f"found {len(roots)}",
+                    0,
+                    0,
+                )
+    return None, total, len(spans_by_trace)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--chrome", type=Path, default=None)
+    parser.add_argument("--jsonl", type=Path, default=None)
+    parser.add_argument("--expect-connected", action="store_true")
+    parser.add_argument("--allow-unclosed", action="store_true")
+    parser.add_argument("--min-spans", type=int, default=1)
+    parser.add_argument("--min-traces", type=int, default=1)
+    args = parser.parse_args(argv)
+    if args.chrome is None and args.jsonl is None:
+        parser.error("nothing to check: pass --chrome and/or --jsonl")
+    if args.chrome is not None:
+        reason = check_chrome(args.chrome)
+        if reason:
+            return fail(reason)
+        print(f"OK chrome trace {args.chrome}")
+    if args.jsonl is not None:
+        reason, spans, traces = check_jsonl(
+            args.jsonl,
+            allow_unclosed=args.allow_unclosed,
+            expect_connected=args.expect_connected,
+        )
+        if reason:
+            return fail(reason)
+        if spans < args.min_spans:
+            return fail(f"{args.jsonl}: {spans} spans < required {args.min_spans}")
+        if traces < args.min_traces:
+            return fail(f"{args.jsonl}: {traces} traces < required {args.min_traces}")
+        print(f"OK jsonl trace {args.jsonl} ({traces} traces, {spans} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

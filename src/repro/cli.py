@@ -157,9 +157,128 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if all(c.passed for c in checks) else 1
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
-    from .core.serialization import save_result
+def _export_trace(recorder, args: argparse.Namespace) -> None:
+    """Write the distributed-trace exports requested on the command line."""
+    open_spans = len(recorder.open_spans())
+    suffix = f" ({open_spans} unclosed)" if open_spans else ""
+    print(
+        f"captured {len(recorder.trace_ids)} trace(s), "
+        f"{len(recorder.spans)} spans{suffix}"
+    )
+    if args.jsonl:
+        print(f"wrote {recorder.write_jsonl(args.jsonl)}")
+    if args.chrome:
+        print(f"wrote {recorder.write_chrome(args.chrome)}")
 
+
+def _trace_query(args: argparse.Namespace, recorder) -> int:
+    from .core.serialization import save_result
+    from .observability import tracing
+
+    generator = DataGenerator(rng=random.Random(args.seed))
+    datasets = generator.node_datasets(args.nodes, args.values_per_node)
+    vectors = {f"node{i}": [float(v) for v in vs] for i, vs in enumerate(datasets)}
+    query = TopKQuery(table="data", attribute="value", k=args.k)
+    with tracing(recorder):
+        result = run_protocol_on_vectors(
+            vectors,
+            query,
+            RunConfig(protocol=args.protocol, seed=args.seed),
+            backend=args.backend or "session",
+        )
+    path = save_result(result, args.out)
+    print(f"result: {result.answer()}")
+    print(f"wrote {path}")
+    if args.prom:
+        from .observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.absorb_traffic(
+            result.stats,
+            rounds=result.rounds_executed,
+            labels={"protocol": result.protocol},
+        )
+        print(f"wrote {registry.write_prometheus(args.prom)}")
+    return 0
+
+
+def _trace_figure(args: argparse.Namespace, recorder) -> int:
+    from .observability import tracing
+
+    if args.id is None:
+        print("trace figure requires an experiment id", file=sys.stderr)
+        return 2
+    if args.id not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.id!r}; see `repro-topk list`",
+            file=sys.stderr,
+        )
+        return 2
+    # Tracing is per-process state, so trial execution is forced serial: a
+    # worker pool would run trials where the recorder cannot see them.
+    with tracing(recorder):
+        outcome = run_experiment(
+            args.id,
+            trials=args.trials,
+            seed=args.seed if args.seed is not None else 0,
+            jobs=1,
+            backend=args.backend,
+        )
+    if isinstance(outcome, str):
+        print(outcome)
+    else:
+        for panel in outcome:
+            print(render_figure(panel, plot=False))
+            print()
+    return 0
+
+
+def _trace_serve(args: argparse.Namespace, recorder) -> int:
+    from .service.workload import mixed_workload
+
+    if args.seed is None:
+        args.seed = 0  # the workload and federation want a concrete seed
+    statements = mixed_workload(args.queries, seed=args.seed)
+    service = _build_service(args, tracer=recorder)
+    results = _serve_workload(service, statements, args)
+    errors = sum(1 for r in results if isinstance(r, BaseException))
+    print(f"served {len(results) - errors}/{len(results)} statements")
+    if args.prom:
+        registry = service.export_metrics()
+        print(f"wrote {registry.write_prometheus(args.prom)}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .observability import TraceRecorder
+
+    recorder = TraceRecorder(capture_values=args.capture_values)
+    handlers = {
+        "query": _trace_query,
+        "figure": _trace_figure,
+        "serve": _trace_serve,
+    }
+    code = handlers[args.what](args, recorder)
+    if code == 0:
+        _export_trace(recorder, args)
+    return code
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """One unified registry across service, protocol, and kernel metrics."""
+    from .experiments import telemetry
+    from .observability import MetricsRegistry
+    from .service.workload import mixed_workload
+
+    registry = MetricsRegistry()
+
+    # Service slice: a mixed workload through the batching gateway.
+    statements = mixed_workload(args.queries, seed=args.seed)
+    service = _build_service(args)
+    _serve_workload(service, statements, args)
+    service.export_metrics(registry)
+
+    # Protocol slice: one transport-simulated query's traffic accounting.
     generator = DataGenerator(rng=random.Random(args.seed))
     datasets = generator.node_datasets(args.nodes, args.values_per_node)
     vectors = {f"node{i}": [float(v) for v in vs] for i, vs in enumerate(datasets)}
@@ -167,9 +286,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     result = run_protocol_on_vectors(
         vectors, query, RunConfig(protocol=args.protocol, seed=args.seed)
     )
-    path = save_result(result, args.out)
-    print(f"result: {result.answer()}")
-    print(f"wrote {path}")
+    registry.absorb_traffic(
+        result.stats,
+        rounds=result.rounds_executed,
+        labels={"protocol": result.protocol},
+    )
+
+    # Kernel slice: the same query on the fast path, phase-profiled.
+    with telemetry.profile_phases() as phases:
+        run_protocol_on_vectors(
+            vectors,
+            query,
+            RunConfig(protocol=args.protocol, seed=args.seed),
+            backend="kernel",
+        )
+    registry.absorb_phases(phases)
+
+    print(registry.to_prometheus(), end="")
+    if args.prom:
+        print(f"wrote {registry.write_prometheus(args.prom)}")
+    if args.json:
+        print(f"wrote {registry.write_json(args.json)}")
     return 0
 
 
@@ -233,7 +370,7 @@ def _serve_workload(service, statements: list[str], args: argparse.Namespace):
         async with service:
             return await service.submit_many(
                 statements,
-                timeout=args.timeout,
+                timeout=getattr(args, "timeout", None),
                 return_exceptions=True,
             )
 
@@ -270,7 +407,7 @@ def _print_service_summary(service, *, jsonl: str | None) -> dict:
     return snapshot
 
 
-def _build_service(args: argparse.Namespace):
+def _build_service(args: argparse.Namespace, tracer=None):
     from .service import QueryService
     from .service.workload import synthetic_federation
 
@@ -279,12 +416,15 @@ def _build_service(args: argparse.Namespace):
         values_per_party=args.values_per_node,
         seed=args.seed,
     )
+    # `trace serve` and `metrics` expose only the shape-defining flags; the
+    # service knobs fall back to the serve command's defaults.
     return QueryService(
         federation,
-        max_queue=args.max_queue,
-        max_batch=args.max_batch,
-        rate_limit=args.rate_limit,
-        rate_burst=args.rate_burst,
+        max_queue=getattr(args, "max_queue", 256),
+        max_batch=getattr(args, "max_batch", 16),
+        rate_limit=getattr(args, "rate_limit", None),
+        rate_burst=getattr(args, "rate_burst", 8),
+        tracer=tracer,
     )
 
 
@@ -450,7 +590,24 @@ def build_parser() -> argparse.ArgumentParser:
     validate.set_defaults(func=_cmd_validate)
 
     trace = sub.add_parser(
-        "trace", help="run one query and archive its full trace as JSON"
+        "trace",
+        help="run traced work and export distributed traces",
+        description=(
+            "Run one query (default), a whole figure experiment, or a "
+            "service workload with distributed tracing enabled, then export "
+            "the span tree as JSONL (--jsonl) and/or a Chrome trace_event "
+            "file (--chrome) loadable in chrome://tracing or Perfetto."
+        ),
+    )
+    trace.add_argument(
+        "what",
+        nargs="?",
+        choices=("query", "figure", "serve"),
+        default="query",
+        help="what to trace (default: one ad-hoc query)",
+    )
+    trace.add_argument(
+        "id", nargs="?", default=None, help="experiment id for `trace figure`"
     )
     trace.add_argument("--nodes", type=int, default=10)
     trace.add_argument("--k", type=int, default=3)
@@ -458,7 +615,67 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--protocol", type=str, default="probabilistic")
     trace.add_argument("--seed", type=int, default=None)
     trace.add_argument("--out", type=str, default="results/traces/run.json")
+    trace.add_argument(
+        "--backend",
+        choices=("session", "kernel"),
+        default=None,
+        help="execution substrate; traces are bit-identical either way",
+    )
+    trace.add_argument(
+        "--trials", type=int, default=None, help="trials per point (figure mode)"
+    )
+    trace.add_argument(
+        "--queries", type=int, default=12, help="workload size (serve mode)"
+    )
+    trace.add_argument(
+        "--parties", type=int, default=5, help="federation size (serve mode)"
+    )
+    trace.add_argument(
+        "--jsonl", type=str, default=None, help="write spans as JSON-lines here"
+    )
+    trace.add_argument(
+        "--chrome", type=str, default=None, help="write a Chrome trace_event file"
+    )
+    trace.add_argument(
+        "--prom",
+        type=str,
+        default=None,
+        help="write a Prometheus metrics snapshot of the traced run",
+    )
+    trace.add_argument(
+        "--capture-values",
+        action="store_true",
+        help="record per-hop k-vectors in span attributes (privacy analysis)",
+    )
     trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="collect unified metrics across service, protocol, and kernel",
+        description=(
+            "Run a service workload, a transport-simulated query, and a "
+            "kernel-profiled query, publish everything into one "
+            "MetricsRegistry, and print the Prometheus text exposition."
+        ),
+    )
+    metrics.add_argument("--nodes", type=int, default=10)
+    metrics.add_argument("--k", type=int, default=3)
+    metrics.add_argument("--values-per-node", type=int, default=20)
+    metrics.add_argument("--protocol", type=str, default="probabilistic")
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--queries", type=int, default=24, help="service workload size"
+    )
+    metrics.add_argument(
+        "--parties", type=int, default=5, help="federation size for the workload"
+    )
+    metrics.add_argument(
+        "--prom", type=str, default=None, help="also write the exposition here"
+    )
+    metrics.add_argument(
+        "--json", type=str, default=None, help="also write a JSON export here"
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     analyze = sub.add_parser(
         "analyze", help="recompute the privacy analysis from an archived trace"

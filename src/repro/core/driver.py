@@ -30,6 +30,8 @@ from ..network.transport import (
     InMemoryTransport,
     LatencyModel,
 )
+from ..observability.runtime import current_tracer
+from ..observability.trace import TraceContext
 from .kernel import KernelUnsupported, run_kernel_on_vectors
 from .params import ParamError, ProtocolParams
 from .results import ProtocolResult
@@ -117,6 +119,8 @@ def run_topk_query(
     databases: list[PrivateDatabase],
     query: TopKQuery,
     config: RunConfig | None = None,
+    *,
+    trace: "TraceContext | None" = None,
 ) -> ProtocolResult:
     """Answer ``query`` across ``databases`` with the configured protocol.
 
@@ -130,7 +134,28 @@ def run_topk_query(
     if len(set(owners)) != len(owners):
         raise DriverError(f"duplicate database owners: {owners}")
     local_vectors = {db.owner: db.local_topk(query) for db in databases}
-    return run_protocol_on_vectors(local_vectors, query, config)
+    return run_protocol_on_vectors(local_vectors, query, config, trace=trace)
+
+
+def _trace_for_query(
+    query: TopKQuery, config: RunConfig, nodes: int
+) -> "TraceContext | None":
+    """New trace from the process-wide tracer, or None when tracing is off.
+
+    Called before backend dispatch so both backends allocate ids and baggage
+    identically — a precondition of the byte-identical-export guarantee.
+    """
+    tracer = current_tracer()
+    if tracer is None or not tracer.enabled:
+        return None
+    return tracer.new_trace(
+        name=f"{query.table}.{query.attribute} top-{query.k}",
+        baggage={
+            "protocol": config.protocol,
+            "k": str(query.k),
+            "nodes": str(nodes),
+        },
+    )
 
 
 def run_protocol_on_vectors(
@@ -139,6 +164,7 @@ def run_protocol_on_vectors(
     config: RunConfig | None = None,
     *,
     backend: str = SESSION,
+    trace: "TraceContext | None" = None,
 ) -> ProtocolResult:
     """Run the protocol when each party's local top-k vector is already known.
 
@@ -157,11 +183,13 @@ def run_protocol_on_vectors(
     if backend not in BACKENDS:
         raise DriverError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     config = config or RunConfig()
+    if trace is None:
+        trace = _trace_for_query(query, config, len(local_vectors))
     if backend == KERNEL:
-        return run_kernel_on_vectors(local_vectors, query, config)
+        return run_kernel_on_vectors(local_vectors, query, config, trace=trace)
     prepared = prepare_query_vectors(local_vectors, query)
     transport = _transport_for(config)
-    session = ProtocolSession(prepared, config, transport)
+    session = ProtocolSession(prepared, config, transport, trace=trace)
     session.start()
     transport.run_until_idle()
     session.recover()
@@ -170,6 +198,8 @@ def run_protocol_on_vectors(
 
 def run_many_on_vectors(
     jobs: Sequence[tuple[dict[str, list[float]], TopKQuery, RunConfig]],
+    *,
+    traces: "Sequence[TraceContext | None] | None" = None,
 ) -> list[ProtocolResult]:
     """Run many independent queries pipelined on one shared transport.
 
@@ -190,6 +220,15 @@ def run_many_on_vectors(
     jobs = list(jobs)
     if not jobs:
         return []
+    if traces is not None and len(traces) != len(jobs):
+        raise DriverError(
+            f"got {len(jobs)} jobs but {len(traces)} trace contexts"
+        )
+    if traces is None:
+        traces = [
+            _trace_for_query(query, config, len(vectors))
+            for vectors, query, config in jobs
+        ]
     base = jobs[0][2]
     for _vectors, _query, config in jobs:
         if (
@@ -208,6 +247,7 @@ def run_many_on_vectors(
             config,
             transport,
             query_id=f"q{index}",
+            trace=traces[index],
         )
         for index, (vectors, query, config) in enumerate(jobs)
     ]
@@ -229,6 +269,8 @@ def run_topk_queries(
     databases: list[PrivateDatabase],
     queries: Sequence[TopKQuery],
     configs: Sequence[RunConfig],
+    *,
+    traces: "Sequence[TraceContext | None] | None" = None,
 ) -> list[ProtocolResult]:
     """Batch counterpart of :func:`run_topk_query`: one config per query.
 
@@ -249,7 +291,7 @@ def run_topk_queries(
         jobs.append(
             ({db.owner: db.local_topk(query) for db in databases}, query, config)
         )
-    return run_many_on_vectors(jobs)
+    return run_many_on_vectors(jobs, traces=traces)
 
 
 def derived_rounds(params: ProtocolParams) -> int:

@@ -41,6 +41,7 @@ from ..network.failures import NullFailureInjector
 from ..network.message import next_message_id
 from ..network.ring import RingTopology
 from ..network.stats import TrafficStats
+from ..observability.trace import TraceContext
 from .results import ProtocolResult
 from .session import (
     NAIVE,
@@ -242,7 +243,90 @@ def kernel_refusal(config: "RunConfig") -> str | None:
     return None
 
 
-def execute(prepared: PreparedQuery, config: "RunConfig") -> KernelRun:
+def _synthesize_trace(
+    trace: TraceContext,
+    *,
+    protocol: str,
+    total_rounds: int,
+    starter: str,
+    k: int,
+    initial_ring: RingTopology,
+    n: int,
+    log_passes: list[tuple[str, int, tuple[str, ...], object]],
+) -> None:
+    """Emit the spans a traced :class:`ProtocolSession` run would record.
+
+    The kernel never delivers a message, so spans are reconstructed after
+    the fact from the per-pass log: one protocol span, one span per round,
+    one hop event per (synthetic) delivery, and a broadcast span for the
+    result circulation.  Open/close order and the ``clock += _LATENCY``
+    float-addition chain both replicate the transport-backed path exactly,
+    so under the same seed the two backends export byte-identical JSONL.
+    """
+    tracer = trace.tracer
+    capture = tracer.capture_values
+    t = 0.0
+    protocol_ctx = tracer.open_span(
+        trace,
+        "protocol",
+        at=t,
+        kind="protocol",
+        attrs={
+            "protocol": protocol,
+            "nodes": n,
+            "rounds": total_rounds,
+            "starter": starter,
+            "k": k,
+            "ring": list(initial_ring.members),
+        },
+    )
+    round_ctx = tracer.open_span(
+        protocol_ctx, "round", at=t, kind="round", attrs={"round": 1}
+    )
+    broadcast_ctx: TraceContext | None = None
+    for kind, round_number, order, vectors in log_passes:
+        parent = broadcast_ctx if kind == "result" else round_ctx
+        for j in range(n):
+            t += _LATENCY
+            attrs = {
+                "sender": order[j],
+                "receiver": order[j + 1] if j + 1 < n else order[0],
+                "round": round_number,
+                "type": kind,
+            }
+            if capture:
+                hop_vector = vectors if kind == "result" else vectors[j]
+                attrs["vector"] = [float(v) for v in hop_vector]
+            tracer.event(parent, "hop", at=t, kind="message", attrs=attrs)
+        if kind == "token":
+            tracer.close_span(round_ctx, at=t)
+            if round_number < total_rounds:
+                round_ctx = tracer.open_span(
+                    protocol_ctx,
+                    "round",
+                    at=t,
+                    kind="round",
+                    attrs={"round": round_number + 1},
+                )
+            else:
+                broadcast_ctx = tracer.open_span(
+                    protocol_ctx,
+                    "broadcast",
+                    at=t,
+                    kind="round",
+                    attrs={"round": round_number + 1},
+                )
+    if broadcast_ctx is not None:
+        tracer.close_span(broadcast_ctx, at=t)
+    tracer.close_span(protocol_ctx, at=t)
+
+
+def execute(
+    prepared: PreparedQuery,
+    config: "RunConfig",
+    *,
+    trace: TraceContext | None = None,
+) -> KernelRun:
     """Run one protocol on the fast path; bit-identical to a session run."""
     reason = kernel_refusal(config)
     if reason is not None:
@@ -438,6 +522,18 @@ def execute(prepared: PreparedQuery, config: "RunConfig") -> KernelRun:
 
     t4 = time.perf_counter() if timed else 0.0
 
+    if trace is not None:
+        _synthesize_trace(
+            trace,
+            protocol=config.protocol,
+            total_rounds=total_rounds,
+            starter=starter,
+            k=query.k,
+            initial_ring=initial_ring,
+            n=n,
+            log_passes=log_passes,
+        )
+
     event_log = _LazyKernelLog(log_passes)
 
     per_link: Counter = Counter()
@@ -491,6 +587,8 @@ def run_kernel_on_vectors(
     local_vectors: dict[str, list[float]],
     query: "TopKQuery",
     config: "RunConfig | None" = None,
+    *,
+    trace: TraceContext | None = None,
 ) -> ProtocolResult:
     """Fast-path counterpart of :func:`~repro.core.driver.run_protocol_on_vectors`."""
     if config is None:
@@ -498,4 +596,4 @@ def run_kernel_on_vectors(
 
         config = RunConfig()
     prepared = prepare_query_vectors(local_vectors, query)
-    return execute(prepared, config).result
+    return execute(prepared, config, trace=trace).result

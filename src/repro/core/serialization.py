@@ -15,7 +15,7 @@ from pathlib import Path
 from typing import Any
 
 from ..database.query import Domain, TopKQuery
-from ..network.events import EventLog, Observation
+from ..network.events import EventLog
 from ..network.message import Message, MessageType
 from ..network.stats import TrafficStats
 from .results import ProtocolResult

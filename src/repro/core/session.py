@@ -28,10 +28,11 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..database.query import Domain, TopKQuery
-from ..network.message import result_message, token_message
+from ..network.message import Message, MessageType, result_message, token_message
 from ..network.node import ProtocolNode
 from ..network.ring import RingError, RingTopology
 from ..network.transport import InMemoryTransport
+from ..observability.trace import TraceContext
 from .naive import NaiveTopKAlgorithm
 from .results import ProtocolResult
 from .topk_protocol import ProbabilisticTopKAlgorithm
@@ -140,6 +141,7 @@ class ProtocolSession:
         transport: InMemoryTransport,
         *,
         query_id: str = "",
+        trace: TraceContext | None = None,
     ) -> None:
         self.prepared = prepared
         self.config = config
@@ -147,6 +149,13 @@ class ProtocolSession:
         self.query_id = query_id
         self.query = prepared.query
         self.accounting = transport.open_channel(query_id)
+        #: Tracing state: the protocol-level span plus the currently-open
+        #: round (or broadcast) span that hop events attach under.  All None
+        #: when tracing is off, so the hot path pays one ``is None`` check.
+        self.trace = trace
+        self._trace_protocol_ctx: TraceContext | None = None
+        self._trace_round_ctx: TraceContext | None = None
+        self._trace_broadcast_ctx: TraceContext | None = None
 
         rng = config.rng()
         self._rng = rng
@@ -218,6 +227,55 @@ class ProtocolSession:
             self.ring = self.ring.remap(self._rng)
             self._apply_ring(self.ring)
             self.ring_history[round_number + 1] = self.ring.members
+        if self.trace is not None and self._trace_round_ctx is not None:
+            # Close the round that just completed; the next round (or the
+            # result broadcast) opens at the same simulated instant — the
+            # delivery that closed this round.  After the final round the
+            # round context goes dormant, so recovery replays of the last
+            # token never respawn round spans.
+            tracer = self.trace.tracer
+            now = self.transport.now
+            tracer.close_span(self._trace_round_ctx, at=now)
+            if round_number < self.total_rounds:
+                self._trace_round_ctx = tracer.open_span(
+                    self._trace_protocol_ctx,
+                    "round",
+                    at=now,
+                    kind="round",
+                    attrs={"round": round_number + 1},
+                )
+            else:
+                self._trace_round_ctx = None
+                self._trace_broadcast_ctx = tracer.open_span(
+                    self._trace_protocol_ctx,
+                    "broadcast",
+                    at=now,
+                    kind="round",
+                    attrs={"round": round_number + 1},
+                )
+
+    def _trace_delivery(self, message: Message, now: float) -> None:
+        # Transport tap: runs after channel accounting, before the receiving
+        # node's handler — so the hop that closes a round is recorded under
+        # that round's span before the round hook rotates spans.
+        if message.type is MessageType.RESULT:
+            parent = self._trace_broadcast_ctx
+            hop_type = "result"
+        else:
+            parent = self._trace_round_ctx
+            hop_type = "token"
+        if parent is None:
+            return
+        tracer = self.trace.tracer
+        attrs = {
+            "sender": message.sender,
+            "receiver": message.receiver,
+            "round": message.round,
+            "type": hop_type,
+        }
+        if tracer.capture_values:
+            attrs["vector"] = [float(v) for v in message.payload["vector"]]
+        tracer.event(parent, "hop", at=now, kind="message", attrs=attrs)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -236,6 +294,31 @@ class ProtocolSession:
                 raise DriverError("initial_vector contains out-of-domain values")
         else:
             start_vector = [float(v) for v in self.query.identity_vector()]
+        if self.trace is not None:
+            tracer = self.trace.tracer
+            now = self.transport.now
+            self._trace_protocol_ctx = tracer.open_span(
+                self.trace,
+                "protocol",
+                at=now,
+                kind="protocol",
+                attrs={
+                    "protocol": config.protocol,
+                    "nodes": len(self._node_ids),
+                    "rounds": self.total_rounds,
+                    "starter": self.starter,
+                    "k": self.query.k,
+                    "ring": list(self._initial_ring.members),
+                },
+            )
+            self._trace_round_ctx = tracer.open_span(
+                self._trace_protocol_ctx,
+                "round",
+                at=now,
+                kind="round",
+                attrs={"round": 1},
+            )
+            self.accounting.on_delivery = self._trace_delivery
         self.nodes[self.starter].start(start_vector)
 
     @property
@@ -260,6 +343,16 @@ class ProtocolSession:
         self.abandoned = True
         for node_id in self._node_ids:
             self.transport.unregister(node_id, channel=self.query_id)
+        if self.trace is not None and self._trace_protocol_ctx is not None:
+            tracer = self.trace.tracer
+            now = self.transport.now
+            for ctx in (self._trace_round_ctx, self._trace_broadcast_ctx):
+                if ctx is not None:
+                    tracer.close_span(ctx, at=now, attrs={"abandoned": True})
+            tracer.close_span(
+                self._trace_protocol_ctx, at=now, attrs={"abandoned": True}
+            )
+            self.accounting.on_delivery = None
 
     def recover(self) -> None:
         """Ring-repair recovery (Section 3.2) and loss retransmission.
@@ -394,6 +487,15 @@ class ProtocolSession:
         missing = [n for n in survivors if self.nodes[n].final_result is None]
         if missing:
             raise DriverError(f"nodes never learned the final result: {missing}")
+
+        if self.trace is not None and self._trace_protocol_ctx is not None:
+            tracer = self.trace.tracer
+            end = self.accounting.last_delivery_at
+            if self._trace_broadcast_ctx is not None:
+                tracer.close_span(self._trace_broadcast_ctx, at=end)
+                self._trace_broadcast_ctx = None
+            tracer.close_span(self._trace_protocol_ctx, at=end)
+            self.accounting.on_delivery = None
 
         result = ProtocolResult(
             query=self.query,

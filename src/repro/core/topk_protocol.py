@@ -40,7 +40,7 @@ from collections import Counter
 
 from ..database.query import Domain
 from .params import ProtocolParams
-from .vectors import merge_topk, multiset_difference, pad_to_k, validate_vector
+from .vectors import merge_topk, multiset_difference, validate_vector
 
 
 class ProbabilisticTopKAlgorithm:

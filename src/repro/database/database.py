@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from .query import Domain, QueryError, TopKQuery
+from .query import QueryError, TopKQuery
 from .schema import Schema, SchemaError
 from .table import Row, Table
 

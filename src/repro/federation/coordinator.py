@@ -29,11 +29,12 @@ import random
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, replace
 
-from ..core.driver import PROBABILISTIC, RunConfig, run_topk_queries, run_topk_query
+from ..core.driver import RunConfig, run_topk_queries, run_topk_query
 from ..core.results import ProtocolResult
 from ..database.database import PrivateDatabase, common_query
 from ..database.query import Domain, TopKQuery
 from ..extensions.securesum import run_secure_sum
+from ..observability.trace import TraceContext, Tracer
 from ..privacy.accounting import BudgetExceededError, ExposureLedger
 from ..privacy.lop import average_lop
 from .audit import AuditEntry, AuditLog
@@ -103,6 +104,7 @@ class Federation:
         privacy_budget: float | None = None,
         policy: "AccessPolicy | None" = None,
         cache_entries: int = 1024,
+        tracer: "Tracer | None" = None,
     ) -> None:
         """``privacy_budget`` caps any party's *cumulative* measured exposure
         across the session's ranking queries (see
@@ -110,7 +112,11 @@ class Federation:
         refused.  Additive aggregates flow through mask-blinded secure sums
         and are charged nothing.  ``policy`` gates execution by issuer and
         operation (deny-by-default; ``None`` permits everything).
-        ``cache_entries`` bounds the batch-path result cache.
+        ``cache_entries`` bounds the batch-path result cache.  ``tracer``
+        records a distributed trace per executed ranking query (see
+        :mod:`repro.observability`); callers that already carry a trace —
+        the query service's batch spans — pass per-statement contexts to
+        the batch methods instead.
         """
         self.domain = domain
         self._base_config = config or RunConfig()
@@ -129,6 +135,7 @@ class Federation:
         self.ledger = ExposureLedger(budget=privacy_budget)
         self.policy = policy
         self.cache = ResultCache(max_entries=cache_entries)
+        self.tracer = tracer
 
     # -- domains ------------------------------------------------------------
 
@@ -250,7 +257,11 @@ class Federation:
         return self._serve_cached(statement, issuer, answer)
 
     def execute_many(
-        self, statements: Iterable[str], *, issuer: str = "anonymous"
+        self,
+        statements: Iterable[str],
+        *,
+        issuer: str = "anonymous",
+        traces: "Sequence[TraceContext | None] | None" = None,
     ) -> list[QueryOutcome]:
         """Serve a batch of statements: dedupe, cache, and pipeline.
 
@@ -279,11 +290,17 @@ class Federation:
         must degrade per-statement instead use
         :meth:`execute_many_settled`.
         """
-        outcomes = self._execute_batch(list(statements), issuer, settle=False)
+        outcomes = self._execute_batch(
+            list(statements), issuer, settle=False, traces=traces
+        )
         return outcomes  # type: ignore[return-value]  # no refusals when raising
 
     def execute_many_settled(
-        self, statements: Iterable[str], *, issuer: str = "anonymous"
+        self,
+        statements: Iterable[str],
+        *,
+        issuer: str = "anonymous",
+        traces: "Sequence[TraceContext | None] | None" = None,
     ) -> "list[QueryOutcome | QueryRefused]":
         """:meth:`execute_many`, but refusals settle per statement.
 
@@ -295,13 +312,24 @@ class Federation:
         statements never plan), so served statements stay bit-identical to
         a sequential session that skipped the same refusals.
         """
-        return self._execute_batch(list(statements), issuer, settle=True)
+        return self._execute_batch(
+            list(statements), issuer, settle=True, traces=traces
+        )
 
     def _execute_batch(
-        self, statements: list[str], issuer: str, settle: bool
+        self,
+        statements: list[str],
+        issuer: str,
+        settle: bool,
+        traces: "Sequence[TraceContext | None] | None" = None,
     ) -> "list[QueryOutcome | QueryRefused]":
         if not statements:
             return []
+        if traces is not None and len(traces) != len(statements):
+            raise FederationError(
+                f"got {len(statements)} statements but {len(traces)} "
+                "trace contexts"
+            )
         refusals: dict[int, Exception] = {}
         parsed: list[FederatedStatement | None]
         if settle:
@@ -362,10 +390,26 @@ class Federation:
         # Pipeline all ranking misses on one shared transport.
         ranking_results: dict[int, ProtocolResult] = {}
         if ranking_indices:
+            ranking_traces: "list[TraceContext | None] | None"
+            if traces is not None:
+                ranking_traces = [traces[i] for i in ranking_indices]
+            elif self.tracer is not None and self.tracer.enabled:
+                # Standalone traced federation: one trace per executed
+                # ranking statement (cache hits and additive aggregates run
+                # no ring protocol and record no protocol spans).
+                ranking_traces = [
+                    self.tracer.new_trace(
+                        name=statements[i], baggage={"issuer": issuer}
+                    )
+                    for i in ranking_indices
+                ]
+            else:
+                ranking_traces = None
             results = run_topk_queries(
                 databases,
                 [self._ranking_query(parsed[i]) for i in ranking_indices],
                 [ranking_configs[i] for i in ranking_indices],
+                traces=ranking_traces,
             )
             ranking_results = dict(zip(ranking_indices, results))
 
@@ -519,8 +563,14 @@ class Federation:
         self, statement: FederatedStatement, issuer: str
     ) -> QueryOutcome:
         databases = self._require_quorum()
+        trace = None
+        if self.tracer is not None and self.tracer.enabled:
+            trace = self.tracer.new_trace(
+                name=statement.text, baggage={"issuer": issuer}
+            )
         result = run_topk_query(
-            databases, self._ranking_query(statement), self._next_config()
+            databases, self._ranking_query(statement), self._next_config(),
+            trace=trace,
         )
         return self._finish_ranking(statement, issuer, result)
 

@@ -10,7 +10,7 @@ after a run, adversary models in :mod:`repro.privacy` can replay any node's
 from __future__ import annotations
 
 from collections.abc import Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .message import Message, MessageType
 

@@ -26,6 +26,9 @@ class FailureInjector:
     ----------
     drop_probability:
         Probability an individual message is silently lost in transit.
+        Must be in ``[0, 1)``: a certain drop (1.0) would make every
+        protocol stall unconditionally, which is a configuration error,
+        not a failure model.
     rng:
         Randomness source for probabilistic drops.
     """
@@ -33,13 +36,12 @@ class FailureInjector:
     drop_probability: float = 0.0
     rng: random.Random = field(default_factory=random.Random)
     _crashed: set[str] = field(default_factory=set)
+    _scheduled: list[tuple[int, str]] = field(default_factory=list)
+    _messages_seen: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.drop_probability < 1.0:
             raise ValueError("drop_probability must be in [0, 1)")
-
-    _scheduled: list[tuple[int, str]] = field(default_factory=list)
-    _messages_seen: int = 0
 
     # -- node crashes ---------------------------------------------------------
 

@@ -102,12 +102,19 @@ class ChannelAccounting:
     recent delivery — for a completed protocol run it is that query's
     completion time, the quantity the throughput benchmarks compare against
     sequential execution.
+
+    ``on_delivery`` is the tracing tap: when set, it is invoked for every
+    delivery on this channel with the (decrypted) message and the simulated
+    delivery time, after the accounting above is recorded and before the
+    receiver's handler runs — so a hop span exists by the time any round
+    hook fires.
     """
 
     stats: TrafficStats = field(default_factory=TrafficStats)
     event_log: EventLog = field(default_factory=EventLog)
     last_delivery_at: float = 0.0
     deliveries: int = 0
+    on_delivery: "Callable[[Message, float], None] | None" = None
 
 
 @dataclass(frozen=True)
@@ -256,6 +263,8 @@ class InMemoryTransport:
             accounting.event_log.record(message)
             accounting.last_delivery_at = self._clock
             accounting.deliveries += 1
+            if accounting.on_delivery is not None:
+                accounting.on_delivery(message, self._clock)
         handler(message)
         return message
 

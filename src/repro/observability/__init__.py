@@ -1,0 +1,43 @@
+"""Unified observability: distributed tracing + central metrics registry.
+
+See :mod:`repro.observability.trace` for the span model and exporters,
+:mod:`repro.observability.metrics` for the registry that unifies
+``TrafficStats`` / ``LatencyHistogram`` / ``PhaseProfiler``, and
+``docs/OBSERVABILITY.md`` for the span taxonomy and how a trace maps to
+the paper's IR/LoP exposure accounting.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Summary,
+)
+from .runtime import activate, current_tracer, deactivate, tracing
+from .trace import (
+    NULL_CONTEXT,
+    NULL_TRACER,
+    Span,
+    TraceContext,
+    TraceRecorder,
+    Tracer,
+)
+
+__all__ = [
+    "NULL_CONTEXT",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Summary",
+    "TraceContext",
+    "TraceRecorder",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "deactivate",
+    "tracing",
+]

@@ -1,0 +1,524 @@
+"""Central metrics registry: counters, gauges, histograms, summaries.
+
+The repository accumulated three disjoint accounting fragments as it grew:
+``TrafficStats`` (per-channel message/byte counts on the network layer),
+``LatencyHistogram`` (exact-sample latency percentiles in the experiment
+harness and service), and ``PhaseProfiler`` (kernel phase timings).  Each
+speaks its own dialect.  :class:`MetricsRegistry` unifies them behind one
+label-aware interface with two exports: Prometheus text exposition (for
+scraping, or for eyeballs) and a JSON document (for artifacts and tests).
+
+The registry does not replace the fragments — they stay cheap and local to
+their layers — it *absorbs* them: the ``absorb_*`` adapters read the public
+attributes of each fragment and publish them under canonical metric names
+(``repro_network_*``, ``repro_latency_*``, ``repro_kernel_phase_*``,
+``repro_service_*``).  Adapters are duck-typed readers, so this module
+imports nothing from the rest of ``repro`` and sits at the bottom of the
+dependency graph.
+
+Determinism: exports sort families, labels, and label values, so the same
+measurements always render the same bytes — the same property the tracing
+side guarantees, and what lets CI diff snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_right
+from collections.abc import Iterable, Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Summary",
+]
+
+Labels = tuple[tuple[str, str], ...]
+
+#: Default histogram buckets, tuned for simulated-seconds latencies.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Quantiles a :class:`Summary` reports.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _labelset(
+    label_names: Sequence[str], labels: Mapping[str, str] | None
+) -> Labels:
+    given = dict(labels or {})
+    if set(given) != set(label_names):
+        raise ValueError(
+            f"expected labels {sorted(label_names)}, got {sorted(given)}"
+        )
+    return tuple((name, str(given[name])) for name in sorted(label_names))
+
+
+def _render_labels(labels: Labels, extra: str = "") -> str:
+    parts = [f'{name}="{value}"' for name, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Family:
+    """Shared plumbing: a named metric with a fixed label schema."""
+
+    type_name = "untyped"
+
+    def __init__(
+        self, name: str, help_text: str, label_names: Sequence[str]
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._series: dict[Labels, Any] = {}
+
+    def _series_for(self, labels: Mapping[str, str] | None) -> Any:
+        key = _labelset(self.label_names, labels)
+        if key not in self._series:
+            self._series[key] = self._new_series()
+        return self._series[key]
+
+    def _new_series(self) -> Any:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _sorted_series(self) -> list[tuple[Labels, Any]]:
+        return sorted(self._series.items())
+
+
+class Counter(_Family):
+    """Monotonically increasing count (messages delivered, queries shed)."""
+
+    type_name = "counter"
+
+    def _new_series(self) -> float:
+        return 0.0
+
+    def inc(
+        self, amount: float = 1.0, *, labels: Mapping[str, str] | None = None
+    ) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        key = _labelset(self.label_names, labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, *, labels: Mapping[str, str] | None = None) -> float:
+        return float(self._series.get(_labelset(self.label_names, labels), 0.0))
+
+    def prometheus_lines(self) -> list[str]:
+        return [
+            f"{self.name}{_render_labels(labels)} {_format_value(value)}"
+            for labels, value in self._sorted_series()
+        ]
+
+    def to_json(self) -> list[dict[str, Any]]:
+        return [
+            {"labels": dict(labels), "value": value}
+            for labels, value in self._sorted_series()
+        ]
+
+
+class Gauge(_Family):
+    """A value that goes up and down (queue depth, inflight batches)."""
+
+    type_name = "gauge"
+
+    def _new_series(self) -> float:
+        return 0.0
+
+    def set(
+        self, value: float, *, labels: Mapping[str, str] | None = None
+    ) -> None:
+        self._series[_labelset(self.label_names, labels)] = float(value)
+
+    def inc(
+        self, amount: float = 1.0, *, labels: Mapping[str, str] | None = None
+    ) -> None:
+        key = _labelset(self.label_names, labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, *, labels: Mapping[str, str] | None = None) -> float:
+        return float(self._series.get(_labelset(self.label_names, labels), 0.0))
+
+    prometheus_lines = Counter.prometheus_lines
+    to_json = Counter.to_json
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "count", "total")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.count = 0
+        self.total = 0.0
+
+
+class Histogram(_Family):
+    """Bucketed distribution with Prometheus cumulative-bucket exposition."""
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, label_names)
+        ordered = tuple(sorted(buckets))
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = ordered
+
+    def _new_series(self) -> _HistogramSeries:
+        return _HistogramSeries(len(self.buckets))
+
+    def observe(
+        self, value: float, *, labels: Mapping[str, str] | None = None
+    ) -> None:
+        series = self._series_for(labels)
+        idx = bisect_right(self.buckets, value)
+        if idx < len(series.bucket_counts):
+            series.bucket_counts[idx] += 1
+        series.count += 1
+        series.total += value
+
+    def count(self, *, labels: Mapping[str, str] | None = None) -> int:
+        series = self._series.get(_labelset(self.label_names, labels))
+        return series.count if series else 0
+
+    def prometheus_lines(self) -> list[str]:
+        lines: list[str] = []
+        for labels, series in self._sorted_series():
+            cumulative = 0
+            for bound, in_bucket in zip(self.buckets, series.bucket_counts):
+                cumulative += in_bucket
+                le = _render_labels(labels, f'le="{_format_value(bound)}"')
+                lines.append(f"{self.name}_bucket{le} {cumulative}")
+            le = _render_labels(labels, 'le="+Inf"')
+            lines.append(f"{self.name}_bucket{le} {series.count}")
+            plain = _render_labels(labels)
+            lines.append(f"{self.name}_sum{plain} {_format_value(series.total)}")
+            lines.append(f"{self.name}_count{plain} {series.count}")
+        return lines
+
+    def to_json(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "labels": dict(labels),
+                "buckets": {
+                    _format_value(bound): count
+                    for bound, count in zip(self.buckets, series.bucket_counts)
+                },
+                "count": series.count,
+                "sum": series.total,
+            }
+            for labels, series in self._sorted_series()
+        ]
+
+
+class _SummarySeries:
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+
+
+class Summary(_Family):
+    """Exact-sample quantiles — the registry form of ``LatencyHistogram``.
+
+    Keeps every observation (the workloads here are small enough), so the
+    reported quantiles are exact interpolated percentiles rather than
+    bucket approximations.
+    """
+
+    type_name = "summary"
+
+    def _new_series(self) -> _SummarySeries:
+        return _SummarySeries()
+
+    def observe(
+        self, value: float, *, labels: Mapping[str, str] | None = None
+    ) -> None:
+        self._series_for(labels).samples.append(float(value))
+
+    def observe_many(
+        self,
+        values: Iterable[float],
+        *,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        self._series_for(labels).samples.extend(float(v) for v in values)
+
+    @staticmethod
+    def _quantile(ordered: Sequence[float], q: float) -> float:
+        if not ordered:
+            return 0.0
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        weight = position - lower
+        return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+    def prometheus_lines(self) -> list[str]:
+        lines: list[str] = []
+        for labels, series in self._sorted_series():
+            ordered = sorted(series.samples)
+            for q in SUMMARY_QUANTILES:
+                tag = _render_labels(labels, f'quantile="{q}"')
+                lines.append(
+                    f"{self.name}{tag} "
+                    f"{_format_value(self._quantile(ordered, q))}"
+                )
+            plain = _render_labels(labels)
+            lines.append(
+                f"{self.name}_sum{plain} {_format_value(sum(series.samples))}"
+            )
+            lines.append(f"{self.name}_count{plain} {len(series.samples)}")
+        return lines
+
+    def to_json(self) -> list[dict[str, Any]]:
+        out = []
+        for labels, series in self._sorted_series():
+            ordered = sorted(series.samples)
+            out.append(
+                {
+                    "labels": dict(labels),
+                    "quantiles": {
+                        str(q): self._quantile(ordered, q)
+                        for q in SUMMARY_QUANTILES
+                    },
+                    "count": len(ordered),
+                    "sum": sum(ordered),
+                }
+            )
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families, with unified exports."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    def _register(self, cls, name, help_text, label_names, **kwargs):
+        existing = self._families.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.type_name}, not {cls.type_name}"
+                )
+            if existing.label_names != tuple(label_names):
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.label_names}, not {tuple(label_names)}"
+                )
+            return existing
+        family = cls(name, help_text, label_names, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", label_names: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help_text, label_names)
+
+    def gauge(
+        self, name: str, help_text: str = "", label_names: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help_text, label_names)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help_text, label_names, buckets=buckets
+        )
+
+    def summary(
+        self, name: str, help_text: str = "", label_names: Sequence[str] = ()
+    ) -> Summary:
+        return self._register(Summary, name, help_text, label_names)
+
+    @property
+    def families(self) -> tuple[_Family, ...]:
+        return tuple(self._families[name] for name in sorted(self._families))
+
+    # -- exports -------------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format, fully sorted (stable bytes)."""
+        lines: list[str] = []
+        for family in self.families:
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.type_name}")
+            lines.extend(family.prometheus_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "metrics": {
+                family.name: {
+                    "type": family.type_name,
+                    "help": family.help,
+                    "series": family.to_json(),
+                }
+                for family in self.families
+            }
+        }
+
+    def write_prometheus(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_prometheus())
+        return target
+
+    def write_json(self, path: str | Path) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+        return target
+
+    # -- adapters over the existing accounting fragments ---------------------
+    # Duck-typed attribute readers: no imports from repro.*, so this module
+    # stays at the bottom of the dependency graph.
+
+    def absorb_traffic(
+        self,
+        stats: Any,
+        *,
+        rounds: int | None = None,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        """Publish a ``TrafficStats``-shaped object (messages/bytes totals).
+
+        ``rounds`` is separate because the stats object counts traffic, not
+        protocol progress — pass ``result.rounds_executed`` when available.
+        """
+        label_names = tuple(sorted(labels or {}))
+        self.counter(
+            "repro_network_messages_total",
+            "Messages delivered on the simulated transport.",
+            label_names,
+        ).inc(stats.messages_total, labels=labels)
+        self.counter(
+            "repro_network_bytes_total",
+            "Encoded payload bytes moved across the ring.",
+            label_names,
+        ).inc(stats.bytes_total, labels=labels)
+        if rounds is not None:
+            self.gauge(
+                "repro_protocol_rounds",
+                "Ring rounds the protocol ran before converging.",
+                label_names,
+            ).set(rounds, labels=labels)
+
+    def absorb_latency(
+        self,
+        histogram: Any,
+        *,
+        name: str = "repro_latency_seconds",
+        help_text: str = "Observed latencies (exact samples).",
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        """Publish a ``LatencyHistogram``-shaped object (has ``.samples``)."""
+        label_names = tuple(sorted(labels or {}))
+        self.summary(name, help_text, label_names).observe_many(
+            histogram.samples, labels=labels
+        )
+
+    def absorb_phases(self, profiler: Any) -> None:
+        """Publish a ``PhaseProfiler``-shaped object (``._totals`` by phase)."""
+        family = self.gauge(
+            "repro_kernel_phase_seconds",
+            "Kernel wall-clock by execution phase.",
+            ("phase",),
+        )
+        for phase, seconds in profiler._totals.items():
+            family.set(seconds, labels={"phase": phase})
+        self.counter(
+            "repro_kernel_runs_total", "Kernel executions profiled."
+        ).inc(profiler.runs)
+        self.counter(
+            "repro_kernel_rounds_total", "Ring rounds executed by the kernel."
+        ).inc(profiler.rounds)
+
+    def absorb_service(
+        self, metrics: Any, *, queue_depth: int | None = None
+    ) -> None:
+        """Publish a ``ServiceMetrics``-shaped snapshot plus live gauges."""
+        snapshot = metrics.snapshot(queue_depth=queue_depth or 0)
+        outcomes = (
+            "submitted",
+            "admitted",
+            "completed",
+            "refused",
+            "failed",
+            "cache_fast_hits",
+            "shed_overload",
+            "shed_rate_limited",
+            "shed_deadline",
+        )
+        family = self.counter(
+            "repro_service_queries_total",
+            "Queries by admission/terminal outcome.",
+            ("outcome",),
+        )
+        for outcome in outcomes:
+            family.inc(snapshot.get(outcome, 0), labels={"outcome": outcome})
+        self.counter(
+            "repro_service_batches_total", "Protocol batches dispatched."
+        ).inc(snapshot.get("batches", 0))
+        self.gauge(
+            "repro_service_batch_occupancy",
+            "Mean fraction of batch capacity used.",
+        ).set(snapshot.get("batch_occupancy", 0.0))
+        self.gauge(
+            "repro_service_queue_high_water", "Deepest queue seen."
+        ).set(snapshot.get("queue_high_water", 0))
+        latency = getattr(metrics, "latency", None)
+        if latency is not None and getattr(latency, "samples", None):
+            self.absorb_latency(
+                latency,
+                name="repro_service_latency_seconds",
+                help_text="End-to-end simulated query latency.",
+            )
+        if queue_depth is not None:
+            self.gauge(
+                "repro_service_queue_depth", "Requests waiting for a batch."
+            ).set(queue_depth)

@@ -1,0 +1,51 @@
+"""Process-wide tracer activation.
+
+Entry points that cannot thread a :class:`TraceContext` explicitly — the
+figure pipeline calls ``run_single_trial`` deep inside the experiment
+runner — activate a tracer here instead, and the driver picks it up at the
+top of each protocol run.  One module-global read per run; ``None`` (the
+overwhelmingly common case) costs a single ``is None`` check on the hot
+path.
+
+Activation is per-process and deliberately not inherited by worker
+processes: traced figure runs force ``jobs=1`` so the span stream stays
+ordered and complete.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .trace import Tracer
+
+__all__ = ["activate", "current_tracer", "deactivate", "tracing"]
+
+_ACTIVE: Tracer | None = None
+
+
+def current_tracer() -> Tracer | None:
+    """The process-wide tracer, or None when tracing is off."""
+    return _ACTIVE
+
+
+def activate(tracer: Tracer) -> None:
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Activate ``tracer`` for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

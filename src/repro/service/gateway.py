@@ -33,6 +33,8 @@ from collections.abc import Iterable, Sequence
 
 from ..federation.coordinator import Federation, QueryOutcome, QueryRefused
 from ..federation.sql import parse
+from ..observability.metrics import MetricsRegistry
+from ..observability.trace import TraceContext, Tracer
 from .clock import Clock, SimulatedClock
 from .errors import (
     DeadlineExceeded,
@@ -71,6 +73,12 @@ class QueryService:
         default :class:`~repro.service.clock.SimulatedClock` advances by
         each batch's simulated protocol time (deterministic); pass
         :class:`~repro.service.clock.SystemClock` for wall-clock serving.
+    tracer:
+        When given (and enabled), every submission opens one trace —
+        ``query`` span, ``admission`` event, ``queue`` span, ``batch`` span,
+        then the protocol/round/hop spans recorded by the execution layer —
+        all timestamped on the service clock, so a seeded workload's traces
+        are deterministic.  ``None`` (default) costs nothing.
     """
 
     def __init__(
@@ -83,6 +91,7 @@ class QueryService:
         rate_limit: float | None = None,
         rate_burst: int = 8,
         clock: Clock | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -91,6 +100,8 @@ class QueryService:
         self.federation = federation
         self.clock = clock if clock is not None else SimulatedClock()
         self.metrics = ServiceMetrics(batch_capacity=max_batch)
+        self.tracer = tracer
+        self._tracing = tracer is not None and tracer.enabled
         self._queue = AdmissionQueue(max_queue)
         self._max_batch = max_batch
         self._batch_window = batch_window
@@ -152,6 +163,56 @@ class QueryService:
         snapshot["cache_hit_rate"] = round(cache.hit_rate, 6)
         return snapshot
 
+    def export_metrics(
+        self, registry: "MetricsRegistry | None" = None
+    ) -> "MetricsRegistry":
+        """Publish the service's counters into a central metrics registry.
+
+        Creates a fresh :class:`~repro.observability.metrics.MetricsRegistry`
+        unless one is passed in (callers unify several sources — service,
+        traffic, kernel phases — into one registry before exporting).
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        registry.absorb_service(self.metrics, queue_depth=self._queue.depth)
+        cache = self.federation.cache
+        family = registry.counter(
+            "repro_cache_events_total",
+            "Result-cache lookups by outcome.",
+            ("event",),
+        )
+        family.inc(cache.hits, labels={"event": "hit"})
+        family.inc(cache.misses, labels={"event": "miss"})
+        return registry
+
+    # -- tracing ---------------------------------------------------------------
+
+    def _trace_shed(
+        self, query_ctx: "TraceContext | None", outcome: str, now: float
+    ) -> None:
+        """Record an admission rejection and close the query span."""
+        if query_ctx is None:
+            return
+        self.tracer.event(
+            query_ctx, "admission", at=now, kind="service",
+            attrs={"outcome": outcome},
+        )
+        self.tracer.close_span(query_ctx, at=now, attrs={"outcome": outcome})
+
+    def _trace_finish(
+        self, request: QueuedRequest, at: float, attrs: dict
+    ) -> None:
+        """Close whatever spans the request still holds open, then its query."""
+        if request.trace is None:
+            return
+        tracer = self.tracer
+        if request.queue_span is not None:
+            tracer.close_span(request.queue_span, at=at)
+            request.queue_span = None
+        if request.batch_span is not None:
+            tracer.close_span(request.batch_span, at=at)
+            request.batch_span = None
+        tracer.close_span(request.trace, at=at, attrs=attrs)
+
     # -- submission ------------------------------------------------------------
 
     async def submit(
@@ -180,11 +241,23 @@ class QueryService:
             raise ServiceClosed("service is closed to new queries")
         parse(statement)  # malformed statements never reach the queue
         now = self.clock.now()
+        query_ctx: "TraceContext | None" = None
+        if self._tracing:
+            trace = self.tracer.new_trace(
+                name=statement,
+                baggage={"statement": statement, "issuer": issuer},
+            )
+            query_ctx = self.tracer.open_span(
+                trace, "query", at=now, kind="service",
+                attrs={"issuer": issuer},
+            )
         if timeout is not None and timeout <= 0:
             self.metrics.shed_deadline += 1
+            self._trace_shed(query_ctx, "shed-deadline", now)
             raise DeadlineExceeded(f"timeout {timeout}s already expired")
         if self._rate_limit is not None and not self._bucket(issuer).try_take(now):
             self.metrics.shed_rate_limited += 1
+            self._trace_shed(query_ctx, "shed-rate-limited", now)
             raise RateLimited(
                 f"issuer {issuer!r} exceeded {self._rate_limit}/s "
                 f"(burst {self._rate_burst})"
@@ -196,6 +269,15 @@ class QueryService:
             self.metrics.cache_fast_hits += 1
             self.metrics.completed += 1
             self.metrics.latency.record(0.0)
+            if query_ctx is not None:
+                self.tracer.event(
+                    query_ctx, "admission", at=now, kind="service",
+                    attrs={"outcome": "cache-hit"},
+                )
+                self.tracer.close_span(
+                    query_ctx, at=now,
+                    attrs={"outcome": "cache-hit", "cached": True},
+                )
             return cached
         request = QueuedRequest(
             statement=statement,
@@ -205,13 +287,23 @@ class QueryService:
             admitted_at=now,
             seq=next(self._seq),
             future=asyncio.get_running_loop().create_future(),
+            trace=query_ctx,
         )
         try:
             self._queue.push(request)
         except ServiceError:
             self.metrics.shed_overload += 1
+            self._trace_shed(query_ctx, "shed-overload", now)
             raise
         self.metrics.admitted += 1
+        if query_ctx is not None:
+            self.tracer.event(
+                query_ctx, "admission", at=now, kind="service",
+                attrs={"outcome": "admitted"},
+            )
+            request.queue_span = self.tracer.open_span(
+                query_ctx, "queue", at=now, kind="service"
+            )
         self.metrics.queue_high_water = max(
             self.metrics.queue_high_water, self._queue.depth
         )
@@ -326,9 +418,34 @@ class QueryService:
         self.metrics.batches += 1
         self.metrics.batched_queries += len(batch)
         issuer = batch[0].issuer
+        traces: "list[TraceContext | None] | None" = None
+        if self._tracing:
+            # Queueing ends here: rotate each request's queue span into a
+            # batch span, and hand the execution layer a context whose time
+            # offset places transport-clocked protocol spans (which start at
+            # zero within the batch) onto the service timeline.
+            batch_index = self.metrics.batches
+            traces = []
+            for request in batch:
+                if request.trace is None:
+                    traces.append(None)
+                    continue
+                if request.queue_span is not None:
+                    self.tracer.close_span(request.queue_span, at=now)
+                    request.queue_span = None
+                request.batch_span = self.tracer.open_span(
+                    request.trace,
+                    "batch",
+                    at=now,
+                    kind="service",
+                    attrs={"batch_index": batch_index, "batch_size": len(batch)},
+                )
+                traces.append(request.batch_span.with_offset(now))
         try:
             settled = self.federation.execute_many_settled(
-                [request.statement for request in batch], issuer=issuer
+                [request.statement for request in batch],
+                issuer=issuer,
+                traces=traces,
             )
         except Exception as exc:
             # Batch-level failure (e.g. an unrecoverable ring crash): every
@@ -366,11 +483,18 @@ class QueryService:
     ) -> None:
         self.metrics.completed += 1
         self.metrics.latency.record(max(0.0, now - request.admitted_at))
+        self._trace_finish(
+            request, now, {"outcome": "completed", "cached": outcome.cached}
+        )
         if not request.future.done():
             request.future.set_result(outcome)
 
-    @staticmethod
-    def _fail(request: QueuedRequest, error: BaseException) -> None:
+    def _fail(self, request: QueuedRequest, error: BaseException) -> None:
+        self._trace_finish(
+            request,
+            self.clock.now(),
+            {"outcome": "failed", "error": type(error).__name__},
+        )
         if not request.future.done():
             request.future.set_exception(error)
 

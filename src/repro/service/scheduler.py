@@ -22,6 +22,7 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass, field
 
+from ..observability.trace import TraceContext
 from .errors import Overloaded
 
 
@@ -37,6 +38,12 @@ class QueuedRequest:
     admitted_at: float
     seq: int
     future: "asyncio.Future"
+    #: Tracing state, all ``None`` when the service runs untraced: ``trace``
+    #: is the request's query-span context (batch spans open under it),
+    #: ``queue_span``/``batch_span`` are the currently-open child spans.
+    trace: "TraceContext | None" = None
+    queue_span: "TraceContext | None" = None
+    batch_span: "TraceContext | None" = None
 
     @property
     def sort_key(self) -> tuple[int, int]:

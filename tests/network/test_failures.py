@@ -62,6 +62,52 @@ class TestNullInjector:
         assert injector.crashed_nodes == frozenset()
 
 
+class TestScheduledCrashes:
+    def test_crash_fires_at_message_count(self):
+        injector = FailureInjector()
+        injector.schedule_crash("b", after_messages=3)
+        message = token_message("a", "b", 1, [1.0])
+        assert not injector.should_drop(message)  # message 1
+        assert not injector.should_drop(message)  # message 2
+        assert injector.should_drop(message)  # message 3: crash fires
+        assert injector.is_crashed("b")
+
+    def test_multiple_scheduled_crashes_fire_in_count_order(self):
+        # Regression: every schedule due at the current count must fire in
+        # one sweep, regardless of the order the schedules were added.
+        injector = FailureInjector()
+        injector.schedule_crash("late", after_messages=4)
+        injector.schedule_crash("early", after_messages=2)
+        healthy = token_message("x", "y", 1, [1.0])
+        assert not injector.should_drop(healthy)  # message 1: nothing due
+        assert not injector.should_drop(healthy)  # message 2: "early" fires
+        assert injector.is_crashed("early")
+        assert not injector.is_crashed("late")
+        assert not injector.should_drop(healthy)  # message 3
+        assert not injector.should_drop(healthy)  # message 4: "late" fires
+        assert injector.crashed_nodes == frozenset({"early", "late"})
+
+    def test_simultaneous_schedules_all_fire(self):
+        injector = FailureInjector()
+        injector.schedule_crash("a", after_messages=1)
+        injector.schedule_crash("b", after_messages=1)
+        assert injector.should_drop(token_message("a", "b", 1, [1.0]))
+        assert injector.crashed_nodes == frozenset({"a", "b"})
+
+    def test_fired_schedules_are_consumed(self):
+        injector = FailureInjector()
+        injector.schedule_crash("a", after_messages=1)
+        injector.should_drop(token_message("x", "y", 1, [1.0]))
+        injector.recover("a")
+        # The schedule already fired; recovery must stick.
+        assert not injector.should_drop(token_message("x", "y", 1, [1.0]))
+        assert not injector.is_crashed("a")
+
+    def test_negative_schedule_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FailureInjector().schedule_crash("a", after_messages=-1)
+
+
 class TestProbabilisticDrops:
     def test_invalid_probability_rejected(self):
         with pytest.raises(ValueError, match="drop_probability"):

@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.network.message import Message, token_message
+from repro.network.message import token_message
 from repro.network.transport import (
     DEFAULT_MAX_DELIVERIES,
     InMemoryTransport,

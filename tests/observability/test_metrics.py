@@ -1,0 +1,168 @@
+"""Unit tests for the central metrics registry."""
+
+import pytest
+
+from repro.observability import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("m_total", "help")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("m_total")
+        with pytest.raises(ValueError, match="counters only go up"):
+            counter.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        counter = MetricsRegistry().counter("m_total", label_names=("kind",))
+        counter.inc(labels={"kind": "a"})
+        counter.inc(5, labels={"kind": "b"})
+        assert counter.value(labels={"kind": "a"}) == 1
+        assert counter.value(labels={"kind": "b"}) == 5
+
+    def test_label_schema_enforced(self):
+        counter = MetricsRegistry().counter("m_total", label_names=("kind",))
+        with pytest.raises(ValueError, match="expected labels"):
+            counter.inc(labels={"wrong": "x"})
+        with pytest.raises(ValueError, match="expected labels"):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(7)
+        gauge.inc(-2)
+        assert gauge.value() == 5
+
+
+class TestHistogram:
+    def test_cumulative_bucket_exposition(self):
+        histogram = MetricsRegistry().histogram(
+            "lat_seconds", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        lines = histogram.prometheus_lines()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in lines
+        assert 'lat_seconds_bucket{le="1"} 3' in lines
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in lines
+        assert "lat_seconds_count 4" in lines
+        assert histogram.count() == 4
+
+
+class TestSummary:
+    def test_exact_quantiles(self):
+        summary = MetricsRegistry().summary("s_seconds")
+        summary.observe_many([1.0, 2.0, 3.0, 4.0])
+        lines = summary.prometheus_lines()
+        assert 's_seconds{quantile="0.5"} 2.5' in lines
+        assert "s_seconds_count 4" in lines
+        assert "s_seconds_sum 10" in lines
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("m_total") is registry.counter("m_total")
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("m")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", label_names=("a",))
+        with pytest.raises(ValueError, match="already registered with labels"):
+            registry.counter("m", label_names=("b",))
+
+    def test_prometheus_exposition_is_sorted_and_stable(self):
+        def build() -> str:
+            registry = MetricsRegistry()
+            registry.gauge("z_gauge", "last").set(1)
+            counter = registry.counter("a_total", "first", ("kind",))
+            counter.inc(labels={"kind": "b"})
+            counter.inc(labels={"kind": "a"})
+            return registry.to_prometheus()
+
+        text = build()
+        assert text == build()  # byte-stable
+        assert text.index("a_total") < text.index("z_gauge")
+        assert text.index('kind="a"') < text.index('kind="b"')
+        assert "# HELP a_total first" in text
+        assert "# TYPE a_total counter" in text
+
+    def test_json_export_mirrors_families(self):
+        registry = MetricsRegistry()
+        registry.counter("m_total", "help").inc(3)
+        document = registry.to_json()
+        assert document["metrics"]["m_total"]["type"] == "counter"
+        assert document["metrics"]["m_total"]["series"] == [
+            {"labels": {}, "value": 3.0}
+        ]
+
+    def test_write_helpers(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("m_total").inc()
+        prom = registry.write_prometheus(tmp_path / "out" / "m.prom")
+        blob = registry.write_json(tmp_path / "out" / "m.json")
+        assert "m_total 1" in prom.read_text()
+        assert '"m_total"' in blob.read_text()
+
+
+class TestAdapters:
+    def test_absorb_traffic_reads_traffic_stats(self):
+        from repro.network.message import token_message
+        from repro.network.stats import TrafficStats
+
+        stats = TrafficStats()
+        stats.record(token_message("a", "b", 1, [1.0, 2.0]))
+        stats.record(token_message("b", "c", 1, [1.0, 2.0]))
+        registry = MetricsRegistry()
+        registry.absorb_traffic(stats, rounds=5, labels={"protocol": "naive"})
+        text = registry.to_prometheus()
+        assert 'repro_network_messages_total{protocol="naive"} 2' in text
+        assert 'repro_protocol_rounds{protocol="naive"} 5' in text
+        assert "repro_network_bytes_total" in text
+
+    def test_absorb_latency_reads_samples(self):
+        class FakeLatency:
+            samples = [0.1, 0.2, 0.3]
+
+        registry = MetricsRegistry()
+        registry.absorb_latency(FakeLatency())
+        assert "repro_latency_seconds_count 3" in registry.to_prometheus()
+
+    def test_absorb_phases_reads_profiler(self):
+        class FakeProfiler:
+            _totals = {"setup": 0.25, "round_loop": 1.5}
+            runs = 4
+            rounds = 20
+
+        registry = MetricsRegistry()
+        registry.absorb_phases(FakeProfiler())
+        text = registry.to_prometheus()
+        assert 'repro_kernel_phase_seconds{phase="round_loop"} 1.5' in text
+        assert "repro_kernel_runs_total 4" in text
+        assert "repro_kernel_rounds_total 20" in text
+
+    def test_absorb_service_reads_service_metrics(self):
+        from repro.service.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        metrics.submitted = 5
+        metrics.admitted = 4
+        metrics.completed = 4
+        registry = MetricsRegistry()
+        registry.absorb_service(metrics, queue_depth=2)
+        text = registry.to_prometheus()
+        assert 'repro_service_queries_total{outcome="submitted"} 5' in text
+        assert 'repro_service_queries_total{outcome="completed"} 4' in text
+        assert "repro_service_queue_depth 2" in text

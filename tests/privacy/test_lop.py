@@ -1,7 +1,5 @@
 """Unit and behavioural tests for the LoP estimator (repro.privacy.lop)."""
 
-import pytest
-
 from repro.core.driver import NAIVE, RunConfig, run_protocol_on_vectors
 from repro.core.params import ProtocolParams
 from repro.privacy.lop import (

@@ -9,8 +9,6 @@ which the service preserves by construction.
 
 import asyncio
 
-import pytest
-
 from repro.federation import AccessPolicy, PolicyViolation
 from repro.service import QueryService
 

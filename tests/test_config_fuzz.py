@@ -6,8 +6,6 @@ policy — and asserts the run still returns the exact top-k.  Correctness
 must be invariant to deployment choices; only privacy/cost may vary.
 """
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

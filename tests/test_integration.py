@@ -14,9 +14,7 @@ from repro import (
     NAIVE,
     PROBABILISTIC,
     DataGenerator,
-    Domain,
     PrivateDatabase,
-    ProtocolParams,
     RunConfig,
     Schema,
     TopKQuery,

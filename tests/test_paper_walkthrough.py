@@ -10,8 +10,6 @@ Algorithm 2 directly.
 
 import random
 
-import pytest
-
 from repro.core.driver import RunConfig, run_protocol_on_vectors
 from repro.core.params import ProtocolParams
 from repro.core.schedule import ExponentialSchedule
