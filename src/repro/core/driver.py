@@ -32,7 +32,8 @@ from ..network.transport import (
 )
 from ..observability.runtime import current_tracer
 from ..observability.trace import TraceContext
-from .kernel import KernelUnsupported, run_kernel_on_vectors
+from .batch import execute_many as execute_batch
+from .kernel import KernelUnsupported, kernel_refusal, run_kernel_on_vectors
 from .params import ParamError, ProtocolParams
 from .results import ProtocolResult
 from .session import (
@@ -48,6 +49,7 @@ from .session import (
 
 __all__ = [
     "ANONYMOUS_NAIVE",
+    "AUTO",
     "BACKENDS",
     "KERNEL",
     "NAIVE",
@@ -73,6 +75,9 @@ __all__ = [
 SESSION = "session"
 KERNEL = "kernel"
 BACKENDS = (SESSION, KERNEL)
+#: Batch-entry-point default: the vectorized kernel when every config is
+#: transport-free, the session path otherwise (see :func:`run_many_on_vectors`).
+AUTO = "auto"
 
 
 @dataclass(frozen=True)
@@ -200,23 +205,38 @@ def run_many_on_vectors(
     jobs: Sequence[tuple[dict[str, list[float]], TopKQuery, RunConfig]],
     *,
     traces: "Sequence[TraceContext | None] | None" = None,
+    backend: str = AUTO,
 ) -> list[ProtocolResult]:
-    """Run many independent queries pipelined on one shared transport.
+    """Run many independent queries as one batch.
 
-    Each job is ``(local_vectors, query, config)``.  All sessions start at
-    simulated time zero and interleave their tokens by delivery timestamp, so
-    the batch completes in simulated time close to the slowest query rather
-    than the sum of all queries (the ring-pipelining throughput win).
+    Each job is ``(local_vectors, query, config)``.  ``backend`` selects the
+    execution substrate:
+
+    * :data:`AUTO` (default) — the vectorized batch kernel
+      (:mod:`repro.core.batch`) whenever every config is free of transport
+      obligations (no encryption, latency model, or failure injector);
+      otherwise the shared-transport session path.
+    * :data:`KERNEL` — the vectorized batch kernel unconditionally; configs
+      it cannot honor exactly raise
+      :class:`~repro.core.kernel.KernelUnsupported`.
+    * :data:`SESSION` — the transport simulation: all sessions start at
+      simulated time zero and interleave their tokens by delivery timestamp,
+      so the batch completes in simulated time close to the slowest query
+      rather than the sum of all queries (the ring-pipelining win).
 
     Every query draws its randomness from its *own* config's seed, in the
     same order the single-query path does, so each result is bit-identical
     to running that query alone with the same config — values, rounds and
-    privacy exposure included.  (Byte accounting differs by the few bytes of
-    the per-message query tag.)
+    privacy exposure included, on either substrate.  (Byte accounting
+    differs from solo runs by the few bytes of the per-message query tag.)
 
     Transport-level settings (``encrypt``, ``latency``, ``failures``) must
     be shared across the batch, since one transport carries all queries.
     """
+    if backend not in (AUTO, *BACKENDS):
+        raise DriverError(
+            f"unknown backend {backend!r}; expected one of {(AUTO, *BACKENDS)}"
+        )
     jobs = list(jobs)
     if not jobs:
         return []
@@ -240,6 +260,12 @@ def run_many_on_vectors(
                 "batched queries must share transport settings "
                 "(encrypt, latency, failures)"
             )
+    if backend == AUTO:
+        # Transport settings are shared (validated above), so one refusal
+        # check covers the batch.
+        backend = SESSION if kernel_refusal(base) else KERNEL
+    if backend == KERNEL:
+        return execute_batch(jobs, traces=traces)
     transport = _transport_for(base)
     sessions = [
         ProtocolSession(

@@ -144,8 +144,13 @@ class _LazyKernelLog(EventLog):
     to what the transport-backed path records (message ids aside).
     """
 
-    def __init__(self, passes: list[tuple[str, int, tuple[str, ...], object]]):
+    def __init__(
+        self,
+        passes: list[tuple[str, int, tuple[str, ...], object]],
+        query_id: str = "",
+    ):
         self._passes = passes
+        self._query = query_id
         self._cache: list[Observation] | None = None
 
     @property
@@ -160,6 +165,7 @@ class _LazyKernelLog(EventLog):
         append = obs_list.append
         obs_new = Observation.__new__
         set_dict = object.__setattr__
+        query_id = self._query
         for kind, round_number, order, vectors in self._passes:
             n = len(order)
             for j in range(n):
@@ -176,7 +182,7 @@ class _LazyKernelLog(EventLog):
                         "vector": vectors if kind == "result" else vectors[j],
                         "msg_id": next_message_id(),
                         "kind": kind,
-                        "query": "",
+                        "query": query_id,
                     },
                 )
                 append(obs)
@@ -210,6 +216,16 @@ def set_phase_sink(
     previous = _phase_sink
     _phase_sink = sink
     return previous
+
+
+def phase_sink() -> Callable[[KernelPhaseSample], None] | None:
+    """The installed phase sink, if any.
+
+    The trial runner checks this: per-phase profiling is a property of the
+    *scalar* kernel's run structure, so profiled chunks stay on the solo
+    path instead of the batch engine.
+    """
+    return _phase_sink
 
 
 # -- execution ----------------------------------------------------------------
@@ -326,8 +342,15 @@ def execute(
     config: "RunConfig",
     *,
     trace: TraceContext | None = None,
+    query_id: str = "",
 ) -> KernelRun:
-    """Run one protocol on the fast path; bit-identical to a session run."""
+    """Run one protocol on the fast path; bit-identical to a session run.
+
+    ``query_id`` tags the run the way the multi-query transport does: each
+    message grows by the JSON ``query`` field, and the event log and
+    per-query stats carry the tag.  The empty default is the classic
+    single-query traffic.
+    """
     reason = kernel_refusal(config)
     if reason is not None:
         raise KernelUnsupported(
@@ -391,6 +414,8 @@ def execute(
     # endpoint-id bytes per pass are a constant, and a round's total is
     # ``n * (template + round digits + type) + id bytes + per-hop vectors``.
     ids_bytes = 2 * sum(_id_len(node_id) for node_id in node_ids)
+    # Tagged (multi-query) traffic pays ``,"query":<json id>`` per message.
+    query_extra = 9 + len(json.dumps(query_id)) if query_id else 0
     clock = 0.0
     bytes_total = 0
     # One compact record per ring pass; the lazy event log expands them
@@ -431,7 +456,8 @@ def execute(
         order = ring.walk_from(starter)
         ring_passes[-1] = (ring_passes[-1][0], ring_passes[-1][1] + 1)
         bytes_total += (
-            n * (_FIXED + len(str(round_number)) + _TOKEN_LEN) + ids_bytes
+            n * (_FIXED + len(str(round_number)) + _TOKEN_LEN + query_extra)
+            + ids_bytes
         )
         hop_vectors: list[tuple[float, ...]] = []
         record_hop = hop_vectors.append
@@ -511,7 +537,7 @@ def execute(
     final_tuple = tuple(vector)
     result_round = total_rounds + 1
     bytes_total += (
-        n * (_FIXED + len(str(result_round)) + _RESULT_LEN)
+        n * (_FIXED + len(str(result_round)) + _RESULT_LEN + query_extra)
         + ids_bytes
         + n * _vector_bytes(final_tuple)
     )
@@ -534,7 +560,7 @@ def execute(
             log_passes=log_passes,
         )
 
-    event_log = _LazyKernelLog(log_passes)
+    event_log = _LazyKernelLog(log_passes, query_id)
 
     per_link: Counter = Counter()
     for members, passes in ring_passes:
@@ -547,7 +573,7 @@ def execute(
         per_link=per_link,
         per_round=Counter({r: n for r in range(1, total_rounds + 2)}),
         per_type=Counter({"token": n * total_rounds, "result": n}),
-        per_query=Counter({"": n * (total_rounds + 1)}),
+        per_query=Counter({query_id: n * (total_rounds + 1)}),
     )
     result = ProtocolResult(
         query=query,

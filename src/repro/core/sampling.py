@@ -6,12 +6,24 @@ integer domain [1, 10000]) the draw must itself be an integer, or injected
 noise would be trivially distinguishable from real values — which would hand
 an adversary a perfect test for "this output is the node's real value" and
 destroy the privacy argument.
+
+The second half of this module is the vectorized replay substrate for the
+batch kernel (:mod:`repro.core.batch`): a numpy reimplementation of CPython's
+``random.Random`` seeding (MT19937 ``init_by_array``) that materializes the
+first output words of thousands of independent RNG streams at once, plus a
+:class:`WordPool` that serves those words back through the exact draw
+algorithms CPython uses (``random()``, ``getrandbits``, ``randint``'s
+rejection sampling).  Bit-identical replay is the contract: every word a pool
+hands out equals what ``random.Random(seed)`` would have produced, verified
+stream-for-stream by the parity tests.
 """
 
 from __future__ import annotations
 
 import math
 import random
+
+import numpy as np
 
 
 class SamplingError(ValueError):
@@ -44,3 +56,312 @@ def random_value_in(
     if value >= high:
         value = low
     return value
+
+
+# -- vectorized MT19937 streams ------------------------------------------------
+#
+# CPython seeds ``random.Random(seed)`` by splitting the (non-negative) seed
+# into 32-bit words and feeding them to the reference MT19937
+# ``init_by_array``; every generator output is then a tempered word of the
+# twisted state.  Both halves are pure 32-bit integer arithmetic, so they
+# vectorize directly over a *batch axis of streams*: the state becomes a
+# ``(624, S)`` uint32 matrix and each reference-loop step updates one row for
+# all S streams at once.  uint32 gives mod-2**32 for free.
+
+_MT_N = 624
+_MT_M1 = np.uint32(1664525)
+_MT_M2 = np.uint32(1566083941)
+_MT_UPPER = np.uint32(0x80000000)
+_MT_LOWER = np.uint32(0x7FFFFFFF)
+_MT_MATRIX = np.uint32(0x9908B0DF)
+
+#: Streams per vectorization chunk.  The 1247 sequential ``init_by_array``
+#: steps each touch one (chunk,)-row, so the chunk trades numpy dispatch
+#: overhead (small chunks) against cache pressure from the 624 x chunk
+#: state (large chunks); ~8k is the measured sweet spot on this container.
+_MT_CHUNK = 8192
+
+#: The maximum words obtainable from a single partial twist: ``mt[i + 397]``
+#: must stay inside the untwisted tail, so only the first 227 outputs are
+#: available without a second (full) twist pass.
+MAX_HARVEST_WORDS = _MT_N - 397
+
+
+def _mt_base_state() -> np.ndarray:
+    """The reference ``init_genrand(19650218)`` state shared by every seed."""
+    mt = np.empty(_MT_N, dtype=np.uint64)
+    mt[0] = 19650218
+    for i in range(1, _MT_N):
+        prev = int(mt[i - 1])
+        mt[i] = (1812433253 * (prev ^ (prev >> 30)) + i) & 0xFFFFFFFF
+    return mt.astype(np.uint32)
+
+
+_MT_INIT = _mt_base_state()
+
+
+def _mt_words_chunk(seeds: np.ndarray, words: int) -> np.ndarray:
+    """``init_by_array`` + partial twist + temper for one chunk of seeds."""
+    count = seeds.shape[0]
+    key0 = (seeds & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    key1 = (seeds >> np.uint64(32)).astype(np.uint32)
+    # Seeds below 2**32 have key length 1 (key0 repeats); larger seeds have
+    # key length 2, where odd steps add key1 plus the key index 1.
+    long_key = seeds >= np.uint64(1 << 32)
+    add_even = key0
+    add_odd = np.where(long_key, key1 + np.uint32(1), key0)
+
+    mt = np.empty((_MT_N, count), dtype=np.uint32)
+    tmp = np.empty(count, dtype=np.uint32)
+
+    # init_by_array loop 1: 624 steps of
+    #   mt[i] = (mt[i] ^ ((mt[i-1] ^ (mt[i-1] >> 30)) * 1664525)) + key[j] + j
+    # starting from the shared init_genrand state; i wraps 623 -> 1.
+    prev = np.full(count, _MT_INIT[0], dtype=np.uint32)
+    for step in range(_MT_N - 1):
+        i = step + 1
+        row = mt[i]
+        np.right_shift(prev, 30, out=row)
+        row ^= prev
+        row *= _MT_M1
+        row ^= _MT_INIT[i]
+        row += add_even if step % 2 == 0 else add_odd
+        prev = row
+    mt[0] = mt[_MT_N - 1]
+    prev = mt[0]
+    row = mt[1]  # wrap step 623 writes i=1 with key index 623 % keylen
+    np.right_shift(prev, 30, out=tmp)
+    tmp ^= prev
+    tmp *= _MT_M1
+    row ^= tmp
+    row += add_odd
+    prev = row
+
+    # init_by_array loop 2: 623 steps of
+    #   mt[i] = (mt[i] ^ ((mt[i-1] ^ (mt[i-1] >> 30)) * 1566083941)) - i
+    for step in range(_MT_N - 2):
+        i = step + 2
+        row = mt[i]
+        np.right_shift(prev, 30, out=tmp)
+        tmp ^= prev
+        tmp *= _MT_M2
+        row ^= tmp
+        row -= np.uint32(i)
+        prev = row
+    mt[0] = mt[_MT_N - 1]
+    prev = mt[0]
+    row = mt[1]
+    np.right_shift(prev, 30, out=tmp)
+    tmp ^= prev
+    tmp *= _MT_M2
+    row ^= tmp
+    row -= np.uint32(1)
+    mt[0] = _MT_UPPER
+
+    # Partial twist: the first ``words`` outputs only need state words up to
+    # index words + 397, so the remaining twist (and any reseeding of the
+    # tail) never runs.  All rows twist in one 2D pass.
+    y = mt[:words] & _MT_UPPER
+    y |= mt[1 : words + 1] & _MT_LOWER
+    out = (y & np.uint32(1)) * _MT_MATRIX
+    y >>= np.uint32(1)
+    out ^= y
+    out ^= mt[397 : words + 397]
+
+    # Temper (vectorized over every word at once).
+    out ^= out >> np.uint32(11)
+    out ^= (out << np.uint32(7)) & np.uint32(0x9D2C5680)
+    out ^= (out << np.uint32(15)) & np.uint32(0xEFC60000)
+    out ^= out >> np.uint32(18)
+    return np.ascontiguousarray(out.T)
+
+
+def mt19937_words(seeds: "np.ndarray | list[int]", words: int) -> np.ndarray:
+    """First ``words`` output words of ``random.Random(seed)`` per seed.
+
+    ``seeds`` must be non-negative and below 2**64 (the batch kernel only
+    seeds node streams from ``getrandbits(64)`` draws).  Returns a
+    ``(len(seeds), words)`` uint32 array whose row ``s`` equals the raw
+    ``genrand_uint32`` sequence of ``random.Random(int(seeds[s]))``.
+    """
+    if not 0 < words <= MAX_HARVEST_WORDS:
+        raise ValueError(
+            f"words must be in [1, {MAX_HARVEST_WORDS}], got {words}"
+        )
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    count = seeds.shape[0]
+    out = np.empty((count, words), dtype=np.uint32)
+    for start in range(0, count, _MT_CHUNK):
+        stop = min(start + _MT_CHUNK, count)
+        out[start:stop] = _mt_words_chunk(seeds[start:stop], words)
+    return out
+
+
+#: ``random()`` builds a 53-bit double from two words exactly like CPython:
+#: ``((a >> 5) * 67108864.0 + (b >> 6)) * (1.0 / 9007199254740992.0)``.
+_RANDOM_SCALE = 1.0 / 9007199254740992.0
+
+
+def words_to_unit_floats(w0: np.ndarray, w1: np.ndarray) -> np.ndarray:
+    """CPython's ``random()`` from two raw words (element-wise)."""
+    a = (w0 >> np.uint32(5)).astype(np.float64)
+    b = (w1 >> np.uint32(6)).astype(np.float64)
+    return (a * 67108864.0 + b) * _RANDOM_SCALE
+
+
+class WordPool:
+    """Pre-harvested output words for many independent ``Random`` streams.
+
+    Serves the draw primitives the batch kernel replays — ``random()``,
+    ``randint`` — against a ``(streams, words)`` harvest, advancing a per-
+    stream cursor.  A stream that outruns its harvest demotes itself to a
+    real ``random.Random`` fast-forwarded past the consumed words (consuming
+    ``32 * cursor`` bits replays them exactly), so overflow costs speed, not
+    correctness.
+    """
+
+    def __init__(
+        self,
+        seeds: "list[int] | np.ndarray",
+        words: int,
+    ) -> None:
+        self.seeds = seeds
+        self.words = words
+        count = len(seeds)
+        self._matrix = mt19937_words(seeds, words)
+        self._flat = self._matrix.reshape(-1)
+        self.cursor = np.zeros(count, dtype=np.int64)
+        #: Streams demoted to a live ``random.Random`` after overflow.
+        self._scalar: dict[int, random.Random] = {}
+        self._demoted = np.zeros(count, dtype=bool)
+
+    def _demote(self, stream: int, at_cursor: int) -> random.Random:
+        rng = self._scalar.get(stream)
+        if rng is None:
+            rng = random.Random(int(self.seeds[stream]))
+            if at_cursor:
+                rng.getrandbits(32 * at_cursor)
+            self._scalar[stream] = rng
+            self._demoted[stream] = True
+        return rng
+
+    def _split(self, who: np.ndarray, need: int) -> tuple[np.ndarray | None, list[int]]:
+        """Partition ``who`` into harvest-served and scalar-served streams.
+
+        ``need`` is the minimum word count the caller is about to consume;
+        streams that cannot honor it from the harvest (or were demoted
+        earlier) go to the scalar side, demoting on first touch.  Returns
+        ``(fast_mask, slow_streams)``; a ``None`` mask means every stream is
+        harvest-served (the hot path — no mask allocation at all).  Streams
+        within one ``who`` must be distinct.
+        """
+        over = self.cursor[who] + need > self.words
+        if self._scalar:
+            over |= self._demoted[who]
+        if not over.any():
+            return None, []
+        slow = [int(s) for s in who[over]]
+        for s in slow:
+            self._demote(s, int(self.cursor[s]))
+        return ~over, slow
+
+    def take_block(
+        self, who: np.ndarray, width: int
+    ) -> tuple["np.ndarray | None", "np.ndarray | None"]:
+        """Peek the next ``width`` raw words of every stream in ``who``.
+
+        Returns ``(block, fast_mask)`` where ``block`` has one row per
+        harvest-served stream (``who[fast_mask]``) and ``fast_mask`` is
+        ``None`` when every stream is served.  Cursors do NOT advance —
+        the caller works out how many words each draw sequence actually
+        consumed and reports it via :meth:`advance`.  Streams that cannot
+        honor ``width`` words are left untouched (no demotion): the caller
+        serves them through the scalar draw path at its own pace.
+        """
+        over = self.cursor[who] + width > self.words
+        if self._scalar:
+            over |= self._demoted[who]
+        if not over.any():
+            base = who * self.words + self.cursor[who]
+            return self._flat[base[:, None] + np.arange(width)], None
+        fast_mask = ~over
+        fast = who[fast_mask]
+        if not fast.shape[0]:
+            return None, fast_mask
+        base = fast * self.words + self.cursor[fast]
+        return self._flat[base[:, None] + np.arange(width)], fast_mask
+
+    def advance(self, who: np.ndarray, consumed: np.ndarray) -> None:
+        """Commit ``consumed`` words per stream after a :meth:`take_block`."""
+        self.cursor[who] += consumed
+
+    def scalar_rng(self, stream: int) -> random.Random:
+        """Live ``Random`` for one stream, demoting it at its current cursor."""
+        return self._demote(stream, int(self.cursor[stream]))
+
+    def random(self, who: np.ndarray) -> np.ndarray:
+        """One ``random()`` draw per stream in ``who`` (2 words each)."""
+        mask, slow = self._split(who, 2)
+        if mask is None:
+            base = who * self.words + self.cursor[who]
+            w0 = self._flat[base]
+            w1 = self._flat[base + 1]
+            self.cursor[who] += 2
+            return words_to_unit_floats(w0, w1)
+        out = np.empty(who.shape[0], dtype=np.float64)
+        fast = who[mask]
+        if fast.shape[0]:
+            base = fast * self.words + self.cursor[fast]
+            w0 = self._flat[base]
+            w1 = self._flat[base + 1]
+            self.cursor[fast] += 2
+            out[mask] = words_to_unit_floats(w0, w1)
+        if slow:
+            values = {s: self._scalar[s].random() for s in slow}
+            for i, stream in enumerate(who):
+                s = int(stream)
+                if s in values:
+                    out[i] = values[s]
+        return out
+
+    def randint(self, who: np.ndarray, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+        """One ``randint(low, high)`` per stream, replaying the rejection loop.
+
+        ``low``/``high`` are int64 arrays aligned with ``who``; every width
+        must fit 32 bits (``high - low + 1 < 2**32``), which the batch
+        kernel's eligibility rules guarantee via the domain span.
+        """
+        width = high - low + 1
+        out = np.empty(who.shape[0], dtype=np.int64)
+        # CPython's _randbelow: k = width.bit_length(); draw getrandbits(k)
+        # (one word, top k bits) until the value lands below width.
+        shift = np.uint32(32) - np.frexp(width.astype(np.float64))[1].astype(np.uint32)
+        pending = np.arange(who.shape[0])
+        while pending.shape[0]:
+            streams = who[pending]
+            mask, slow = self._split(streams, 1)
+            if mask is None:
+                rows = pending
+                fast = streams
+            else:
+                rows = pending[mask]
+                fast = streams[mask]
+            if fast.shape[0]:
+                base = fast * self.words + self.cursor[fast]
+                draws = self._flat[base] >> shift[rows]
+                self.cursor[fast] += 1
+                accepted = draws < width[rows]
+                out[rows[accepted]] = draws[accepted]
+                still = rows[~accepted]
+            else:
+                still = rows
+            if slow:
+                slow_set = set(slow)
+                for row in pending:
+                    s = int(who[row])
+                    if s in slow_set:
+                        out[row] = self._scalar[s].randint(
+                            int(low[row]), int(high[row])
+                        ) - int(low[row])
+            pending = still
+        return low + out

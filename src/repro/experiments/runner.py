@@ -32,10 +32,14 @@ from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from pickle import PicklingError
 
+from ..core.batch import execute_many as _execute_batch
 from ..core.driver import BACKENDS, KERNEL, RunConfig, run_protocol_on_vectors
+from ..core.kernel import phase_sink
 from ..core.results import ProtocolResult
 from ..database.generator import DataGenerator
 from ..database.query import TopKQuery
+from ..observability.metrics import MetricsRegistry
+from ..observability.runtime import current_tracer
 from ..privacy.adversary import coalition_lop
 from ..privacy.lop import node_lop, node_round_lop
 from . import telemetry
@@ -53,15 +57,15 @@ class TrialError(RuntimeError):
         self.trial_index = trial_index
 
 
-def run_single_trial(
-    setup: TrialSetup, trial_index: int, *, backend: str | None = None
-) -> ProtocolResult:
-    """One protocol run on freshly drawn (per-trial-seeded) data.
+def trial_job(
+    setup: TrialSetup, trial_index: int
+) -> tuple[dict[str, list[float]], TopKQuery, RunConfig]:
+    """The pure per-trial input: ``(local_vectors, query, config)``.
 
-    ``backend`` selects the execution substrate (``None`` uses the scoped
-    default, see :func:`using_backend`).  Trial configs are always
-    failure-free, unencrypted and latency-free, so both backends produce
-    bit-identical results; the kernel is simply faster.
+    Every trial is a deterministic function of this tuple (the per-trial
+    seed derivation in :mod:`repro.experiments.config` is process-stable),
+    which is what lets the batched and per-trial execution paths return
+    bit-identical results.
     """
     generator = DataGenerator(
         domain=setup.domain,
@@ -76,6 +80,20 @@ def run_single_trial(
         params=setup.params,
         seed=setup.protocol_seed(trial_index),
     )
+    return local_vectors, query, config
+
+
+def run_single_trial(
+    setup: TrialSetup, trial_index: int, *, backend: str | None = None
+) -> ProtocolResult:
+    """One protocol run on freshly drawn (per-trial-seeded) data.
+
+    ``backend`` selects the execution substrate (``None`` uses the scoped
+    default, see :func:`using_backend`).  Trial configs are always
+    failure-free, unencrypted and latency-free, so both backends produce
+    bit-identical results; the kernel is simply faster.
+    """
+    local_vectors, query, config = trial_job(setup, trial_index)
     return run_protocol_on_vectors(
         local_vectors, query, config, backend=resolve_backend(backend)
     )
@@ -154,6 +172,74 @@ def resolve_backend(backend: str | None) -> str:
     return backend
 
 
+# -- process-pool gating ------------------------------------------------------
+
+#: Pool policies: ``auto`` engages the pool only when it can plausibly win,
+#: ``always`` trusts the caller's ``jobs`` verbatim (the pre-gate behaviour),
+#: ``never`` keeps everything serial.
+POOL_POLICIES = ("auto", "always", "never")
+
+_POOL_POLICY = "auto"
+
+#: Rough per-trial cost floor per backend, used only to decide whether a
+#: parallel run could amortize pool startup — an order-of-magnitude guess
+#: is enough, since the gate only needs to catch runs that are off by 10x.
+_EST_TRIAL_SECONDS = {KERNEL: 0.0005, "session": 0.01}
+
+#: Forking workers, importing numpy in each, and pickling results costs a
+#: couple of seconds before the first parallel trial lands; shorter runs
+#: lose by construction (the measured jobs=2 regression in
+#: ``BENCH_kernel_speedup.json`` was exactly this).
+_MIN_POOL_SECONDS = 2.0
+
+_SCHEDULER_METRICS = MetricsRegistry()
+_POOL_DECISIONS = _SCHEDULER_METRICS.counter(
+    "runner_pool_decisions_total",
+    "process-pool scheduling decisions made by the trial runner",
+    ("decision", "reason"),
+)
+
+
+def scheduler_metrics() -> MetricsRegistry:
+    """The runner's scheduling-decision registry (process-wide)."""
+    return _SCHEDULER_METRICS
+
+
+@contextmanager
+def using_pool_policy(policy: str) -> Iterator[None]:
+    """Scope the pool policy for nested ``run_trials`` calls."""
+    global _POOL_POLICY
+    if policy not in POOL_POLICIES:
+        raise ValueError(
+            f"unknown pool policy {policy!r}; expected one of {POOL_POLICIES}"
+        )
+    previous = _POOL_POLICY
+    _POOL_POLICY = policy
+    try:
+        yield
+    finally:
+        _POOL_POLICY = previous
+
+
+def _pool_gate_reason(
+    jobs: int, setups: Sequence[TrialSetup], backend: str
+) -> str | None:
+    """Why the pool cannot win for this workload, or None if it might.
+
+    Two ways a pool loses: more workers than cores just adds context
+    switching on top of startup cost, and a workload whose whole serial
+    run costs less than pool startup pays the startup for nothing.
+    """
+    cores = os.cpu_count() or 1
+    if jobs > cores:
+        return "jobs_exceed_cores"
+    total_trials = sum(setup.trials for setup in setups)
+    estimate = total_trials * _EST_TRIAL_SECONDS.get(backend, 0.01)
+    if estimate < _MIN_POOL_SECONDS:
+        return "work_below_pool_startup"
+    return None
+
+
 def shutdown_pool() -> None:
     """Tear down the shared worker pool (idempotent)."""
     global _POOL
@@ -181,6 +267,31 @@ def _setup_label(setup: TrialSetup) -> str:
     )
 
 
+def _run_chunk_batched(
+    setup: TrialSetup, indices: Sequence[int]
+) -> list[tuple[int, ProtocolResult | None, BaseException | None, float, int]] | None:
+    """One vectorized batch for a block of kernel-backend trials.
+
+    Untagged query ids keep each result bit-identical to its solo
+    ``backend="kernel"`` run (no per-message query tag in the byte
+    accounting).  Returns ``None`` on any failure: the per-trial path
+    re-runs the block so the failing trial index is attributed exactly.
+    """
+    pid = os.getpid()
+    start = time.perf_counter()
+    try:
+        jobs = [trial_job(setup, trial_index) for trial_index in indices]
+        results = _execute_batch(jobs, query_ids=[""] * len(jobs))
+    except Exception:
+        return None
+    # Per-trial wall time is not observable inside the batch; amortize it.
+    per_trial = (time.perf_counter() - start) / max(1, len(indices))
+    return [
+        (trial_index, result, None, per_trial, pid)
+        for trial_index, result in zip(indices, results)
+    ]
+
+
 def _run_chunk(
     setup: TrialSetup, indices: Sequence[int], backend: str
 ) -> list[tuple[int, ProtocolResult | None, BaseException | None, float, int]]:
@@ -191,7 +302,20 @@ def _run_chunk(
     default before submitting.  Failures are returned (not raised) so one
     bad trial cannot poison the pool; the parent re-raises after accounting
     for them.
+
+    Kernel-backend blocks run through the vectorized batch engine (traced
+    and phase-profiled runs excepted — span construction and per-phase
+    timing belong to the solo path; a *disabled* tracer records nothing,
+    so it keeps the batch path); anything that fails there falls back to
+    the per-trial loop below.
     """
+    tracer = current_tracer()
+    if backend == KERNEL and len(indices) > 1 and phase_sink() is None and (
+        tracer is None or not tracer.enabled
+    ):
+        rows = _run_chunk_batched(setup, indices)
+        if rows is not None:
+            return rows
     out = []
     pid = os.getpid()
     for trial_index in indices:
@@ -261,9 +385,30 @@ def run_trials_many(
     tail of one point overlaps the head of the next); results come back
     grouped per setup, in trial order — bit-identical to calling
     :func:`run_trials` on each setup serially, on either backend.
+
+    Under the default ``auto`` pool policy, a ``jobs > 1`` request is
+    downgraded to the serial engine (telemetry mode ``serial-gated``) when
+    the pool cannot win: more workers than cores, or estimated serial work
+    too small to amortize pool startup.  The decision lands on the
+    ``runner_pool_decisions_total`` counter (:func:`scheduler_metrics`);
+    :func:`using_pool_policy` overrides it.
     """
     jobs = resolve_jobs(jobs)
     backend = resolve_backend(backend)
+    if jobs > 1:
+        if _POOL_POLICY == "never":
+            gate = "policy_never"
+        elif _POOL_POLICY == "always":
+            gate = None
+        else:
+            gate = _pool_gate_reason(jobs, setups, backend)
+        if gate is not None:
+            _POOL_DECISIONS.inc(labels={"decision": "serial", "reason": gate})
+            return [
+                _run_serial(setup, jobs, backend, mode="serial-gated")
+                for setup in setups
+            ]
+        _POOL_DECISIONS.inc(labels={"decision": "pool", "reason": "amortized"})
     if jobs <= 1:
         return [_run_serial(setup, jobs, backend) for setup in setups]
     wall_start = time.perf_counter()

@@ -12,9 +12,12 @@ dedicated transport; :meth:`Federation.execute_many` serves a *batch* —
 statements are parsed and policy-checked up front, duplicates are deduped,
 repeats of already-answered statements are served from the result cache
 (:mod:`repro.federation.cache`; zero protocol rounds, zero new exposure),
-and the remaining ranking queries run *pipelined*, interleaving their ring
-tokens on one shared transport so the batch completes in simulated time
-close to the slowest query rather than the sum.
+and the remaining ranking queries run as one batch through
+:func:`repro.core.driver.run_many_on_vectors` — the vectorized batch kernel
+when every config is transport-free, otherwise *pipelined* on one shared
+transport, interleaving ring tokens so the batch completes in simulated
+time close to the slowest query rather than the sum.  Either substrate is
+bit-identical per statement, so the choice is invisible above this module.
 
 The coordinator holds no data.  It sequences protocol runs, validates the
 well-matched-schema precondition, and owns only public artifacts (results,
@@ -275,10 +278,13 @@ class Federation:
            and data versions — are served from the result cache: zero
            protocol rounds, zero messages, zero new ledger exposure.  Hits
            are audit-logged with the ``cached`` flag.
-        3. All remaining ranking queries run their ring protocols *pipelined*
-           on one shared transport, interleaving tokens so the batch's
+        3. All remaining ranking queries run as one batch — through the
+           vectorized batch kernel when the configs carry no transport
+           obligations (the default federation setup), else *pipelined* on
+           one shared transport, interleaving tokens so the batch's
            simulated completion time approaches the slowest query's rather
-           than the sum.  Additive aggregates run their secure sums.
+           than the sum.  Both substrates are bit-identical per statement.
+           Additive aggregates run their secure sums.
         4. Ledger charges, audit entries and cache population happen in
            statement order, so a batch is indistinguishable — values,
            rounds, exposure — from issuing the same statements one at a

@@ -19,9 +19,22 @@ from repro.experiments.runner import (
     resolve_jobs,
     run_trials,
     run_trials_many,
+    scheduler_metrics,
     shutdown_pool,
     using_jobs,
+    using_pool_policy,
 )
+
+
+@pytest.fixture(autouse=True)
+def pool_always():
+    """Pin the pre-gate behaviour: these tests exercise the real pool.
+
+    The auto gate would (correctly) refuse the pool for workloads this
+    small; the gate itself is covered by ``TestPoolGating``.
+    """
+    with using_pool_policy("always"):
+        yield
 
 PROTOCOL_SETUPS = {
     "naive": dict(n=4, k=1, protocol="naive"),
@@ -166,19 +179,70 @@ class TestFailureAccounting:
     def test_serial_failure_raises_trial_error(self, monkeypatch):
         import repro.experiments.runner as runner_module
 
-        def explode(setup, trial_index, **kwargs):
+        def explode(setup, trial_index):
             if trial_index == 2:
                 raise RuntimeError("boom")
-            return original(setup, trial_index, **kwargs)
+            return original(setup, trial_index)
 
-        original = runner_module.run_single_trial
-        monkeypatch.setattr(runner_module, "run_single_trial", explode)
+        # Patching ``trial_job`` poisons both execution paths: the batched
+        # engine sees the error while building its job list and falls back
+        # to the per-trial loop, which attributes it to the exact trial.
+        original = runner_module.trial_job
+        monkeypatch.setattr(runner_module, "trial_job", explode)
         with telemetry.collect() as tel:
             with pytest.raises(TrialError, match="trial 2"):
                 run_trials(small_setup(trials=5), jobs=1)
         (point,) = tel.points
         assert point.failures == 1
         assert [t.ok for t in point.timings] == [True, True, False, True, True]
+
+
+class TestPoolGating:
+    def gated_setup(self):
+        return small_setup(trials=6)
+
+    def test_pool_never_auto_selected_when_it_loses(self, monkeypatch):
+        # The jobs=2 speedup-0.62 regression: one core, tiny workload.
+        monkeypatch.setattr("repro.experiments.runner.os.cpu_count", lambda: 1)
+        with using_pool_policy("auto"):
+            with telemetry.collect() as tel:
+                serial = run_trials(self.gated_setup(), jobs=1)
+                gated = run_trials(self.gated_setup(), jobs=2)
+        assert_results_identical(serial, gated)
+        modes = [point.mode for point in tel.points]
+        assert modes == ["serial", "serial-gated"]
+        assert all(point.workers == (tel.points[0].workers[0],) for point in tel.points)
+
+    def test_small_workload_gated_even_with_cores(self, monkeypatch):
+        monkeypatch.setattr("repro.experiments.runner.os.cpu_count", lambda: 8)
+        with using_pool_policy("auto"):
+            with telemetry.collect() as tel:
+                run_trials(self.gated_setup(), jobs=2)
+        (point,) = tel.points
+        assert point.mode == "serial-gated"
+
+    def test_policy_never_forces_serial(self):
+        with using_pool_policy("never"):
+            with telemetry.collect() as tel:
+                run_trials(self.gated_setup(), jobs=4)
+        (point,) = tel.points
+        assert point.mode == "serial-gated"
+
+    def test_decision_lands_on_metrics(self, monkeypatch):
+        monkeypatch.setattr("repro.experiments.runner.os.cpu_count", lambda: 1)
+        counter = scheduler_metrics().counter(
+            "runner_pool_decisions_total", label_names=("decision", "reason")
+        )
+        labels = {"decision": "serial", "reason": "jobs_exceed_cores"}
+        before = counter.value(labels=labels)
+        with using_pool_policy("auto"):
+            run_trials(self.gated_setup(), jobs=2)
+        assert counter.value(labels=labels) == before + 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="pool policy"):
+            with using_pool_policy("sometimes"):
+                pass
 
 
 class TestPoolLifecycle:

@@ -6,6 +6,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.params import ProtocolParams
+from repro.core.schedule import ExponentialSchedule
 from repro.database.query import Domain, TopKQuery
 from repro.extensions.groups import run_grouped_topk
 from repro.extensions.knn import PrivateKNNClassifier, PrivateParty
@@ -26,12 +28,38 @@ party_values = st.lists(
 )
 @settings(max_examples=30, deadline=None)
 def test_property_grouped_topk_equals_flat_truth(data, k, group_size, seed):
+    """The grouping identity: top-k of the groups' top-ks is the global top-k.
+
+    Run with ``p0 = 0`` (the naive deterministic reduction) so the protocol
+    itself is exact: under the paper-default randomized schedule a run can
+    legitimately finish with residual noise in the vector (probability
+    ``Eq. 3``), which is protocol behaviour, not a grouping error — asserting
+    exact equality there is flaky by design.
+    """
     vectors = {f"p{i}": values for i, values in enumerate(data)}
     query = TopKQuery(table="t", attribute="v", k=k, domain=DOMAIN)
-    outcome = run_grouped_topk(vectors, query, group_size=group_size, seed=seed)
+    params = ProtocolParams(schedule=ExponentialSchedule(p0=0.0), rounds=3)
+    outcome = run_grouped_topk(
+        vectors, query, group_size=group_size, params=params, seed=seed
+    )
     merged = sorted((v for vs in data for v in vs), reverse=True)[:k]
     merged += [float(DOMAIN.low)] * (k - len(merged))
     assert outcome.final_vector == merged
+
+
+@given(
+    data=st.lists(party_values, min_size=6, max_size=14),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_grouped_topk_randomized_contains_no_fabrications(data, seed):
+    """Under the randomized schedule, every reported value is real or noise
+    below the true maximum — a grouped run never *invents* a value above it."""
+    vectors = {f"p{i}": values for i, values in enumerate(data)}
+    query = TopKQuery(table="t", attribute="v", k=1, domain=DOMAIN)
+    outcome = run_grouped_topk(vectors, query, group_size=3, seed=seed)
+    true_max = max(v for vs in data for v in vs)
+    assert outcome.final_value <= true_max
 
 
 @given(
