@@ -5,8 +5,8 @@ PYTHON ?= python3
 # bit-identical at any value.
 JOBS ?= 1
 
-.PHONY: install test lint typecheck cov bench bench-kernel figures report \
-	examples all clean
+.PHONY: install test lint typecheck cov bench bench-kernel \
+	bench-extraction figures report examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -43,6 +43,12 @@ bench:
 # and fails below the 5x floor at n=50.
 bench-kernel:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_kernel.py -q -s
+
+# Columnar-vs-row local extraction sweep (10k..2M rows/party); writes
+# results/BENCH_local_extraction.json and fails below 15x at 1M rows.
+bench-extraction:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_bench_local_extraction.py -q -s
 
 figures:
 	$(PYTHON) -m repro.cli all --trials 100 --no-plot --out results --jobs $(JOBS)

@@ -1,0 +1,154 @@
+"""Bench: vectorized columnar extraction vs the row-store scan at scale.
+
+The columnar engine (:mod:`repro.database.engines`) exists so that the
+*local* phase of every protocol — each party extracting its top-k from
+its own table — stays negligible at production data volumes.  This bench
+builds identical TPC-H-like ``lineitem`` tables (same arrays, same seed)
+on the row store and the columnar engine, asserts the extracted lists are
+bit-identical, then measures ``top_k`` at 10k through 2M rows per party
+and emits ``results/BENCH_local_extraction.json`` for the report tooling
+and CI.
+
+Methodology (the same discipline as ``test_bench_kernel.py``):
+
+* both engines answer through the same entry point, ``Table.top_k``,
+  against tables built from the *same* canonical numpy arrays — the
+  measured difference is the storage substrate, nothing else;
+* reps are **interleaved** (row, columnar, row, columnar, ...) in one
+  process, so CPU-throttle episodes hit both engines alike and the
+  *ratio* stays honest even when absolute numbers wobble;
+* parity before performance: every sweep point first asserts the two
+  engines return identical ``top_k`` and ``bottom_k`` lists, so the
+  speedup cannot come from computing something else.
+
+Two numbers are reported per point for the columnar engine: the
+steady-state time (consolidation cache warm — the figure-loop and
+serving regime, where the same table answers many queries) and the cold
+time on a freshly built table (first extraction pays one chunk
+concatenation).  The floor is asserted on the steady state; the cold
+number is recorded so the one-shot cost stays visible.  A DuckDB point
+is measured when the optional dependency is installed, recorded but
+never asserted — SQL pushdown is a portability feature, not the perf
+claim.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.database import COLUMNAR, ROW, Table, duckdb_available
+from repro.database.tpch import LINEITEM_SCHEMA, TPCH_ATTRIBUTE, lineitem_arrays
+
+from conftest import BENCH_SEED
+
+#: Rows per party: toy, mid, production, and headroom scales.
+ROWS_SWEEP = (10_000, 100_000, 1_000_000, 2_000_000)
+K = 10
+#: Interleaved repetitions per sweep point; best-of on each engine.
+REPS = 3
+#: The ratcheted acceptance floor: columnar extractions/second over
+#: row-store extractions/second at 1M rows.  Measured ~25x on the
+#: reference container (the row store's heapq path is itself decent);
+#: 15x leaves margin for machine noise while still rejecting any
+#: regression to a per-value Python loop in the columnar path.
+SPEEDUP_FLOOR = 15.0
+FLOOR_AT_ROWS = 1_000_000
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "results" / "BENCH_local_extraction.json"
+)
+
+
+def _build(engine: str, arrays) -> Table:
+    table = Table("lineitem", LINEITEM_SCHEMA, engine=engine)
+    table.insert_arrays(arrays)
+    return table
+
+
+def _best_extraction_seconds(table: Table, reps: int = 1) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        table.top_k(TPCH_ATTRIBUTE, K)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_local_extraction():
+    points = {}
+    for rows in ROWS_SWEEP:
+        arrays = lineitem_arrays(rows, seed=BENCH_SEED, party="bench")
+        row_table = _build(ROW, arrays)
+        col_table = _build(COLUMNAR, arrays)
+
+        # Cold first: the freshly built columnar table's first extraction
+        # includes the one-time chunk consolidation.
+        cold_seconds = _best_extraction_seconds(col_table)
+
+        # Parity before performance.
+        assert row_table.top_k(TPCH_ATTRIBUTE, K) == col_table.top_k(
+            TPCH_ATTRIBUTE, K
+        )
+        assert row_table.bottom_k(TPCH_ATTRIBUTE, K) == col_table.bottom_k(
+            TPCH_ATTRIBUTE, K
+        )
+        assert len(row_table) == len(col_table) == rows
+
+        best = {ROW: float("inf"), COLUMNAR: float("inf")}
+        for _ in range(REPS):
+            for engine, table in ((ROW, row_table), (COLUMNAR, col_table)):
+                best[engine] = min(best[engine], _best_extraction_seconds(table))
+
+        point = {
+            "k": K,
+            "row_seconds": round(best[ROW], 6),
+            "columnar_seconds": round(best[COLUMNAR], 6),
+            "columnar_cold_seconds": round(cold_seconds, 6),
+            "columnar_rows_per_second": round(rows / best[COLUMNAR]),
+            "speedup": round(best[ROW] / best[COLUMNAR], 1),
+        }
+        if duckdb_available():
+            duck_table = _build("duckdb", arrays)
+            assert duck_table.top_k(TPCH_ATTRIBUTE, K) == col_table.top_k(
+                TPCH_ATTRIBUTE, K
+            )
+            point["duckdb_seconds"] = round(
+                _best_extraction_seconds(duck_table, REPS), 6
+            )
+        points[rows] = point
+
+    document = {
+        "bench": "local_extraction",
+        "workload": {
+            "table": "lineitem (TPC-H-like, seeded)",
+            "attribute": TPCH_ATTRIBUTE,
+            "seed": BENCH_SEED,
+        },
+        "methodology": (
+            "identical arrays on both engines via Table.insert_arrays; "
+            "parity of top_k/bottom_k asserted before timing; reps "
+            "interleaved in one process, best-of per engine; columnar "
+            "steady-state asserted, cold (first extraction after build) "
+            "recorded; duckdb recorded when installed, never asserted"
+        ),
+        "floor": {"at_rows": FLOOR_AT_ROWS, "min_speedup": SPEEDUP_FLOOR},
+        "duckdb_measured": duckdb_available(),
+        "points": points,
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    floor_point = points[FLOOR_AT_ROWS]
+    assert floor_point["speedup"] >= SPEEDUP_FLOOR, (
+        f"columnar speedup {floor_point['speedup']}x at {FLOOR_AT_ROWS} rows "
+        f"is below the {SPEEDUP_FLOOR}x floor ({RESULTS_PATH} has the full "
+        f"sweep)"
+    )
+    # The columnar engine must never lose, even at toy scale and even on
+    # its cold path (one concatenation beats a million-dict scan easily).
+    for rows, point in points.items():
+        assert point["speedup"] > 1.0, f"columnar lost at {rows} rows: {point}"
+        assert point["columnar_cold_seconds"] < point["row_seconds"], (
+            f"cold columnar extraction lost to the row store at {rows} "
+            f"rows: {point}"
+        )

@@ -46,22 +46,27 @@ def _timing_scope(enabled: bool) -> Iterator:
     """Collect trial telemetry for ``--timing``; yields None when off.
 
     Also profiles the kernel backend's execution phases (setup, ring
-    build, round loop, finalize), so ``--timing`` shows where the fast
-    path spends its time alongside the per-sweep-point table.
+    build, round loop, finalize) and the storage engines' node-local
+    extraction timings, so ``--timing`` shows where the fast path and the
+    data path spend their time alongside the per-sweep-point table.
     """
     if not enabled:
         yield None
         return
     from .experiments import telemetry
 
-    with telemetry.collect() as collector, telemetry.profile_phases() as phases:
-        yield (collector, phases)
+    with (
+        telemetry.collect() as collector,
+        telemetry.profile_phases() as phases,
+        telemetry.profile_extraction() as extraction,
+    ):
+        yield (collector, phases, extraction)
 
 
 def _print_timing(scope) -> None:
     if scope is None:
         return
-    collector, phases = scope
+    collector, phases, extraction = scope
     print()
     if collector.points:
         print(collector.render())
@@ -69,6 +74,9 @@ def _print_timing(scope) -> None:
         print(phases.render())
     else:
         print("no trial telemetry recorded (analytic artifact, no trials run)")
+    if extraction.calls:
+        print()
+        print(extraction.render())
 
 
 def _run_one(experiment_id: str, args: argparse.Namespace) -> list:
@@ -351,6 +359,57 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         print()
         print(privacy_report(result).render())
+    return 0
+
+
+def _cmd_tpch(args: argparse.Namespace) -> int:
+    """Stand up a TPC-H-like federation and answer a price top-k query."""
+    import time
+
+    from .core.driver import run_topk_query
+    from .database.engines import StorageUnavailable, duckdb_available
+    from .database.tpch import TPCH_ATTRIBUTE, lineitem_databases, price_query
+
+    if args.engine == "duckdb" and not duckdb_available():
+        print(
+            "the duckdb engine requires the optional duckdb package "
+            "(pip install 'repro[duckdb]')",
+            file=sys.stderr,
+        )
+        return 2
+    if args.rows is None and args.scale_factor is None:
+        args.rows = 100_000
+    build_start = time.perf_counter()
+    try:
+        databases = lineitem_databases(
+            args.parties,
+            seed=args.seed,
+            rows_per_party=args.rows,
+            scale_factor=args.scale_factor,
+            jitter=args.jitter,
+            engine=args.engine,
+        )
+    except StorageUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    build_seconds = time.perf_counter() - build_start
+    rows_per_party = len(databases[0].table("lineitem"))
+    print(
+        f"built {args.parties} parties x {rows_per_party} lineitem rows "
+        f"on the {args.engine or 'columnar'} engine in {build_seconds:.2f}s"
+    )
+    query = price_query(args.k)
+    config = RunConfig(protocol=args.protocol, seed=args.seed)
+    with _timing_scope(args.timing) as scope:
+        query_start = time.perf_counter()
+        result = run_topk_query(databases, query, config)
+        query_seconds = time.perf_counter() - query_start
+    print(f"protocol          : {result.protocol}")
+    print(f"rounds executed   : {result.rounds_executed}")
+    print(f"top-{args.k:<2} {TPCH_ATTRIBUTE}: {result.answer()}")
+    print(f"precision         : {result.precision():.3f}")
+    print(f"query wall        : {query_seconds:.3f}s")
+    _print_timing(scope)
     return 0
 
 
@@ -676,6 +735,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=str, default=None, help="also write a JSON export here"
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    tpch = sub.add_parser(
+        "tpch",
+        help="run a top-k price query over a TPC-H-like federation",
+        description=(
+            "Build a seeded lineitem-shaped table per party (per-party "
+            "perturbed prices) at the requested scale and answer a "
+            "l_extendedprice top-k query with the configured protocol.  "
+            "Size with --rows (default 100000 per party) or --scale-factor "
+            "(TPC-H convention, sf x 6M rows)."
+        ),
+    )
+    tpch.add_argument("--parties", type=int, default=3)
+    tpch.add_argument("--k", type=int, default=5)
+    tpch.add_argument(
+        "--rows", type=int, default=None, help="lineitem rows per party"
+    )
+    tpch.add_argument(
+        "--scale-factor",
+        type=float,
+        default=None,
+        help="TPC-H scale factor per party (sf 1 = 6M rows)",
+    )
+    tpch.add_argument(
+        "--jitter",
+        type=float,
+        default=0.02,
+        help="per-party price perturbation fraction (0 <= jitter < 0.1)",
+    )
+    tpch.add_argument(
+        "--engine",
+        choices=("row", "columnar", "duckdb"),
+        default=None,
+        help=(
+            "storage engine backing each party's table (default: columnar); "
+            "results are bit-identical across engines"
+        ),
+    )
+    tpch.add_argument("--protocol", type=str, default="probabilistic")
+    tpch.add_argument("--seed", type=int, default=0)
+    tpch.add_argument(
+        "--timing",
+        action="store_true",
+        help="print extraction-timing telemetry after the query",
+    )
+    tpch.set_defaults(func=_cmd_tpch)
 
     analyze = sub.add_parser(
         "analyze", help="recompute the privacy analysis from an archived trace"

@@ -139,7 +139,39 @@ def run_topk_query(
     if len(set(owners)) != len(owners):
         raise DriverError(f"duplicate database owners: {owners}")
     local_vectors = {db.owner: db.local_topk(query) for db in databases}
+    _record_extraction(databases, query, trace)
     return run_protocol_on_vectors(local_vectors, query, config, trace=trace)
+
+
+def _record_extraction(
+    databases: Sequence[PrivateDatabase],
+    query: TopKQuery,
+    trace: "TraceContext | None",
+) -> None:
+    """Mark the node-local extraction step on an already-open trace span.
+
+    The event is deterministic — engine names and row counts, never wall
+    clock — so traced exports stay byte-identical per seed.  It is only
+    recorded under a *parent* span (the batch/service path): before the
+    protocol's root span exists an event would itself become a root and
+    break the one-root-per-trace connectivity invariant the trace checker
+    enforces.  Wall-clock extraction timing flows through the extraction
+    sink (:func:`repro.experiments.telemetry.profile_extraction`) instead.
+    """
+    if trace is None or not trace.tracer.enabled or trace.span_id is None:
+        return
+    engines = sorted({db.table(query.table).engine_name for db in databases})
+    rows = sum(len(db.table(query.table)) for db in databases)
+    trace.tracer.event(
+        trace,
+        "local_extract",
+        at=0.0,
+        attrs={
+            "engine": "/".join(engines),
+            "parties": len(databases),
+            "rows": rows,
+        },
+    )
 
 
 def _trace_for_query(
@@ -308,15 +340,21 @@ def run_topk_queries(
         raise DriverError(
             f"got {len(queries)} queries but {len(configs)} configs"
         )
+    if traces is not None and len(traces) != len(queries):
+        raise DriverError(
+            f"got {len(queries)} jobs but {len(traces)} trace contexts"
+        )
     owners = [db.owner for db in databases]
     if len(set(owners)) != len(owners):
         raise DriverError(f"duplicate database owners: {owners}")
     jobs = []
-    for query, config in zip(queries, configs):
+    for index, (query, config) in enumerate(zip(queries, configs)):
         common_query(databases, query)
         jobs.append(
             ({db.owner: db.local_topk(query) for db in databases}, query, config)
         )
+        if traces is not None:
+            _record_extraction(databases, query, traces[index])
     return run_many_on_vectors(jobs, traces=traces)
 
 

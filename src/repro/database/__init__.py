@@ -5,6 +5,21 @@ from .database import (
     common_query,
     database_from_values,
 )
+from .engines import (
+    COLUMNAR,
+    DEFAULT_ENGINE,
+    DUCKDB,
+    ENGINES,
+    ROW,
+    ColumnarEngine,
+    DuckDbEngine,
+    ExtractionSample,
+    RowStoreEngine,
+    StorageEngine,
+    StorageUnavailable,
+    duckdb_available,
+    make_engine,
+)
 from .io import (
     TableIOError,
     database_from_csv_dir,
@@ -15,27 +30,60 @@ from .generator import DISTRIBUTIONS, DataGenerator, datasets_with_known_topk
 from .query import PAPER_DOMAIN, Domain, QueryError, TopKQuery, max_query, min_query
 from .schema import COLUMN_TYPES, Column, Schema, SchemaError
 from .table import Table
+from .tpch import (
+    LINEITEM_ROWS_PER_SF,
+    LINEITEM_SCHEMA,
+    TPCH_ATTRIBUTE,
+    TPCH_PRICE_DOMAIN,
+    TPCH_TABLE,
+    lineitem_arrays,
+    lineitem_database,
+    lineitem_databases,
+    price_query,
+)
 
 __all__ = [
+    "COLUMNAR",
     "COLUMN_TYPES",
     "Column",
+    "ColumnarEngine",
+    "DEFAULT_ENGINE",
     "DISTRIBUTIONS",
+    "DUCKDB",
     "DataGenerator",
     "Domain",
+    "DuckDbEngine",
+    "ENGINES",
+    "ExtractionSample",
+    "LINEITEM_ROWS_PER_SF",
+    "LINEITEM_SCHEMA",
     "PAPER_DOMAIN",
     "PrivateDatabase",
     "QueryError",
+    "ROW",
+    "RowStoreEngine",
     "Schema",
     "SchemaError",
+    "StorageEngine",
+    "StorageUnavailable",
+    "TPCH_ATTRIBUTE",
+    "TPCH_PRICE_DOMAIN",
+    "TPCH_TABLE",
     "Table",
     "TableIOError",
     "TopKQuery",
     "common_query",
     "database_from_csv_dir",
     "database_from_values",
-    "load_csv_table",
     "datasets_with_known_topk",
+    "duckdb_available",
+    "lineitem_arrays",
+    "lineitem_database",
+    "lineitem_databases",
+    "load_csv_table",
+    "make_engine",
     "max_query",
     "min_query",
+    "price_query",
     "save_csv_table",
 ]

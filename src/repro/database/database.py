@@ -9,20 +9,35 @@ attribute and nothing else.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
+from .engines import StorageEngine
 from .query import QueryError, TopKQuery
 from .schema import Schema, SchemaError
 from .table import Row, Table
 
+EngineSpec = "str | Callable[[Schema], StorageEngine] | None"
+
 
 class PrivateDatabase:
-    """A named collection of tables owned by one party."""
+    """A named collection of tables owned by one party.
 
-    def __init__(self, owner: str) -> None:
+    ``engine`` names the storage engine new tables default to (see
+    :mod:`repro.database.engines`); :meth:`create_table` can override it
+    per table.  Engines answer bit-identically, so the choice affects
+    extraction speed only, never query results.
+    """
+
+    def __init__(
+        self,
+        owner: str,
+        *,
+        engine: "str | Callable[[Schema], StorageEngine] | None" = None,
+    ) -> None:
         if not owner:
             raise ValueError("owner must be non-empty")
         self.owner = owner
+        self.engine = engine
         self._tables: dict[str, Table] = {}
         self._ddl_version = 0
 
@@ -31,10 +46,16 @@ class PrivateDatabase:
 
     # -- DDL ---------------------------------------------------------------
 
-    def create_table(self, name: str, schema: Schema) -> Table:
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        *,
+        engine: "str | Callable[[Schema], StorageEngine] | None" = None,
+    ) -> Table:
         if name in self._tables:
             raise SchemaError(f"table {name!r} already exists in {self.owner}'s database")
-        table = Table(name, schema)
+        table = Table(name, schema, engine=engine if engine is not None else self.engine)
         self._tables[name] = table
         self._ddl_version += 1
         return table
@@ -103,9 +124,16 @@ class PrivateDatabase:
         return values
 
     def attribute_domain_check(self, query: TopKQuery) -> bool:
-        """True when every value of the queried attribute is in-domain."""
+        """True when every value of the queried attribute is in-domain.
+
+        Vectorized through the table's storage engine: schema validation
+        guarantees every non-null value is an int or float, so the check
+        reduces to a range test over the column.
+        """
         table = self.table(query.table)
-        return all(v in query.domain for v in table.numeric_values(query.attribute))
+        return table.values_within(
+            query.attribute, query.domain.low, query.domain.high
+        )
 
 
 def database_from_values(
@@ -114,13 +142,17 @@ def database_from_values(
     *,
     table: str = "data",
     attribute: str = "value",
+    engine: "str | Callable[[Schema], StorageEngine] | None" = None,
 ) -> PrivateDatabase:
     """Build a single-table database from a flat list of attribute values.
 
     This is the shape used throughout the paper's evaluation, where each node
     holds values of a single sensitive attribute.
     """
-    db = PrivateDatabase(owner)
+    db = PrivateDatabase(owner, engine=engine)
+    # Materialize once: ``values`` may be a one-shot iterator, and it is
+    # consumed twice below (type sniffing, then the insert).
+    values = list(values)
     integral = all(isinstance(v, int) for v in values)
     schema = Schema.of((attribute, "INTEGER" if integral else "REAL"))
     t = db.create_table(table, schema)

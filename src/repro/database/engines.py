@@ -1,0 +1,766 @@
+"""Pluggable storage engines for the private-database substrate.
+
+Every protocol run begins with each party's node-local extraction step
+(Section 3.4: "each node first sorts its values and takes the local set of
+topk values").  At the paper's 10k-value scale a Python list-of-dicts row
+store is fine; at the millions-of-rows-per-party scale the production
+roadmap demands, the per-row scan dominates end-to-end latency.  This
+module makes the storage layout a pluggable choice behind one
+:class:`StorageEngine` interface:
+
+``row``
+    The original list-of-dicts store: every value keeps its exact Python
+    object identity, every query is a scalar scan.  The semantic reference
+    the other engines are tested against.
+
+``columnar`` (the default)
+    Numeric columns live in chunked contiguous numpy arrays; ``top_k`` /
+    ``bottom_k`` / ``numeric_values`` / ``aggregate`` / range checks run as
+    ``np.partition``/reduction kernels.  Results are *bit-identical* to the
+    row store: same values, same descending order, same tie behavior.  A
+    column whose values cannot be represented losslessly in its typed array
+    (an INTEGER outside int64, a non-finite or integer-typed value in a
+    REAL column) **spills** the whole column to exact object storage and
+    answers through the scalar path — the engine never trades correctness
+    for speed, it only accelerates when acceleration is exact.
+
+``duckdb`` (optional)
+    Rows live in an in-memory DuckDB table; extraction and aggregation are
+    pushed down as SQL.  Requires the ``duckdb`` package (``pip install
+    repro[duckdb]``); constructing the engine without it raises
+    :class:`StorageUnavailable`.  DuckDB stores REAL columns as DOUBLE, so
+    integer values inserted into REAL columns read back as floats
+    (value-equal, type-normalized), and SQL ``SUM`` over doubles may differ
+    from the row store's sequential sum in the last ulp; ``top_k`` /
+    ``bottom_k`` / ``min`` / ``max`` / ``count`` are exact.
+
+Engines store *normalized* rows — every schema column present, ``None`` for
+omitted nullable values — which :class:`~repro.database.table.Table`
+guarantees at staging time.  Validation, schema checks, and the ``version``
+counter stay in ``Table``; engines only hold data and answer queries.
+
+The module also hosts the extraction telemetry sink: install a callback
+with :func:`set_extraction_sink` (or the higher-level
+:func:`repro.experiments.telemetry.profile_extraction`) and every node-local
+``top_k``/``bottom_k`` reports an :class:`ExtractionSample` with its engine,
+row count and wall-clock seconds.  With no sink installed the hot path pays
+one module-attribute read.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+from .schema import Schema
+
+Row = dict[str, object]
+
+__all__ = [
+    "COLUMNAR",
+    "DEFAULT_ENGINE",
+    "DUCKDB",
+    "ENGINES",
+    "ROW",
+    "ColumnarEngine",
+    "DuckDbEngine",
+    "ExtractionSample",
+    "RowStoreEngine",
+    "StorageEngine",
+    "StorageUnavailable",
+    "duckdb_available",
+    "extraction_sink",
+    "make_engine",
+    "set_extraction_sink",
+]
+
+ROW = "row"
+COLUMNAR = "columnar"
+DUCKDB = "duckdb"
+#: Engine names accepted by :func:`make_engine` (and everything above it).
+ENGINES = (ROW, COLUMNAR, DUCKDB)
+#: The engine new tables use when none is requested.
+DEFAULT_ENGINE = COLUMNAR
+
+#: Rows buffered per columnar chunk before the pending tail is sealed into
+#: a contiguous array.  Large enough to amortize array construction, small
+#: enough that a half-full tail never holds megabytes of boxed values.
+CHUNK_ROWS = 1 << 18
+
+
+class StorageUnavailable(RuntimeError):
+    """Raised when an optional engine's backing library is not installed."""
+
+
+# -- extraction telemetry ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExtractionSample:
+    """One node-local extraction, as reported to the telemetry sink."""
+
+    engine: str
+    table: str
+    column: str
+    op: str  # "top_k" | "bottom_k"
+    rows: int
+    k: int
+    seconds: float
+
+
+_EXTRACTION_SINK: Callable[[ExtractionSample], None] | None = None
+
+
+def set_extraction_sink(
+    sink: Callable[[ExtractionSample], None] | None,
+) -> Callable[[ExtractionSample], None] | None:
+    """Install (or clear, with ``None``) the extraction sink; returns the
+    previously installed one so scopes can chain and restore."""
+    global _EXTRACTION_SINK
+    previous = _EXTRACTION_SINK
+    _EXTRACTION_SINK = sink
+    return previous
+
+
+def extraction_sink() -> Callable[[ExtractionSample], None] | None:
+    """The currently installed sink (``None`` when telemetry is off)."""
+    return _EXTRACTION_SINK
+
+
+# -- the engine interface ----------------------------------------------------
+
+
+class StorageEngine(ABC):
+    """Storage and query execution for one table's rows.
+
+    The contract is semantic equivalence with :class:`RowStoreEngine` on
+    every method: engines may lay data out however they like, but the
+    answers — values, order, ties, null handling — must match the row
+    store exactly (the parity property suite enforces this).  Rows arriving
+    through :meth:`append_rows` are already schema-validated and normalized
+    (every column present); columns arriving through :meth:`append_columns`
+    are canonicalized numpy arrays (no nulls) or validated Python lists
+    (possibly with ``None``), one entry per schema column.
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+
+    # -- mutation --
+
+    @abstractmethod
+    def append_rows(self, rows: Sequence[Row]) -> None:
+        """Append validated, normalized rows."""
+
+    @abstractmethod
+    def append_columns(
+        self, columns: dict[str, "np.ndarray | list"], count: int
+    ) -> None:
+        """Append a column batch: every schema column, ``count`` rows each."""
+
+    # -- full-row access --
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def rows(self) -> list[Row]:
+        """Every row as a fresh dict copy, in insertion order."""
+
+    @abstractmethod
+    def column_values(self, name: str) -> list[object]:
+        """One column's values (``None`` included), in insertion order."""
+
+    # -- vectorizable queries (no predicate; Table handles `where`) --
+
+    @abstractmethod
+    def numeric_values(self, name: str) -> list:
+        """Non-null values of a numeric column, in insertion order."""
+
+    @abstractmethod
+    def top_k(self, name: str, k: int) -> list:
+        """Largest ``k`` non-null values, descending."""
+
+    @abstractmethod
+    def bottom_k(self, name: str, k: int) -> list:
+        """Smallest ``k`` non-null values, ascending."""
+
+    @abstractmethod
+    def aggregate(self, name: str, func: str) -> float | None:
+        """``max``/``min``/``sum``/``avg`` over non-null values (``None``
+        when the column has none), or ``count`` of non-null values."""
+
+    @abstractmethod
+    def all_in_range(self, name: str, low: float, high: float) -> bool:
+        """True when every non-null value lies in ``[low, high]``."""
+
+
+# -- shared scalar kernels (the row store's semantics, reused by spills) -----
+
+
+def _scalar_aggregate(values: list, func: str) -> float | None:
+    """The row store's aggregate semantics over already-extracted values.
+
+    Mirrors the original ``Table.aggregate`` exactly, including the quirk
+    that an unknown function over an *empty* column returns ``None`` before
+    the function name is ever checked.
+    """
+    if func == "count":
+        return float(len(values))
+    if not values:
+        return None
+    if func == "max":
+        return max(values)
+    if func == "min":
+        return min(values)
+    if func == "sum":
+        return float(sum(values))
+    if func == "avg":
+        return float(sum(values)) / len(values)
+    raise ValueError(f"unknown aggregate function: {func!r}")
+
+
+def _scalar_in_range(values: list, low: float, high: float) -> bool:
+    return all(low <= v <= high for v in values)
+
+
+# -- the row store -----------------------------------------------------------
+
+
+class RowStoreEngine(StorageEngine):
+    """The original list-of-dicts store: exact objects, scalar scans."""
+
+    name = "row"
+
+    def __init__(self, schema: Schema) -> None:
+        super().__init__(schema)
+        self._rows: list[Row] = []
+
+    def append_rows(self, rows: Sequence[Row]) -> None:
+        self._rows.extend(rows)
+
+    def append_columns(
+        self, columns: dict[str, "np.ndarray | list"], count: int
+    ) -> None:
+        lists = {
+            name: (col.tolist() if isinstance(col, np.ndarray) else list(col))
+            for name, col in columns.items()
+        }
+        names = self.schema.names
+        self._rows.extend(
+            {name: lists[name][i] for name in names} for i in range(count)
+        )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> list[Row]:
+        return [dict(r) for r in self._rows]
+
+    def column_values(self, name: str) -> list[object]:
+        return [r.get(name) for r in self._rows]
+
+    def numeric_values(self, name: str) -> list:
+        return [v for v in self.column_values(name) if v is not None]
+
+    def top_k(self, name: str, k: int) -> list:
+        return heapq.nlargest(k, self.numeric_values(name))
+
+    def bottom_k(self, name: str, k: int) -> list:
+        return heapq.nsmallest(k, self.numeric_values(name))
+
+    def aggregate(self, name: str, func: str) -> float | None:
+        return _scalar_aggregate(self.numeric_values(name), func)
+
+    def all_in_range(self, name: str, low: float, high: float) -> bool:
+        return _scalar_in_range(self.numeric_values(name), low, high)
+
+
+# -- the columnar engine -----------------------------------------------------
+
+
+class _ObjectColumn:
+    """TEXT (or otherwise unvectorizable) column: a plain value list."""
+
+    def __init__(self) -> None:
+        self.values: list[object] = []
+
+    def append(self, values: Sequence[object]) -> None:
+        self.values.extend(values)
+
+    def all_values(self) -> list[object]:
+        return list(self.values)
+
+
+class _NumericColumn:
+    """One numeric column: chunked typed arrays with an exactness escape.
+
+    Values accumulate in a Python ``pending`` tail and are sealed into
+    contiguous ``dtype`` chunks (int64 for INTEGER, float64 for REAL) with
+    parallel validity masks once nulls appear.  If any value cannot be
+    represented losslessly — an INTEGER outside int64, a REAL column fed a
+    non-finite float or a Python ``int`` (whose *type* the row store would
+    preserve) — the entire column spills to ``exact`` object storage and
+    every query takes the scalar path.  Spilling is one-way and loses no
+    data: correctness never depends on the fast path being available.
+    """
+
+    def __init__(self, dtype: "np.dtype") -> None:
+        self.dtype = np.dtype(dtype)
+        self.pending: list[object] = []
+        self.chunks: list[np.ndarray] = []
+        #: Parallel to ``chunks`` once any null has been seen, else None.
+        self.masks: list[np.ndarray] | None = None
+        #: Exact object storage after a spill (None while vectorized).
+        self.exact: list[object] | None = None
+        self._cache: tuple[np.ndarray, np.ndarray | None] | None = None
+
+    # -- ingestion --
+
+    def _representable(self, value: object) -> bool:
+        if self.dtype.kind == "i":
+            return -(2**63) <= value <= 2**63 - 1  # type: ignore[operator]
+        # float64 column: Python floats are IEEE doubles, so any finite
+        # float round-trips exactly; ints would come back as floats (a
+        # type change the row store would not make) and non-finite values
+        # would change sort order under np.sort (NaN sorts last).
+        return isinstance(value, float) and math.isfinite(value)
+
+    def append(self, values: Sequence[object]) -> None:
+        if self.exact is not None:
+            self.exact.extend(values)
+            return
+        self._cache = None
+        self.pending.extend(values)
+        if len(self.pending) >= CHUNK_ROWS:
+            self._flush()
+
+    def append_array(self, values: np.ndarray) -> None:
+        """Fast bulk path: a canonical-dtype, null-free array chunk."""
+        if self.exact is not None:
+            self.exact.extend(values.tolist())
+            return
+        self._cache = None
+        self._flush()
+        self.chunks.append(values)
+        if self.masks is not None:
+            self.masks.append(np.ones(len(values), dtype=bool))
+
+    def _flush(self) -> None:
+        if not self.pending:
+            return
+        batch, self.pending = self.pending, []
+        present = [v for v in batch if v is not None]
+        if not all(self._representable(v) for v in present):
+            self._spill(batch)
+            return
+        has_nulls = len(present) != len(batch)
+        if has_nulls and self.masks is None:
+            # Backfill all-valid masks for the chunks sealed before the
+            # first null arrived.
+            self.masks = [np.ones(len(c), dtype=bool) for c in self.chunks]
+        if has_nulls:
+            values = np.array(
+                [0 if v is None else v for v in batch], dtype=self.dtype
+            )
+        else:
+            values = np.array(batch, dtype=self.dtype)
+        self.chunks.append(values)
+        if self.masks is not None:
+            self.masks.append(np.array([v is not None for v in batch], dtype=bool))
+
+    def _spill(self, tail: Sequence[object]) -> None:
+        exact: list[object] = []
+        for index, chunk in enumerate(self.chunks):
+            values = chunk.tolist()
+            if self.masks is not None:
+                mask = self.masks[index]
+                values = [
+                    v if ok else None for v, ok in zip(values, mask.tolist())
+                ]
+            exact.extend(values)
+        exact.extend(tail)
+        self.exact = exact
+        self.chunks = []
+        self.masks = None
+        self._cache = None
+
+    # -- access --
+
+    def __len__(self) -> int:
+        if self.exact is not None:
+            return len(self.exact)
+        return sum(len(c) for c in self.chunks) + len(self.pending)
+
+    def storage(self) -> list[object] | None:
+        """Settle the pending tail; the exact list if spilled, else None.
+
+        Query paths call this first: the spill decision is made lazily at
+        flush time, so only after flushing is ``exact`` authoritative.
+        """
+        if self.exact is None and self.pending:
+            self._flush()
+        return self.exact
+
+    def materialize(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """One contiguous (values, validity-mask-or-None) view.
+
+        Consolidates chunks on first use and caches the result; any append
+        invalidates the cache.  Callers must hold ``exact is None``.
+        """
+        if self._cache is not None:
+            return self._cache
+        self._flush()
+        if self.exact is not None:  # the flush itself may have spilled
+            raise RuntimeError("materialize() on a spilled column")
+        if not self.chunks:
+            values = np.empty(0, dtype=self.dtype)
+            mask = None
+        elif len(self.chunks) == 1:
+            values = self.chunks[0]
+            mask = self.masks[0] if self.masks is not None else None
+        else:
+            values = np.concatenate(self.chunks)
+            mask = (
+                np.concatenate(self.masks) if self.masks is not None else None
+            )
+            self.chunks = [values]
+            if mask is not None:
+                self.masks = [mask]
+        if mask is not None and bool(mask.all()):
+            mask = None
+        self._cache = (values, mask)
+        return self._cache
+
+    def valid_values(self) -> np.ndarray:
+        values, mask = self.materialize()
+        return values if mask is None else values[mask]
+
+    def all_values(self) -> list[object]:
+        exact = self.storage()
+        if exact is not None:
+            return list(exact)
+        values, mask = self.materialize()
+        out = values.tolist()
+        if mask is not None:
+            out = [v if ok else None for v, ok in zip(out, mask.tolist())]
+        return out
+
+
+class ColumnarEngine(StorageEngine):
+    """Chunked numpy columns; extraction as partition/reduction kernels."""
+
+    name = "columnar"
+
+    _DTYPES = {"INTEGER": np.int64, "REAL": np.float64}
+
+    def __init__(self, schema: Schema) -> None:
+        super().__init__(schema)
+        self._columns: dict[str, _NumericColumn | _ObjectColumn] = {}
+        for column in schema.columns:
+            if column.is_numeric:
+                self._columns[column.name] = _NumericColumn(
+                    self._DTYPES[column.type]
+                )
+            else:
+                self._columns[column.name] = _ObjectColumn()
+        self._count = 0
+
+    def append_rows(self, rows: Sequence[Row]) -> None:
+        if not rows:
+            return
+        for name, column in self._columns.items():
+            column.append([row[name] for row in rows])
+        self._count += len(rows)
+
+    def append_columns(
+        self, columns: dict[str, "np.ndarray | list"], count: int
+    ) -> None:
+        for name, column in self._columns.items():
+            data = columns[name]
+            if isinstance(data, np.ndarray) and isinstance(
+                column, _NumericColumn
+            ):
+                column.append_array(data)
+            else:
+                column.append(
+                    data.tolist() if isinstance(data, np.ndarray) else data
+                )
+        self._count += count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def rows(self) -> list[Row]:
+        names = self.schema.names
+        columns = [self._columns[name].all_values() for name in names]
+        return [dict(zip(names, values)) for values in zip(*columns)]
+
+    def column_values(self, name: str) -> list[object]:
+        return self._columns[name].all_values()
+
+    def _numeric(self, name: str) -> _NumericColumn:
+        column = self._columns[name]
+        assert isinstance(column, _NumericColumn)  # Table checked the schema
+        return column
+
+    def _to_list(self, values: np.ndarray) -> list:
+        # int64 -> Python int, float64 -> Python float: exactly the types
+        # the row store holds for vectorizable columns.
+        return values.tolist()
+
+    def numeric_values(self, name: str) -> list:
+        column = self._numeric(name)
+        exact = column.storage()
+        if exact is not None:
+            return [v for v in exact if v is not None]
+        return self._to_list(column.valid_values())
+
+    def top_k(self, name: str, k: int) -> list:
+        column = self._numeric(name)
+        exact = column.storage()
+        if exact is not None:
+            return heapq.nlargest(k, [v for v in exact if v is not None])
+        values = column.valid_values()
+        if values.size == 0:
+            return []
+        if k < values.size:
+            values = np.partition(values, values.size - k)[values.size - k :]
+        return self._to_list(np.sort(values)[::-1])
+
+    def bottom_k(self, name: str, k: int) -> list:
+        column = self._numeric(name)
+        exact = column.storage()
+        if exact is not None:
+            return heapq.nsmallest(k, [v for v in exact if v is not None])
+        values = column.valid_values()
+        if values.size == 0:
+            return []
+        if k < values.size:
+            values = np.partition(values, k - 1)[:k]
+        return self._to_list(np.sort(values))
+
+    def aggregate(self, name: str, func: str) -> float | None:
+        column = self._numeric(name)
+        exact = column.storage()
+        if exact is not None:
+            return _scalar_aggregate([v for v in exact if v is not None], func)
+        values = column.valid_values()
+        if func == "count":
+            return float(values.size)
+        if values.size == 0:
+            return None
+        if func == "max":
+            return self._reduced(values.max())
+        if func == "min":
+            return self._reduced(values.min())
+        if func in ("sum", "avg"):
+            total = self._exact_sum(values)
+            return total if func == "sum" else total / values.size
+        raise ValueError(f"unknown aggregate function: {func!r}")
+
+    @staticmethod
+    def _reduced(value: "np.generic") -> float:
+        # max/min keep the row store's numeric type: Python int for int64
+        # columns (row-store max() returns the int), float otherwise.
+        return value.item()
+
+    def _exact_sum(self, values: np.ndarray) -> float:
+        """``float(sum(values))`` of the row store, bit for bit.
+
+        int64: the Python sum is exact arbitrary-precision; an int64
+        reduction matches it whenever it cannot wrap, which the magnitude
+        guard proves; otherwise fall back to the exact Python sum.
+        float64: Python's ``sum`` adds sequentially, while ``np.sum`` is
+        pairwise (different rounding); ``np.cumsum`` is defined by the
+        sequential recurrence, so its last element reproduces the row
+        store's rounding exactly.
+        """
+        if values.dtype.kind == "i":
+            bound = max(abs(int(values.max())), abs(int(values.min())))
+            if bound and values.size > (2**62) // bound:
+                return float(sum(values.tolist()))
+            return float(int(values.sum(dtype=np.int64)))
+        return float(np.cumsum(values)[-1])
+
+    def all_in_range(self, name: str, low: float, high: float) -> bool:
+        column = self._numeric(name)
+        exact = column.storage()
+        if exact is not None:
+            return _scalar_in_range(
+                [v for v in exact if v is not None], low, high
+            )
+        values = column.valid_values()
+        if values.size == 0:
+            return True
+        return bool(((values >= low) & (values <= high)).all())
+
+
+# -- the optional DuckDB engine ----------------------------------------------
+
+
+def duckdb_available() -> bool:
+    """True when the optional ``duckdb`` dependency is importable."""
+    try:
+        import duckdb  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class DuckDbEngine(StorageEngine):
+    """Rows in an in-memory DuckDB table; extraction pushed down as SQL.
+
+    Each engine owns one connection holding one table named ``t`` (engines
+    are per-:class:`~repro.database.table.Table`, so no name collisions).
+    Schema column names are validated identifiers, safe to quote into DDL.
+    """
+
+    name = "duckdb"
+
+    _SQL_TYPES = {"INTEGER": "BIGINT", "REAL": "DOUBLE", "TEXT": "VARCHAR"}
+
+    def __init__(self, schema: Schema) -> None:
+        super().__init__(schema)
+        try:
+            import duckdb
+        except ImportError as exc:  # pragma: no cover - exercised sans duckdb
+            raise StorageUnavailable(
+                "the duckdb engine requires the optional duckdb package "
+                "(pip install 'repro[duckdb]')"
+            ) from exc
+        self._conn = duckdb.connect(":memory:")
+        body = ", ".join(
+            f'"{column.name}" {self._SQL_TYPES[column.type]}'
+            + ("" if column.nullable else " NOT NULL")
+            for column in schema.columns
+        )
+        self._conn.execute(f"CREATE TABLE t ({body})")
+        self._insert = "INSERT INTO t VALUES ({})".format(
+            ", ".join("?" for _ in schema.columns)
+        )
+        self._count = 0
+
+    def append_rows(self, rows: Sequence[Row]) -> None:
+        if not rows:
+            return
+        names = self.schema.names
+        self._conn.executemany(
+            self._insert, [tuple(row[name] for name in names) for row in rows]
+        )
+        self._count += len(rows)
+
+    def append_columns(
+        self, columns: dict[str, "np.ndarray | list"], count: int
+    ) -> None:
+        lists = {
+            name: (col.tolist() if isinstance(col, np.ndarray) else list(col))
+            for name, col in columns.items()
+        }
+        names = self.schema.names
+        self._conn.executemany(
+            self._insert,
+            [tuple(lists[name][i] for name in names) for i in range(count)],
+        )
+        self._count += count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def rows(self) -> list[Row]:
+        names = self.schema.names
+        quoted = ", ".join(f'"{name}"' for name in names)
+        fetched = self._conn.execute(f"SELECT {quoted} FROM t").fetchall()
+        return [dict(zip(names, row)) for row in fetched]
+
+    def column_values(self, name: str) -> list[object]:
+        rows = self._conn.execute(f'SELECT "{name}" FROM t').fetchall()
+        return [row[0] for row in rows]
+
+    def numeric_values(self, name: str) -> list:
+        rows = self._conn.execute(
+            f'SELECT "{name}" FROM t WHERE "{name}" IS NOT NULL'
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def top_k(self, name: str, k: int) -> list:
+        rows = self._conn.execute(
+            f'SELECT "{name}" FROM t WHERE "{name}" IS NOT NULL '
+            f'ORDER BY "{name}" DESC LIMIT {int(k)}'
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def bottom_k(self, name: str, k: int) -> list:
+        rows = self._conn.execute(
+            f'SELECT "{name}" FROM t WHERE "{name}" IS NOT NULL '
+            f'ORDER BY "{name}" ASC LIMIT {int(k)}'
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def aggregate(self, name: str, func: str) -> float | None:
+        non_null = self._conn.execute(
+            f'SELECT COUNT("{name}") FROM t'
+        ).fetchone()[0]
+        if func == "count":
+            return float(non_null)
+        if non_null == 0:
+            return None
+        if func not in ("max", "min", "sum", "avg"):
+            raise ValueError(f"unknown aggregate function: {func!r}")
+        value = self._conn.execute(
+            f'SELECT {func.upper()}("{name}") FROM t'
+        ).fetchone()[0]
+        if func in ("sum", "avg"):
+            return float(value)
+        return value
+
+    def all_in_range(self, name: str, low: float, high: float) -> bool:
+        outside = self._conn.execute(
+            f'SELECT COUNT(*) FROM t WHERE "{name}" IS NOT NULL '
+            f'AND NOT ("{name}" >= ? AND "{name}" <= ?)',
+            [low, high],
+        ).fetchone()[0]
+        return outside == 0
+
+
+# -- engine construction -----------------------------------------------------
+
+_ENGINE_CLASSES: dict[str, type[StorageEngine]] = {
+    ROW: RowStoreEngine,
+    COLUMNAR: ColumnarEngine,
+    DUCKDB: DuckDbEngine,
+}
+
+#: A factory callable is also accepted wherever an engine name is: it
+#: receives the schema and must return a fresh, empty engine.
+EngineSpec = "str | Callable[[Schema], StorageEngine] | None"
+
+
+def make_engine(
+    spec: "str | Callable[[Schema], StorageEngine] | None", schema: Schema
+) -> StorageEngine:
+    """Build a fresh engine for one table from a name, factory, or None."""
+    if spec is None:
+        spec = DEFAULT_ENGINE
+    if callable(spec):
+        engine = spec(schema)
+        if not isinstance(engine, StorageEngine):
+            raise TypeError(
+                f"engine factory returned {type(engine).__name__}, "
+                "not a StorageEngine"
+            )
+        return engine
+    if spec not in _ENGINE_CLASSES:
+        raise ValueError(
+            f"unknown storage engine {spec!r}; expected one of {ENGINES} "
+            "or a factory callable"
+        )
+    return _ENGINE_CLASSES[spec](schema)

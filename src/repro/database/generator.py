@@ -124,11 +124,21 @@ class DataGenerator:
         table: str = "data",
         attribute: str = "value",
         owner_prefix: str = "node",
+        engine: str | None = None,
     ) -> list[PrivateDatabase]:
-        """Build one single-table :class:`PrivateDatabase` per node."""
+        """Build one single-table :class:`PrivateDatabase` per node.
+
+        ``engine`` selects the storage engine backing each node's table
+        (see :mod:`repro.database.engines`); the default is the columnar
+        engine, and all engines answer bit-identically.
+        """
         return [
             database_from_values(
-                f"{owner_prefix}{i}", dataset, table=table, attribute=attribute
+                f"{owner_prefix}{i}",
+                dataset,
+                table=table,
+                attribute=attribute,
+                engine=engine,
             )
             for i, dataset in enumerate(self.node_datasets(nodes, values_per_node))
         ]

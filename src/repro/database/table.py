@@ -5,46 +5,85 @@ The protocols only ever ask a private database two things about a table:
 The table nevertheless supports enough of the classic relational operations
 (insert, scan, filtered select, projection, aggregation) to make the example
 applications realistic rather than toy value-lists.
+
+Storage is delegated to a pluggable :class:`~repro.database.engines.StorageEngine`
+(the numpy columnar engine by default — see :mod:`repro.database.engines`),
+which accelerates the predicate-free query paths; validation, the ``where``
+predicate paths, and the ``version`` cache-invalidation counter live here
+and are engine-independent.  All engines answer bit-identically, so which
+one backs a table is a performance choice, never a semantic one.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections.abc import Callable, Iterable, Iterator
+import time
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
+import numpy as np
+
+from .engines import (
+    ExtractionSample,
+    StorageEngine,
+    _scalar_aggregate,
+    extraction_sink,
+    make_engine,
+)
 from .schema import Schema, SchemaError
 
 Row = dict[str, object]
 Predicate = Callable[[Row], bool]
+EngineSpec = "str | Callable[[Schema], StorageEngine] | None"
 
 
 class Table:
-    """A schema-validated, append-oriented in-memory table."""
+    """A schema-validated, append-oriented in-memory table.
 
-    def __init__(self, name: str, schema: Schema) -> None:
+    ``engine`` selects the storage backend: an engine name from
+    :data:`~repro.database.engines.ENGINES` (``"row"``, ``"columnar"``,
+    ``"duckdb"``), a factory callable ``Schema -> StorageEngine``, or
+    ``None`` for the default (columnar).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        engine: "str | Callable[[Schema], StorageEngine] | None" = None,
+    ) -> None:
         if not name:
             raise SchemaError("table name must be non-empty")
         self.name = name
         self.schema = schema
-        self._rows: list[Row] = []
+        self._engine = make_engine(engine, schema)
         self._version = 0
 
+    @property
+    def engine_name(self) -> str:
+        """The backing storage engine's name (``row``/``columnar``/``duckdb``)."""
+        return self._engine.name
+
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._engine)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self._engine.rows())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Table({self.name!r}, columns={self.schema.names}, rows={len(self)})"
 
     # -- mutation ----------------------------------------------------------
 
+    def _normalize(self, row: Row) -> Row:
+        # Engines store full rows: every schema column present, None where
+        # the caller omitted a nullable value (validate_row already treats
+        # a missing key as None, so this changes nothing observable).
+        return {name: row.get(name) for name in self.schema.names}
+
     def insert(self, row: Row) -> None:
         """Insert one row after validating it against the schema."""
         self.schema.validate_row(row)
         # Store a copy so later caller-side mutation cannot corrupt the table.
-        self._rows.append(dict(row))
+        self._engine.append_rows([self._normalize(row)])
         self._version += 1
 
     def insert_many(self, rows: Iterable[Row]) -> int:
@@ -55,11 +94,58 @@ class Table:
         staged = []
         for row in rows:
             self.schema.validate_row(row)
-            staged.append(dict(row))
-        self._rows.extend(staged)
+            staged.append(self._normalize(row))
+        self._engine.append_rows(staged)
         if staged:
             self._version += 1
         return len(staged)
+
+    def insert_arrays(self, columns: dict[str, "Sequence | np.ndarray"]) -> int:
+        """Bulk-insert one value sequence per schema column; returns the count.
+
+        The fast ingestion path for dataset builders: numpy arrays for
+        numeric columns skip per-value validation (the dtype is the proof)
+        and land in columnar storage without ever being boxed.  Arrays are
+        canonicalized *before* any engine sees them — INTEGER to int64,
+        REAL to float64 — so every engine stores identical values; a REAL
+        array containing non-finite values, or any plain-list input, takes
+        the validated scalar path instead.  Counts as one mutation batch
+        (one ``version`` bump), like :meth:`insert_many`.
+        """
+        unknown = set(columns) - set(self.schema.names)
+        if unknown:
+            raise SchemaError(f"unknown columns in batch: {sorted(unknown)}")
+        missing = set(self.schema.names) - set(columns)
+        if missing:
+            raise SchemaError(f"missing columns in batch: {sorted(missing)}")
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged column batch: lengths {sorted(lengths)}")
+        count = lengths.pop() if lengths else 0
+        if count == 0:
+            return 0
+
+        canonical: dict[str, np.ndarray | list] = {}
+        for column in self.schema.columns:
+            values = columns[column.name]
+            array = values if isinstance(values, np.ndarray) else None
+            if array is not None and column.type == "INTEGER" and array.dtype.kind == "i":
+                canonical[column.name] = array.astype(np.int64, copy=False)
+            elif (
+                array is not None
+                and column.type == "REAL"
+                and array.dtype.kind == "f"
+                and bool(np.isfinite(array).all())
+            ):
+                canonical[column.name] = array.astype(np.float64, copy=False)
+            else:
+                listed = array.tolist() if array is not None else list(values)
+                for value in listed:
+                    column.validate(value)
+                canonical[column.name] = listed
+        self._engine.append_columns(canonical, count)
+        self._version += 1
+        return count
 
     @property
     def version(self) -> int:
@@ -74,15 +160,17 @@ class Table:
 
     def scan(self, where: Predicate | None = None) -> list[Row]:
         """Return (copies of) all rows matching ``where``."""
+        rows = self._engine.rows()
         if where is None:
-            return [dict(r) for r in self._rows]
-        return [dict(r) for r in self._rows if where(r)]
+            return rows
+        return [r for r in rows if where(r)]
 
     def project(self, column: str, where: Predicate | None = None) -> list[object]:
         """Return the values of one column, optionally filtered."""
         self.schema.column(column)  # raises on unknown column
-        rows = self._rows if where is None else (r for r in self._rows if where(r))
-        return [r.get(column) for r in rows]
+        if where is None:
+            return self._engine.column_values(column)
+        return [r.get(column) for r in self._engine.rows() if where(r)]
 
     def numeric_values(
         self, column: str, where: Predicate | None = None
@@ -95,7 +183,29 @@ class Table:
         col = self.schema.column(column)
         if not col.is_numeric:
             raise SchemaError(f"column {column!r} is not numeric")
+        if where is None:
+            return self._engine.numeric_values(column)
         return [v for v in self.project(column, where) if v is not None]  # type: ignore[list-item]
+
+    def _extract(self, op: str, column: str, k: int) -> list[float]:
+        sink = extraction_sink()
+        if sink is None:
+            method = getattr(self._engine, op)
+            return method(column, k)
+        start = time.perf_counter()
+        values = getattr(self._engine, op)(column, k)
+        sink(
+            ExtractionSample(
+                engine=self._engine.name,
+                table=self.name,
+                column=column,
+                op=op,
+                rows=len(self._engine),
+                k=k,
+                seconds=time.perf_counter() - start,
+            )
+        )
+        return values
 
     def top_k(
         self, column: str, k: int, where: Predicate | None = None
@@ -108,8 +218,14 @@ class Table:
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        values = self.numeric_values(column, where)
-        return heapq.nlargest(k, values)
+        col = self.schema.column(column)
+        if not col.is_numeric:
+            raise SchemaError(f"column {column!r} is not numeric")
+        if where is None:
+            return self._extract("top_k", column, k)
+        import heapq
+
+        return heapq.nlargest(k, self.numeric_values(column, where))
 
     def bottom_k(
         self, column: str, k: int, where: Predicate | None = None
@@ -117,8 +233,14 @@ class Table:
         """Local bottom-k (ascending) — used by min queries and kNN distances."""
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        values = self.numeric_values(column, where)
-        return heapq.nsmallest(k, values)
+        col = self.schema.column(column)
+        if not col.is_numeric:
+            raise SchemaError(f"column {column!r} is not numeric")
+        if where is None:
+            return self._extract("bottom_k", column, k)
+        import heapq
+
+        return heapq.nsmallest(k, self.numeric_values(column, where))
 
     def aggregate(
         self,
@@ -126,18 +248,34 @@ class Table:
         func: str,
         where: Predicate | None = None,
     ) -> float | None:
-        """Local aggregate: one of ``max``, ``min``, ``sum``, ``count``, ``avg``."""
+        """Local aggregate: one of ``max``, ``min``, ``sum``, ``count``, ``avg``.
+
+        ``count`` counts the column's **non-null** values — consistent with
+        ``sum``/``avg``, which also exclude nulls, so ``avg == sum / count``
+        holds on every table.  (It used to count nulls too, making the three
+        disagree on nullable columns.)  Use ``len(table)`` or
+        ``len(table.scan(where))`` for a row count.
+        """
+        col = self.schema.column(column)
         if func == "count":
-            return float(len(self.project(column, where)))
-        values = self.numeric_values(column, where)
-        if not values:
-            return None
-        if func == "max":
-            return max(values)
-        if func == "min":
-            return min(values)
-        if func == "sum":
-            return float(sum(values))
-        if func == "avg":
-            return float(sum(values)) / len(values)
-        raise ValueError(f"unknown aggregate function: {func!r}")
+            if where is None and col.is_numeric:
+                return self._engine.aggregate(column, "count")
+            return float(sum(1 for v in self.project(column, where) if v is not None))
+        if where is None and col.is_numeric:
+            return self._engine.aggregate(column, func)
+        return _scalar_aggregate(self.numeric_values(column, where), func)
+
+    def values_within(
+        self, column: str, low: float, high: float, where: Predicate | None = None
+    ) -> bool:
+        """True when every non-null value of ``column`` lies in ``[low, high]``.
+
+        The vectorized form of the per-value domain check a database performs
+        before admitting an attribute to a protocol run.
+        """
+        col = self.schema.column(column)
+        if not col.is_numeric:
+            raise SchemaError(f"column {column!r} is not numeric")
+        if where is None:
+            return self._engine.all_in_range(column, low, high)
+        return all(low <= v <= high for v in self.numeric_values(column, where))

@@ -24,11 +24,13 @@ from .series import FigureData, Series
 from .summary import generate_report, write_report
 from .svg_plot import render_svg, write_all_svgs, write_svg
 from .telemetry import (
+    ExtractionProfiler,
     PhaseProfiler,
     PointTelemetry,
     TelemetryCollector,
     TrialTiming,
     collect,
+    profile_extraction,
     profile_phases,
 )
 from .validate import Check, render_scorecard, scorecard, validate_experiment
@@ -37,6 +39,7 @@ __all__ = [
     "Check",
     "EXPERIMENTS",
     "Experiment",
+    "ExtractionProfiler",
     "FigureData",
     "PAPER_TRIALS",
     "PhaseProfiler",
@@ -60,6 +63,7 @@ __all__ = [
     "render_svg",
     "render_table",
     "render_timing",
+    "profile_extraction",
     "profile_phases",
     "resolve_backend",
     "resolve_jobs",

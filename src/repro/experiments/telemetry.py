@@ -240,6 +240,103 @@ def profile_phases() -> Iterator[PhaseProfiler]:
         set_phase_sink(previous)
 
 
+class ExtractionProfiler:
+    """Aggregates node-local extraction samples (``--timing`` output).
+
+    Every protocol run starts with each party's storage engine answering
+    the local top-k; :func:`profile_extraction` installs this profiler as
+    the extraction sink (see :mod:`repro.database.engines`) so a scope can
+    see which engine did the extracting, over how many rows, and how long
+    it took.  Like the phase profiler, this is observability only — the
+    engines are bit-identical, so the numbers never change results.
+    """
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.rows = 0
+        self._engines: dict[str, dict[str, float]] = {}
+
+    def record(self, sample: object) -> None:
+        """Sink for :func:`repro.database.engines.set_extraction_sink`."""
+        self.calls += 1
+        self.rows += sample.rows
+        stats = self._engines.setdefault(
+            sample.engine, {"calls": 0.0, "rows": 0.0, "seconds": 0.0}
+        )
+        stats["calls"] += 1
+        stats["rows"] += sample.rows
+        stats["seconds"] += sample.seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stats["seconds"] for stats in self._engines.values())
+
+    def summary(self) -> dict[str, object]:
+        """Per-engine totals, metadata-embeddable."""
+        return {
+            "calls": self.calls,
+            "rows": self.rows,
+            "engines": {
+                engine: {
+                    "calls": int(stats["calls"]),
+                    "rows": int(stats["rows"]),
+                    "seconds": round(stats["seconds"], 6),
+                }
+                for engine, stats in sorted(self._engines.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable extraction breakdown for ``--timing`` output."""
+        if not self.calls:
+            return "local extraction: no extractions recorded"
+        lines = [
+            f"{'storage engine':<14} {'extracts':>8} {'rows':>12} "
+            f"{'total (s)':>10} {'rows/s':>12}"
+        ]
+        lines.append("-" * len(lines[0]))
+        for engine, stats in sorted(self._engines.items()):
+            seconds = stats["seconds"]
+            rate = stats["rows"] / seconds if seconds > 0 else 0.0
+            lines.append(
+                f"{engine:<14} {int(stats['calls']):>8} {int(stats['rows']):>12} "
+                f"{seconds:>10.4f} {rate:>12.0f}"
+            )
+        lines.append("-" * len(lines[0]))
+        lines.append(
+            f"{self.calls} local extractions over {self.rows} rows in "
+            f"{self.total_seconds:.4f}s"
+        )
+        return "\n".join(lines)
+
+
+@contextmanager
+def profile_extraction() -> Iterator[ExtractionProfiler]:
+    """Scope within which node-local extractions report their timings.
+
+    Installs an :class:`ExtractionProfiler` as the storage engines'
+    extraction sink, chaining to any previously installed sink so nested
+    scopes each see the samples.  Process-local, like the phase sink.  The
+    import is deferred so this observability module stays importable
+    without the database package.
+    """
+    from ..database.engines import set_extraction_sink
+
+    profiler = ExtractionProfiler()
+    previous = set_extraction_sink(None)
+
+    def sink(sample: object) -> None:
+        profiler.record(sample)
+        if previous is not None:
+            previous(sample)
+
+    set_extraction_sink(sink)
+    try:
+        yield profiler
+    finally:
+        set_extraction_sink(previous)
+
+
 class LatencyHistogram:
     """Exact streaming latency distribution with percentile queries.
 

@@ -642,7 +642,10 @@ class Federation:
     ) -> float:
         table = db.table(statement.table)
         if statement.operation == "COUNT":
-            return float(len(table.numeric_values(statement.attribute)))
+            # count = non-null values of the attribute, engine-accelerated;
+            # identical to len(numeric_values(...)) since federated
+            # attributes are numeric by construction.
+            return float(table.aggregate(statement.attribute, "count"))
         value = table.aggregate(statement.attribute, "sum")
         return float(value) if value is not None else 0.0
 

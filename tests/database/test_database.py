@@ -81,6 +81,16 @@ class TestDatabaseFromValues:
         db = database_from_values("x", [1], table="t", attribute="v")
         assert db.table("t").top_k("v", 1) == [1]
 
+    def test_generator_input_is_materialized_once(self):
+        # Regression: the values iterable was consumed twice (type sniff,
+        # then insert), so a generator silently produced an empty table.
+        db = database_from_values("x", (v for v in [3, 1, 2]))
+        assert len(db.table("data")) == 3
+        assert db.table("data").top_k("value", 2) == [3, 2]
+        real = database_from_values("y", iter([1.5, 0.5]))
+        assert real.table("data").schema.column("value").type == "REAL"
+        assert len(real.table("data")) == 2
+
 
 class TestCommonQuery:
     def _db(self, owner: str, schema: Schema) -> PrivateDatabase:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.database.schema import Schema, SchemaError
+from repro.database.schema import Column, Schema, SchemaError
 from repro.database.table import Table
 
 
@@ -116,3 +116,28 @@ class TestAggregates:
     def test_unknown_aggregate(self, sales: Table):
         with pytest.raises(ValueError, match="unknown aggregate"):
             sales.aggregate("amount", "median")
+
+    def test_count_excludes_nulls_so_avg_equals_sum_over_count(self):
+        # Regression: count used to include NULLs while sum/avg excluded
+        # them, so avg != sum/count on nullable columns.
+        table = Table("t", Schema.of(Column("a", "REAL", nullable=True)))
+        table.insert_many([{"a": 2.0}, {"a": None}, {"a": 4.0}, {"a": None}])
+        assert table.aggregate("a", "count") == 2.0
+        assert table.aggregate("a", "sum") == 6.0
+        assert table.aggregate("a", "avg") == table.aggregate(
+            "a", "sum"
+        ) / table.aggregate("a", "count")
+
+    def test_count_non_null_works_on_text_and_with_filter(self):
+        table = Table(
+            "t", Schema.of(Column("tag", "TEXT", nullable=True), ("v", "INTEGER"))
+        )
+        table.insert_many(
+            [
+                {"tag": "a", "v": 1},
+                {"tag": None, "v": 2},
+                {"tag": "b", "v": 3},
+            ]
+        )
+        assert table.aggregate("tag", "count") == 2.0
+        assert table.aggregate("v", "count", lambda r: r["v"] > 1) == 2.0

@@ -1,0 +1,100 @@
+"""The TPC-H-like workload builder: determinism, perturbation, and scale."""
+
+import numpy as np
+import pytest
+
+from repro.database import (
+    LINEITEM_ROWS_PER_SF,
+    LINEITEM_SCHEMA,
+    TPCH_ATTRIBUTE,
+    TPCH_PRICE_DOMAIN,
+    TPCH_TABLE,
+    lineitem_arrays,
+    lineitem_database,
+    lineitem_databases,
+    price_query,
+)
+
+
+def test_arrays_are_deterministic_per_party_seed():
+    a = lineitem_arrays(500, seed=11, party="party0")
+    b = lineitem_arrays(500, seed=11, party="party0")
+    for name in a:
+        assert np.array_equal(a[name], b[name]), name
+
+
+def test_parties_hold_distinct_but_like_shaped_data():
+    a = lineitem_arrays(2_000, seed=11, party="party0")
+    b = lineitem_arrays(2_000, seed=11, party="party1")
+    assert not np.array_equal(a[TPCH_ATTRIBUTE], b[TPCH_ATTRIBUTE])
+    # Same pricing structure: both parties' price ranges are dbgen-like.
+    for arrays in (a, b):
+        prices = arrays[TPCH_ATTRIBUTE]
+        assert prices.min() >= TPCH_PRICE_DOMAIN.low
+        assert prices.max() <= TPCH_PRICE_DOMAIN.high
+
+
+def test_seed_changes_data():
+    a = lineitem_arrays(500, seed=11, party="party0")
+    b = lineitem_arrays(500, seed=12, party="party0")
+    assert not np.array_equal(a[TPCH_ATTRIBUTE], b[TPCH_ATTRIBUTE])
+
+
+def test_prices_follow_quantity_times_unit_price():
+    arrays = lineitem_arrays(5_000, seed=3, party="p", jitter=0.0)
+    quantity = arrays["l_quantity"]
+    prices = arrays[TPCH_ATTRIBUTE]
+    unit = prices / quantity
+    assert unit.min() >= 900.0 - 0.01
+    assert unit.max() <= 2100.0 + 0.01
+    # Prices are rounded to cents.
+    assert np.allclose(prices, np.round(prices, 2))
+
+
+def test_jitter_validation():
+    with pytest.raises(ValueError, match="jitter"):
+        lineitem_arrays(10, seed=0, jitter=0.1)
+    with pytest.raises(ValueError, match="jitter"):
+        lineitem_arrays(10, seed=0, jitter=-0.01)
+    with pytest.raises(ValueError, match="rows"):
+        lineitem_arrays(-1, seed=0)
+
+
+def test_database_sizing_rows_vs_scale_factor():
+    db = lineitem_database("p0", seed=5, rows=1_234)
+    assert len(db.table(TPCH_TABLE)) == 1_234
+    sf = lineitem_database("p1", seed=5, scale_factor=0.0005)
+    assert len(sf.table(TPCH_TABLE)) == int(0.0005 * LINEITEM_ROWS_PER_SF)
+    with pytest.raises(ValueError, match="exactly one"):
+        lineitem_database("p2", seed=5)
+    with pytest.raises(ValueError, match="exactly one"):
+        lineitem_database("p3", seed=5, rows=10, scale_factor=1.0)
+
+
+def test_database_schema_and_domain_check():
+    db = lineitem_database("p0", seed=5, rows=3_000)
+    table = db.table(TPCH_TABLE)
+    assert table.schema.is_compatible_with(LINEITEM_SCHEMA)
+    query = price_query(10)
+    assert db.attribute_domain_check(query)
+    top = db.local_topk(query)
+    assert top == sorted(top, reverse=True)
+    assert len(top) == 10
+
+
+def test_federation_builder_owner_and_determinism():
+    dbs = lineitem_databases(3, seed=9, rows_per_party=800)
+    assert [db.owner for db in dbs] == ["party0", "party1", "party2"]
+    again = lineitem_databases(3, seed=9, rows_per_party=800)
+    q = price_query(5)
+    assert [db.local_topk(q) for db in dbs] == [db.local_topk(q) for db in again]
+    with pytest.raises(ValueError, match="parties"):
+        lineitem_databases(0, seed=9, rows_per_party=10)
+
+
+def test_engine_choice_does_not_change_data():
+    q = price_query(7)
+    row = lineitem_database("p0", seed=21, rows=5_000, engine="row")
+    col = lineitem_database("p0", seed=21, rows=5_000, engine="columnar")
+    assert row.local_topk(q) == col.local_topk(q)
+    assert row.table(TPCH_TABLE).scan()[:50] == col.table(TPCH_TABLE).scan()[:50]

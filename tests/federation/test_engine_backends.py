@@ -1,0 +1,136 @@
+"""End-to-end engine parity: a federation's answers never depend on storage.
+
+The storage engine is a per-party performance choice; every protocol
+outcome — values, rounds, messages, LoP, traces — must be bit-identical
+whichever engine backs the private tables.  These tests run identical
+seeded federations over row-store and columnar parties and compare whole
+outcomes, including a TPC-H-scale run and the cache-invalidation path.
+"""
+
+import pytest
+
+from repro.core.driver import RunConfig, run_topk_query
+from repro.database import (
+    PAPER_DOMAIN,
+    DataGenerator,
+    TopKQuery,
+    database_from_values,
+)
+from repro.database.tpch import (
+    TPCH_PRICE_DOMAIN,
+    TPCH_TABLE,
+    lineitem_databases,
+    price_query,
+)
+from repro.federation import Federation
+
+import random
+
+DATASETS = {
+    "acme": [100, 900, 250, 777],
+    "bravo": [9000, 40, 40],
+    "corex": [7000, 6500, 3],
+    "delta": [5, 1234],
+}
+
+
+def build_federation(engine: str) -> Federation:
+    fed = Federation(domain=PAPER_DOMAIN, seed=7)
+    for owner, values in DATASETS.items():
+        fed.register(database_from_values(owner, values, engine=engine))
+    return fed
+
+
+def outcome_key(outcome):
+    return (
+        outcome.values,
+        outcome.protocol,
+        outcome.rounds,
+        outcome.messages,
+        outcome.cached,
+        outcome.simulated_seconds,
+    )
+
+
+@pytest.mark.parametrize("engine", ["row", "columnar"])
+def test_single_queries_bit_identical_across_engines(engine):
+    reference = build_federation("row")
+    other = build_federation(engine)
+    a = reference.topk("data", "value", 3)
+    b = other.topk("data", "value", 3)
+    assert outcome_key(a) == outcome_key(b)
+    assert outcome_key(reference.bottomk("data", "value", 2)) == outcome_key(
+        other.bottomk("data", "value", 2)
+    )
+    for scalar in ("max", "min", "sum", "count", "avg"):
+        assert getattr(reference, scalar)("data", "value") == getattr(
+            other, scalar
+        )("data", "value")
+
+
+def test_execute_many_and_cache_bit_identical():
+    statements = [
+        "SELECT TOP 3 value FROM data",
+        "SELECT MAX(value) FROM data",
+        "SELECT TOP 3 value FROM data",  # repeat -> cache hit
+        "SELECT AVG(value) FROM data",
+        "SELECT COUNT(value) FROM data",
+    ]
+    row_fed = build_federation("row")
+    col_fed = build_federation("columnar")
+    row_out = row_fed.execute_many(statements)
+    col_out = col_fed.execute_many(statements)
+    assert [outcome_key(o) for o in row_out] == [outcome_key(o) for o in col_out]
+    assert row_out[2].cached and col_out[2].cached
+
+
+def test_cache_invalidation_tracks_data_version_on_both_engines():
+    statement = "SELECT TOP 2 value FROM data"
+    for engine in ("row", "columnar"):
+        fed = Federation(domain=PAPER_DOMAIN, seed=7)
+        databases = {
+            owner: database_from_values(owner, values, engine=engine)
+            for owner, values in DATASETS.items()
+        }
+        for db in databases.values():
+            fed.register(db)
+        first = fed.execute(statement, use_cache=True)
+        assert not first.cached
+        assert fed.execute(statement, use_cache=True).cached
+        # A row landing in one party's table bumps its data_version, which
+        # must invalidate the cached answer on any engine.
+        databases["acme"].insert("data", {"value": 9_999})
+        refreshed = fed.execute(statement, use_cache=True)
+        assert not refreshed.cached
+        assert refreshed.values[0] == 9_999.0
+
+
+def test_generated_workload_parity():
+    gen_row = DataGenerator(rng=random.Random(5))
+    gen_col = DataGenerator(rng=random.Random(5))
+    row_dbs = gen_row.databases(6, 50, engine="row")
+    col_dbs = gen_col.databases(6, 50, engine="columnar")
+    query = TopKQuery(table="data", attribute="value", k=5)
+    config = RunConfig(seed=11)
+    a = run_topk_query(row_dbs, query, config)
+    b = run_topk_query(col_dbs, query, config)
+    assert a.final_vector == b.final_vector
+    assert a.rounds_executed == b.rounds_executed
+    assert a.stats == b.stats
+    assert a.precision() == b.precision() == 1.0
+
+
+def test_tpch_federation_parity():
+    query = price_query(5)
+    config = RunConfig(seed=3)
+    results = {}
+    for engine in ("row", "columnar"):
+        dbs = lineitem_databases(4, seed=17, rows_per_party=4_000, engine=engine)
+        fed = Federation(domain=TPCH_PRICE_DOMAIN, seed=13)
+        fed.register_domain(TPCH_TABLE, query.attribute, TPCH_PRICE_DOMAIN)
+        for db in dbs:
+            fed.register(db)
+        protocol_result = run_topk_query(dbs, query, config)
+        outcome = fed.topk(TPCH_TABLE, query.attribute, 5)
+        results[engine] = (protocol_result.final_vector, outcome_key(outcome))
+    assert results["row"] == results["columnar"]
