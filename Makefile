@@ -6,7 +6,7 @@ PYTHON ?= python3
 JOBS ?= 1
 
 .PHONY: install test lint typecheck cov bench bench-kernel \
-	bench-extraction figures report examples all clean
+	bench-extraction bench-planner figures report examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,10 +23,11 @@ lint:
 	$(PYTHON) -m ruff check src tests benchmarks scripts
 	$(PYTHON) -m ruff format --check src/repro/observability src/repro/service
 
-# Gradual typing: the observability and service layers are the typed
-# frontier; widen the file list as more of the tree is annotated.
+# Gradual typing: the observability, service and planner layers are the
+# typed frontier; widen the file list as more of the tree is annotated.
 typecheck:
-	$(PYTHON) -m mypy src/repro/observability src/repro/service
+	$(PYTHON) -m mypy src/repro/observability src/repro/service \
+		src/repro/planner
 
 # Coverage with a ratcheted floor — raise the threshold when coverage
 # rises, never lower it.
@@ -49,6 +50,11 @@ bench-kernel:
 bench-extraction:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_bench_local_extraction.py -q -s
+
+# Plan latency + cost-aware admission vs depth-only shedding; writes
+# results/BENCH_planner.json and fails below a 1.5x throughput win.
+bench-planner:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_planner.py -q -s
 
 figures:
 	$(PYTHON) -m repro.cli all --trials 100 --no-plot --out results --jobs $(JOBS)

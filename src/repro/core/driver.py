@@ -329,12 +329,13 @@ def run_topk_queries(
     configs: Sequence[RunConfig],
     *,
     traces: "Sequence[TraceContext | None] | None" = None,
+    backend: str = AUTO,
 ) -> list[ProtocolResult]:
     """Batch counterpart of :func:`run_topk_query`: one config per query.
 
     Validates the schema precondition per query, extracts local vectors, and
     pipelines all runs on one shared transport via
-    :func:`run_many_on_vectors`.
+    :func:`run_many_on_vectors`; ``backend`` is forwarded there.
     """
     if len(queries) != len(configs):
         raise DriverError(
@@ -355,7 +356,7 @@ def run_topk_queries(
         )
         if traces is not None:
             _record_extraction(databases, query, traces[index])
-    return run_many_on_vectors(jobs, traces=traces)
+    return run_many_on_vectors(jobs, traces=traces, backend=backend)
 
 
 def derived_rounds(params: ProtocolParams) -> int:

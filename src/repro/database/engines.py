@@ -58,6 +58,7 @@ from typing import ClassVar
 
 import numpy as np
 
+from .predicates import ColumnPredicate, MaskUnsupported
 from .schema import Schema
 
 Row = dict[str, object]
@@ -529,31 +530,46 @@ class ColumnarEngine(StorageEngine):
         exact = column.storage()
         if exact is not None:
             return heapq.nlargest(k, [v for v in exact if v is not None])
-        values = column.valid_values()
-        if values.size == 0:
-            return []
-        if k < values.size:
-            values = np.partition(values, values.size - k)[values.size - k :]
-        return self._to_list(np.sort(values)[::-1])
+        return self.top_k_array(column.valid_values(), k)
 
     def bottom_k(self, name: str, k: int) -> list:
         column = self._numeric(name)
         exact = column.storage()
         if exact is not None:
             return heapq.nsmallest(k, [v for v in exact if v is not None])
-        values = column.valid_values()
-        if values.size == 0:
-            return []
-        if k < values.size:
-            values = np.partition(values, k - 1)[:k]
-        return self._to_list(np.sort(values))
+        return self.bottom_k_array(column.valid_values(), k)
 
     def aggregate(self, name: str, func: str) -> float | None:
         column = self._numeric(name)
         exact = column.storage()
         if exact is not None:
             return _scalar_aggregate([v for v in exact if v is not None], func)
-        values = column.valid_values()
+        return self.aggregate_array(column.valid_values(), func)
+
+    # -- array kernels (shared by the no-predicate and masked paths) --
+
+    def top_k_array(self, values: np.ndarray, k: int) -> list:
+        """Largest ``k`` of an already-extracted value array, descending."""
+        if values.size == 0:
+            return []
+        if k < values.size:
+            values = np.partition(values, values.size - k)[values.size - k :]
+        return self._to_list(np.sort(values)[::-1])
+
+    def bottom_k_array(self, values: np.ndarray, k: int) -> list:
+        """Smallest ``k`` of an already-extracted value array, ascending."""
+        if values.size == 0:
+            return []
+        if k < values.size:
+            values = np.partition(values, k - 1)[:k]
+        return self._to_list(np.sort(values))
+
+    def aggregate_array(self, values: np.ndarray, func: str) -> float | None:
+        """Aggregate an already-extracted value array, row-store semantics.
+
+        Keeps :func:`_scalar_aggregate`'s quirk that an unknown function
+        over an empty array returns ``None`` before the name is checked.
+        """
         if func == "count":
             return float(values.size)
         if values.size == 0:
@@ -566,6 +582,12 @@ class ColumnarEngine(StorageEngine):
             total = self._exact_sum(values)
             return total if func == "sum" else total / values.size
         raise ValueError(f"unknown aggregate function: {func!r}")
+
+    def in_range_array(self, values: np.ndarray, low: float, high: float) -> bool:
+        """True when every value of an extracted array lies in [low, high]."""
+        if values.size == 0:
+            return True
+        return bool(((values >= low) & (values <= high)).all())
 
     @staticmethod
     def _reduced(value: "np.generic") -> float:
@@ -598,10 +620,47 @@ class ColumnarEngine(StorageEngine):
             return _scalar_in_range(
                 [v for v in exact if v is not None], low, high
             )
-        values = column.valid_values()
-        if values.size == 0:
-            return True
-        return bool(((values >= low) & (values <= high)).all())
+        return self.in_range_array(column.valid_values(), low, high)
+
+    # -- structured-predicate support --
+
+    def try_mask(self, predicate: "ColumnPredicate") -> "np.ndarray | None":
+        """Compile a structured predicate to a row-selection mask.
+
+        Returns ``None`` — "use the scalar path" — whenever any referenced
+        column cannot be vectorized exactly: a TEXT column, a spilled
+        column, or a comparison the predicate itself refuses to vectorize
+        (:class:`~repro.database.predicates.MaskUnsupported`).  A returned
+        mask selects exactly the rows the predicate's scalar evaluation
+        would accept, in insertion order.
+        """
+        arrays: dict[str, tuple[np.ndarray, np.ndarray | None]] = {}
+        for name in predicate.columns():
+            column = self._columns.get(name)
+            if not isinstance(column, _NumericColumn):
+                return None
+            if column.storage() is not None:  # spilled: exact path only
+                return None
+            arrays[name] = column.materialize()
+        try:
+            return predicate.mask(arrays)
+        except MaskUnsupported:
+            return None
+
+    def masked_numeric(
+        self, name: str, row_mask: np.ndarray
+    ) -> "np.ndarray | None":
+        """Non-null values of ``name`` in mask-selected rows, in order.
+
+        ``None`` when the target column itself cannot vectorize (spilled);
+        the caller then re-evaluates the predicate on the scalar path.
+        """
+        column = self._numeric(name)
+        if column.storage() is not None:
+            return None
+        values, valid = column.materialize()
+        select = row_mask if valid is None else row_mask & valid
+        return values[select]
 
 
 # -- the optional DuckDB engine ----------------------------------------------

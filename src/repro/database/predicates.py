@@ -1,0 +1,330 @@
+"""Structured ``where`` predicates that compile to numpy masks.
+
+``Table`` has always accepted an arbitrary ``Callable[[Row], bool]`` for its
+``where=`` parameter, which forces every filtered query down the scalar
+row-at-a-time path — the one path the columnar engine cannot accelerate,
+because an opaque callable must be handed a materialized row dict.  This
+module adds the structured alternative: a small predicate algebra
+(:class:`Comparison` leaves combined with :class:`And`/:class:`Or`/
+:class:`Not` via ``&``/``|``/``~``) whose trees are *both*:
+
+- row-callable — every predicate is itself a ``Callable[[Row], bool]``, so
+  it drops into any existing ``where=`` site and works on every engine; and
+- mask-compilable — :meth:`ColumnPredicate.mask` evaluates the whole tree as
+  numpy boolean operations over the columnar engine's contiguous arrays.
+
+The two evaluations are exactly equivalent by construction: a
+:class:`Comparison` on a ``None`` value is ``False`` (a null never satisfies
+a comparison, matching the scalar path's treatment of missing values), the
+combinators are pure boolean algebra on top — note this means ``~(x > 5)``
+*does* match null rows, on both paths — and the engine refuses to vectorize
+(:class:`MaskUnsupported`, surfaced as a scalar fallback) whenever exactness
+is in doubt: a spilled column, a TEXT column, or an int64/float comparison
+whose magnitudes exceed float64's exact-integer range.  Which path answered
+is therefore a performance fact, never a semantic one — the same guarantee
+the storage engines themselves make.
+
+Build predicates with the :func:`col` helper::
+
+    from repro.database import col
+
+    pred = (col("price") > 10.0) & ~(col("qty") == 0)
+    table.top_k("price", 5, where=pred)      # vectorized on columnar
+    table.scan(where=pred)                    # same object, any engine
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+Row = dict[str, object]
+
+#: Comparison operators, by their surface spelling.
+OPERATORS: dict[str, object] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Largest magnitude at which every int64 is exactly representable as a
+#: float64 — beyond it, an int-column-vs-float comparison could round
+#: differently than Python's exact mixed comparison, so we refuse to
+#: vectorize rather than risk a one-ulp disagreement with the scalar path.
+_EXACT_FLOAT_INT = 2**53
+
+_INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+
+class MaskUnsupported(Exception):
+    """A predicate (or one leaf of it) cannot be vectorized exactly.
+
+    Raised from :meth:`ColumnPredicate.mask` and caught by the engine's
+    ``try_mask``, which then reports "no mask" so the caller falls back to
+    the scalar path.  Never escapes to ``Table`` users.
+    """
+
+
+class ColumnPredicate(ABC):
+    """A ``where`` predicate that is both row-callable and mask-compilable.
+
+    Instances are immutable and freely shareable between queries.  Compose
+    with ``&`` (and), ``|`` (or) and ``~`` (not).
+    """
+
+    @abstractmethod
+    def __call__(self, row: Row) -> bool:
+        """Scalar evaluation against one row dict (any engine)."""
+
+    @abstractmethod
+    def columns(self) -> frozenset[str]:
+        """Every column name the predicate reads."""
+
+    @abstractmethod
+    def leaves(self) -> "Iterator[Comparison]":
+        """Every :class:`Comparison` leaf, left to right."""
+
+    @abstractmethod
+    def mask(
+        self, arrays: Mapping[str, "tuple[np.ndarray, np.ndarray | None]"]
+    ) -> "np.ndarray":
+        """Vectorized evaluation: one bool per row, given each referenced
+        column's ``(values, validity-mask-or-None)`` pair as produced by the
+        columnar engine's ``materialize()``."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Deterministic human-readable rendering of the predicate."""
+
+    def __and__(self, other: "ColumnPredicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "ColumnPredicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.describe()})"
+
+
+@dataclass(frozen=True, eq=False)
+class Comparison(ColumnPredicate):
+    """``column <op> value`` — the leaf of every predicate tree.
+
+    A ``None`` stored value never satisfies a comparison (both paths).
+    """
+
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise ValueError(
+                f"unknown comparison operator {self.op!r}; "
+                f"expected one of {sorted(OPERATORS)}"
+            )
+
+    def __call__(self, row: Row) -> bool:
+        stored = row.get(self.column)
+        if stored is None:
+            return False
+        return bool(OPERATORS[self.op](stored, self.value))  # type: ignore[operator]
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.column,))
+
+    def leaves(self) -> Iterator["Comparison"]:
+        yield self
+
+    def mask(
+        self, arrays: Mapping[str, "tuple[np.ndarray, np.ndarray | None]"]
+    ) -> "np.ndarray":
+        values, valid = arrays[self.column]
+        self._check_exact(values)
+        matched = OPERATORS[self.op](values, self.value)  # type: ignore[operator]
+        if valid is not None:
+            matched = matched & valid
+        return matched
+
+    def _check_exact(self, values: "np.ndarray") -> None:
+        """Refuse vectorization when numpy's comparison could round.
+
+        Python compares int-vs-float exactly at any magnitude; numpy casts
+        int64 to float64 first, which is only lossless up to 2**53.  A
+        Python int beyond the int64 range would not even broadcast.  Both
+        cases fall back to the (exact) scalar path.
+        """
+        if not isinstance(self.value, (int, float)) or isinstance(
+            self.value, bool
+        ):
+            if values.dtype.kind in "if":
+                raise MaskUnsupported(
+                    f"cannot compare numeric column {self.column!r} "
+                    f"to {type(self.value).__name__} value"
+                )
+            return
+        if isinstance(self.value, int) and not (
+            _INT64_MIN <= self.value <= _INT64_MAX
+        ):
+            raise MaskUnsupported("comparison value outside int64 range")
+        if (
+            values.dtype.kind == "i"
+            and isinstance(self.value, float)
+            and values.size
+        ):
+            bound = max(abs(int(values.min())), abs(int(values.max())))
+            if bound > _EXACT_FLOAT_INT:
+                raise MaskUnsupported(
+                    "int64 magnitudes exceed float64's exact range"
+                )
+
+    def describe(self) -> str:
+        return f"{self.column} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True, eq=False)
+class And(ColumnPredicate):
+    """Both operands hold."""
+
+    left: ColumnPredicate
+    right: ColumnPredicate
+
+    def __call__(self, row: Row) -> bool:
+        return self.left(row) and self.right(row)
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def leaves(self) -> Iterator[Comparison]:
+        yield from self.left.leaves()
+        yield from self.right.leaves()
+
+    def mask(
+        self, arrays: Mapping[str, "tuple[np.ndarray, np.ndarray | None]"]
+    ) -> "np.ndarray":
+        return self.left.mask(arrays) & self.right.mask(arrays)
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} AND {self.right.describe()})"
+
+
+@dataclass(frozen=True, eq=False)
+class Or(ColumnPredicate):
+    """Either operand holds."""
+
+    left: ColumnPredicate
+    right: ColumnPredicate
+
+    def __call__(self, row: Row) -> bool:
+        return self.left(row) or self.right(row)
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def leaves(self) -> Iterator[Comparison]:
+        yield from self.left.leaves()
+        yield from self.right.leaves()
+
+    def mask(
+        self, arrays: Mapping[str, "tuple[np.ndarray, np.ndarray | None]"]
+    ) -> "np.ndarray":
+        return self.left.mask(arrays) | self.right.mask(arrays)
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} OR {self.right.describe()})"
+
+
+@dataclass(frozen=True, eq=False)
+class Not(ColumnPredicate):
+    """Pure logical negation of the operand.
+
+    Because a null never satisfies a :class:`Comparison`, ``~(x > 5)``
+    matches rows where ``x`` is null — identically on both paths.
+    """
+
+    inner: ColumnPredicate
+
+    def __call__(self, row: Row) -> bool:
+        return not self.inner(row)
+
+    def columns(self) -> frozenset[str]:
+        return self.inner.columns()
+
+    def leaves(self) -> Iterator[Comparison]:
+        yield from self.inner.leaves()
+
+    def mask(
+        self, arrays: Mapping[str, "tuple[np.ndarray, np.ndarray | None]"]
+    ) -> "np.ndarray":
+        return ~self.inner.mask(arrays)
+
+    def describe(self) -> str:
+        return f"(NOT {self.inner.describe()})"
+
+
+class ColumnRef:
+    """Comparison builder: ``col("price") > 10`` → ``Comparison``.
+
+    Note ``==``/``!=`` build predicates instead of comparing refs, so
+    ``ColumnRef`` instances are deliberately unhashable and unordered.
+    """
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __eq__(self, value: object) -> Comparison:  # type: ignore[override]
+        return Comparison(self.name, "==", value)
+
+    def __ne__(self, value: object) -> Comparison:  # type: ignore[override]
+        return Comparison(self.name, "!=", value)
+
+    def __lt__(self, value: object) -> Comparison:
+        return Comparison(self.name, "<", value)
+
+    def __le__(self, value: object) -> Comparison:
+        return Comparison(self.name, "<=", value)
+
+    def __gt__(self, value: object) -> Comparison:
+        return Comparison(self.name, ">", value)
+
+    def __ge__(self, value: object) -> Comparison:
+        return Comparison(self.name, ">=", value)
+
+    def between(self, low: object, high: object) -> And:
+        """Inclusive range: ``low <= column <= high``."""
+        return And(
+            Comparison(self.name, ">=", low), Comparison(self.name, "<=", high)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"col({self.name!r})"
+
+
+def col(name: str) -> ColumnRef:
+    """Reference a column for predicate building: ``col("x") >= 3``."""
+    return ColumnRef(name)
+
+
+__all__ = [
+    "And",
+    "ColumnPredicate",
+    "ColumnRef",
+    "Comparison",
+    "MaskUnsupported",
+    "Not",
+    "OPERATORS",
+    "Or",
+    "col",
+]

@@ -28,9 +28,14 @@ from .engines import (
     extraction_sink,
     make_engine,
 )
+from .predicates import ColumnPredicate
 from .schema import Schema, SchemaError
 
 Row = dict[str, object]
+#: ``where=`` accepts any row callable; a structured
+#: :class:`~repro.database.predicates.ColumnPredicate` (see
+#: :func:`~repro.database.predicates.col`) additionally unlocks the
+#: vectorized filtered-query path on the columnar engine.
 Predicate = Callable[[Row], bool]
 EngineSpec = "str | Callable[[Schema], StorageEngine] | None"
 
@@ -158,18 +163,64 @@ class Table:
 
     # -- queries -----------------------------------------------------------
 
+    def _row_mask(self, where: Predicate) -> "np.ndarray | None":
+        """Vectorize a structured predicate, or ``None`` for the scalar path.
+
+        Structured predicates are schema-checked here (on *every* engine —
+        a typo'd column name should raise, not silently match nothing),
+        then handed to the engine's ``try_mask`` hook if it has one.  A
+        ``None`` return means "evaluate ``where`` row by row instead": the
+        predicate is an opaque callable, the engine has no mask support, or
+        a referenced column cannot vectorize exactly (spilled / TEXT).
+        """
+        if not isinstance(where, ColumnPredicate):
+            return None
+        unknown = set(where.columns()) - set(self.schema.names)
+        if unknown:
+            raise SchemaError(
+                f"predicate references unknown columns: {sorted(unknown)}"
+            )
+        try_mask = getattr(self._engine, "try_mask", None)
+        if try_mask is None:
+            return None
+        return try_mask(where)
+
+    def _masked_values(
+        self, column: str, where: Predicate
+    ) -> "np.ndarray | None":
+        """Filtered non-null values of a numeric column as an array.
+
+        ``None`` means the scalar fallback must run (and will agree).
+        """
+        mask = self._row_mask(where)
+        if mask is None:
+            return None
+        return self._engine.masked_numeric(column, mask)  # type: ignore[attr-defined]
+
     def scan(self, where: Predicate | None = None) -> list[Row]:
         """Return (copies of) all rows matching ``where``."""
-        rows = self._engine.rows()
         if where is None:
-            return rows
-        return [r for r in rows if where(r)]
+            return self._engine.rows()
+        mask = self._row_mask(where)
+        if mask is not None:
+            # Build only the selected rows, straight from column storage.
+            names = self.schema.names
+            columns = [self._engine.column_values(name) for name in names]
+            return [
+                {name: col[i] for name, col in zip(names, columns)}
+                for i in np.flatnonzero(mask)
+            ]
+        return [r for r in self._engine.rows() if where(r)]
 
     def project(self, column: str, where: Predicate | None = None) -> list[object]:
         """Return the values of one column, optionally filtered."""
         self.schema.column(column)  # raises on unknown column
         if where is None:
             return self._engine.column_values(column)
+        mask = self._row_mask(where)
+        if mask is not None:
+            values = self._engine.column_values(column)
+            return [values[i] for i in np.flatnonzero(mask)]
         return [r.get(column) for r in self._engine.rows() if where(r)]
 
     def numeric_values(
@@ -185,6 +236,9 @@ class Table:
             raise SchemaError(f"column {column!r} is not numeric")
         if where is None:
             return self._engine.numeric_values(column)
+        masked = self._masked_values(column, where)
+        if masked is not None:
+            return self._engine._to_list(masked)  # type: ignore[attr-defined]
         return [v for v in self.project(column, where) if v is not None]  # type: ignore[list-item]
 
     def _extract(self, op: str, column: str, k: int) -> list[float]:
@@ -223,6 +277,9 @@ class Table:
             raise SchemaError(f"column {column!r} is not numeric")
         if where is None:
             return self._extract("top_k", column, k)
+        masked = self._masked_values(column, where)
+        if masked is not None:
+            return self._engine.top_k_array(masked, k)  # type: ignore[attr-defined]
         import heapq
 
         return heapq.nlargest(k, self.numeric_values(column, where))
@@ -238,6 +295,9 @@ class Table:
             raise SchemaError(f"column {column!r} is not numeric")
         if where is None:
             return self._extract("bottom_k", column, k)
+        masked = self._masked_values(column, where)
+        if masked is not None:
+            return self._engine.bottom_k_array(masked, k)  # type: ignore[attr-defined]
         import heapq
 
         return heapq.nsmallest(k, self.numeric_values(column, where))
@@ -257,12 +317,14 @@ class Table:
         ``len(table.scan(where))`` for a row count.
         """
         col = self.schema.column(column)
-        if func == "count":
-            if where is None and col.is_numeric:
-                return self._engine.aggregate(column, "count")
-            return float(sum(1 for v in self.project(column, where) if v is not None))
         if where is None and col.is_numeric:
             return self._engine.aggregate(column, func)
+        if where is not None and col.is_numeric:
+            masked = self._masked_values(column, where)
+            if masked is not None:
+                return self._engine.aggregate_array(masked, func)  # type: ignore[attr-defined]
+        if func == "count":
+            return float(sum(1 for v in self.project(column, where) if v is not None))
         return _scalar_aggregate(self.numeric_values(column, where), func)
 
     def values_within(
@@ -278,4 +340,7 @@ class Table:
             raise SchemaError(f"column {column!r} is not numeric")
         if where is None:
             return self._engine.all_in_range(column, low, high)
+        masked = self._masked_values(column, where)
+        if masked is not None:
+            return self._engine.in_range_array(masked, low, high)  # type: ignore[attr-defined]
         return all(low <= v <= high for v in self.numeric_values(column, where))

@@ -21,6 +21,7 @@ from . import (
     ext_communication,
     ext_distributions,
     ext_noise,
+    ext_tpch_sweep,
     fig3,
     fig4,
     fig5,
@@ -124,6 +125,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "ext-bound-check", "Section 5.3 claim", "extension",
             "measured per-round LoP against the Equation 6 bound",
             ext_bound_check.run,
+        ),
+        Experiment(
+            "ext-tpch-sweep", "ROADMAP scale item", "extension",
+            "extraction seconds and planner drift vs TPC-H scale factor",
+            ext_tpch_sweep.run,
         ),
     )
 }

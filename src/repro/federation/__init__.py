@@ -8,7 +8,13 @@ execution is auditable.
 
 from .audit import AuditEntry, AuditLog
 from .cache import CachedAnswer, CacheKey, ResultCache, canonical_statement
-from .coordinator import Federation, FederationError, QueryOutcome, QueryRefused
+from .coordinator import (
+    Federation,
+    FederationError,
+    PlanInfeasible,
+    QueryOutcome,
+    QueryRefused,
+)
 from .policy import (
     ADDITIVE,
     ANY,
@@ -40,6 +46,7 @@ __all__ = [
     "FederatedStatement",
     "Federation",
     "FederationError",
+    "PlanInfeasible",
     "PolicyError",
     "PolicyViolation",
     "RANKING",

@@ -32,12 +32,17 @@ import random
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, replace
 
-from ..core.driver import RunConfig, run_topk_queries, run_topk_query
+from ..core.driver import AUTO, SESSION, RunConfig, run_topk_queries, run_topk_query
 from ..core.results import ProtocolResult
 from ..database.database import PrivateDatabase, common_query
 from ..database.query import Domain, TopKQuery
 from ..extensions.securesum import run_secure_sum
 from ..observability.trace import TraceContext, Tracer
+from ..planner.errors import PlanInfeasible
+from ..planner.plan import SESSION as PLAN_SESSION
+from ..planner.plan import Plan
+from ..planner.planner import QueryPlanner
+from ..planner.spec import QuerySpec, parse_spec
 from ..privacy.accounting import BudgetExceededError, ExposureLedger
 from ..privacy.lop import average_lop
 from .audit import AuditEntry, AuditLog
@@ -108,6 +113,7 @@ class Federation:
         policy: "AccessPolicy | None" = None,
         cache_entries: int = 1024,
         tracer: "Tracer | None" = None,
+        planner: "QueryPlanner | None" = None,
     ) -> None:
         """``privacy_budget`` caps any party's *cumulative* measured exposure
         across the session's ranking queries (see
@@ -119,7 +125,9 @@ class Federation:
         records a distributed trace per executed ranking query (see
         :mod:`repro.observability`); callers that already carry a trace —
         the query service's batch spans — pass per-statement contexts to
-        the batch methods instead.
+        the batch methods instead.  ``planner`` resolves statements carrying
+        ``WITH SLO(...)`` clauses (see :mod:`repro.planner`); the default
+        plans against this federation's base config.
         """
         self.domain = domain
         self._base_config = config or RunConfig()
@@ -139,6 +147,11 @@ class Federation:
         self.policy = policy
         self.cache = ResultCache(max_entries=cache_entries)
         self.tracer = tracer
+        self.planner = (
+            planner
+            if planner is not None
+            else QueryPlanner(base_config=self._base_config)
+        )
 
     # -- domains ------------------------------------------------------------
 
@@ -228,14 +241,24 @@ class Federation:
         data) is served from the result cache without running any protocol
         or charging new exposure.  The default re-executes unconditionally,
         matching the classic single-query semantics.
+
+        Statements may carry a ``WITH SLO(...)`` suffix (see
+        :mod:`repro.planner`): the planner resolves it to a concrete
+        protocol/parameter choice, or raises
+        :class:`~repro.planner.errors.PlanInfeasible` when no
+        configuration can satisfy it.
         """
         if use_cache:
             return self.execute_many([statement_text], issuer=issuer)[0]
-        statement = parse(statement_text)
+        spec = parse_spec(statement_text)
+        statement = spec.statement
         if self.policy is not None:
             self.policy.check(issuer, statement)
+        plan = None
+        if not spec.slo.is_trivial:
+            plan = self.planner.plan(spec, parties=len(self._parties))
         if statement.is_ranking:
-            return self._run_ranking(statement, issuer)
+            return self._run_ranking(statement, issuer, plan=plan)
         return self._run_additive(statement, issuer)
 
     def try_cached(
@@ -249,8 +272,12 @@ class Federation:
         slot.  A miss returns ``None`` without counting a cache miss or
         consuming a quota unit; the statement will be charged for both when
         it actually executes.
+
+        SLO'd statements share the cache with their bare form: the cached
+        answer is already public and costs zero rounds, zero messages, and
+        zero new exposure, which satisfies any declared objective.
         """
-        statement = parse(statement_text)
+        statement = parse_spec(statement_text).statement
         answer = self.cache.peek(self._cache_key(statement))
         if answer is None:
             return None
@@ -265,6 +292,7 @@ class Federation:
         *,
         issuer: str = "anonymous",
         traces: "Sequence[TraceContext | None] | None" = None,
+        plans: "Sequence[Plan | None] | None" = None,
     ) -> list[QueryOutcome]:
         """Serve a batch of statements: dedupe, cache, and pipeline.
 
@@ -295,9 +323,14 @@ class Federation:
         session interrupted at the same point).  Long-running services that
         must degrade per-statement instead use
         :meth:`execute_many_settled`.
+
+        ``plans`` optionally supplies a pre-resolved
+        :class:`~repro.planner.plan.Plan` per statement (the gateway's
+        cost-admission path, which may have downgraded); ``None`` entries
+        fall back to planning here when the statement carries an SLO.
         """
         outcomes = self._execute_batch(
-            list(statements), issuer, settle=False, traces=traces
+            list(statements), issuer, settle=False, traces=traces, plans=plans
         )
         return outcomes  # type: ignore[return-value]  # no refusals when raising
 
@@ -307,19 +340,22 @@ class Federation:
         *,
         issuer: str = "anonymous",
         traces: "Sequence[TraceContext | None] | None" = None,
+        plans: "Sequence[Plan | None] | None" = None,
     ) -> "list[QueryOutcome | QueryRefused]":
         """:meth:`execute_many`, but refusals settle per statement.
 
         The query service's batch hook: a statement that cannot be served —
-        malformed, denied by policy, or refused by the privacy budget —
-        yields a :class:`QueryRefused` at its position while every other
-        statement in the batch is served normally.  Seed draws still happen
-        in statement order for every statement that *plans* (refused
+        malformed, denied by policy, refused by the privacy budget, or
+        carrying an SLO no plan can satisfy
+        (:class:`~repro.planner.errors.PlanInfeasible`) — yields a
+        :class:`QueryRefused` at its position while every other statement
+        in the batch is served normally.  Seed draws still happen in
+        statement order for every statement that *plans* (refused
         statements never plan), so served statements stay bit-identical to
         a sequential session that skipped the same refusals.
         """
         return self._execute_batch(
-            list(statements), issuer, settle=True, traces=traces
+            list(statements), issuer, settle=True, traces=traces, plans=plans
         )
 
     def _execute_batch(
@@ -328,6 +364,7 @@ class Federation:
         issuer: str,
         settle: bool,
         traces: "Sequence[TraceContext | None] | None" = None,
+        plans: "Sequence[Plan | None] | None" = None,
     ) -> "list[QueryOutcome | QueryRefused]":
         if not statements:
             return []
@@ -336,22 +373,30 @@ class Federation:
                 f"got {len(statements)} statements but {len(traces)} "
                 "trace contexts"
             )
+        if plans is not None and len(plans) != len(statements):
+            raise FederationError(
+                f"got {len(statements)} statements but {len(plans)} plans"
+            )
         refusals: dict[int, Exception] = {}
         parsed: list[FederatedStatement | None]
+        specs: list[QuerySpec | None]
         if settle:
             parsed = []
+            specs = []
             for index, text in enumerate(statements):
-                statement: FederatedStatement | None
+                spec: QuerySpec | None
                 try:
-                    statement = parse(text)
+                    spec = parse_spec(text)
                     if self.policy is not None:
-                        self.policy.check(issuer, statement)
+                        self.policy.check(issuer, spec.statement)
                 except (SqlError, PolicyViolation) as exc:
                     refusals[index] = exc
-                    statement = None
-                parsed.append(statement)
+                    spec = None
+                specs.append(spec)
+                parsed.append(spec.statement if spec is not None else None)
         else:
-            parsed = list(parse(text) for text in statements)
+            specs = [parse_spec(text) for text in statements]
+            parsed = [spec.statement for spec in specs]  # type: ignore[union-attr]
             if self.policy is not None:
                 for checked in parsed:
                     assert checked is not None
@@ -367,18 +412,40 @@ class Federation:
         # occurrence of each canonical form not already cached), drawing
         # their seeds in statement order — exactly the draws a sequential
         # session would make, which is what the parity guarantee rests on.
+        # SLO'd statements resolve to a Plan here (or reuse the caller's);
+        # a PlanInfeasible statement never draws a seed, exactly like any
+        # other refusal.  Cache hits skip planning entirely: a free,
+        # already-public answer satisfies any declared objective.
         planned: set[CacheKey] = set()
         ranking_indices: list[int] = []
         ranking_configs: dict[int, RunConfig] = {}
+        ranking_plans: dict[int, Plan] = {}
         additive_seeds: dict[int, tuple[int | None, int | None]] = {}
         for index, (statement, key) in enumerate(zip(parsed, keys)):
             if statement is None or key is None:
                 continue  # refused at parse/policy time; never plans
             if key in planned or self.cache.peek(key) is not None:
                 continue
+            plan = plans[index] if plans is not None else None
+            spec = specs[index]
+            if plan is None and spec is not None and not spec.slo.is_trivial:
+                try:
+                    plan = self.planner.plan(spec, parties=len(databases))
+                except PlanInfeasible as exc:
+                    if not settle:
+                        raise
+                    refusals[index] = exc
+                    parsed[index] = None
+                    continue
             planned.add(key)
             if statement.is_ranking:
-                ranking_configs[index] = self._next_config()
+                config = self._next_config()
+                if plan is not None and plan.params is not None:
+                    config = replace(
+                        config, protocol=plan.protocol, params=plan.params
+                    )
+                    ranking_plans[index] = plan
+                ranking_configs[index] = config
                 ranking_indices.append(index)
             else:
                 sum_seed = (
@@ -411,11 +478,23 @@ class Federation:
                 ]
             else:
                 ranking_traces = None
+            # One substrate serves the whole batch (results are
+            # bit-identical on either); a single plan pinning the session
+            # backend pins it for the batch.
+            backend = (
+                SESSION
+                if any(
+                    plan.backend == PLAN_SESSION
+                    for plan in ranking_plans.values()
+                )
+                else AUTO
+            )
             results = run_topk_queries(
                 databases,
                 [self._ranking_query(parsed[i]) for i in ranking_indices],
                 [ranking_configs[i] for i in ranking_indices],
                 traces=ranking_traces,
+                backend=backend,
             )
             ranking_results = dict(zip(ranking_indices, results))
 
@@ -566,7 +645,10 @@ class Federation:
         )
 
     def _run_ranking(
-        self, statement: FederatedStatement, issuer: str
+        self,
+        statement: FederatedStatement,
+        issuer: str,
+        plan: "Plan | None" = None,
     ) -> QueryOutcome:
         databases = self._require_quorum()
         trace = None
@@ -574,9 +656,11 @@ class Federation:
             trace = self.tracer.new_trace(
                 name=statement.text, baggage={"issuer": issuer}
             )
+        config = self._next_config()
+        if plan is not None and plan.params is not None:
+            config = replace(config, protocol=plan.protocol, params=plan.params)
         result = run_topk_query(
-            databases, self._ranking_query(statement), self._next_config(),
-            trace=trace,
+            databases, self._ranking_query(statement), config, trace=trace
         )
         return self._finish_ranking(statement, issuer, result)
 
@@ -742,6 +826,7 @@ def replace_operation(
 __all__ = [
     "Federation",
     "FederationError",
+    "PlanInfeasible",
     "QueryOutcome",
     "QueryRefused",
     "SqlError",

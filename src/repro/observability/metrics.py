@@ -520,6 +520,9 @@ class MetricsRegistry:
             "shed_overload",
             "shed_rate_limited",
             "shed_deadline",
+            "shed_cost",
+            "downgraded",
+            "plan_infeasible",
         )
         family = self.counter(
             "repro_service_queries_total",

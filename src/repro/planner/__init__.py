@@ -1,0 +1,37 @@
+"""Cost- and privacy-aware query planning (ISSUE 8).
+
+Turns declarative per-statement SLOs — ``... WITH SLO(epsilon=1e-4,
+max_lop=0.3, deadline=0.05)`` — into concrete protocol / parameter /
+backend choices, using the paper's own analysis (Equations 4–6) composed
+with measured calibration constants.  See ``docs/PLANNER.md``.
+"""
+
+from .accuracy import PredictionLedger
+from .cost import NAIVE, PROBABILISTIC, SECURE_SUM, Calibration, CostEstimate, CostModel
+from .errors import PlanInfeasible
+from .plan import BATCH_KERNEL, ECONOMY, MODES, QUALITY, SESSION, Plan
+from .planner import DEFAULT_EPSILON, QueryPlanner
+from .spec import QuerySpec, Slo, SloError, parse_spec
+
+__all__ = [
+    "BATCH_KERNEL",
+    "Calibration",
+    "CostEstimate",
+    "CostModel",
+    "DEFAULT_EPSILON",
+    "ECONOMY",
+    "MODES",
+    "NAIVE",
+    "PROBABILISTIC",
+    "Plan",
+    "PlanInfeasible",
+    "PredictionLedger",
+    "QUALITY",
+    "QuerySpec",
+    "QueryPlanner",
+    "SECURE_SUM",
+    "SESSION",
+    "Slo",
+    "SloError",
+    "parse_spec",
+]

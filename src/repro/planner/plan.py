@@ -1,0 +1,119 @@
+"""The plan object: one chosen execution strategy, explainable and exact.
+
+A :class:`Plan` is what the planner returns and what the federation
+executes: protocol + parameters + backend + the :class:`CostEstimate` that
+justified the choice.  ``explain()`` renders it deterministically — same
+statement, SLO, federation size and calibration always produce the same
+bytes — which is what lets CI diff plans as golden artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.params import ProtocolParams
+from .cost import PROBABILISTIC, SECURE_SUM, CostEstimate
+from .spec import Slo
+
+#: Plan execution backends (the driver's substrates, from the plan's side).
+BATCH_KERNEL = "batch-kernel"
+SESSION = "session"
+
+#: Planner objectives: quality-first (default) or cost-first (the
+#: gateway's downgrade mode under cost pressure).
+QUALITY = "quality"
+ECONOMY = "economy"
+MODES = (QUALITY, ECONOMY)
+
+
+def _fmt(value: float) -> str:
+    """Deterministic numeric rendering: trim trailing zeros, keep precision."""
+    text = f"{value:.6f}".rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One fully-determined execution strategy for one statement."""
+
+    #: The bare dialect statement (no SLO suffix) this plan executes.
+    statement: str
+    operation: str
+    #: ``probabilistic`` | ``naive`` | ``secure-sum``.
+    protocol: str
+    #: ``batch-kernel`` | ``session``.
+    backend: str
+    #: Protocol parameters for ranking plans; ``None`` on the additive path.
+    params: ProtocolParams | None
+    estimate: CostEstimate
+    slo: Slo
+    #: The objective that chose this plan (``quality`` or ``economy``).
+    mode: str
+    #: How many candidate configurations were enumerated and scored.
+    candidates_considered: int
+
+    @property
+    def is_ranking(self) -> bool:
+        return self.protocol != SECURE_SUM
+
+    @property
+    def p0(self) -> float | None:
+        if self.params is None:
+            return None
+        return getattr(self.params.schedule, "p0", None)
+
+    @property
+    def d(self) -> float | None:
+        if self.params is None:
+            return None
+        return getattr(self.params.schedule, "d", None)
+
+    def to_dict(self) -> dict:
+        """A flat, JSON-serializable view (for artifacts and the CLI)."""
+        est = self.estimate
+        return {
+            "statement": self.statement,
+            "operation": self.operation,
+            "protocol": self.protocol,
+            "backend": self.backend,
+            "mode": self.mode,
+            "p0": self.p0,
+            "d": self.d,
+            "rounds": est.rounds,
+            "messages": est.messages,
+            "bytes": est.bytes,
+            "simulated_seconds": est.simulated_seconds,
+            "wall_seconds": est.wall_seconds,
+            "expected_lop": est.expected_lop,
+            "parties": est.n_parties,
+            "slo": self.slo.describe(),
+            "candidates_considered": self.candidates_considered,
+        }
+
+    def explain(self) -> str:
+        """Deterministic multi-line rendering of the chosen plan."""
+        est = self.estimate
+        lines = [
+            f"statement         : {self.statement}",
+            f"slo               : {self.slo.describe()}",
+            f"mode              : {self.mode}",
+            f"parties           : {est.n_parties}",
+            f"protocol          : {self.protocol}",
+            f"backend           : {self.backend}",
+        ]
+        if self.protocol == PROBABILISTIC and self.p0 is not None:
+            lines.append(
+                f"randomization     : p0={_fmt(self.p0)} d={_fmt(self.d or 0.0)}"
+            )
+        lines += [
+            f"rounds            : {est.rounds}",
+            f"est. messages     : {est.messages}",
+            f"est. bytes        : {_fmt(est.bytes)}",
+            f"est. latency (sim): {_fmt(est.simulated_seconds)}s",
+            f"est. expected LoP : {_fmt(est.expected_lop)}",
+            f"candidates scored : {self.candidates_considered}",
+        ]
+        return "\n".join(lines)
+
+
+__all__ = ["BATCH_KERNEL", "ECONOMY", "MODES", "Plan", "QUALITY", "SESSION"]

@@ -1,0 +1,190 @@
+"""The SLO clause: declarative per-statement service objectives.
+
+Extends the federation dialect (:mod:`repro.federation.sql`) with an
+optional suffix::
+
+    SELECT TOP 5 revenue FROM sales WITH SLO(epsilon=1e-4, max_lop=0.3)
+    SELECT MAX(price) FROM lineitem WITH SLO(deadline=0.05, max_rounds=6)
+    SELECT SUM(volume) FROM trades WITH SLO(deadline=1.0)
+
+Supported keys (all optional; a bare statement means "no objectives"):
+
+``epsilon``
+    Target error bound of Equation 3/4: the protocol must reach precision
+    ``>= 1 - epsilon``.  In ``(0, 1)``; defaults to the paper's ``1e-3``.
+``precision``
+    Sugar for ``epsilon = 1 - precision``; mutually exclusive with it.
+``max_lop``
+    Privacy budget: the Equation 6 *expected* loss-of-privacy bound of the
+    chosen parameters must not exceed this.  In ``(0, 1]``.
+``deadline``
+    Latency budget in simulated seconds for the protocol run itself
+    (queueing is the gateway's concern, not the plan's).
+``max_rounds``
+    Round budget (Equation 4 output must fit).
+``protocol``
+    Force ``probabilistic`` or ``naive`` instead of letting the planner
+    choose.
+``backend``
+    Force the execution substrate: ``session`` (full transport
+    simulation), ``kernel`` (vectorized batch kernel), or ``auto``.
+
+The clause is parsed *with* the statement: :func:`parse_spec` accepts any
+dialect statement with or without a suffix and returns a
+:class:`QuerySpec` — the parsed statement plus its :class:`Slo`.  Errors
+raise :class:`SloError`, a subclass of the dialect's ``SqlError``, so
+every existing refusal path classifies them correctly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, fields
+
+from ..federation.sql import FederatedStatement, SqlError, parse
+
+#: The suffix shape: ``<statement> WITH SLO(key=value, ...)``.
+_SLO_RE = re.compile(
+    r"^(?P<body>.+?)\s+WITH\s+SLO\s*\(\s*(?P<clauses>[^)]*)\)\s*;?\s*$",
+    re.IGNORECASE,
+)
+_CLAUSE_RE = re.compile(r"^\s*(?P<key>[A-Za-z_]+)\s*=\s*(?P<value>[^\s,]+)\s*$")
+
+PROTOCOL_CHOICES = ("probabilistic", "naive")
+BACKEND_CHOICES = ("auto", "session", "kernel")
+
+
+class SloError(SqlError):
+    """Raised for malformed or contradictory SLO clauses."""
+
+
+@dataclass(frozen=True)
+class Slo:
+    """Declared objectives for one statement; ``None`` means unconstrained."""
+
+    epsilon: float | None = None
+    max_lop: float | None = None
+    deadline: float | None = None
+    max_rounds: int | None = None
+    protocol: str | None = None
+    backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.epsilon is not None and not 0.0 < self.epsilon < 1.0:
+            raise SloError(f"SLO epsilon must be in (0, 1), got {self.epsilon}")
+        if self.max_lop is not None and not 0.0 < self.max_lop <= 1.0:
+            raise SloError(f"SLO max_lop must be in (0, 1], got {self.max_lop}")
+        if self.deadline is not None and self.deadline <= 0.0:
+            raise SloError(f"SLO deadline must be positive, got {self.deadline}")
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise SloError(f"SLO max_rounds must be >= 1, got {self.max_rounds}")
+        if self.protocol is not None and self.protocol not in PROTOCOL_CHOICES:
+            raise SloError(
+                f"SLO protocol must be one of {PROTOCOL_CHOICES}, "
+                f"got {self.protocol!r}"
+            )
+        if self.backend is not None and self.backend not in BACKEND_CHOICES:
+            raise SloError(
+                f"SLO backend must be one of {BACKEND_CHOICES}, "
+                f"got {self.backend!r}"
+            )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no objective is declared (a bare dialect statement)."""
+        return all(getattr(self, f.name) is None for f in fields(self))
+
+    def describe(self) -> str:
+        """Canonical one-line rendering (deterministic; used by explain)."""
+        parts = [
+            f"{f.name}={getattr(self, f.name)}"
+            for f in fields(self)
+            if getattr(self, f.name) is not None
+        ]
+        return ", ".join(parts) if parts else "(none)"
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A parsed statement plus its SLO.
+
+    ``statement.text`` is the *bare* dialect statement (the cache and audit
+    canonical form); ``text`` preserves the full submitted text including
+    the SLO clause.
+    """
+
+    statement: FederatedStatement
+    slo: Slo
+    text: str
+
+
+def _parse_value(key: str, raw: str) -> object:
+    if key == "max_rounds":
+        try:
+            return int(raw)
+        except ValueError:
+            raise SloError(f"SLO {key} expects an integer, got {raw!r}") from None
+    if key in ("epsilon", "precision", "max_lop", "deadline"):
+        try:
+            return float(raw)
+        except ValueError:
+            raise SloError(f"SLO {key} expects a number, got {raw!r}") from None
+    return raw.lower()
+
+
+def parse_slo_clauses(clauses: str) -> Slo:
+    """Parse the inside of ``SLO(...)`` into an :class:`Slo`."""
+    values: dict[str, object] = {}
+    stripped = clauses.strip()
+    parts = [p for p in stripped.split(",")] if stripped else []
+    for part in parts:
+        match = _CLAUSE_RE.match(part)
+        if not match:
+            raise SloError(
+                f"malformed SLO clause {part.strip()!r}; expected key=value"
+            )
+        key = match.group("key").lower()
+        if key not in (
+            "epsilon",
+            "precision",
+            "max_lop",
+            "deadline",
+            "max_rounds",
+            "protocol",
+            "backend",
+        ):
+            raise SloError(f"unknown SLO key {key!r}")
+        if key in values or (key == "precision" and "epsilon" in values) or (
+            key == "epsilon" and "precision" in values
+        ):
+            raise SloError(f"duplicate or conflicting SLO key {key!r}")
+        values[key] = _parse_value(key, match.group("value"))
+    precision = values.pop("precision", None)
+    if precision is not None:
+        if not 0.0 < float(precision) < 1.0:  # type: ignore[arg-type]
+            raise SloError(f"SLO precision must be in (0, 1), got {precision}")
+        values["epsilon"] = 1.0 - float(precision)  # type: ignore[arg-type]
+    return Slo(**values)  # type: ignore[arg-type]
+
+
+def parse_spec(text: str) -> QuerySpec:
+    """Parse a dialect statement with an optional ``WITH SLO(...)`` suffix."""
+    if not text or not text.strip():
+        raise SqlError("empty statement")
+    match = _SLO_RE.match(text)
+    if match:
+        statement = parse(match.group("body"))
+        slo = parse_slo_clauses(match.group("clauses"))
+        return QuerySpec(statement=statement, slo=slo, text=text.strip())
+    return QuerySpec(statement=parse(text), slo=Slo(), text=text.strip())
+
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "PROTOCOL_CHOICES",
+    "QuerySpec",
+    "Slo",
+    "SloError",
+    "parse_slo_clauses",
+    "parse_spec",
+]

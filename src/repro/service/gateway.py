@@ -32,12 +32,18 @@ import itertools
 from collections.abc import Iterable, Sequence
 
 from ..federation.coordinator import Federation, QueryOutcome, QueryRefused
-from ..federation.sql import parse
 from ..observability.metrics import MetricsRegistry
 from ..observability.trace import TraceContext, Tracer
+from ..planner.accuracy import PredictionLedger
+from ..planner.errors import PlanInfeasible
+from ..planner.plan import ECONOMY, QUALITY, Plan
+from ..planner.planner import QueryPlanner
+from ..planner.spec import QuerySpec, parse_spec
+from ..privacy.lop import average_lop
 from .clock import Clock, SimulatedClock
 from .errors import (
     DeadlineExceeded,
+    Overloaded,
     QueryFailed,
     RateLimited,
     ServiceClosed,
@@ -79,6 +85,21 @@ class QueryService:
         then the protocol/round/hop spans recorded by the execution layer —
         all timestamped on the service clock, so a seeded workload's traces
         are deterministic.  ``None`` (default) costs nothing.
+    planner:
+        Resolves statements to execution plans; defaults to the
+        federation's.  Statements carrying ``WITH SLO(...)`` clauses are
+        always planned at admission, so an unsatisfiable SLO is refused
+        *before* it occupies a queue slot
+        (:class:`~repro.planner.errors.PlanInfeasible` — never
+        satisfiable, unlike ``Overloaded``'s retry-later).
+    cost_budget_seconds:
+        Cost-aware admission: when set, *every* statement is planned and
+        the queue's total estimated simulated-seconds backlog is capped at
+        this budget.  A request that would breach it is first re-planned in
+        economy mode (a cheaper plan still honoring its declared SLO — the
+        *downgrade* path), and only shed (``Overloaded``) when even the
+        economy plan does not fit.  ``None`` (default) preserves
+        depth-only admission.
     """
 
     def __init__(
@@ -92,6 +113,8 @@ class QueryService:
         rate_burst: int = 8,
         clock: Clock | None = None,
         tracer: "Tracer | None" = None,
+        planner: "QueryPlanner | None" = None,
+        cost_budget_seconds: float | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -107,6 +130,14 @@ class QueryService:
         self._batch_window = batch_window
         self._rate_limit = rate_limit
         self._rate_burst = rate_burst
+        if cost_budget_seconds is not None and cost_budget_seconds <= 0:
+            raise ValueError(
+                f"cost_budget_seconds must be positive, got {cost_budget_seconds}"
+            )
+        self.planner = planner if planner is not None else federation.planner
+        self._cost_budget = cost_budget_seconds
+        #: Predicted-vs-actual ledger for every planned statement served.
+        self.accuracy = PredictionLedger()
         self._buckets: dict[str, TokenBucket] = {}
         self._seq = itertools.count()
         self._wakeup = asyncio.Event()
@@ -161,6 +192,7 @@ class QueryService:
         snapshot["cache_hits"] = cache.hits
         snapshot["cache_misses"] = cache.misses
         snapshot["cache_hit_rate"] = round(cache.hit_rate, 6)
+        snapshot["planner"] = self.accuracy.snapshot()
         return snapshot
 
     def export_metrics(
@@ -182,6 +214,7 @@ class QueryService:
         )
         family.inc(cache.hits, labels={"event": "hit"})
         family.inc(cache.misses, labels={"event": "miss"})
+        self.accuracy.export(registry)
         return registry
 
     # -- tracing ---------------------------------------------------------------
@@ -213,6 +246,72 @@ class QueryService:
             request.batch_span = None
         tracer.close_span(request.trace, at=at, attrs=attrs)
 
+    # -- planning / cost admission ---------------------------------------------
+
+    def _cost_backlog(self) -> float:
+        """Estimated simulated seconds already queued (planned requests)."""
+        return sum(
+            queued.plan.estimate.simulated_seconds
+            for queued in self._queue.snapshot()
+            if isinstance(queued.plan, Plan)
+        )
+
+    def _admission_plan(
+        self, spec: QuerySpec, query_ctx: "TraceContext | None", now: float
+    ) -> "Plan | None":
+        """Resolve the statement's plan and enforce the cost budget.
+
+        SLO'd statements are always planned, so an unsatisfiable SLO is
+        refused — typed, :class:`PlanInfeasible` — before occupying a queue
+        slot.  With ``cost_budget_seconds`` set, every statement is planned
+        and the queue's estimated backlog is capped: an over-budget request
+        is first re-planned in economy mode (the *downgrade* path, still
+        honoring its declared SLO) and shed with :class:`Overloaded` only
+        when even the economy plan does not fit.
+        """
+        if self._cost_budget is None and spec.slo.is_trivial:
+            return None
+        parties = len(self.federation.members)
+        try:
+            plan = self.planner.plan(spec, parties=parties)
+        except PlanInfeasible:
+            self.metrics.plan_infeasible += 1
+            self._trace_shed(query_ctx, "plan-infeasible", now)
+            raise
+        if self._cost_budget is None:
+            return plan
+        backlog = self._cost_backlog()
+        if backlog + plan.estimate.simulated_seconds <= self._cost_budget:
+            return plan
+        # The quality plan was feasible, so the economy objective ranks the
+        # same non-empty candidate set — it cannot raise.
+        economy = self.planner.plan(spec, parties=parties, mode=ECONOMY)
+        if (
+            economy.estimate.simulated_seconds < plan.estimate.simulated_seconds
+            and backlog + economy.estimate.simulated_seconds <= self._cost_budget
+        ):
+            self.metrics.downgraded += 1
+            if query_ctx is not None:
+                self.tracer.event(
+                    query_ctx, "downgraded", at=now, kind="service",
+                    attrs={
+                        "from_rounds": plan.estimate.rounds,
+                        "to_rounds": economy.estimate.rounds,
+                        "from_protocol": plan.protocol,
+                        "to_protocol": economy.protocol,
+                    },
+                )
+            return economy
+        self.metrics.shed_cost += 1
+        self._trace_shed(query_ctx, "shed-cost", now)
+        raise Overloaded(
+            f"estimated cost {plan.estimate.simulated_seconds:.4f}s would "
+            f"push the {backlog:.4f}s backlog past the "
+            f"{self._cost_budget:g}s budget",
+            queue_depth=self._queue.depth,
+            limit=self._queue.max_depth,
+        )
+
     # -- submission ------------------------------------------------------------
 
     async def submit(
@@ -239,7 +338,8 @@ class QueryService:
         self.metrics.submitted += 1
         if self.closed:
             raise ServiceClosed("service is closed to new queries")
-        parse(statement)  # malformed statements never reach the queue
+        # Malformed statements (and SLO clauses) never reach the queue.
+        spec = parse_spec(statement)
         now = self.clock.now()
         query_ctx: "TraceContext | None" = None
         if self._tracing:
@@ -279,6 +379,7 @@ class QueryService:
                     attrs={"outcome": "cache-hit", "cached": True},
                 )
             return cached
+        plan = self._admission_plan(spec, query_ctx, now)
         request = QueuedRequest(
             statement=statement,
             issuer=issuer,
@@ -288,6 +389,7 @@ class QueryService:
             seq=next(self._seq),
             future=asyncio.get_running_loop().create_future(),
             trace=query_ctx,
+            plan=plan,
         )
         try:
             self._queue.push(request)
@@ -446,6 +548,10 @@ class QueryService:
                 [request.statement for request in batch],
                 issuer=issuer,
                 traces=traces,
+                plans=[
+                    request.plan if isinstance(request.plan, Plan) else None
+                    for request in batch
+                ],
             )
         except Exception as exc:
             # Batch-level failure (e.g. an unrecoverable ring crash): every
@@ -474,7 +580,46 @@ class QueryService:
                 self.metrics.refused += 1
                 self._fail(request, outcome.error)
             else:
+                self._record_accuracy(request, outcome)
                 self._complete(request, outcome, now)
+
+    def _record_accuracy(
+        self, request: QueuedRequest, outcome: QueryOutcome
+    ) -> None:
+        """Ledger one planned, executed statement's predicted-vs-actual.
+
+        Cache hits are skipped (nothing ran, nothing to audit); measured
+        LoP comes from the protocol trace when the execution kept one.
+        """
+        plan = request.plan
+        if not isinstance(plan, Plan) or outcome.cached:
+            return
+        measured_lop = (
+            average_lop(outcome.trace) if outcome.trace is not None else None
+        )
+        self.accuracy.record(
+            plan,
+            rounds=outcome.rounds,
+            messages=outcome.messages,
+            simulated_seconds=outcome.simulated_seconds,
+            measured_lop=measured_lop,
+        )
+        if request.batch_span is not None:
+            est = plan.estimate
+            self.tracer.event(
+                request.batch_span,
+                "plan-accuracy",
+                at=self.clock.now(),
+                kind="service",
+                attrs={
+                    "predicted_rounds": est.rounds,
+                    "actual_rounds": outcome.rounds,
+                    "predicted_messages": est.messages,
+                    "actual_messages": outcome.messages,
+                    "predicted_seconds": est.simulated_seconds,
+                    "actual_seconds": outcome.simulated_seconds,
+                },
+            )
 
     # -- resolution ------------------------------------------------------------
 

@@ -32,6 +32,9 @@ class ServiceMetrics:
     shed_overload: int = 0
     shed_rate_limited: int = 0
     shed_deadline: int = 0
+    shed_cost: int = 0  # estimated cost over budget, economy replan failed
+    downgraded: int = 0  # admitted after an economy replan under cost pressure
+    plan_infeasible: int = 0  # SLO no configuration can satisfy (typed refusal)
 
     # -- completion ---------------------------------------------------------
     completed: int = 0
@@ -51,7 +54,12 @@ class ServiceMetrics:
     @property
     def shed(self) -> int:
         """Every request rejected by admission control or deadline expiry."""
-        return self.shed_overload + self.shed_rate_limited + self.shed_deadline
+        return (
+            self.shed_overload
+            + self.shed_rate_limited
+            + self.shed_deadline
+            + self.shed_cost
+        )
 
     @property
     def shed_rate(self) -> float:
@@ -78,6 +86,9 @@ class ServiceMetrics:
             "shed_overload": self.shed_overload,
             "shed_rate_limited": self.shed_rate_limited,
             "shed_deadline": self.shed_deadline,
+            "shed_cost": self.shed_cost,
+            "downgraded": self.downgraded,
+            "plan_infeasible": self.plan_infeasible,
             "shed": self.shed,
             "shed_rate": round(self.shed_rate, 6),
             "batches": self.batches,

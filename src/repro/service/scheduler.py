@@ -44,6 +44,9 @@ class QueuedRequest:
     trace: "TraceContext | None" = None
     queue_span: "TraceContext | None" = None
     batch_span: "TraceContext | None" = None
+    #: Resolved execution plan (cost-admission services); ``None`` when the
+    #: service runs without a planner or the statement carries no SLO.
+    plan: "object | None" = None
 
     @property
     def sort_key(self) -> tuple[int, int]:

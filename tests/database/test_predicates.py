@@ -1,0 +1,185 @@
+"""Structured predicates: scalar/mask parity across engines, incl. spill.
+
+The contract under test: a :class:`ColumnPredicate` answers identically
+whether it is evaluated row-at-a-time (row store, spilled columns, opaque
+fallback) or compiled to a numpy mask (columnar fast path) — same values,
+same order, same Python types.  Which path ran is a performance fact only.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import Column, Schema, SchemaError, Table, col
+from repro.database.predicates import (
+    And,
+    Comparison,
+    MaskUnsupported,
+    Not,
+    Or,
+)
+
+SCHEMA = Schema(
+    [
+        Column("price", "REAL", nullable=True),
+        Column("qty", "INTEGER", nullable=True),
+        Column("tag", "TEXT", nullable=True),
+    ]
+)
+
+
+def build(engine, rows):
+    table = Table("t", SCHEMA, engine=engine)
+    table.insert_many(rows)
+    return table
+
+
+row_strategy = st.fixed_dictionaries(
+    {
+        "price": st.one_of(
+            st.none(),
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+        ),
+        "qty": st.one_of(st.none(), st.integers(-1000, 1000)),
+        "tag": st.sampled_from(["a", "b", "c", None]),
+    }
+)
+
+predicate_strategy = st.sampled_from(
+    [
+        col("price") > 0.0,
+        col("price") <= 100.0,
+        col("qty") == 0,
+        col("qty") != 7,
+        col("qty").between(-50, 50),
+        (col("price") > -10.0) & (col("qty") < 500),
+        (col("qty") >= 10) | (col("price") < 0.0),
+        ~(col("price") > 0.0),
+        ~((col("qty") == 1) | (col("tag") == "a")),
+        (col("tag") != "b") & (col("price") >= 0.0),
+    ]
+)
+
+
+class TestParity:
+    @settings(max_examples=25, deadline=None)
+    @given(rows=st.lists(row_strategy, max_size=60), pred=predicate_strategy)
+    def test_row_and_columnar_agree_on_every_query_path(self, rows, pred):
+        row_table, col_table = build("row", rows), build("columnar", rows)
+        for call in (
+            lambda t: t.scan(where=pred),
+            lambda t: t.project("price", where=pred),
+            lambda t: t.numeric_values("price", where=pred),
+            lambda t: t.top_k("price", 5, where=pred),
+            lambda t: t.bottom_k("qty", 5, where=pred),
+            lambda t: t.aggregate("price", "sum", where=pred),
+            lambda t: t.aggregate("qty", "avg", where=pred),
+            lambda t: t.aggregate("price", "count", where=pred),
+            lambda t: t.values_within("qty", -100, 100, where=pred),
+        ):
+            reference, columnar = call(row_table), call(col_table)
+            assert reference == columnar
+            if isinstance(reference, list):
+                assert [type(v) for v in reference] == [
+                    type(v) for v in columnar
+                ]
+
+    @settings(max_examples=10, deadline=None)
+    @given(rows=st.lists(row_strategy, max_size=40), pred=predicate_strategy)
+    def test_spilled_columns_fall_back_and_still_agree(self, rows, pred):
+        # An int64-overflowing qty and a non-finite price spill both
+        # numeric columns to exact object storage: the mask path must
+        # decline and the scalar fallback must still match the row store.
+        spill_row = {"price": float("inf"), "qty": 2**70, "tag": "x"}
+        rows = rows + [spill_row]
+        row_table, col_table = build("row", rows), build("columnar", rows)
+        assert col_table._row_mask(pred) is None
+        assert row_table.scan(where=pred) == col_table.scan(where=pred)
+        assert row_table.top_k("price", 3, where=pred) == col_table.top_k(
+            "price", 3, where=pred
+        )
+
+    def test_predicate_on_text_column_uses_scalar_path(self):
+        rows = [{"price": 1.0, "qty": 1, "tag": "a"},
+                {"price": 2.0, "qty": 2, "tag": "b"}]
+        table = build("columnar", rows)
+        pred = col("tag") == "a"
+        assert table._row_mask(pred) is None  # TEXT cannot vectorize
+        assert table.project("price", where=pred) == [1.0]
+
+    def test_mask_path_actually_engages_on_clean_numeric_columns(self):
+        table = build(
+            "columnar",
+            [{"price": float(i), "qty": i, "tag": None} for i in range(10)],
+        )
+        mask = table._row_mask(col("price") >= 5.0)
+        assert mask is not None and int(mask.sum()) == 5
+
+
+class TestSemantics:
+    def test_null_never_satisfies_a_comparison(self):
+        table = build("columnar", [{"price": None, "qty": 1, "tag": None}])
+        assert table.scan(where=col("price") > -1e9) == []
+
+    def test_not_matches_null_rows_on_both_paths(self):
+        rows = [{"price": None, "qty": 1, "tag": None},
+                {"price": 5.0, "qty": 2, "tag": None}]
+        pred = ~(col("price") > 0.0)
+        for engine in ("row", "columnar"):
+            matched = build(engine, rows).scan(where=pred)
+            assert [r["qty"] for r in matched] == [1]
+
+    def test_unknown_column_raises_schema_error_on_every_engine(self):
+        for engine in ("row", "columnar"):
+            with pytest.raises(SchemaError):
+                build(engine, []).scan(where=col("nope") > 1)
+
+    def test_unknown_operator_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            Comparison("price", "~=", 1.0)
+
+    def test_describe_renders_the_tree(self):
+        pred = (col("a") > 1) & ~(col("b") == 2)
+        assert pred.describe() == "(a > 1 AND (NOT b == 2))"
+
+    def test_combinators_report_all_columns(self):
+        pred = Or(And(col("a") > 1, col("b") < 2), Not(col("c") == 3))
+        assert pred.columns() == frozenset({"a", "b", "c"})
+        assert len(list(pred.leaves())) == 3
+
+
+class TestExactnessGuards:
+    def test_int64_vs_float_beyond_2_53_declines_vectorization(self):
+        # Python compares int-vs-float exactly; float64 can't represent
+        # ints beyond 2**53, so the mask path must decline rather than
+        # round.  Parity, not speed, is the contract.
+        big = 2**60
+        rows = [{"price": 0.0, "qty": big, "tag": None},
+                {"price": 0.0, "qty": big + 1, "tag": None}]
+        table = build("columnar", rows)
+        pred = col("qty") > float(big)
+        assert table._row_mask(pred) is None
+        assert table.numeric_values("qty", where=pred) == [big + 1]
+
+    def test_int_comparison_within_exact_range_vectorizes(self):
+        table = build(
+            "columnar", [{"price": 0.0, "qty": i, "tag": None} for i in range(4)]
+        )
+        assert table._row_mask(col("qty") > 1.5) is not None
+
+    def test_comparison_value_outside_int64_declines(self):
+        table = build(
+            "columnar", [{"price": 0.0, "qty": 1, "tag": None}]
+        )
+        pred = col("qty") < 2**70
+        assert table._row_mask(pred) is None
+        assert table.numeric_values("qty", where=pred) == [1]
+
+    def test_string_value_against_numeric_column_declines(self):
+        table = build(
+            "columnar", [{"price": 0.0, "qty": 1, "tag": None}]
+        )
+        with pytest.raises(MaskUnsupported):
+            (col("qty") == "one").mask(
+                {"qty": table._engine._numeric("qty").materialize()}
+            )

@@ -18,6 +18,7 @@ EXTENSION_IDS = {
     "ext-communication",
     "ext-collusion",
     "ext-bayes",
+    "ext-tpch-sweep",
 }
 
 
