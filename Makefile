@@ -6,7 +6,8 @@ PYTHON ?= python3
 JOBS ?= 1
 
 .PHONY: install test lint typecheck cov bench bench-kernel \
-	bench-extraction bench-planner figures report examples all clean
+	bench-extraction bench-planner bench-gateway figures report \
+	examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -55,6 +56,13 @@ bench-extraction:
 # results/BENCH_planner.json and fails below a 1.5x throughput win.
 bench-planner:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_planner.py -q -s
+
+# 100k-query gateway soak: 4 shards vs one flat federation, bit-identity
+# asserted before timing; writes results/BENCH_gateway_soak.json and
+# fails below a 3x simulated-throughput win.
+bench-gateway:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_bench_gateway_soak.py -q -s
 
 figures:
 	$(PYTHON) -m repro.cli all --trials 100 --no-plot --out results --jobs $(JOBS)

@@ -1,0 +1,149 @@
+"""Bench: 100k-query gateway soak — sharded federations vs one federation.
+
+The sharding layer's throughput claim, measured end to end through the
+multi-tenant gateway on its seeded simulated clock: the same 12 parties
+serve the same 100,000-statement stream twice —
+
+* **unsharded**: one federation over all 12 parties (every protocol round
+  walks the full ring), and
+* **sharded**: 4 federations of 3 parties each behind
+  :class:`~repro.sharding.ShardedFederation` (statements route to the
+  shard owning their table; partitioned tables fan out and merge).
+
+Ring protocols cost simulated time linear in ring size, so routing a
+statement to a 3-party shard instead of a 12-party federation is a 4x
+simulated speedup per protocol run; the soak asserts the end-to-end ratio
+stays above a ratcheted floor (the ISSUE's acceptance bar is 2.5x).
+
+Exactness is asserted before speed: every one of the 100k served answers
+must be bit-identical between the two deployments — the order-preserving
+merge argument of docs/SHARDING.md, checked on every statement of the
+soak, cache hits and fan-outs included.
+
+Emits ``results/BENCH_gateway_soak.json``.
+"""
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from repro.service import QueryService
+from repro.sharding import (
+    build_topology,
+    sharded_federation,
+    single_federation,
+    topology_workload,
+)
+
+from conftest import BENCH_SEED
+
+SOAK_QUERIES = 100_000
+SHARDS = 4
+PARTIES_PER_SHARD = 3  # 4 shards x 3 parties == the 12-party baseline
+REPEAT_FRACTION = 0.9  # a soak is mostly repeats: the cache fast path
+SUBMIT_CHUNK = 256  # stay under max_queue so nothing sheds
+
+#: Ratcheted floor on simulated speedup at 4 shards vs 1 federation.  The
+#: acceptance bar is 2.5x; measured ~4x (ring time is linear in ring size).
+SPEEDUP_FLOOR = 3.0
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "results"
+    / "BENCH_gateway_soak.json"
+)
+
+
+def serve_soak(federation, statements):
+    """Serve the stream through a gateway in bounded chunks; no sheds."""
+    service = QueryService(federation, max_queue=512, max_batch=32)
+
+    async def scenario():
+        results = []
+        async with service:
+            for start in range(0, len(statements), SUBMIT_CHUNK):
+                chunk = statements[start : start + SUBMIT_CHUNK]
+                results.extend(
+                    await service.submit_many(chunk, return_exceptions=True)
+                )
+        return results
+
+    start = time.perf_counter()
+    results = asyncio.run(scenario())
+    wall = time.perf_counter() - start
+    return service, results, wall
+
+
+def test_bench_gateway_soak():
+    topology = build_topology(
+        shards=SHARDS,
+        parties_per_shard=PARTIES_PER_SHARD,
+        tables=8,
+        rows_per_table=40,
+        partitioned=1,
+        seed=BENCH_SEED,
+    )
+    statements = topology_workload(
+        topology, SOAK_QUERIES, seed=BENCH_SEED, repeat_fraction=REPEAT_FRACTION
+    )
+
+    flat_service, flat_results, flat_wall = serve_soak(
+        single_federation(topology), statements
+    )
+    shard_fed = sharded_federation(topology)
+    shard_service, shard_results, shard_wall = serve_soak(shard_fed, statements)
+
+    # -- exactness before speed: every answer bit-identical ----------------
+    assert len(flat_results) == len(shard_results) == SOAK_QUERIES
+    for index, (flat, sharded) in enumerate(zip(flat_results, shard_results)):
+        assert not isinstance(flat, BaseException), (
+            f"unsharded refused statement {index}: {flat!r}"
+        )
+        assert not isinstance(sharded, BaseException), (
+            f"sharded refused statement {index}: {sharded!r}"
+        )
+        assert sharded.values == flat.values, (
+            f"statement {index} ({statements[index]!r}) diverged: "
+            f"sharded {sharded.values} vs unsharded {flat.values}"
+        )
+
+    flat_sim = flat_service.clock.now()
+    shard_sim = shard_service.clock.now()
+    speedup = flat_sim / shard_sim
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"sharded soak only {speedup:.2f}x faster in simulated time "
+        f"(ratcheted floor {SPEEDUP_FLOOR}x, acceptance bar 2.5x)"
+    )
+
+    flat_snapshot = flat_service.metrics_snapshot()
+    shard_snapshot = shard_service.metrics_snapshot()
+    assert flat_snapshot["shed"] == 0 and shard_snapshot["shed"] == 0
+
+    payload = {
+        "seed": BENCH_SEED,
+        "soak_queries": SOAK_QUERIES,
+        "shards": SHARDS,
+        "parties_per_shard": PARTIES_PER_SHARD,
+        "repeat_fraction": REPEAT_FRACTION,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "unsharded_simulated_seconds": flat_sim,
+        "sharded_simulated_seconds": shard_sim,
+        "speedup_sharded_vs_unsharded": speedup,
+        "unsharded_wall_seconds": flat_wall,
+        "sharded_wall_seconds": shard_wall,
+        "queries_per_second_simulated_sharded": SOAK_QUERIES / shard_sim,
+        "queries_per_second_simulated_unsharded": SOAK_QUERIES / flat_sim,
+        "cache_hit_rate_sharded": shard_snapshot["cache_hit_rate"],
+        "cache_fast_hits_sharded": shard_snapshot["cache_fast_hits"],
+        "latency_p50_s_sharded": shard_snapshot["latency_p50_s"],
+        "latency_p99_s_sharded": shard_snapshot["latency_p99_s"],
+        "sharding": shard_snapshot["sharding"],
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nsoak of {SOAK_QUERIES}: sharded {shard_sim:.3f}s vs unsharded "
+        f"{flat_sim:.3f}s simulated ({speedup:.2f}x, floor {SPEEDUP_FLOOR}x); "
+        f"bit-identical on all {SOAK_QUERIES} answers; wrote {RESULTS_PATH.name}"
+    )

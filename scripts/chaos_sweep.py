@@ -1,12 +1,23 @@
 #!/usr/bin/env python3
-"""Nightly chaos sweep: lossy links at increasing drop probabilities.
+"""Nightly chaos sweep: lossy links, then real party-process kills.
 
-For every drop probability in the sweep, run several transport-simulated
-queries with a :class:`~repro.network.failures.FailureInjector` on the
-wire and distributed tracing enabled.  A run fails if the protocol raises
-or returns anything other than the exact top-k.  On failure the offending
-run's trace is exported (JSONL + Chrome) so the flight recorder rides
-along with the bug report; a machine-readable summary is always written.
+Stage one sweeps simulated lossy links: for every drop probability, run
+several transport-simulated queries with a
+:class:`~repro.network.failures.FailureInjector` on the wire and
+distributed tracing enabled.  A run fails if the protocol raises or
+returns anything other than the exact top-k.
+
+Stage two is not simulated: it spawns real shard worker *processes*
+(:mod:`repro.sharding.worker`), SIGKILLs one mid-stream, and drives the
+sharded gateway federation across the corpse.  The contract is typed
+degradation — statements routed to the dead shard must settle as
+:class:`~repro.sharding.ShardUnavailable` refusals, statements on the
+surviving shards must keep returning exact answers, and nothing may hang
+(the stage is wall-clock bounded).
+
+On failure the offending run's trace is exported (JSONL + Chrome) so the
+flight recorder rides along with the bug report; a machine-readable
+summary is always written.
 
 Run from the repository root::
 
@@ -19,6 +30,7 @@ import argparse
 import json
 import random
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -58,6 +70,86 @@ def run_once(
     return True, f"ok in {result.rounds_executed} rounds", recorder
 
 
+def run_process_kill_stage(
+    *, seed: int, budget_seconds: float = 120.0
+) -> list[dict]:
+    """SIGKILL a real shard worker mid-stream; assert typed degradation.
+
+    Returns one record per check; ``ok=False`` records carry the finding.
+    """
+    from repro.federation.coordinator import QueryRefused
+    from repro.sharding import (
+        ShardUnavailable,
+        build_topology,
+        process_shards,
+        sharded_federation,
+        single_federation,
+        topology_workload,
+    )
+
+    records: list[dict] = []
+
+    def check(name: str, ok: bool, detail: str) -> None:
+        records.append(
+            {"stage": "process-kill", "check": name, "ok": ok, "detail": detail}
+        )
+        print(f"{'ok  ' if ok else 'FAIL'} process-kill {name}: {detail}")
+
+    topology = build_topology(
+        shards=3, parties_per_shard=3, tables=6, rows_per_table=24,
+        partitioned=1, seed=seed,
+    )
+    oracle = single_federation(topology)
+    statements = topology_workload(topology, 30, seed=seed + 1)
+    expected = oracle.execute_many_settled(statements, issuer="chaos")
+
+    started = time.monotonic()
+    federation = sharded_federation(topology, processes=True)
+    try:
+        victim = 1
+        before = federation.execute_many_settled(statements, issuer="chaos")
+        clean = sum(
+            1
+            for want, got in zip(expected, before)
+            if not isinstance(got, QueryRefused) and got.values == want.values
+        )
+        check(
+            "pre-kill parity",
+            clean == len(statements),
+            f"{clean}/{len(statements)} statements exact before the kill",
+        )
+
+        federation.shards[victim].kill()  # SIGKILL, mid-session
+        after = federation.execute_many_settled(statements, issuer="chaos")
+        elapsed = time.monotonic() - started
+        refused = [r for r in after if isinstance(r, QueryRefused)]
+        served = [r for r in after if not isinstance(r, QueryRefused)]
+        typed = all(isinstance(r.error, ShardUnavailable) for r in refused)
+        check(
+            "typed refusals",
+            bool(refused) and typed,
+            f"{len(refused)} refusals, all ShardUnavailable: {typed}",
+        )
+        survivors_exact = all(
+            got.values == want.values
+            for want, got in zip(expected, after)
+            if not isinstance(got, QueryRefused)
+        )
+        check(
+            "survivors exact",
+            bool(served) and survivors_exact,
+            f"{len(served)} statements still served exactly by live shards",
+        )
+        check(
+            "no hang",
+            elapsed < budget_seconds,
+            f"stage finished in {elapsed:.1f}s (budget {budget_seconds:.0f}s)",
+        )
+    finally:
+        federation.close()
+    return records
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -71,6 +163,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--k", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out-dir", type=Path, default=Path("results/chaos"))
+    parser.add_argument(
+        "--skip-process-kill",
+        action="store_true",
+        help="run only the lossy-link stage (no worker subprocesses)",
+    )
     args = parser.parse_args(argv)
 
     drops = [float(d) for d in args.drops.split(",") if d.strip()]
@@ -95,6 +192,10 @@ def main(argv: list[str] | None = None) -> int:
                     recorder.write_chrome(stem.with_suffix(".chrome.json"))
                 )
                 failures.append(record)
+    if not args.skip_process_kill:
+        kill_records = run_process_kill_stage(seed=args.seed)
+        summary.extend(kill_records)
+        failures.extend(r for r in kill_records if not r["ok"])
     summary_path = args.out_dir / "chaos_summary.json"
     summary_path.write_text(
         json.dumps(

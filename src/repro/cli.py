@@ -582,16 +582,35 @@ def _print_service_summary(service, *, jsonl: str | None) -> dict:
 
 def _build_service(args: argparse.Namespace, tracer=None):
     from .service import QueryService
-    from .service.workload import synthetic_federation
 
-    federation = synthetic_federation(
-        parties=args.parties,
-        values_per_party=args.values_per_node,
-        seed=args.seed,
-    )
+    shards = getattr(args, "shards", 0) or 0
+    topology = None
+    if shards >= 2:
+        # Sharded serving: a synthetic multi-table topology routed across
+        # `shards` federations (optionally worker processes), under the
+        # exact schedule so cross-shard merges are bit-exact.
+        from .sharding import build_topology, sharded_federation
+
+        topology = build_topology(
+            shards=shards,
+            parties_per_shard=max(3, args.parties),
+            rows_per_table=max(1, args.values_per_node),
+            seed=args.seed,
+        )
+        federation = sharded_federation(
+            topology, processes=getattr(args, "shard_processes", False)
+        )
+    else:
+        from .service.workload import synthetic_federation
+
+        federation = synthetic_federation(
+            parties=args.parties,
+            values_per_party=args.values_per_node,
+            seed=args.seed,
+        )
     # `trace serve` and `metrics` expose only the shape-defining flags; the
     # service knobs fall back to the serve command's defaults.
-    return QueryService(
+    service = QueryService(
         federation,
         max_queue=getattr(args, "max_queue", 256),
         max_batch=getattr(args, "max_batch", 16),
@@ -599,6 +618,15 @@ def _build_service(args: argparse.Namespace, tracer=None):
         rate_burst=getattr(args, "rate_burst", 8),
         tracer=tracer,
     )
+    service.cli_topology = topology
+    return service
+
+
+def _close_federation(service) -> None:
+    """Release shard backends (worker processes) if the federation has any."""
+    close = getattr(service.federation, "close", None)
+    if close is not None:
+        close()
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -607,29 +635,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("no statements to serve (stdin was empty)", file=sys.stderr)
         return 2
     service = _build_service(args)
-    results = _serve_workload(service, statements, args)
-    exit_code = 0
-    for statement, result in zip(statements, results):
-        if isinstance(result, BaseException):
-            print(f"ERROR  {statement!r}: {type(result).__name__}: {result}")
-            exit_code = 1
-        else:
-            flag = "cached" if result.cached else f"{result.rounds} rounds"
-            print(f"OK     {statement!r} -> {list(result.values)} ({flag})")
-    _print_service_summary(service, jsonl=args.jsonl)
+    try:
+        results = _serve_workload(service, statements, args)
+        exit_code = 0
+        for statement, result in zip(statements, results):
+            if isinstance(result, BaseException):
+                print(f"ERROR  {statement!r}: {type(result).__name__}: {result}")
+                exit_code = 1
+            else:
+                flag = "cached" if result.cached else f"{result.rounds} rounds"
+                print(f"OK     {statement!r} -> {list(result.values)} ({flag})")
+        _print_service_summary(service, jsonl=args.jsonl)
+    finally:
+        _close_federation(service)
     return exit_code
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from .service.workload import mixed_workload
 
-    statements = mixed_workload(
-        args.queries, seed=args.seed, repeat_fraction=args.repeat_fraction
-    )
     service = _build_service(args)
-    results = _serve_workload(service, statements, args)
-    errors = [r for r in results if isinstance(r, BaseException)]
-    snapshot = _print_service_summary(service, jsonl=args.jsonl)
+    if service.cli_topology is not None:
+        # Sharded mode: draw statements over the topology's own tables so
+        # the stream spreads across shards (and fans out where partitioned).
+        from .sharding import topology_workload
+
+        statements = topology_workload(
+            service.cli_topology,
+            args.queries,
+            seed=args.seed,
+            repeat_fraction=args.repeat_fraction,
+        )
+    else:
+        statements = mixed_workload(
+            args.queries, seed=args.seed, repeat_fraction=args.repeat_fraction
+        )
+    try:
+        results = _serve_workload(service, statements, args)
+        errors = [r for r in results if isinstance(r, BaseException)]
+        snapshot = _print_service_summary(service, jsonl=args.jsonl)
+    finally:
+        _close_federation(service)
     if args.strict:
         # CI smoke contract: a mixed workload within capacity must be served
         # in full — zero sheds — and its repeats must actually hit the cache.
@@ -920,6 +966,21 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--jsonl", type=str, default=None, help="append metrics snapshot here"
+        )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=0,
+            help=(
+                "shard the table space across N federations behind the "
+                "gateway (N >= 2; each shard gets --parties parties and "
+                "serves its slice of a synthetic multi-table topology)"
+            ),
+        )
+        p.add_argument(
+            "--shard-processes",
+            action="store_true",
+            help="run each shard as its own worker process (with --shards)",
         )
 
     plan = sub.add_parser(

@@ -676,18 +676,25 @@ def duckdb_available() -> bool:
 
 
 class DuckDbEngine(StorageEngine):
-    """Rows in an in-memory DuckDB table; extraction pushed down as SQL.
+    """Rows in a DuckDB table; extraction pushed down as SQL.
 
     Each engine owns one connection holding one table named ``t`` (engines
     are per-:class:`~repro.database.table.Table`, so no name collisions).
     Schema column names are validated identifiers, safe to quote into DDL.
+
+    By default the connection is in-memory.  With ``path`` the table lives
+    in an on-disk DuckDB file and *survives reopen*: constructing a new
+    engine over an existing file adopts its rows after verifying the stored
+    schema matches (column names, order, and SQL types), so a party's data
+    outlives the process.  One file backs one table — give each persistent
+    table its own path.
     """
 
     name = "duckdb"
 
     _SQL_TYPES = {"INTEGER": "BIGINT", "REAL": "DOUBLE", "TEXT": "VARCHAR"}
 
-    def __init__(self, schema: Schema) -> None:
+    def __init__(self, schema: Schema, *, path: "str | None" = None) -> None:
         super().__init__(schema)
         try:
             import duckdb
@@ -696,17 +703,38 @@ class DuckDbEngine(StorageEngine):
                 "the duckdb engine requires the optional duckdb package "
                 "(pip install 'repro[duckdb]')"
             ) from exc
-        self._conn = duckdb.connect(":memory:")
-        body = ", ".join(
-            f'"{column.name}" {self._SQL_TYPES[column.type]}'
-            + ("" if column.nullable else " NOT NULL")
+        self.path = path
+        self._conn = duckdb.connect(str(path) if path else ":memory:")
+        stored = self._conn.execute(
+            "SELECT column_name, data_type FROM information_schema.columns "
+            "WHERE table_name = 't' ORDER BY ordinal_position"
+        ).fetchall()
+        expected = [
+            (column.name, self._SQL_TYPES[column.type])
             for column in schema.columns
-        )
-        self._conn.execute(f"CREATE TABLE t ({body})")
+        ]
+        if stored:
+            if [(n, t) for n, t in stored] != expected:
+                self._conn.close()
+                raise ValueError(
+                    f"duckdb file {path!r} holds a table with schema "
+                    f"{stored}, which does not match the declared schema "
+                    f"{expected}"
+                )
+            self._count = self._conn.execute(
+                "SELECT COUNT(*) FROM t"
+            ).fetchone()[0]
+        else:
+            body = ", ".join(
+                f'"{column.name}" {self._SQL_TYPES[column.type]}'
+                + ("" if column.nullable else " NOT NULL")
+                for column in schema.columns
+            )
+            self._conn.execute(f"CREATE TABLE t ({body})")
+            self._count = 0
         self._insert = "INSERT INTO t VALUES ({})".format(
             ", ".join("?" for _ in schema.columns)
         )
-        self._count = 0
 
     def append_rows(self, rows: Sequence[Row]) -> None:
         if not rows:
@@ -817,6 +845,15 @@ def make_engine(
                 "not a StorageEngine"
             )
         return engine
+    if isinstance(spec, str) and spec.startswith(DUCKDB + ":"):
+        # "duckdb:<path>" — a persistent on-disk party table that survives
+        # reopen (adopted, schema-checked) instead of an in-memory one.
+        path = spec[len(DUCKDB) + 1 :]
+        if not path:
+            raise ValueError(
+                "duckdb path spec is empty; expected 'duckdb:<file>'"
+            )
+        return DuckDbEngine(schema, path=path)
     if spec not in _ENGINE_CLASSES:
         raise ValueError(
             f"unknown storage engine {spec!r}; expected one of {ENGINES} "

@@ -193,6 +193,9 @@ class QueryService:
         snapshot["cache_misses"] = cache.misses
         snapshot["cache_hit_rate"] = round(cache.hit_rate, 6)
         snapshot["planner"] = self.accuracy.snapshot()
+        shard_snapshot = getattr(self.federation, "shard_snapshot", None)
+        if shard_snapshot is not None:
+            snapshot["sharding"] = shard_snapshot()
         return snapshot
 
     def export_metrics(
@@ -215,6 +218,9 @@ class QueryService:
         family.inc(cache.hits, labels={"event": "hit"})
         family.inc(cache.misses, labels={"event": "miss"})
         self.accuracy.export(registry)
+        export_shards = getattr(self.federation, "export_shard_metrics", None)
+        if export_shards is not None:
+            export_shards(registry)
         return registry
 
     # -- tracing ---------------------------------------------------------------

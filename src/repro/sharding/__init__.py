@@ -1,0 +1,52 @@
+"""Sharded federations: routing, fan-out, exact merge, tenant budgets.
+
+The gateway-facing entry point is :class:`ShardedFederation`, which
+duck-types the single-federation query surface over a set of shard
+backends (:class:`LocalShard` in-process, :class:`ProcessShard` worker
+subprocesses).  See docs/SHARDING.md for the routing and merge-exactness
+story.
+"""
+
+from .errors import (
+    ShardError,
+    ShardUnavailable,
+    TenantBudgetExceeded,
+    TenantRateLimited,
+)
+from .federation import ShardedFederation
+from .router import ALL_SHARDS, ShardRouter, TenantPolicy, shard_index
+from .shards import LocalShard, ProcessShard
+from .topology import (
+    ShardTopology,
+    build_topology,
+    exact_config,
+    local_shards,
+    process_shards,
+    shard_spec,
+    sharded_federation,
+    single_federation,
+    topology_workload,
+)
+
+__all__ = [
+    "ALL_SHARDS",
+    "LocalShard",
+    "ProcessShard",
+    "ShardError",
+    "ShardRouter",
+    "ShardTopology",
+    "ShardUnavailable",
+    "ShardedFederation",
+    "TenantBudgetExceeded",
+    "TenantPolicy",
+    "TenantRateLimited",
+    "build_topology",
+    "exact_config",
+    "local_shards",
+    "process_shards",
+    "shard_spec",
+    "shard_index",
+    "sharded_federation",
+    "single_federation",
+    "topology_workload",
+]

@@ -1,0 +1,52 @@
+"""Typed failures of the sharding layer.
+
+Shard failures must be *typed* for the same reason service failures are
+(:mod:`repro.service.errors`): a multi-tenant gateway has to distinguish
+"this shard's process is gone, the statement is refusable right now"
+(:class:`ShardUnavailable`) from "this tenant exhausted its own allowance"
+(:class:`TenantRateLimited`, :class:`TenantBudgetExceeded`) from a plain
+misconfiguration (:class:`ShardError`).  Every one of them settles as a
+:class:`~repro.federation.coordinator.QueryRefused` on the batch path, so a
+dead shard degrades the statements routed to it and nothing else.
+"""
+
+from __future__ import annotations
+
+
+class ShardError(RuntimeError):
+    """Base class for sharding-layer failures (routing, wire, membership)."""
+
+
+class ShardUnavailable(ShardError):
+    """A shard's backing process/socket is unreachable.
+
+    Raised (and settled per statement) when a process shard's worker died,
+    timed out, or closed the connection mid-request.  The failure is local
+    to the shard: statements routed to live shards keep being served.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class TenantRateLimited(ShardError):
+    """The tenant's cross-shard token bucket is empty; retry later."""
+
+
+class TenantBudgetExceeded(ShardError):
+    """The tenant's cumulative LoP budget cannot cover this statement.
+
+    Unlike :class:`TenantRateLimited` this does not clear with time: the
+    tenant has spent its privacy allowance for the session and further
+    ranking statements are refused up front — before any shard runs a
+    protocol — by the planner's feasibility filter.
+    """
+
+
+__all__ = [
+    "ShardError",
+    "ShardUnavailable",
+    "TenantBudgetExceeded",
+    "TenantRateLimited",
+]

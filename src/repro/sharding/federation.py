@@ -1,0 +1,690 @@
+"""A federation of federations: routing, concurrent fan-out, exact merge.
+
+``ShardedFederation`` presents the same query surface the gateway already
+drives (``execute_many_settled``, ``try_cached``, ``members``, ``cache``,
+``planner``) over a set of shard backends, so ``QueryService`` serves a
+sharded deployment without a single special case: statements are routed to
+the shard owning their table, statements over *partitioned* tables fan out
+to every shard, and the partial answers merge exactly.
+
+Merge exactness (the docs/SHARDING.md argument, pinned by the property
+tests): the protocols' ranking answers are order-preserving —
+``topk(A ∪ B) == topk(topk(A) ∪ topk(B))`` for any partition of the rows —
+so concatenating per-shard top-k vectors and keeping the k best reproduces
+the unsharded vector.  MAX/MIN are the k=1 case; COUNT is a sum of exact
+integers; SUM/AVG combine per-shard secure-sum totals additively.  On
+workloads where the protocol itself is exact (``p0=0`` schedules, the naive
+protocol, integer-valued aggregates) the sharded result is therefore
+*bit-identical* to a single federation holding all the data.
+
+The router's per-tenant controls run here, before any shard is touched: a
+tenant's cross-shard token bucket sheds with
+:class:`~repro.sharding.errors.TenantRateLimited`, and ranking statements
+under a tenant LoP budget are planned with ``max_lop`` tightened to the
+remaining allowance — the planner's feasibility filter refuses what the
+tenant can no longer afford (:class:`TenantBudgetExceeded`) without
+spending a protocol round.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+from ..federation.coordinator import FederationError, QueryOutcome, QueryRefused
+from ..federation.sql import SqlError
+from ..observability.metrics import MetricsRegistry
+from ..observability.trace import TraceContext
+from ..planner.errors import PlanInfeasible
+from ..planner.plan import Plan
+from ..planner.planner import QueryPlanner
+from ..planner.spec import QuerySpec, SloError, parse_spec
+from .errors import ShardError, ShardUnavailable, TenantBudgetExceeded
+from .router import ALL_SHARDS, ShardRouter, TenantPolicy
+
+
+class _ShardedCacheStats:
+    """Read-only aggregate of every shard's result-cache statistics.
+
+    Duck-types the ``hits``/``misses``/``hit_rate`` surface the gateway's
+    metrics snapshot reads.  An unreachable shard contributes its last
+    known counts (initially zero) instead of failing a metrics read.
+    """
+
+    def __init__(self, owner: "ShardedFederation") -> None:
+        self._owner = owner
+        self._last: dict[int, tuple[int, int]] = {}
+
+    def _totals(self) -> tuple[int, int]:
+        hits = misses = 0
+        for index, shard in enumerate(self._owner.shards):
+            try:
+                stats = shard.cache_stats()
+                self._last[index] = stats
+            except ShardUnavailable:
+                stats = self._last.get(index, (0, 0))
+            hits += stats[0]
+            misses += stats[1]
+        return hits, misses
+
+    @property
+    def hits(self) -> int:
+        return self._totals()[0]
+
+    @property
+    def misses(self) -> int:
+        return self._totals()[1]
+
+    @property
+    def hit_rate(self) -> float:
+        hits, misses = self._totals()
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+class ShardedFederation:
+    """Route, fan out, and merge federated statements across shards.
+
+    Parameters
+    ----------
+    shards:
+        The shard backends, in placement order (index ``i`` serves the
+        tables :func:`~repro.sharding.router.shard_index` maps to ``i``).
+        Mixing :class:`~repro.sharding.shards.LocalShard` and
+        :class:`~repro.sharding.shards.ProcessShard` is allowed.
+    router:
+        Placement + tenant admission; defaults to a fresh
+        :class:`~repro.sharding.router.ShardRouter` over ``len(shards)``
+        with no partitioned tables and no tenant policies.
+    planner:
+        Used for the tenant LoP feasibility filter; defaults to a planner
+        over the default run configuration (matching the workers').
+    clock:
+        Time source for tenant token buckets (a ``() -> float`` callable).
+        Defaults to ``time.monotonic``; deterministic deployments pass
+        their service clock's ``now``.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence,
+        *,
+        router: "ShardRouter | None" = None,
+        planner: "QueryPlanner | None" = None,
+        clock: "Callable[[], float] | None" = None,
+    ) -> None:
+        if not shards:
+            raise ShardError("at least one shard is required")
+        self.shards = list(shards)
+        self.router = (
+            router if router is not None else ShardRouter(len(self.shards))
+        )
+        if self.router.shard_count != len(self.shards):
+            raise ShardError(
+                f"router places tables on {self.router.shard_count} shards "
+                f"but {len(self.shards)} were supplied"
+            )
+        self.planner = planner if planner is not None else QueryPlanner()
+        self._clock = clock if clock is not None else time.monotonic
+        self.cache = _ShardedCacheStats(self)
+        self._members: tuple[str, ...] | None = None
+        #: Per-shard serving counters (statements dispatched, refusals,
+        #: unavailable refusals, simulated seconds), for metrics export.
+        self.shard_queries: dict[int, int] = {}
+        self.shard_refusals: dict[int, int] = {}
+        self.shard_unavailable: dict[int, int] = {}
+        self.fanout_statements = 0
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        if self._members is None:
+            seen: set[str] = set()
+            for shard in self.shards:
+                seen.update(shard.members())
+            self._members = tuple(sorted(seen))
+        return self._members
+
+    def register(self, database, *, shard: int) -> None:
+        """Enroll one party's database into shard ``shard``.
+
+        Membership is per shard: the shard's epoch bumps and its cached
+        answers (including every fan-out partial it contributed) are
+        invalidated; other shards' caches are untouched.
+        """
+        self.shards[self._shard_of(shard)].register(database)
+        self._members = None
+
+    def deregister(self, owner: str, *, shard: int) -> None:
+        self.shards[self._shard_of(shard)].deregister(owner)
+        self._members = None
+
+    def _shard_of(self, index: int) -> int:
+        if not 0 <= index < len(self.shards):
+            raise ShardError(
+                f"no such shard {index}; have {len(self.shards)}"
+            )
+        return index
+
+    def set_tenant(self, issuer: str, policy: TenantPolicy) -> None:
+        """Install one tenant's cross-shard allowances on the router."""
+        self.router.set_tenant(issuer, policy)
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    # -- query surface -------------------------------------------------------
+
+    def execute(
+        self,
+        statement_text: str,
+        *,
+        issuer: str = "anonymous",
+        use_cache: bool = False,
+    ) -> QueryOutcome:
+        del use_cache  # repeats always flow through the shard caches
+        outcome = self.execute_many([statement_text], issuer=issuer)[0]
+        return outcome
+
+    def execute_many(
+        self,
+        statements: Iterable[str],
+        *,
+        issuer: str = "anonymous",
+        traces: "Sequence[TraceContext | None] | None" = None,
+        plans: "Sequence[Plan | None] | None" = None,
+    ) -> list[QueryOutcome]:
+        settled = self.execute_many_settled(
+            statements, issuer=issuer, traces=traces, plans=plans
+        )
+        outcomes: list[QueryOutcome] = []
+        for result in settled:
+            if isinstance(result, QueryRefused):
+                raise result.error
+            outcomes.append(result)
+        return outcomes
+
+    def try_cached(
+        self, statement_text: str, *, issuer: str = "anonymous"
+    ) -> QueryOutcome | None:
+        """Serve a statement from the shard caches, or ``None`` on a miss.
+
+        Routed statements consult the owning shard's cache; fan-out
+        statements are a hit only when *every* shard holds the partial —
+        which is exactly what makes cross-shard epoch invalidation work:
+        one shard's membership/data change misses there and forces a fresh
+        fan-out.  An unreachable shard reads as a miss, so the admission
+        fast path never throws; the statement is refused typed when it
+        actually executes.
+        """
+        try:
+            spec = parse_spec(statement_text)
+        except (SqlError, SloError):
+            return None
+        statement = spec.statement
+        target = self.router.route(statement.table)
+        try:
+            if target != ALL_SHARDS:
+                return self.shards[target].try_cached(
+                    statement_text, issuer=issuer
+                )
+            partials: list[list[QueryOutcome]] = []
+            for shard in self.shards:
+                hits = []
+                for text in _fanout_texts(statement):
+                    hit = shard.try_cached(text, issuer=issuer)
+                    if hit is None:
+                        return None
+                    hits.append(hit)
+                partials.append(hits)
+        except ShardUnavailable:
+            return None
+        return _merge_fanout(statement, statement_text, partials)
+
+    def execute_many_settled(
+        self,
+        statements: Iterable[str],
+        *,
+        issuer: str = "anonymous",
+        traces: "Sequence[TraceContext | None] | None" = None,
+        plans: "Sequence[Plan | None] | None" = None,
+    ) -> "list[QueryOutcome | QueryRefused]":
+        """Serve a batch across shards; every refusal settles per statement.
+
+        Per statement, in order: parse → tenant token bucket → tenant LoP
+        feasibility → route.  Routed statements dispatch to their shard as
+        one sub-batch (preserving statement order, so each shard's seed
+        draws and dedupe behave exactly like an unsharded batch of that
+        sub-stream); fan-out statements dispatch to every shard and merge.
+        A shard that fails — unreachable process, poisoned batch — refuses
+        exactly the statements routed to it, typed, while the rest of the
+        batch is served normally.
+        """
+        texts = list(statements)
+        if not texts:
+            return []
+        if traces is not None and len(traces) != len(texts):
+            raise FederationError(
+                f"got {len(texts)} statements but {len(traces)} trace contexts"
+            )
+        if plans is not None and len(plans) != len(texts):
+            raise FederationError(
+                f"got {len(texts)} statements but {len(plans)} plans"
+            )
+        results: "list[QueryOutcome | QueryRefused | None]" = [None] * len(texts)
+        #: shard index -> (statement positions, texts, traces, plans)
+        routed: dict[int, list[tuple[int, str]]] = {}
+        #: fan-out bookkeeping: position -> parsed statement
+        fanouts: dict[int, QuerySpec] = {}
+        pending_lop: dict[int, float] = {}
+        now = self._clock()
+
+        for position, text in enumerate(texts):
+            try:
+                spec = parse_spec(text)
+            except (SqlError, SloError) as exc:
+                results[position] = QueryRefused(statement=text, error=exc)
+                continue
+            statement = spec.statement
+            try:
+                self.router.admit(issuer, now)
+            except ShardError as exc:
+                results[position] = QueryRefused(statement=text, error=exc)
+                continue
+            target = self.router.route(statement.table)
+            parties = self._parties_for(target)
+            try:
+                charge = self._tenant_feasibility(spec, issuer, parties)
+            except (TenantBudgetExceeded, PlanInfeasible) as exc:
+                self.router.note_refusal(issuer)
+                results[position] = QueryRefused(statement=text, error=exc)
+                continue
+            if charge is not None:
+                pending_lop[position] = charge
+            self._trace_route(traces, position, target, statement.table)
+            if target == ALL_SHARDS:
+                fanouts[position] = spec
+                self.fanout_statements += 1
+            else:
+                routed.setdefault(target, []).append((position, text))
+
+        self._dispatch_routed(routed, results, texts, issuer, traces, plans)
+        self._dispatch_fanouts(fanouts, results, texts, issuer)
+
+        # Tenant LoP charges land only for statements that actually ran a
+        # protocol: cache hits and refusals spend nothing.
+        for position, charge in pending_lop.items():
+            outcome = results[position]
+            if isinstance(outcome, QueryOutcome) and not outcome.cached:
+                self.router.charge_lop(issuer, charge)
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    # -- tenant admission ----------------------------------------------------
+
+    def _parties_for(self, target: int) -> int:
+        try:
+            if target == ALL_SHARDS:
+                return max(len(shard.members()) for shard in self.shards)
+            return len(self.shards[target].members())
+        except ShardUnavailable:
+            return len(self.members) or 3
+
+    def _tenant_feasibility(
+        self, spec: QuerySpec, issuer: str, parties: int
+    ) -> float | None:
+        """Plan under the tenant's remaining LoP budget; return the charge.
+
+        Returns the expected-LoP charge to record if the statement
+        executes, or ``None`` when the tenant is unbudgeted or the
+        statement is additive (secure sums are charged nothing, exactly
+        like the federation's own ledger).  Raises
+        :class:`TenantBudgetExceeded` when only the budget tightening made
+        the plan infeasible, and lets a genuinely unsatisfiable SLO
+        propagate as :class:`PlanInfeasible`.
+        """
+        if not spec.statement.is_ranking:
+            return None
+        remaining = self.router.remaining_lop(issuer)
+        if remaining is None:
+            return None
+        if remaining <= 0.0:
+            raise TenantBudgetExceeded(
+                f"tenant {issuer!r} has exhausted its LoP budget; "
+                f"{spec.statement.text!r} refused"
+            )
+        slo_cap = spec.slo.max_lop
+        # Slo.max_lop lives in (0, 1] — LoP is a probability — so a budget
+        # remainder above 1.0 cannot bind a single statement and clamps.
+        tightened = min(1.0, remaining if slo_cap is None else min(slo_cap, remaining))
+        budget_spec = replace(spec, slo=replace(spec.slo, max_lop=tightened))
+        try:
+            plan = self.planner.plan(budget_spec, parties=parties)
+        except PlanInfeasible as exc:
+            if slo_cap is not None and slo_cap <= tightened:
+                raise  # the declared SLO itself is unsatisfiable
+            raise TenantBudgetExceeded(
+                f"tenant {issuer!r} has {remaining:.4f} LoP budget left; "
+                f"no plan for {spec.statement.text!r} fits it: {exc}"
+            ) from exc
+        return plan.estimate.expected_lop
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _trace_route(
+        self,
+        traces: "Sequence[TraceContext | None] | None",
+        position: int,
+        target: int,
+        table: str,
+    ) -> None:
+        """Tag the statement's span with its routing decision."""
+        if traces is None:
+            return
+        trace = traces[position]
+        if trace is None or not trace.tracer.enabled or trace.span_id is None:
+            return
+        trace.tracer.event(
+            trace,
+            "shard-route",
+            at=0.0,
+            attrs={
+                "shard": "all" if target == ALL_SHARDS else target,
+                "table": table,
+            },
+        )
+
+    def _settle_shard(
+        self,
+        index: int,
+        jobs: list[tuple[int, str]],
+        issuer: str,
+        traces: "Sequence[TraceContext | None] | None",
+        plans: "Sequence[Plan | None] | None",
+    ) -> "list[QueryOutcome | QueryRefused]":
+        shard = self.shards[index]
+        self.shard_queries[index] = self.shard_queries.get(index, 0) + len(jobs)
+        sub_texts = [text for _pos, text in jobs]
+        sub_traces = (
+            [traces[pos] for pos, _text in jobs] if traces is not None else None
+        )
+        sub_plans = (
+            [plans[pos] for pos, _text in jobs] if plans is not None else None
+        )
+        try:
+            return shard.execute_many_settled(
+                sub_texts, issuer=issuer, traces=sub_traces, plans=sub_plans
+            )
+        except ShardUnavailable as exc:
+            self.shard_unavailable[index] = (
+                self.shard_unavailable.get(index, 0) + len(jobs)
+            )
+            return [
+                QueryRefused(statement=text, error=exc) for text in sub_texts
+            ]
+        except Exception as exc:  # noqa: BLE001 — shard failure stays local
+            error = ShardError(
+                f"shard {index} failed its batch: {type(exc).__name__}: {exc}"
+            )
+            error.__cause__ = exc
+            return [
+                QueryRefused(statement=text, error=error) for text in sub_texts
+            ]
+
+    def _dispatch_routed(
+        self,
+        routed: dict[int, list[tuple[int, str]]],
+        results: "list[QueryOutcome | QueryRefused | None]",
+        texts: list[str],
+        issuer: str,
+        traces: "Sequence[TraceContext | None] | None",
+        plans: "Sequence[Plan | None] | None",
+    ) -> None:
+        if not routed:
+            return
+        ordered = sorted(routed.items())
+        concurrent = len(ordered) > 1 and all(
+            getattr(self.shards[index], "concurrent", False)
+            for index, _jobs in ordered
+        )
+        if concurrent:
+            with ThreadPoolExecutor(max_workers=len(ordered)) as pool:
+                settled_lists = list(
+                    pool.map(
+                        lambda item: self._settle_shard(
+                            item[0], item[1], issuer, traces, plans
+                        ),
+                        ordered,
+                    )
+                )
+        else:
+            settled_lists = [
+                self._settle_shard(index, jobs, issuer, traces, plans)
+                for index, jobs in ordered
+            ]
+        for (index, jobs), settled in zip(ordered, settled_lists):
+            for (position, _text), result in zip(jobs, settled):
+                if isinstance(result, QueryRefused):
+                    self.shard_refusals[index] = (
+                        self.shard_refusals.get(index, 0) + 1
+                    )
+                results[position] = result
+
+    def _dispatch_fanouts(
+        self,
+        fanouts: dict[int, QuerySpec],
+        results: "list[QueryOutcome | QueryRefused | None]",
+        texts: list[str],
+        issuer: str,
+    ) -> None:
+        """Fan each partitioned-table statement out to every shard and merge.
+
+        Fan-out sub-batches keep the fan-out statements' relative order per
+        shard; the shards execute concurrently when all are process-backed.
+        """
+        if not fanouts:
+            return
+        positions = sorted(fanouts)
+        per_shard_texts: list[str] = []
+        slices: list[tuple[int, int]] = []  # (position, width) in batch order
+        for position in positions:
+            sub = _fanout_texts(fanouts[position].statement)
+            slices.append((position, len(sub)))
+            per_shard_texts.extend(sub)
+
+        def run_shard(index: int) -> "list[QueryOutcome | QueryRefused]":
+            self.shard_queries[index] = (
+                self.shard_queries.get(index, 0) + len(per_shard_texts)
+            )
+            return self._settle_shard_texts(index, per_shard_texts, issuer)
+
+        indices = range(len(self.shards))
+        concurrent = len(self.shards) > 1 and all(
+            getattr(shard, "concurrent", False) for shard in self.shards
+        )
+        if concurrent:
+            with ThreadPoolExecutor(max_workers=len(self.shards)) as pool:
+                shard_settled = list(pool.map(run_shard, indices))
+        else:
+            shard_settled = [run_shard(index) for index in indices]
+
+        cursor = 0
+        for position, width in slices:
+            partials: list[list[QueryOutcome]] = []
+            refusal: QueryRefused | None = None
+            for index in indices:
+                window = shard_settled[index][cursor : cursor + width]
+                refused = next(
+                    (r for r in window if isinstance(r, QueryRefused)), None
+                )
+                if refused is not None:
+                    self.shard_refusals[index] = (
+                        self.shard_refusals.get(index, 0) + 1
+                    )
+                    if refusal is None:
+                        refusal = QueryRefused(
+                            statement=texts[position], error=refused.error
+                        )
+                    continue
+                partials.append(window)  # type: ignore[arg-type]
+            if refusal is not None:
+                results[position] = refusal
+            else:
+                try:
+                    results[position] = _merge_fanout(
+                        fanouts[position].statement, texts[position], partials
+                    )
+                except FederationError as exc:
+                    results[position] = QueryRefused(
+                        statement=texts[position], error=exc
+                    )
+            cursor += width
+
+    def _settle_shard_texts(
+        self, index: int, sub_texts: list[str], issuer: str
+    ) -> "list[QueryOutcome | QueryRefused]":
+        try:
+            return self.shards[index].execute_many_settled(
+                sub_texts, issuer=issuer
+            )
+        except ShardUnavailable as exc:
+            self.shard_unavailable[index] = (
+                self.shard_unavailable.get(index, 0) + len(sub_texts)
+            )
+            return [
+                QueryRefused(statement=text, error=exc) for text in sub_texts
+            ]
+        except Exception as exc:  # noqa: BLE001 — shard failure stays local
+            error = ShardError(
+                f"shard {index} failed its batch: {type(exc).__name__}: {exc}"
+            )
+            error.__cause__ = exc
+            return [
+                QueryRefused(statement=text, error=error) for text in sub_texts
+            ]
+
+    # -- metrics -------------------------------------------------------------
+
+    def shard_snapshot(self) -> dict[str, object]:
+        """Deterministic counters for snapshots and the soak benchmark."""
+        return {
+            "shards": len(self.shards),
+            "partitioned_tables": list(self.router.partitioned_tables),
+            "queries_by_shard": {
+                str(k): v for k, v in sorted(self.shard_queries.items())
+            },
+            "refusals_by_shard": {
+                str(k): v for k, v in sorted(self.shard_refusals.items())
+            },
+            "unavailable_by_shard": {
+                str(k): v for k, v in sorted(self.shard_unavailable.items())
+            },
+            "fanout_statements": self.fanout_statements,
+            "tenants": self.router.tenant_snapshot(),
+        }
+
+    def export_shard_metrics(self, registry: "MetricsRegistry") -> None:
+        """Publish shard/tenant counters into a central metrics registry."""
+        queries = registry.counter(
+            "repro_shard_statements_total",
+            "Statements dispatched to each shard.",
+            ("shard",),
+        )
+        for index, count in sorted(self.shard_queries.items()):
+            queries.inc(count, labels={"shard": str(index)})
+        refusals = registry.counter(
+            "repro_shard_refusals_total",
+            "Statements refused per shard (typed errors).",
+            ("shard",),
+        )
+        for index, count in sorted(self.shard_refusals.items()):
+            refusals.inc(count, labels={"shard": str(index)})
+        unavailable = registry.counter(
+            "repro_shard_unavailable_total",
+            "Statements refused because the shard was unreachable.",
+            ("shard",),
+        )
+        for index, count in sorted(self.shard_unavailable.items()):
+            unavailable.inc(count, labels={"shard": str(index)})
+        fanout = registry.counter(
+            "repro_shard_fanout_statements_total",
+            "Statements fanned out to every shard (partitioned tables).",
+        )
+        fanout.inc(self.fanout_statements)
+        spent = registry.gauge(
+            "repro_tenant_lop_spent",
+            "Cumulative expected LoP charged per tenant.",
+            ("tenant",),
+        )
+        for issuer, account in sorted(self.router.tenant_snapshot().items()):
+            spent.set(float(account["lop_spent"] or 0.0), labels={"tenant": issuer})
+
+
+# -- merge ---------------------------------------------------------------------
+
+
+def _fanout_texts(statement) -> list[str]:
+    """The statement texts each shard answers for one fan-out statement.
+
+    Every operation except AVG merges from per-shard answers to *the same*
+    statement; AVG is the one non-decomposable aggregate — it recombines
+    from per-shard SUM and COUNT (avg = Σsum / Σcount), exactly how the
+    unsharded coordinator computes it from its own secure sums.
+    """
+    if statement.operation == "AVG":
+        return [
+            f"SELECT SUM({statement.attribute}) FROM {statement.table}",
+            f"SELECT COUNT({statement.attribute}) FROM {statement.table}",
+        ]
+    return [statement.text]
+
+
+def _merge_fanout(
+    statement,
+    statement_text: str,
+    partials: "list[list[QueryOutcome]]",
+) -> QueryOutcome:
+    """Combine per-shard partial outcomes into the statement's answer.
+
+    ``partials`` holds one entry per shard, in shard order, each a list of
+    outcomes aligned with :func:`_fanout_texts`.  Rounds and simulated
+    seconds merge as maxima (shards run in parallel); messages sum.
+    """
+    if not partials:
+        raise FederationError(f"no shard answered {statement_text!r}")
+    op = statement.operation
+    if op == "AVG":
+        total = sum(p[0].values[0] for p in partials)
+        count = round(sum(p[1].values[0] for p in partials))
+        if count == 0:
+            raise FederationError("AVG over zero rows")
+        values: tuple[float, ...] = (float(total / count),)
+    elif op == "SUM":
+        values = (float(sum(p[0].values[0] for p in partials)),)
+    elif op == "COUNT":
+        values = (float(round(sum(p[0].values[0] for p in partials))),)
+    elif op in ("MAX", "TOP"):
+        pool = [v for p in partials for v in p[0].values]
+        values = tuple(sorted(pool, reverse=True)[: statement.k])
+    elif op in ("MIN", "BOTTOM"):
+        pool = [v for p in partials for v in p[0].values]
+        values = tuple(sorted(pool)[: statement.k])
+    else:  # pragma: no cover - the dialect has no other operations
+        raise FederationError(f"cannot merge operation {op!r}")
+    flat = [outcome for p in partials for outcome in p]
+    return QueryOutcome(
+        statement=statement_text,
+        values=values,
+        protocol=flat[0].protocol,
+        rounds=max(o.rounds for o in flat),
+        messages=sum(o.messages for o in flat),
+        trace=None,
+        cached=all(o.cached for o in flat),
+        simulated_seconds=max(o.simulated_seconds for o in flat),
+    )
+
+
+__all__ = ["ShardedFederation"]

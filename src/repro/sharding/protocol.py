@@ -1,0 +1,135 @@
+"""JSON codec for the shard worker wire protocol.
+
+Process shards speak framed JSON over TCP, reusing the deployment layer's
+length-prefixed framing (:mod:`repro.deploy.wire`) so every substrate in
+this codebase shares one frame format.  This module is the pure codec half:
+request/response encoding, and the mapping between typed refusal exceptions
+and their wire names, shared by the worker (:mod:`repro.sharding.worker`)
+and the client (:class:`repro.sharding.shards.ProcessShard`) so a refusal
+raised inside a worker process re-materializes as the *same type* in the
+gateway — the degradation contract is typed end to end.
+
+Protocol outcomes lose their :class:`~repro.core.results.ProtocolResult`
+trace across the process boundary (``trace=None``): traces are debugging
+artifacts of the executing process, while values/rounds/messages/simulated
+seconds — everything the gateway's merge, metrics and clock need — survive
+intact.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from ..deploy.wire import recv_frame, send_frame
+from ..federation.coordinator import QueryOutcome, QueryRefused
+from ..federation.policy import PolicyViolation
+from ..federation.sql import SqlError
+from ..planner.errors import PlanInfeasible
+from ..planner.spec import SloError
+from ..privacy.accounting import BudgetExceededError
+from .errors import (
+    ShardError,
+    ShardUnavailable,
+    TenantBudgetExceeded,
+    TenantRateLimited,
+)
+
+#: Typed refusals that cross the wire by name.  Anything not listed decodes
+#: as a plain :class:`ShardError` carrying the original type in its message
+#: (never silently swallowed, never un-typed into a bare Exception).
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "SqlError": SqlError,
+    "SloError": SloError,
+    "PolicyViolation": PolicyViolation,
+    "BudgetExceededError": BudgetExceededError,
+    "PlanInfeasible": PlanInfeasible,
+    "ShardError": ShardError,
+    "ShardUnavailable": ShardUnavailable,
+    "TenantRateLimited": TenantRateLimited,
+    "TenantBudgetExceeded": TenantBudgetExceeded,
+}
+
+
+def encode_error(error: Exception) -> dict:
+    name = type(error).__name__
+    if name not in _ERROR_TYPES:
+        return {"error": "ShardError", "message": f"{name}: {error}"}
+    return {"error": name, "message": str(error)}
+
+
+def decode_error(payload: dict) -> Exception:
+    cls = _ERROR_TYPES.get(str(payload.get("error")), ShardError)
+    return cls(str(payload.get("message", "shard error")))
+
+
+def encode_outcome(outcome: QueryOutcome) -> dict:
+    return {
+        "statement": outcome.statement,
+        "values": list(outcome.values),
+        "protocol": outcome.protocol,
+        "rounds": outcome.rounds,
+        "messages": outcome.messages,
+        "cached": outcome.cached,
+        "simulated_seconds": outcome.simulated_seconds,
+    }
+
+
+def decode_outcome(payload: dict) -> QueryOutcome:
+    return QueryOutcome(
+        statement=str(payload["statement"]),
+        values=tuple(float(v) for v in payload["values"]),
+        protocol=str(payload["protocol"]),
+        rounds=int(payload["rounds"]),
+        messages=int(payload["messages"]),
+        trace=None,
+        cached=bool(payload["cached"]),
+        simulated_seconds=float(payload["simulated_seconds"]),
+    )
+
+
+def encode_settled(results: "list[QueryOutcome | QueryRefused]") -> list[dict]:
+    encoded = []
+    for result in results:
+        if isinstance(result, QueryRefused):
+            entry = {"ok": False, "statement": result.statement}
+            entry.update(encode_error(result.error))
+            encoded.append(entry)
+        else:
+            encoded.append({"ok": True, "outcome": encode_outcome(result)})
+    return encoded
+
+
+def decode_settled(payload: list) -> "list[QueryOutcome | QueryRefused]":
+    results: "list[QueryOutcome | QueryRefused]" = []
+    for entry in payload:
+        if entry.get("ok"):
+            results.append(decode_outcome(entry["outcome"]))
+        else:
+            results.append(
+                QueryRefused(
+                    statement=str(entry.get("statement", "")),
+                    error=decode_error(entry),
+                )
+            )
+    return results
+
+
+def send_json(sock: socket.socket, payload: dict) -> None:
+    send_frame(sock, json.dumps(payload, sort_keys=True).encode())
+
+
+def recv_json(sock: socket.socket) -> dict:
+    return json.loads(recv_frame(sock).decode())
+
+
+__all__ = [
+    "decode_error",
+    "decode_outcome",
+    "decode_settled",
+    "encode_error",
+    "encode_outcome",
+    "encode_settled",
+    "recv_json",
+    "send_json",
+]

@@ -1,0 +1,214 @@
+"""Statement routing and per-tenant admission for sharded federations.
+
+Routing is by *table*: the key space (table names) is hashed onto shards
+with a stable SHA-256 placement, so every process — gateway, worker,
+topology builder — independently agrees where a table lives without any
+coordination service.  Tables registered as *partitioned* hold disjoint row
+sets on every shard; statements over them fan out to all shards and merge
+(:mod:`repro.sharding.federation`).
+
+The router also owns the cross-shard tenant controls the ROADMAP's
+scale-out item asks for: a per-tenant token bucket (requests/second across
+*all* shards, not per shard) and a per-tenant LoP budget.  The budget feeds
+the planner's feasibility filter: a ranking statement is planned with its
+``max_lop`` objective tightened to the tenant's remaining allowance, so an
+unaffordable statement is refused typed and up front —
+:class:`~repro.sharding.errors.TenantBudgetExceeded` — before any shard
+spends a protocol round on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..service.scheduler import TokenBucket
+from .errors import ShardError, TenantRateLimited
+
+
+def shard_index(table: str, shard_count: int) -> int:
+    """Stable placement of ``table`` on one of ``shard_count`` shards.
+
+    SHA-256 over the table name, like every other derived identity in this
+    codebase (federation seeds, trial seeds): collision-free in practice,
+    identical across processes and Python versions — ``hash()`` is salted
+    per interpreter and would scatter tables differently in every worker.
+    """
+    if shard_count < 1:
+        raise ShardError(f"shard_count must be >= 1, got {shard_count}")
+    digest = hashlib.sha256(table.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % shard_count
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Cross-shard allowances for one tenant (issuer).
+
+    ``lop_budget`` caps the tenant's cumulative *expected* LoP across every
+    ranking statement it executes (cache hits are free — nothing runs, no
+    new exposure).  ``rate``/``burst`` configure the tenant's token bucket;
+    ``rate=None`` disables rate limiting for the tenant.
+    """
+
+    lop_budget: float | None = None
+    rate: float | None = None
+    burst: int = 8
+
+    def __post_init__(self) -> None:
+        if self.lop_budget is not None and self.lop_budget < 0:
+            raise ShardError(f"lop_budget must be >= 0, got {self.lop_budget}")
+        if self.rate is not None and self.rate <= 0:
+            raise ShardError(f"rate must be positive, got {self.rate}")
+        if self.burst < 1:
+            raise ShardError(f"burst must be >= 1, got {self.burst}")
+
+
+@dataclass
+class TenantAccount:
+    """Mutable per-tenant state: spent LoP and the token bucket."""
+
+    policy: TenantPolicy
+    lop_spent: float = 0.0
+    bucket: TokenBucket | None = None
+    queries: int = 0
+    refusals: int = 0
+
+    def remaining_lop(self) -> float | None:
+        if self.policy.lop_budget is None:
+            return None
+        return max(0.0, self.policy.lop_budget - self.lop_spent)
+
+
+#: Sentinel routing target: the statement fans out to every shard.
+ALL_SHARDS = -1
+
+
+class ShardRouter:
+    """Table-to-shard placement plus per-tenant admission state.
+
+    The router is deliberately free of execution concerns — it answers
+    "which shard(s)?" and "may this tenant proceed right now?" and counts
+    what it decided; :class:`~repro.sharding.federation.ShardedFederation`
+    drives it.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        *,
+        partitioned: "tuple[str, ...] | list[str]" = (),
+    ) -> None:
+        if shard_count < 1:
+            raise ShardError(f"shard_count must be >= 1, got {shard_count}")
+        self.shard_count = shard_count
+        self._partitioned = frozenset(partitioned)
+        self._tenants: dict[str, TenantAccount] = {}
+        #: Routing decision counters, keyed by shard index (ALL_SHARDS for
+        #: fan-outs); exported through the gateway's metrics registry.
+        self.routed: dict[int, int] = {}
+
+    # -- placement ----------------------------------------------------------
+
+    def declare_partitioned(self, table: str) -> None:
+        """Mark ``table`` as row-partitioned across every shard."""
+        self._partitioned = self._partitioned | {table}
+
+    def is_partitioned(self, table: str) -> bool:
+        return table in self._partitioned
+
+    @property
+    def partitioned_tables(self) -> tuple[str, ...]:
+        return tuple(sorted(self._partitioned))
+
+    def route(self, table: str) -> int:
+        """The shard serving ``table``: an index, or :data:`ALL_SHARDS`."""
+        target = (
+            ALL_SHARDS
+            if table in self._partitioned
+            else shard_index(table, self.shard_count)
+        )
+        self.routed[target] = self.routed.get(target, 0) + 1
+        return target
+
+    # -- tenants ------------------------------------------------------------
+
+    def set_tenant(self, issuer: str, policy: TenantPolicy) -> None:
+        """Install (or replace) one tenant's allowances.
+
+        Replacing a policy keeps the tenant's spent-LoP history: budgets are
+        session-cumulative, exactly like the federation's
+        :class:`~repro.privacy.accounting.ExposureLedger`.
+        """
+        account = self._tenants.get(issuer)
+        if account is None:
+            self._tenants[issuer] = TenantAccount(policy=policy)
+        else:
+            account.policy = policy
+            account.bucket = None  # rebuilt lazily against the new rate
+
+    def tenant(self, issuer: str) -> TenantAccount | None:
+        return self._tenants.get(issuer)
+
+    def admit(self, issuer: str, now: float) -> None:
+        """Charge one request against the tenant's token bucket.
+
+        Tenants without a policy (or without a rate) are unrestricted — the
+        gateway's own per-issuer bucket still applies above this layer.
+        Raises :class:`TenantRateLimited` when the bucket is empty.
+        """
+        account = self._tenants.get(issuer)
+        if account is None:
+            return
+        account.queries += 1
+        policy = account.policy
+        if policy.rate is None:
+            return
+        if account.bucket is None:
+            account.bucket = TokenBucket(
+                rate=policy.rate, burst=float(policy.burst), updated=now
+            )
+        if not account.bucket.try_take(now):
+            account.refusals += 1
+            raise TenantRateLimited(
+                f"tenant {issuer!r} exceeded {policy.rate}/s "
+                f"(burst {policy.burst}) across shards"
+            )
+
+    def remaining_lop(self, issuer: str) -> float | None:
+        """The tenant's unspent LoP budget; ``None`` means unbudgeted."""
+        account = self._tenants.get(issuer)
+        if account is None:
+            return None
+        return account.remaining_lop()
+
+    def charge_lop(self, issuer: str, expected_lop: float) -> None:
+        """Record one executed ranking statement's expected LoP."""
+        account = self._tenants.get(issuer)
+        if account is not None and account.policy.lop_budget is not None:
+            account.lop_spent += expected_lop
+
+    def note_refusal(self, issuer: str) -> None:
+        account = self._tenants.get(issuer)
+        if account is not None:
+            account.refusals += 1
+
+    def tenant_snapshot(self) -> dict[str, dict[str, float | int | None]]:
+        """Per-tenant accounting for metrics/exports (deterministic order)."""
+        return {
+            issuer: {
+                "queries": account.queries,
+                "refusals": account.refusals,
+                "lop_spent": round(account.lop_spent, 9),
+                "lop_budget": account.policy.lop_budget,
+            }
+            for issuer, account in sorted(self._tenants.items())
+        }
+
+
+__all__ = [
+    "ALL_SHARDS",
+    "ShardRouter",
+    "TenantAccount",
+    "TenantPolicy",
+    "shard_index",
+]

@@ -1,0 +1,312 @@
+"""Shard backends: in-process federations and worker processes.
+
+A *shard* is one complete :class:`~repro.federation.coordinator.Federation`
+serving a slice of the table space.  Two interchangeable backends implement
+the same small surface (``members``, ``execute_many_settled``,
+``try_cached``, ``cache_stats``, ``close``):
+
+:class:`LocalShard`
+    Wraps a federation in this process.  Deterministic and traceable — the
+    property tests' substrate, and the default for ``serve --shards``.
+
+:class:`ProcessShard`
+    A client to a :mod:`repro.sharding.worker` subprocess speaking framed
+    JSON over TCP (the deploy layer's wire framing).  Every socket
+    operation runs under a timeout and every transport failure — refused
+    connection, timeout, reset, truncated frame — surfaces as a typed
+    :class:`~repro.sharding.errors.ShardUnavailable`, never a hang: a
+    SIGKILLed worker degrades exactly the statements routed to it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+from collections.abc import Sequence
+from pathlib import Path
+
+from ..deploy.wire import WireError
+from ..federation.coordinator import Federation, QueryOutcome, QueryRefused
+from ..observability.trace import TraceContext
+from ..planner.plan import Plan
+from .errors import ShardError, ShardUnavailable
+from .protocol import decode_outcome, decode_settled, recv_json, send_json
+
+
+class LocalShard:
+    """One federation living in the gateway's own process."""
+
+    #: Local shards share the caller's tracer and interpreter state, so the
+    #: sharded federation dispatches to them sequentially (deterministic
+    #: traces); process shards are safe to fan out on threads.
+    concurrent = False
+
+    def __init__(self, federation: Federation, *, index: int = 0) -> None:
+        self.federation = federation
+        self.index = index
+
+    def members(self) -> tuple[str, ...]:
+        return self.federation.members
+
+    def execute_many_settled(
+        self,
+        statements: Sequence[str],
+        *,
+        issuer: str = "anonymous",
+        traces: "Sequence[TraceContext | None] | None" = None,
+        plans: "Sequence[Plan | None] | None" = None,
+    ) -> "list[QueryOutcome | QueryRefused]":
+        return self.federation.execute_many_settled(
+            statements, issuer=issuer, traces=traces, plans=plans
+        )
+
+    def try_cached(
+        self, statement: str, *, issuer: str = "anonymous"
+    ) -> QueryOutcome | None:
+        return self.federation.try_cached(statement, issuer=issuer)
+
+    def cache_stats(self) -> tuple[int, int]:
+        cache = self.federation.cache
+        return cache.hits, cache.misses
+
+    def register(self, database) -> None:
+        self.federation.register(database)
+
+    def deregister(self, owner: str) -> None:
+        self.federation.deregister(owner)
+
+    def close(self) -> None:
+        return None
+
+
+class ProcessShard:
+    """Client to one shard worker process over framed JSON / TCP."""
+
+    concurrent = True
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        index: int = 0,
+        timeout: float = 10.0,
+        process: "subprocess.Popen | None" = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.index = index
+        self.timeout = timeout
+        self.process = process
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+        self._members: tuple[str, ...] | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def spawn(
+        cls,
+        spec: dict,
+        *,
+        index: int = 0,
+        timeout: float = 10.0,
+        boot_timeout: float = 30.0,
+    ) -> "ProcessShard":
+        """Launch a :mod:`repro.sharding.worker` subprocess for ``spec``.
+
+        The worker receives its federation spec on stdin, binds an
+        OS-assigned port on localhost, and announces ``PORT <n>`` on stdout
+        once it is accepting — the one synchronization point, so spawning
+        never races the first request.
+        """
+        src_dir = str(Path(__file__).resolve().parent.parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.sharding.worker"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        assert process.stdin is not None and process.stdout is not None
+        process.stdin.write(json.dumps(spec))
+        process.stdin.close()
+        # The worker prints exactly one line before serving; a worker that
+        # dies instead (bad spec, import failure) closes stdout, and the
+        # readline returns "" — surfaced with its stderr for diagnosis.
+        timer = threading.Timer(boot_timeout, process.kill)
+        timer.start()
+        try:
+            line = process.stdout.readline()
+        finally:
+            timer.cancel()
+        if not line.startswith("PORT "):
+            stderr = process.stderr.read() if process.stderr else ""
+            process.kill()
+            raise ShardError(
+                f"shard worker failed to start (got {line!r}): {stderr.strip()}"
+            )
+        return cls(
+            "127.0.0.1",
+            int(line.split()[1]),
+            index=index,
+            timeout=timeout,
+            process=process,
+        )
+
+    def close(self) -> None:
+        """Graceful shutdown: ask the worker to exit, then reap it."""
+        try:
+            self._request({"op": "shutdown"})
+        except ShardUnavailable:
+            pass
+        self._drop_socket()
+        if self.process is not None:
+            try:
+                self.process.wait(timeout=self.timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+    def kill(self) -> None:
+        """SIGKILL the worker process (the chaos sweep's failure mode)."""
+        if self.process is not None:
+            try:
+                self.process.send_signal(signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+            self.process.wait()
+        self._drop_socket()
+
+    # -- wire ---------------------------------------------------------------
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        sock.settimeout(self.timeout)
+        return sock
+
+    def _request(self, payload: dict) -> dict:
+        """One request/response exchange; typed failure on any wire error.
+
+        The socket is persistent across requests; a stale socket (worker
+        restarted between calls) gets exactly one reconnect attempt, but a
+        failure *mid-exchange* does not retry — the worker may have half-
+        executed the batch, and replaying it would double protocol runs and
+        exposure.
+        """
+        with self._lock:
+            fresh = self._sock is None
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                send_json(self._sock, payload)
+                response = recv_json(self._sock)
+            except (OSError, WireError, ValueError) as exc:
+                self._drop_socket()
+                if fresh:
+                    raise ShardUnavailable(
+                        f"shard {self.index} at {self.host}:{self.port} "
+                        f"unreachable: {exc}",
+                        shard=self.index,
+                    ) from exc
+                raise ShardUnavailable(
+                    f"shard {self.index} at {self.host}:{self.port} failed "
+                    f"mid-request: {exc}",
+                    shard=self.index,
+                ) from exc
+        if not response.get("ok", False):
+            raise ShardError(
+                f"shard {self.index} rejected {payload.get('op')!r}: "
+                f"{response.get('message')}"
+            )
+        return response
+
+    # -- shard surface -------------------------------------------------------
+
+    def members(self) -> tuple[str, ...]:
+        if self._members is None:
+            response = self._request({"op": "members"})
+            self._members = tuple(str(m) for m in response["members"])
+        return self._members
+
+    def execute_many_settled(
+        self,
+        statements: Sequence[str],
+        *,
+        issuer: str = "anonymous",
+        traces: "Sequence[TraceContext | None] | None" = None,
+        plans: "Sequence[Plan | None] | None" = None,
+    ) -> "list[QueryOutcome | QueryRefused]":
+        # Traces and plan objects stay in the gateway process: spans for
+        # remote work are recorded by the sharded federation around this
+        # call, and workers re-plan SLO'd statements themselves.
+        del traces, plans
+        response = self._request(
+            {
+                "op": "execute_many_settled",
+                "statements": list(statements),
+                "issuer": issuer,
+            }
+        )
+        return decode_settled(response["results"])
+
+    def try_cached(
+        self, statement: str, *, issuer: str = "anonymous"
+    ) -> QueryOutcome | None:
+        response = self._request(
+            {"op": "try_cached", "statement": statement, "issuer": issuer}
+        )
+        payload = response.get("outcome")
+        return None if payload is None else decode_outcome(payload)
+
+    def cache_stats(self) -> tuple[int, int]:
+        response = self._request({"op": "cache_stats"})
+        return int(response["hits"]), int(response["misses"])
+
+    def register(self, database) -> None:
+        raise ShardError(
+            "registering a live database object over the wire is not "
+            "supported; use register_values for synthetic parties"
+        )
+
+    def register_values(
+        self, owner: str, table: str, attribute: str, values: list[float]
+    ) -> None:
+        """Enroll a synthetic single-table party in the worker's federation."""
+        self._request(
+            {
+                "op": "register_values",
+                "owner": owner,
+                "table": table,
+                "attribute": attribute,
+                "values": list(values),
+            }
+        )
+        self._members = None
+
+    def deregister(self, owner: str) -> None:
+        self._request({"op": "deregister", "owner": owner})
+        self._members = None
+
+
+__all__ = ["LocalShard", "ProcessShard"]

@@ -1,0 +1,356 @@
+"""Deterministic sharded-deployment builders for tests and benchmarks.
+
+A :class:`ShardTopology` fixes everything about a sharded deployment —
+which tables exist, which rows each party of each shard holds, which
+tables are row-partitioned across every shard — from one seed, so the same
+topology can be materialized three interchangeable ways:
+
+* :func:`single_federation` — one federation over *all* parties holding
+  *all* the rows (the bit-identity oracle the property tests compare
+  against);
+* :func:`local_shards` — one in-process federation per shard;
+* :func:`process_shards` — one :mod:`repro.sharding.worker` subprocess per
+  shard, speaking the wire protocol.
+
+Row values are drawn as domain integers, so every protocol arithmetic in
+the exactness argument (docs/SHARDING.md) stays bit-exact: integer-valued
+doubles survive the secure-sum mask round trip and ranking comparisons
+unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.driver import RunConfig
+from ..core.params import ProtocolParams
+from ..core.schedule import ExponentialSchedule
+from ..database.database import PrivateDatabase
+from ..database.query import PAPER_DOMAIN, Domain
+from ..database.schema import Schema
+from ..federation.coordinator import Federation
+from .errors import ShardError
+from .federation import ShardedFederation
+from .router import ShardRouter, shard_index
+from .shards import LocalShard, ProcessShard
+
+
+@dataclass(frozen=True)
+class ShardTopology:
+    """A fully-determined sharded data layout.
+
+    ``assignments[shard][owner][table]`` is the list of row values that
+    party (``owner``, living on ``shard``) holds for ``table``.  Every
+    shard's parties share one table namespace: each party materializes
+    every table its shard serves (empty where it holds no rows), so the
+    federation-wide schema precondition holds per shard by construction.
+    """
+
+    shard_count: int
+    parties_per_shard: int
+    attribute: str
+    domain: Domain
+    tables: tuple[str, ...]
+    partitioned: tuple[str, ...]
+    assignments: tuple[dict[str, dict[str, list[float]]], ...]
+    seed: int
+
+    def shard_tables(self, shard: int) -> tuple[str, ...]:
+        """Every table shard ``shard`` serves (owned + partitioned)."""
+        owned = tuple(
+            t
+            for t in self.tables
+            if t not in self.partitioned
+            and shard_index(t, self.shard_count) == shard
+        )
+        return tuple(sorted(owned + self.partitioned))
+
+    def table_values(self, table: str) -> list[float]:
+        """The table's full row set (union over all shards and parties)."""
+        values: list[float] = []
+        for shard in self.assignments:
+            for tables in shard.values():
+                values.extend(tables.get(table, ()))
+        return values
+
+    def party_names(self) -> list[str]:
+        return [name for shard in self.assignments for name in sorted(shard)]
+
+
+def build_topology(
+    *,
+    shards: int,
+    parties_per_shard: int = 3,
+    tables: int = 8,
+    rows_per_table: int = 40,
+    partitioned: int = 1,
+    seed: int = 0,
+    domain: Domain = PAPER_DOMAIN,
+    attribute: str = "value",
+) -> ShardTopology:
+    """Generate a deterministic topology of synthetic integer tables.
+
+    ``tables`` routed tables named ``t00..`` place by SHA-256
+    (:func:`~repro.sharding.router.shard_index`); the first ``partitioned``
+    of an extra ``part00..`` family split their rows round-robin across
+    *every* party of *every* shard.  Rows are uniform domain integers.
+    """
+    if shards < 1:
+        raise ShardError(f"shards must be >= 1, got {shards}")
+    if parties_per_shard < 3:
+        raise ShardError(
+            f"each shard is a ring protocol and needs >= 3 parties, "
+            f"got {parties_per_shard}"
+        )
+    rng = random.Random(seed)
+    routed_names = tuple(f"t{i:02d}" for i in range(tables))
+    part_names = tuple(f"part{i:02d}" for i in range(partitioned))
+    assignments: list[dict[str, dict[str, list[float]]]] = [
+        {
+            f"org{s:02d}x{p:02d}": {}
+            for p in range(parties_per_shard)
+        }
+        for s in range(shards)
+    ]
+
+    def draw_rows() -> list[float]:
+        low, high = int(domain.low), int(domain.high)
+        return [float(rng.randint(low, high)) for _ in range(rows_per_table)]
+
+    for table in routed_names:
+        owner_shard = shard_index(table, shards)
+        parties = sorted(assignments[owner_shard])
+        for i, value in enumerate(draw_rows()):
+            owner = parties[i % len(parties)]
+            assignments[owner_shard][owner].setdefault(table, []).append(value)
+    all_parties = [
+        (s, owner)
+        for s in range(shards)
+        for owner in sorted(assignments[s])
+    ]
+    for table in part_names:
+        for i, value in enumerate(draw_rows()):
+            s, owner = all_parties[i % len(all_parties)]
+            assignments[s][owner].setdefault(table, []).append(value)
+
+    return ShardTopology(
+        shard_count=shards,
+        parties_per_shard=parties_per_shard,
+        attribute=attribute,
+        domain=domain,
+        tables=routed_names + part_names,
+        partitioned=part_names,
+        assignments=tuple(assignments),
+        seed=seed,
+    )
+
+
+def exact_config(*, rounds: int = 4, protocol: str = "probabilistic") -> RunConfig:
+    """A run configuration whose answers are exact (the bit-identity regime).
+
+    ``p0=0`` means no node ever randomizes, so the probabilistic protocol
+    returns the true top-k; the naive protocol is exact by construction.
+    """
+    return RunConfig(
+        protocol=protocol,
+        params=ProtocolParams(schedule=ExponentialSchedule(p0=0.0), rounds=rounds),
+    )
+
+
+def _build_party(
+    owner: str,
+    tables: "tuple[str, ...]",
+    held: dict[str, list[float]],
+    attribute: str,
+) -> PrivateDatabase:
+    db = PrivateDatabase(owner)
+    for table_name in tables:
+        table = db.create_table(table_name, Schema.of((attribute, "INTEGER")))
+        values = held.get(table_name, ())
+        if values:
+            table.insert_many({attribute: int(v)} for v in values)
+    return db
+
+
+def single_federation(
+    topology: ShardTopology, *, config: RunConfig | None = None, **kwargs
+) -> Federation:
+    """One federation over every party and every row — the sharding oracle."""
+    federation = Federation(
+        domain=topology.domain,
+        config=config if config is not None else exact_config(),
+        seed=topology.seed,
+        **kwargs,
+    )
+    for shard in topology.assignments:
+        for owner in sorted(shard):
+            federation.register(
+                _build_party(owner, topology.tables, shard[owner], topology.attribute)
+            )
+    return federation
+
+
+def local_shards(
+    topology: ShardTopology, *, config: RunConfig | None = None, **kwargs
+) -> list[LocalShard]:
+    """One in-process federation per shard, holding only its table slice."""
+    shards: list[LocalShard] = []
+    for index, assignment in enumerate(topology.assignments):
+        federation = Federation(
+            domain=topology.domain,
+            config=config if config is not None else exact_config(),
+            seed=topology.seed + index,
+            **kwargs,
+        )
+        tables = topology.shard_tables(index)
+        for owner in sorted(assignment):
+            federation.register(
+                _build_party(owner, tables, assignment[owner], topology.attribute)
+            )
+        shards.append(LocalShard(federation, index=index))
+    return shards
+
+
+def shard_spec(
+    topology: ShardTopology,
+    shard: int,
+    *,
+    rounds: int = 4,
+    protocol: str = "probabilistic",
+    p0: float = 0.0,
+    d: float = 0.5,
+) -> dict:
+    """The :mod:`repro.sharding.worker` stdin spec for one shard."""
+    assignment = topology.assignments[shard]
+    tables = topology.shard_tables(shard)
+    return {
+        "shard": shard,
+        "seed": topology.seed + shard,
+        "domain": {
+            "low": topology.domain.low,
+            "high": topology.domain.high,
+            "integral": topology.domain.integral,
+        },
+        "attribute": topology.attribute,
+        "schedule": {"p0": p0, "d": d},
+        "rounds": rounds,
+        "protocol": protocol,
+        "parties": [
+            {
+                "owner": owner,
+                "tables": {t: assignment[owner].get(t, []) for t in tables},
+            }
+            for owner in sorted(assignment)
+        ],
+        "types": {t: "INTEGER" for t in tables},
+    }
+
+
+def process_shards(
+    topology: ShardTopology,
+    *,
+    rounds: int = 4,
+    protocol: str = "probabilistic",
+    timeout: float = 10.0,
+    boot_timeout: float = 30.0,
+) -> list[ProcessShard]:
+    """Spawn one worker process per shard; closes the spawned on failure."""
+    shards: list[ProcessShard] = []
+    try:
+        for index in range(topology.shard_count):
+            shards.append(
+                ProcessShard.spawn(
+                    shard_spec(topology, index, rounds=rounds, protocol=protocol),
+                    index=index,
+                    timeout=timeout,
+                    boot_timeout=boot_timeout,
+                )
+            )
+    except Exception:
+        for shard in shards:
+            shard.close()
+        raise
+    return shards
+
+
+def sharded_federation(
+    topology: ShardTopology,
+    *,
+    processes: bool = False,
+    config: RunConfig | None = None,
+    **kwargs,
+) -> ShardedFederation:
+    """A ready :class:`ShardedFederation` over the topology's shards.
+
+    ``processes=True`` spawns one worker subprocess per shard; otherwise
+    shards are in-process federations.  The router already knows the
+    topology's partitioned tables.
+    """
+    router = ShardRouter(topology.shard_count, partitioned=topology.partitioned)
+    backends = (
+        process_shards(topology)
+        if processes
+        else local_shards(topology, config=config)
+    )
+    return ShardedFederation(backends, router=router, **kwargs)
+
+
+def topology_workload(
+    topology: ShardTopology,
+    queries: int,
+    *,
+    seed: int = 0,
+    repeat_fraction: float = 0.3,
+    max_k: int = 5,
+) -> list[str]:
+    """A deterministic mixed statement stream over the topology's tables.
+
+    The shape mirrors :func:`repro.service.workload.mixed_workload` (repeats
+    exercise the cache fast path) but draws the table per statement, so the
+    stream spreads across shards and includes fan-outs over the partitioned
+    tables.
+    """
+    if queries < 1:
+        raise ShardError(f"queries must be >= 1, got {queries}")
+    if not 0.0 <= repeat_fraction < 1.0:
+        raise ShardError(
+            f"repeat_fraction must be in [0, 1), got {repeat_fraction}"
+        )
+    templates = (
+        "SELECT TOP {k} {attr} FROM {table}",
+        "SELECT BOTTOM {k} {attr} FROM {table}",
+        "SELECT MAX({attr}) FROM {table}",
+        "SELECT MIN({attr}) FROM {table}",
+        "SELECT SUM({attr}) FROM {table}",
+        "SELECT COUNT({attr}) FROM {table}",
+        "SELECT AVG({attr}) FROM {table}",
+    )
+    rng = random.Random(seed)
+    statements: list[str] = []
+    for _ in range(queries):
+        if statements and rng.random() < repeat_fraction:
+            statements.append(rng.choice(statements))
+            continue
+        template = rng.choice(templates)
+        statements.append(
+            template.format(
+                k=rng.randint(1, max_k),
+                attr=topology.attribute,
+                table=rng.choice(topology.tables),
+            )
+        )
+    return statements
+
+
+__all__ = [
+    "ShardTopology",
+    "build_topology",
+    "exact_config",
+    "local_shards",
+    "process_shards",
+    "shard_spec",
+    "sharded_federation",
+    "single_federation",
+    "topology_workload",
+]

@@ -92,6 +92,49 @@ def test_tpch_on_duckdb_matches_row_store():
     assert duck.data_version == row.data_version
 
 
+def test_persistent_path_survives_reopen(tmp_path):
+    path = tmp_path / "party.duckdb"
+    schema = Schema.of(("value", "INTEGER"))
+    first = Table("data", schema, engine=f"duckdb:{path}")
+    first.insert_many({"value": v} for v in (7, 3, 9))
+    assert len(first) == 3
+    del first
+
+    # A fresh engine over the same file adopts the stored rows.
+    reopened = Table("data", schema, engine=f"duckdb:{path}")
+    assert len(reopened) == 3
+    assert reopened.top_k("value", 2) == [9, 7]
+    reopened.insert({"value": 11})
+    assert len(reopened) == 4
+
+    third = Table("data", schema, engine=f"duckdb:{path}")
+    assert third.top_k("value", 1) == [11]
+
+
+def test_persistent_path_database_reopen(tmp_path):
+    path = tmp_path / "p0.duckdb"
+    db = PrivateDatabase("p0")
+    db.create_table(
+        "data", Schema.of(("value", "INTEGER")), engine=f"duckdb:{path}"
+    )
+    db.insert_many("data", [{"value": v} for v in (5, 9_000, 42)])
+    q = TopKQuery(table="data", attribute="value", k=2)
+    assert db.local_topk(q) == [9_000, 42]
+
+    db2 = PrivateDatabase("p0")
+    db2.create_table(
+        "data", Schema.of(("value", "INTEGER")), engine=f"duckdb:{path}"
+    )
+    assert db2.local_topk(q) == [9_000, 42]
+
+
+def test_persistent_path_schema_mismatch_is_refused(tmp_path):
+    path = tmp_path / "clash.duckdb"
+    Table("data", Schema.of(("value", "INTEGER")), engine=f"duckdb:{path}")
+    with pytest.raises(ValueError, match="does not match"):
+        Table("data", Schema.of(("other", "REAL")), engine=f"duckdb:{path}")
+
+
 def test_unavailable_error_is_clear(monkeypatch):
     import builtins
 

@@ -388,3 +388,23 @@ def test_engine_errors_match_row_store():
         # function name is checked.
         empty = Table("e", Schema.of(("v", "INTEGER")), engine=engine)
         assert empty.aggregate("v", "median") is None
+
+
+def test_duckdb_path_spec_gating(tmp_path):
+    """'duckdb:<path>' parses everywhere; absent duckdb degrades typed."""
+    from repro.database import StorageUnavailable, duckdb_available
+    from repro.database.engines import DuckDbEngine
+
+    schema = Schema.of(("v", "INTEGER"))
+    with pytest.raises(ValueError, match="duckdb path spec is empty"):
+        make_engine("duckdb:", schema)
+    path = tmp_path / "t.duckdb"
+    if duckdb_available():
+        engine = make_engine(f"duckdb:{path}", schema)
+        assert isinstance(engine, DuckDbEngine)
+        assert engine.path == str(path)
+    else:
+        # The optional extra is absent: the path spec must fail with the
+        # typed storage error (clean skip), never an ImportError.
+        with pytest.raises(StorageUnavailable, match="duckdb"):
+            make_engine(f"duckdb:{path}", schema)

@@ -1,0 +1,142 @@
+"""Worker processes over real sockets: parity, codec, typed degradation."""
+
+import pytest
+
+from repro.federation.coordinator import QueryOutcome, QueryRefused
+from repro.federation.sql import SqlError
+from repro.planner.errors import PlanInfeasible
+from repro.sharding import (
+    ShardError,
+    ShardUnavailable,
+    TenantRateLimited,
+    build_topology,
+    sharded_federation,
+    single_federation,
+    topology_workload,
+)
+from repro.sharding.protocol import (
+    decode_error,
+    decode_settled,
+    encode_error,
+    encode_outcome,
+    decode_outcome,
+    encode_settled,
+)
+
+
+# -- codec (no processes) -----------------------------------------------------
+
+
+def test_outcome_codec_roundtrip():
+    outcome = QueryOutcome(
+        statement="SELECT TOP 2 value FROM t00",
+        values=(9.0, 7.0),
+        protocol="probabilistic",
+        rounds=4,
+        messages=15,
+        trace=None,
+        cached=True,
+        simulated_seconds=0.015,
+    )
+    decoded = decode_outcome(encode_outcome(outcome))
+    assert decoded == outcome
+
+
+def test_error_codec_keeps_types_and_never_untyped():
+    for error in (
+        SqlError("bad statement"),
+        PlanInfeasible("no plan"),
+        ShardUnavailable("gone", shard=2),
+        TenantRateLimited("slow down"),
+    ):
+        decoded = decode_error(encode_error(error))
+        assert type(decoded) is type(error)
+        assert str(error) in str(decoded)
+    # Unknown exception types degrade to ShardError carrying the name.
+    decoded = decode_error(encode_error(KeyError("boom")))
+    assert isinstance(decoded, ShardError)
+    assert "KeyError" in str(decoded)
+
+
+def test_settled_codec_roundtrip():
+    settled = [
+        QueryOutcome(
+            statement="s1", values=(1.0,), protocol="naive", rounds=1,
+            messages=3, trace=None, cached=False, simulated_seconds=0.1,
+        ),
+        QueryRefused(statement="s2", error=SqlError("nope")),
+    ]
+    decoded = decode_settled(encode_settled(settled))
+    assert decoded[0] == settled[0]
+    assert isinstance(decoded[1], QueryRefused)
+    assert isinstance(decoded[1].error, SqlError)
+    assert decoded[1].statement == "s2"
+
+
+# -- live worker processes ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def process_setup():
+    topology = build_topology(
+        shards=3, parties_per_shard=3, tables=4, rows_per_table=16,
+        partitioned=1, seed=13,
+    )
+    sharded = sharded_federation(topology, processes=True)
+    yield topology, sharded
+    sharded.close()
+
+
+def test_process_shards_match_oracle(process_setup):
+    topology, sharded = process_setup
+    statements = topology_workload(topology, 25, seed=1)
+    oracle = single_federation(topology)
+    expected = oracle.execute_many_settled(statements, issuer="t")
+    got = sharded.execute_many_settled(statements, issuer="t")
+    for want, have in zip(expected, got):
+        assert isinstance(have, QueryOutcome)
+        assert have.values == want.values
+    # Remote outcomes carry no trace object (it stays in the worker).
+    assert all(o.trace is None for o in got)
+
+
+def test_process_shard_refusals_arrive_typed(process_setup):
+    _topology, sharded = process_setup
+    result = sharded.execute_many_settled(
+        ["SELECT TOP 1 value FROM nowhere"], issuer="t"
+    )[0]
+    assert isinstance(result, QueryRefused)
+    # The worker's refusal crosses the wire as a typed exception, and the
+    # statement is a parse-valid unknown table, so it is a federation-side
+    # error (not ShardUnavailable: the shard is alive and answered).
+    assert not isinstance(result.error, ShardUnavailable)
+
+
+def test_sigkilled_worker_degrades_typed_and_local_shards_survive():
+    topology = build_topology(
+        shards=2, parties_per_shard=3, tables=4, rows_per_table=12,
+        partitioned=1, seed=21,
+    )
+    sharded = sharded_federation(topology, processes=True)
+    try:
+        statements = topology_workload(topology, 20, seed=2)
+        first = sharded.execute_many_settled(statements, issuer="t")
+        assert all(isinstance(r, QueryOutcome) for r in first)
+
+        sharded.shards[0].kill()  # SIGKILL mid-session
+        after = sharded.execute_many_settled(statements, issuer="t")
+        refused = [r for r in after if isinstance(r, QueryRefused)]
+        served = [r for r in after if isinstance(r, QueryOutcome)]
+        assert refused, "killing a shard must refuse its statements"
+        assert all(isinstance(r.error, ShardUnavailable) for r in refused)
+        assert served, "surviving shards must keep serving"
+        # Cached answers from the survivor still match the first pass.
+        by_statement = {r.statement: r.values for r in first}
+        for outcome in served:
+            assert outcome.values == by_statement[outcome.statement]
+        # The admission fast path treats the dead shard as a cache miss,
+        # never an exception.
+        for statement in statements:
+            sharded.try_cached(statement, issuer="t")  # must not raise
+    finally:
+        sharded.close()
