@@ -6,8 +6,8 @@ PYTHON ?= python3
 JOBS ?= 1
 
 .PHONY: install test lint typecheck cov bench bench-kernel \
-	bench-extraction bench-planner bench-gateway figures report \
-	examples all clean
+	bench-extraction bench-planner bench-gateway bench-dp \
+	check-dp check-floors figures report examples all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -63,6 +63,20 @@ bench-planner:
 bench-gateway:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_bench_gateway_soak.py -q -s
+
+# DP release overhead + free re-serve throughput; writes
+# results/BENCH_dp_overhead.json with its floors embedded.
+bench-dp:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_dp.py -q -s
+
+# The (epsilon, delta) accountant against its golden ledger, flat ==
+# sharded; `make check-dp UPDATE=--update` regenerates the golden.
+check-dp:
+	PYTHONPATH=src $(PYTHON) scripts/check_dp_accounting.py $(UPDATE)
+
+# Every committed results/BENCH_*.json against its regression floor.
+check-floors:
+	$(PYTHON) scripts/check_bench_floors.py
 
 figures:
 	$(PYTHON) -m repro.cli all --trials 100 --no-plot --out results --jobs $(JOBS)

@@ -1,0 +1,139 @@
+"""Bench: overhead of the differentially-private query mode.
+
+DP queries run the *same* inner protocol as their plain counterparts and
+add only mechanism calibration, seeded noise draws and accountant updates
+on top — so the measured claims are:
+
+* **Fresh-release overhead**: a batch of DP statements costs close to the
+  identical plain batch in wall time (asserted under the embedded floor)
+  and exactly the same simulated protocol time — the noise layer adds no
+  rounds and no messages.
+* **Free re-serve**: repeats of a released statement are cache-fast,
+  byte-identical, and spend zero additional (ε, δ) — the accountant's
+  ledger is unchanged after a full wave of repeats.
+
+Emits ``results/BENCH_dp_overhead.json`` with the measured ratios and its
+own regression floors embedded under ``"floors"`` (consumed by
+``scripts/check_bench_floors.py``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.database.database import database_from_values
+from repro.database.query import PAPER_DOMAIN
+from repro.federation import Federation
+from repro.privacy.dp import DpPolicy
+
+from conftest import BENCH_SEED, make_vectors
+
+N_PARTIES = 5
+VALUES_PER_PARTY = 8
+REPEATS = 25
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "results" / "BENCH_dp_overhead.json"
+)
+
+#: Wall-time floor: the DP batch may cost at most this multiple of the
+#: plain batch.  The noise layer is a handful of SHA-256 draws per release;
+#: anything past 2x means a regression in the release path.
+MAX_FRESH_OVERHEAD = 2.0
+
+PLAIN_STATEMENTS = [
+    "SELECT TOP 2 value FROM data",
+    "SELECT MAX(value) FROM data",
+    "SELECT SUM(value) FROM data",
+    "SELECT COUNT(value) FROM data",
+    "SELECT AVG(value) FROM data",
+    "SELECT BOTTOM 2 value FROM data",
+]
+DP_STATEMENTS = [
+    f"{s} WITH SLO(dp_epsilon=2.0)" for s in PLAIN_STATEMENTS
+]
+
+
+def fresh_federation(*, dp: bool) -> Federation:
+    fed = Federation(
+        domain=PAPER_DOMAIN,
+        seed=BENCH_SEED,
+        dp=DpPolicy(seed=BENCH_SEED) if dp else None,
+    )
+    vectors = make_vectors(N_PARTIES, VALUES_PER_PARTY, BENCH_SEED, prefix="org")
+    for owner, values in vectors.items():
+        fed.register(database_from_values(owner, values))
+    return fed
+
+
+def _best_of(runs: int, fn) -> float:
+    """Best wall time over ``runs`` fresh invocations (noise-robust)."""
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_dp_overhead():
+    # -- fresh-release overhead vs the identical plain batch --------------
+    plain_outcomes = fresh_federation(dp=False).execute_many(PLAIN_STATEMENTS)
+    dp_fed = fresh_federation(dp=True)
+    dp_outcomes = dp_fed.execute_many(DP_STATEMENTS)
+
+    # The noise layer must not change what the protocol does underneath.
+    # (AVG's inner SUM/COUNT are batch-cache hits of the earlier statements,
+    # so its message count is legitimately zero — inner reuse, not skipping.)
+    for plain, noised in zip(plain_outcomes, dp_outcomes):
+        assert noised.protocol == f"{plain.protocol}+dp"
+    plain_sim = sum(o.simulated_seconds for o in plain_outcomes)
+    dp_sim = sum(o.simulated_seconds for o in dp_outcomes)
+
+    plain_wall = _best_of(
+        3, lambda: fresh_federation(dp=False).execute_many(PLAIN_STATEMENTS)
+    )
+    dp_wall = _best_of(
+        3, lambda: fresh_federation(dp=True).execute_many(DP_STATEMENTS)
+    )
+    fresh_overhead = dp_wall / plain_wall
+    assert fresh_overhead <= MAX_FRESH_OVERHEAD, (
+        f"DP batch cost {fresh_overhead:.2f}x the plain batch "
+        f"(floor {MAX_FRESH_OVERHEAD}x)"
+    )
+
+    # -- free re-serve: byte-identical, zero budget ------------------------
+    ledger_before = dp_fed.dp_gate.accountant.ledger_lines()
+    spent_before = dp_fed.dp_gate.accountant.epsilon.spent
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        repeats = dp_fed.execute_many(DP_STATEMENTS)
+        for first, again in zip(dp_outcomes, repeats):
+            assert again.values == first.values
+            assert again.cached and again.rounds == 0 and again.messages == 0
+    repeat_wall = time.perf_counter() - start
+    assert dp_fed.dp_gate.accountant.ledger_lines() == ledger_before
+    assert dp_fed.dp_gate.accountant.epsilon.spent == spent_before
+    assert dp_fed.dp_gate.accountant.free_serves == REPEATS * len(DP_STATEMENTS)
+    cached_per_second = REPEATS * len(DP_STATEMENTS) / repeat_wall
+
+    payload = {
+        "seed": BENCH_SEED,
+        "statements": len(DP_STATEMENTS),
+        "plain_wall_seconds": plain_wall,
+        "dp_wall_seconds": dp_wall,
+        "fresh_overhead": fresh_overhead,
+        "plain_simulated_seconds": plain_sim,
+        "dp_simulated_seconds": dp_sim,
+        "cached_dp_queries_per_second_wall": cached_per_second,
+        "epsilon_spent": dp_fed.dp_gate.accountant.epsilon.spent,
+        "releases": dp_fed.dp_gate.accountant.releases,
+        "free_serves": dp_fed.dp_gate.accountant.free_serves,
+        "floors": {"max_fresh_overhead": MAX_FRESH_OVERHEAD},
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nDP fresh overhead {fresh_overhead:.2f}x (floor {MAX_FRESH_OVERHEAD}x); "
+        f"{cached_per_second:,.0f} cached DP queries/s; "
+        f"wrote {RESULTS_PATH.name}"
+    )

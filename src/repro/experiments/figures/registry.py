@@ -20,6 +20,7 @@ from . import (
     ext_collusion,
     ext_communication,
     ext_distributions,
+    ext_dp,
     ext_noise,
     ext_tpch_sweep,
     fig3,
@@ -120,6 +121,12 @@ EXPERIMENTS: dict[str, Experiment] = {
             "ext-noise", "Section 7 future work", "extension",
             "noise-placement strategies: precision vs LoP tradeoff",
             ext_noise.run,
+        ),
+        Experiment(
+            "ext-dp", "ROADMAP privacy item", "extension",
+            "DP release error and distinguishing advantage vs epsilon, "
+            "with the paper's LoP as reference",
+            ext_dp.run,
         ),
         Experiment(
             "ext-bound-check", "Section 5.3 claim", "extension",

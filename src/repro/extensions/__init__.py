@@ -39,6 +39,7 @@ from .kth_element import (
     kth_largest,
     median,
 )
+from .ksecuresum import KSecureSumResult, KSecureSumRound, run_k_secure_sum
 from .securesum import SecureSumError, SecureSumResult, run_secure_sum
 
 __all__ = [
@@ -52,6 +53,8 @@ __all__ = [
     "GroupedRunResult",
     "KNNError",
     "KNNPrediction",
+    "KSecureSumResult",
+    "KSecureSumRound",
     "KthElementError",
     "KthElementResult",
     "LabeledPoint",
@@ -71,6 +74,7 @@ __all__ = [
     "run_grouped_max",
     "run_grouped_topk",
     "run_hiding_attack",
+    "run_k_secure_sum",
     "run_secure_sum",
     "run_spoofing_attack",
 ]

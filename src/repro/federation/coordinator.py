@@ -36,6 +36,7 @@ from ..core.driver import AUTO, SESSION, RunConfig, run_topk_queries, run_topk_q
 from ..core.results import ProtocolResult
 from ..database.database import PrivateDatabase, common_query
 from ..database.query import Domain, TopKQuery
+from ..extensions.ksecuresum import run_k_secure_sum
 from ..extensions.securesum import run_secure_sum
 from ..observability.trace import TraceContext, Tracer
 from ..planner.errors import PlanInfeasible
@@ -44,6 +45,7 @@ from ..planner.plan import Plan
 from ..planner.planner import QueryPlanner
 from ..planner.spec import QuerySpec, parse_spec
 from ..privacy.accounting import BudgetExceededError, ExposureLedger
+from ..privacy.dp import BudgetExhausted, DpError, DpGate, DpPolicy, build_request
 from ..privacy.lop import average_lop
 from .audit import AuditEntry, AuditLog
 from .cache import CachedAnswer, CacheKey, ResultCache, canonical_statement
@@ -114,6 +116,8 @@ class Federation:
         cache_entries: int = 1024,
         tracer: "Tracer | None" = None,
         planner: "QueryPlanner | None" = None,
+        dp: "DpPolicy | None" = None,
+        secure_sum_segments: int = 1,
     ) -> None:
         """``privacy_budget`` caps any party's *cumulative* measured exposure
         across the session's ranking queries (see
@@ -127,7 +131,16 @@ class Federation:
         the query service's batch spans — pass per-statement contexts to
         the batch methods instead.  ``planner`` resolves statements carrying
         ``WITH SLO(...)`` clauses (see :mod:`repro.planner`); the default
-        plans against this federation's base config.
+        plans against this federation's base config.  ``dp`` configures
+        the differential-privacy release layer (see
+        :mod:`repro.privacy.dp`): statements carrying
+        ``dp_epsilon``/``dp_delta`` SLO keys release calibrated-noise
+        answers charged against the gate's
+        :class:`~repro.privacy.dp.PrivacyAccountant`.
+        ``secure_sum_segments > 1`` swaps the additive aggregates onto
+        the segmented/shuffled k-secure-sum
+        (:mod:`repro.extensions.ksecuresum`), hardening them against
+        colluding ring neighbors at ``segments``x the traffic.
         """
         self.domain = domain
         self._base_config = config or RunConfig()
@@ -152,6 +165,12 @@ class Federation:
             if planner is not None
             else QueryPlanner(base_config=self._base_config)
         )
+        if secure_sum_segments < 1:
+            raise FederationError(
+                f"secure_sum_segments must be >= 1, got {secure_sum_segments}"
+            )
+        self._secure_segments = secure_sum_segments
+        self.dp_gate = DpGate(dp)
 
     # -- domains ------------------------------------------------------------
 
@@ -251,6 +270,12 @@ class Federation:
         if use_cache:
             return self.execute_many([statement_text], issuer=issuer)[0]
         spec = parse_spec(statement_text)
+        if spec.slo.has_dp:
+            # DP releases are defined over the batch machinery (release
+            # counters, cached re-serves); a single statement is a batch
+            # of one.  A cache-valid repeat re-serves the same noisy
+            # release free instead of re-executing.
+            return self.execute_many([statement_text], issuer=issuer)[0]
         statement = spec.statement
         if self.policy is not None:
             self.policy.check(issuer, statement)
@@ -275,9 +300,15 @@ class Federation:
 
         SLO'd statements share the cache with their bare form: the cached
         answer is already public and costs zero rounds, zero messages, and
-        zero new exposure, which satisfies any declared objective.
+        zero new exposure, which satisfies any declared objective.  A DP
+        statement hits only when a release already exists for its key and
+        every inner answer is still cache-valid — the *same* noisy release
+        is re-served, spending zero budget.
         """
-        statement = parse_spec(statement_text).statement
+        spec = parse_spec(statement_text)
+        if spec.slo.has_dp:
+            return self._try_cached_dp(spec, issuer)
+        statement = spec.statement
         answer = self.cache.peek(self._cache_key(statement))
         if answer is None:
             return None
@@ -359,6 +390,268 @@ class Federation:
         )
 
     def _execute_batch(
+        self,
+        statements: list[str],
+        issuer: str,
+        settle: bool,
+        traces: "Sequence[TraceContext | None] | None" = None,
+        plans: "Sequence[Plan | None] | None" = None,
+    ) -> "list[QueryOutcome | QueryRefused]":
+        """Serve a batch, expanding DP statements around the exact core.
+
+        Statements carrying ``dp_epsilon`` are rewritten to their *inner*
+        (exact) statements — in place, preserving statement order so seed
+        draws match a sequential session issuing the inner forms — and the
+        noisy releases are assembled from the inner answers afterwards.
+        Batches without DP statements take the exact path untouched.
+        """
+        prep = self._prepare_dp(statements, issuer, settle, traces, plans)
+        if prep is None:
+            return self._serve_batch(statements, issuer, settle, traces, plans)
+        inner_results = self._serve_batch(
+            prep.texts, issuer, settle, prep.traces, prep.plans
+        )
+        return self._assemble_dp(prep, inner_results, settle)
+
+    def _prepare_dp(
+        self,
+        statements: list[str],
+        issuer: str,
+        settle: bool,
+        traces: "Sequence[TraceContext | None] | None",
+        plans: "Sequence[Plan | None] | None",
+    ) -> "_DpBatchPrep | None":
+        """Expand DP statements into inner texts; ``None`` when none carry DP.
+
+        DP-specific refusals — a missing domain, a degenerate (zero-noise)
+        mechanism, an exhausted (epsilon, delta) budget — are decided
+        *here*, before any seed draw or inner dispatch, so refused DP
+        statements perturb nothing downstream (the same refusal-parity rule
+        the planner follows).  The budget precheck is optimistic on reuse:
+        a key that has already released is admitted without headroom, and
+        ``finalize`` still enforces the budget if the inner cache turns out
+        to have been invalidated.
+        """
+        specs: list[QuerySpec | None] = []
+        has_dp = False
+        for text in statements:
+            try:
+                spec = parse_spec(text)
+            except SqlError:
+                spec = None  # the exact path reports the parse error
+            specs.append(spec)
+            if spec is not None and spec.slo.has_dp:
+                has_dp = True
+        if not has_dp:
+            return None
+        pending = self.dp_gate.new_pending()
+        texts: list[str] = []
+        new_traces: list[TraceContext | None] = []
+        new_plans: list[Plan | None] = []
+        slots: list[tuple] = []
+        for index, text in enumerate(statements):
+            spec = specs[index]
+            trace = traces[index] if traces is not None else None
+            plan = plans[index] if plans is not None else None
+            if spec is None or not spec.slo.has_dp:
+                slots.append(("pass", len(texts)))
+                texts.append(text)
+                new_traces.append(trace)
+                new_plans.append(plan)
+                continue
+            statement = spec.statement
+            try:
+                # Policy gates the *original* statement; the inner forms are
+                # re-checked by the exact path (an AVG decomposition thus
+                # needs SUM and COUNT permission too).
+                if self.policy is not None:
+                    self.policy.check(issuer, statement)
+                request = build_request(
+                    spec, self.domain_for(statement.table, statement.attribute)
+                )
+            except (PolicyViolation, DpError) as exc:
+                if not settle:
+                    raise
+                slots.append(("refused", exc))
+                continue
+            assert request is not None  # spec.slo.has_dp
+            reason = self.dp_gate.admit(request, pending)
+            if reason is not None:
+                refusal = BudgetExhausted(reason, statement=text)
+                if not settle:
+                    raise refusal
+                slots.append(("refused", refusal))
+                continue
+            inner_indices: list[int] = []
+            for j, inner_text in enumerate(request.inner_texts):
+                inner_indices.append(len(texts))
+                texts.append(inner_text)
+                new_traces.append(trace if j == 0 else None)
+                # A pre-resolved plan transfers only when the inner form is
+                # the statement it was planned for (not a decomposition).
+                new_plans.append(plan if j == 0 and len(request.inner) == 1 else None)
+            slots.append(("dp", request, inner_indices, statement.text))
+        return _DpBatchPrep(
+            statements=statements,
+            texts=texts,
+            traces=new_traces if traces is not None else None,
+            plans=new_plans if plans is not None else None,
+            slots=slots,
+        )
+
+    def _assemble_dp(
+        self,
+        prep: "_DpBatchPrep",
+        inner_results: "list[QueryOutcome | QueryRefused]",
+        settle: bool,
+    ) -> "list[QueryOutcome | QueryRefused]":
+        """Assemble noisy releases from inner answers, in statement order.
+
+        Accountant charges land here, one per *fresh* release; a DP
+        statement whose inner answers are all cached re-serves its latest
+        release byte-identically and charges nothing.
+        """
+        outcomes: list[QueryOutcome | QueryRefused] = []
+        for index, slot in enumerate(prep.slots):
+            kind = slot[0]
+            if kind == "refused":
+                outcomes.append(
+                    QueryRefused(statement=prep.statements[index], error=slot[1])
+                )
+                continue
+            if kind == "pass":
+                outcomes.append(inner_results[slot[1]])
+                continue
+            _, request, inner_indices, bare_text = slot
+            inner = [inner_results[i] for i in inner_indices]
+            refused = next(
+                (r for r in inner if isinstance(r, QueryRefused)), None
+            )
+            if refused is not None:
+                outcomes.append(
+                    QueryRefused(
+                        statement=prep.statements[index], error=refused.error
+                    )
+                )
+                continue
+            inner_cached = all(o.cached for o in inner)  # type: ignore[union-attr]
+            try:
+                values, charged = self.dp_gate.finalize(
+                    request,
+                    [o.values for o in inner],  # type: ignore[union-attr]
+                    inner_cached=inner_cached,
+                )
+            except BudgetExhausted as exc:
+                if not settle:
+                    raise
+                outcomes.append(
+                    QueryRefused(statement=prep.statements[index], error=exc)
+                )
+                continue
+            first = inner[0]
+            outcomes.append(
+                QueryOutcome(
+                    statement=bare_text,
+                    values=values,
+                    protocol=f"{first.protocol}+dp",  # type: ignore[union-attr]
+                    rounds=max(o.rounds for o in inner),  # type: ignore[union-attr]
+                    messages=sum(o.messages for o in inner),  # type: ignore[union-attr]
+                    trace=None,
+                    cached=not charged,
+                    simulated_seconds=max(
+                        o.simulated_seconds for o in inner  # type: ignore[union-attr]
+                    ),
+                )
+            )
+        return outcomes
+
+    def _try_cached_dp(
+        self, spec: QuerySpec, issuer: str
+    ) -> QueryOutcome | None:
+        """Admission fast path for DP statements: free re-serve or ``None``.
+
+        Serves only when a release already exists for the key *and* every
+        inner answer is still cache-valid; the re-served values are
+        byte-identical to that release and spend zero budget.
+        """
+        statement = spec.statement
+        try:
+            request = build_request(
+                spec, self.domain_for(statement.table, statement.attribute)
+            )
+        except DpError:
+            return None  # the batch path will raise the typed refusal
+        assert request is not None
+        if not self.dp_gate.reusable(request):
+            return None
+        answers = []
+        for inner_text in request.inner_texts:
+            inner_statement = parse_spec(inner_text).statement
+            answer = self.cache.peek(self._cache_key(inner_statement))
+            if answer is None:
+                return None
+            answers.append(answer)
+        if self.policy is not None:
+            self.policy.check(issuer, statement)
+        values, _charged = self.dp_gate.finalize(
+            request, [a.values for a in answers], inner_cached=True
+        )
+        self.cache.hits += len(answers)
+        protocol = f"{answers[0].protocol}+dp"
+        outcome = QueryOutcome(
+            statement=statement.text,
+            values=values,
+            protocol=protocol,
+            rounds=0,
+            messages=0,
+            trace=None,
+            cached=True,
+        )
+        self.audit.record(
+            AuditEntry.for_query(
+                issuer=issuer,
+                statement=statement.text,
+                protocol=protocol,
+                participants=self.members,
+                rounds=0,
+                messages=0,
+                result_public=values,
+                average_lop=None,
+                cached=True,
+            )
+        )
+        return outcome
+
+    def dp_admission_check(
+        self, spec: QuerySpec, *, issuer: str = "anonymous"
+    ) -> None:
+        """Gateway hook: refuse a DP statement that can neither reuse nor pay.
+
+        Raises :class:`~repro.privacy.dp.DpError` for unresolvable requests
+        (missing domain, zero-noise calibration) and
+        :class:`~repro.privacy.dp.BudgetExhausted` when no release exists
+        and the composed budget has no headroom.  Duck-typed by
+        :class:`~repro.service.gateway.QueryService` at admission so DP
+        refusals happen before a queue slot is consumed.
+        """
+        del issuer  # the flat federation has a single shared accountant
+        if not spec.slo.has_dp:
+            return
+        statement = spec.statement
+        request = build_request(
+            spec, self.domain_for(statement.table, statement.attribute)
+        )
+        assert request is not None
+        if self.dp_gate.reusable(request):
+            return
+        reason = self.dp_gate.accountant.headroom_reason(
+            request.epsilon, request.delta
+        )
+        if reason is not None:
+            self.dp_gate.accountant.note_refusal()
+            raise BudgetExhausted(reason, statement=spec.text)
+
+    def _serve_batch(
         self,
         statements: list[str],
         issuer: str,
@@ -733,6 +1026,18 @@ class Federation:
         value = table.aggregate(statement.attribute, "sum")
         return float(value) if value is not None else 0.0
 
+    def _secure_sum(self, values: dict[str, float], seed: int | None):
+        """Run the configured additive primitive: plain or segmented ring sum.
+
+        Both results duck-type ``.total`` and ``.stats.messages_total``,
+        which is all the additive path consumes.
+        """
+        if self._secure_segments > 1:
+            return run_k_secure_sum(
+                values, segments=self._secure_segments, seed=seed
+            )
+        return run_secure_sum(values, seed=seed)
+
     def _run_additive(
         self,
         statement: FederatedStatement,
@@ -771,12 +1076,12 @@ class Federation:
         if statement.operation in ("SUM", "AVG"):
             if sum_seed is None:
                 sum_seed = self._derive_seed("secure-sum")
-            sum_outcome = run_secure_sum(sums, seed=sum_seed)
+            sum_outcome = self._secure_sum(sums, sum_seed)
             messages += sum_outcome.stats.messages_total
         if statement.operation in ("COUNT", "AVG"):
             if count_seed is None:
                 count_seed = self._derive_seed("secure-sum")
-            count_outcome = run_secure_sum(counts, seed=count_seed)
+            count_outcome = self._secure_sum(counts, count_seed)
             messages += count_outcome.stats.messages_total
 
         if statement.operation == "SUM":
@@ -789,25 +1094,46 @@ class Federation:
                 raise FederationError("AVG over zero rows")
             value = sum_outcome.total / total_count
 
+        protocol = (
+            "k-secure-sum" if self._secure_segments > 1 else "secure-sum"
+        )
+        rounds = self._secure_segments if self._secure_segments > 1 else 1
         outcome = QueryOutcome(
             statement=statement.text,
             values=(float(value),),
-            protocol="secure-sum",
-            rounds=1,
+            protocol=protocol,
+            rounds=rounds,
             messages=messages,
         )
         self.audit.record(
             AuditEntry.for_query(
                 issuer=issuer,
                 statement=statement.text,
-                protocol="secure-sum",
+                protocol=protocol,
                 participants=self.members,
-                rounds=1,
+                rounds=rounds,
                 messages=messages,
                 result_public=outcome.values,
             )
         )
         return outcome
+
+
+@dataclass
+class _DpBatchPrep:
+    """One batch's DP expansion: inner texts plus the reassembly map.
+
+    ``slots`` has one entry per original statement:
+    ``("pass", inner_index)`` for non-DP passthrough,
+    ``("dp", DpRequest, inner_indices, bare_text)`` for an admitted DP
+    statement, ``("refused", exception)`` for a precheck refusal.
+    """
+
+    statements: list[str]
+    texts: list[str]
+    traces: "list[TraceContext | None] | None"
+    plans: "list[Plan | None] | None"
+    slots: list[tuple]
 
 
 def replace_operation(
@@ -824,6 +1150,8 @@ def replace_operation(
 
 
 __all__ = [
+    "BudgetExhausted",
+    "DpPolicy",
     "Federation",
     "FederationError",
     "PlanInfeasible",

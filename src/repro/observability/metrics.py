@@ -552,3 +552,39 @@ class MetricsRegistry:
             self.gauge(
                 "repro_service_queue_depth", "Requests waiting for a batch."
             ).set(queue_depth)
+
+    def absorb_dp(self, snapshot: "dict[str, Any]") -> None:
+        """Publish a DP release gate's accountant snapshot.
+
+        ``snapshot`` is ``DpGate.snapshot()``-shaped: spent/budget meters
+        plus release/free-serve/refusal counters.
+        """
+        self.gauge(
+            "repro_dp_epsilon_spent",
+            "Composed epsilon charged across every fresh DP release.",
+        ).set(float(snapshot.get("epsilon_spent", 0.0)))
+        self.gauge(
+            "repro_dp_delta_spent",
+            "Composed delta charged across every fresh DP release.",
+        ).set(float(snapshot.get("delta_spent", 0.0)))
+        for dimension in ("epsilon", "delta"):
+            budget = snapshot.get(f"{dimension}_budget")
+            if budget is not None:
+                self.gauge(
+                    f"repro_dp_{dimension}_budget",
+                    f"Configured {dimension} budget (absent when unmetered).",
+                ).set(float(budget))
+        events = self.counter(
+            "repro_dp_releases_total",
+            "DP release decisions by outcome.",
+            ("outcome",),
+        )
+        events.inc(int(snapshot.get("releases", 0)), labels={"outcome": "released"})
+        events.inc(
+            int(snapshot.get("free_serves", 0)), labels={"outcome": "free-serve"}
+        )
+        events.inc(int(snapshot.get("refusals", 0)), labels={"outcome": "refused"})
+        self.gauge(
+            "repro_dp_release_keys",
+            "Distinct release keys the gate has answered.",
+        ).set(int(snapshot.get("release_keys", 0)))

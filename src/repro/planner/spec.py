@@ -28,6 +28,15 @@ Supported keys (all optional; a bare statement means "no objectives"):
 ``backend``
     Force the execution substrate: ``session`` (full transport
     simulation), ``kernel`` (vectorized batch kernel), or ``auto``.
+``dp_epsilon``
+    Differential-privacy budget for this statement's *release*: the
+    answer is perturbed by a mechanism calibrated to ``dp_epsilon``
+    (see :mod:`repro.privacy.dp`).  Finite and ``> 0``.  Distinct from
+    ``epsilon``, which remains the Equation 3/4 precision bound.
+``dp_delta``
+    The ``delta`` of an (epsilon, delta) differential-privacy budget.
+    In ``[0, 1)``; requires ``dp_epsilon``; omitted means ``0`` (pure
+    epsilon-DP).
 
 The clause is parsed *with* the statement: :func:`parse_spec` accepts any
 dialect statement with or without a suffix and returns a
@@ -38,6 +47,7 @@ every existing refusal path classifies them correctly.
 
 from __future__ import annotations
 
+import math
 import re
 from dataclasses import dataclass, fields
 
@@ -68,6 +78,8 @@ class Slo:
     max_rounds: int | None = None
     protocol: str | None = None
     backend: str | None = None
+    dp_epsilon: float | None = None
+    dp_delta: float | None = None
 
     def __post_init__(self) -> None:
         if self.epsilon is not None and not 0.0 < self.epsilon < 1.0:
@@ -88,6 +100,24 @@ class Slo:
                 f"SLO backend must be one of {BACKEND_CHOICES}, "
                 f"got {self.backend!r}"
             )
+        if self.dp_epsilon is not None and not (
+            math.isfinite(self.dp_epsilon) and self.dp_epsilon > 0.0
+        ):
+            raise SloError(
+                f"SLO dp_epsilon must be finite and > 0, got {self.dp_epsilon}"
+            )
+        if self.dp_delta is not None:
+            if self.dp_epsilon is None:
+                raise SloError("SLO dp_delta requires dp_epsilon")
+            if not 0.0 <= self.dp_delta < 1.0:
+                raise SloError(
+                    f"SLO dp_delta must be in [0, 1), got {self.dp_delta}"
+                )
+
+    @property
+    def has_dp(self) -> bool:
+        """True when the statement requests a differentially-private release."""
+        return self.dp_epsilon is not None
 
     @property
     def is_trivial(self) -> bool:
@@ -124,7 +154,7 @@ def _parse_value(key: str, raw: str) -> object:
             return int(raw)
         except ValueError:
             raise SloError(f"SLO {key} expects an integer, got {raw!r}") from None
-    if key in ("epsilon", "precision", "max_lop", "deadline"):
+    if key in ("epsilon", "precision", "max_lop", "deadline", "dp_epsilon", "dp_delta"):
         try:
             return float(raw)
         except ValueError:
@@ -152,6 +182,8 @@ def parse_slo_clauses(clauses: str) -> Slo:
             "max_rounds",
             "protocol",
             "backend",
+            "dp_epsilon",
+            "dp_delta",
         ):
             raise SloError(f"unknown SLO key {key!r}")
         if key in values or (key == "precision" and "epsilon" in values) or (
@@ -179,12 +211,37 @@ def parse_spec(text: str) -> QuerySpec:
     return QuerySpec(statement=parse(text), slo=Slo(), text=text.strip())
 
 
+#: SLO keys owned by the differential-privacy layer, not the planner.
+DP_SLO_KEYS = ("dp_epsilon", "dp_delta")
+
+
+def strip_dp(spec: QuerySpec) -> str:
+    """Rebuild ``spec``'s text with the DP keys removed.
+
+    The DP layer perturbs the answer of an *inner* statement that carries
+    every remaining objective (precision, deadline, protocol, ...); this
+    returns that inner statement's canonical text.  A spec whose SLO holds
+    nothing but DP keys collapses to the bare dialect statement.
+    """
+    kept = [
+        (f.name, getattr(spec.slo, f.name))
+        for f in fields(spec.slo)
+        if f.name not in DP_SLO_KEYS and getattr(spec.slo, f.name) is not None
+    ]
+    if not kept:
+        return spec.statement.text
+    clauses = ", ".join(f"{name}={value}" for name, value in kept)
+    return f"{spec.statement.text} WITH SLO({clauses})"
+
+
 __all__ = [
     "BACKEND_CHOICES",
+    "DP_SLO_KEYS",
     "PROTOCOL_CHOICES",
     "QuerySpec",
     "Slo",
     "SloError",
     "parse_slo_clauses",
     "parse_spec",
+    "strip_dp",
 ]

@@ -32,6 +32,18 @@ from .lop import (
     worst_case_lop,
 )
 from .accounting import BudgetExceededError, ExposureLedger
+from .dp import (
+    BudgetExhausted,
+    DpError,
+    DpGate,
+    DpPolicy,
+    GeometricMechanism,
+    LaplaceMechanism,
+    PrivacyAccountant,
+    SpendMeter,
+    calibrate_mechanism,
+    sensitivity_for,
+)
 from .precision import is_exact, precision
 from .ranges import (
     RangeExposureError,
@@ -45,7 +57,17 @@ from .spectrum import SpectrumLevel, classify
 __all__ = [
     "AdversaryError",
     "BudgetExceededError",
+    "BudgetExhausted",
+    "DpError",
+    "DpGate",
+    "DpPolicy",
     "ExposureLedger",
+    "GeometricMechanism",
+    "LaplaceMechanism",
+    "PrivacyAccountant",
+    "SpendMeter",
+    "calibrate_mechanism",
+    "sensitivity_for",
     "Claim",
     "ClaimError",
     "ExposureKind",

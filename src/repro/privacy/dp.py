@@ -1,0 +1,594 @@
+"""Differential privacy: calibrated mechanisms and the (epsilon, delta) accountant.
+
+The paper perturbs local answers ad hoc (Section 3's noisy rank vectors)
+and *measures* the resulting loss of privacy.  This module adds the formal
+counterpart: a statement suffixed with ``WITH SLO(dp_epsilon=..., [dp_delta=...])``
+releases a *noisy* answer whose perturbation follows a mechanism calibrated
+to the declared budget and the attribute's public :class:`~repro.database.query.Domain`
+— Laplace noise for continuous domains, the two-sided geometric (discrete
+Laplace) for integral ones — and every release is charged against a
+:class:`PrivacyAccountant` under basic sequential composition.
+
+Design invariants (shared with the rest of the stack):
+
+* **Deterministic per seed.** Noise is drawn from a ``random.Random``
+  seeded by SHA-256 over ``(dp seed, release key, inner index, release
+  counter)``.  The same seed and workload produce byte-identical noisy
+  answers, ledgers, and snapshots — flat or sharded.
+* **Cache hits spend zero budget.** A repeat of a released statement whose
+  inner (exact) answer is still cache-valid re-serves the *same* noisy
+  release: no fresh randomness, no budget charge.  This is sound — the
+  released value is already public — and mirrors the tenant LoP rule
+  ("spent on cache hit" is free on both accounting surfaces, via the
+  shared :class:`SpendMeter`).
+* **Typed refusals.** Budget exhaustion raises :class:`BudgetExhausted`
+  (distinct from the planner's ``PlanInfeasible``); a mechanism whose
+  noise would underflow to exactly zero raises :class:`DpError` instead
+  of silently releasing the exact value.
+* **Refuse before recording.** Like :class:`~repro.privacy.accounting.ExposureLedger`,
+  the accountant checks headroom *before* mutating any meter, so a refused
+  query leaves the ledger untouched.
+
+The DP layer wraps execution rather than replacing it: the *inner*
+statement (DP keys stripped; ``AVG`` decomposes into ``SUM`` + ``COUNT``
+at half budget each, mirroring the sharded fan-out) runs through the
+ordinary Federation/ShardedFederation machinery, so DP queries inherit
+batching, caching, sharding, planning, and tracing for free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # typing only: keeps privacy <- federation import edges acyclic
+    from ..database.query import Domain
+    from ..federation.sql import FederatedStatement
+
+#: Absolute slack when comparing spend against a budget: a query that lands
+#: *exactly* on the remaining budget is admitted; only a strictly positive
+#: overshoot (beyond float noise) refuses.
+SPEND_TOLERANCE = 1e-9
+
+
+class DpError(RuntimeError):
+    """A differential-privacy release cannot be constructed as requested."""
+
+
+class BudgetExhausted(DpError):
+    """The composed (epsilon, delta) budget cannot absorb this release.
+
+    Deliberately distinct from the planner's ``PlanInfeasible``: the plan
+    may be perfectly executable — the *tenant or federation privacy
+    allowance* is what ran out.
+    """
+
+    def __init__(self, message: str, *, statement: str = "", dimension: str = "epsilon"):
+        super().__init__(message)
+        self.statement = statement
+        self.dimension = dimension
+
+
+# -- the shared accounting surface -------------------------------------------
+
+
+@dataclass
+class SpendMeter:
+    """One budgeted quantity: LoP for a tenant, epsilon or delta for DP.
+
+    ``budget=None`` means unmetered (infinite headroom).  Both the tenant
+    LoP accounting (:mod:`repro.sharding.router`) and the DP accountant
+    spend through this single surface, so the "cache hits are free" rule
+    is enforced in exactly one place for both.
+    """
+
+    budget: float | None = None
+    spent: float = 0.0
+
+    def remaining(self) -> float:
+        if self.budget is None:
+            return math.inf
+        return max(0.0, self.budget - self.spent)
+
+    def would_exceed(self, amount: float) -> bool:
+        """True when charging ``amount`` would overshoot the budget.
+
+        Landing exactly on the budget (within :data:`SPEND_TOLERANCE`) is
+        allowed — "budget exactly exhausted on the last round" succeeds.
+        """
+        if self.budget is None:
+            return False
+        return self.spent + amount > self.budget + SPEND_TOLERANCE
+
+    def charge(self, amount: float) -> None:
+        if amount < 0.0:
+            raise ValueError(f"negative charge: {amount}")
+        self.spent += amount
+
+    def reset(self) -> None:
+        self.spent = 0.0
+
+
+@dataclass(frozen=True)
+class DpCharge:
+    """One recorded release: which statement spent how much."""
+
+    statement: str
+    epsilon: float
+    delta: float
+
+
+class PrivacyAccountant:
+    """Composes (epsilon, delta) across releases under basic composition.
+
+    Basic sequential composition: k releases at (eps_i, delta_i) are
+    jointly (sum eps_i, sum delta_i)-DP.  The accountant keeps one
+    :class:`SpendMeter` per dimension, a ledger of charges, and counters
+    for releases / free (cached) serves / refusals.
+    """
+
+    def __init__(
+        self,
+        epsilon_budget: float | None = None,
+        delta_budget: float | None = None,
+    ):
+        if epsilon_budget is not None and epsilon_budget < 0.0:
+            raise DpError(f"epsilon budget must be >= 0, got {epsilon_budget}")
+        if delta_budget is not None and not 0.0 <= delta_budget < 1.0:
+            raise DpError(f"delta budget must be in [0, 1), got {delta_budget}")
+        self.epsilon = SpendMeter(budget=epsilon_budget)
+        self.delta = SpendMeter(budget=delta_budget)
+        self.charges: list[DpCharge] = []
+        self.releases = 0
+        self.free_serves = 0
+        self.refusals = 0
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def epsilon_spent(self) -> float:
+        return self.epsilon.spent
+
+    @property
+    def delta_spent(self) -> float:
+        return self.delta.spent
+
+    def headroom_reason(
+        self, epsilon: float, delta: float, *, pending_epsilon: float = 0.0, pending_delta: float = 0.0
+    ) -> str | None:
+        """Why a (epsilon, delta) charge would refuse, or ``None`` if it fits.
+
+        ``pending_*`` folds in charges admitted earlier in the same batch
+        that have not landed on the meters yet, so refusal decisions are
+        order-consistent with sequential execution.
+        """
+        if self.epsilon.would_exceed(pending_epsilon + epsilon):
+            return (
+                f"epsilon budget exhausted: spent {self.epsilon.spent + pending_epsilon:.9g} "
+                f"of {self.epsilon.budget:.9g}, release needs {epsilon:.9g}"
+            )
+        if self.delta.would_exceed(pending_delta + delta):
+            return (
+                f"delta budget exhausted: spent {self.delta.spent + pending_delta:.9g} "
+                f"of {self.delta.budget:.9g}, release needs {delta:.9g}"
+            )
+        return None
+
+    # -- mutation ------------------------------------------------------------
+
+    def charge(self, epsilon: float, delta: float, *, statement: str) -> None:
+        """Record one release, refusing (before any mutation) on overshoot."""
+        reason = self.headroom_reason(epsilon, delta)
+        if reason is not None:
+            self.refusals += 1
+            dimension = "epsilon" if reason.startswith("epsilon") else "delta"
+            raise BudgetExhausted(reason, statement=statement, dimension=dimension)
+        self.epsilon.charge(epsilon)
+        self.delta.charge(delta)
+        self.charges.append(DpCharge(statement=statement, epsilon=epsilon, delta=delta))
+        self.releases += 1
+
+    def note_free_serve(self) -> None:
+        self.free_serves += 1
+
+    def note_refusal(self) -> None:
+        self.refusals += 1
+
+    def reset(self) -> None:
+        self.epsilon.reset()
+        self.delta.reset()
+        self.charges.clear()
+        self.releases = 0
+        self.free_serves = 0
+        self.refusals = 0
+
+    # -- rendering -----------------------------------------------------------
+
+    def ledger_lines(self) -> list[str]:
+        """Deterministic one-line-per-charge rendering (parity pinning)."""
+        return [
+            f"{c.statement} eps={c.epsilon:.9g} delta={c.delta:.9g}"
+            for c in self.charges
+        ]
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "epsilon_spent": round(self.epsilon.spent, 9),
+            "epsilon_budget": self.epsilon.budget,
+            "delta_spent": round(self.delta.spent, 12),
+            "delta_budget": self.delta.budget,
+            "releases": self.releases,
+            "free_serves": self.free_serves,
+            "refusals": self.refusals,
+        }
+
+
+# -- mechanisms --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LaplaceMechanism:
+    """Additive Laplace(scale) noise: epsilon-DP for sensitivity/scale = epsilon."""
+
+    scale: float
+    name: str = "laplace"
+
+    def draw(self, rng: random.Random) -> float:
+        # Inverse CDF on a symmetric uniform: u in (-1/2, 1/2).
+        u = rng.random() - 0.5
+        # Guard the open interval; rng.random() can return 0.0 exactly.
+        u = min(max(u, -0.5 + 1e-15), 0.5 - 1e-15)
+        return -self.scale * math.copysign(1.0, u) * math.log1p(-2.0 * abs(u))
+
+
+@dataclass(frozen=True)
+class GeometricMechanism:
+    """Two-sided geometric (discrete Laplace) noise with ratio ``alpha``.
+
+    P[X = k] proportional to alpha^|k|; epsilon-DP on integer-valued
+    queries when alpha = exp(-epsilon / sensitivity).  Draws are integers,
+    so integral-domain releases stay integral.
+    """
+
+    alpha: float
+    name: str = "geometric"
+
+    def draw(self, rng: random.Random) -> float:
+        if self.alpha <= 0.0:
+            return 0.0
+        p_zero = (1.0 - self.alpha) / (1.0 + self.alpha)
+        u = rng.random()
+        if u < p_zero:
+            return 0.0
+        # Split the remaining mass evenly between the two geometric tails.
+        sign = 1.0 if (u - p_zero) < (1.0 - p_zero) / 2.0 else -1.0
+        v = rng.random()
+        v = min(max(v, 1e-15), 1.0 - 1e-15)
+        magnitude = 1 + int(math.floor(math.log(1.0 - v) / math.log(self.alpha)))
+        return sign * float(max(1, magnitude))
+
+
+Mechanism = LaplaceMechanism | GeometricMechanism
+
+
+def sensitivity_for(statement: FederatedStatement, domain: Domain) -> float:
+    """Conservative L1 sensitivity of one statement under the declared domain.
+
+    * ``COUNT`` — adding/removing one row moves the count by 1.
+    * ``SUM`` — by at most the largest-magnitude domain value.
+    * ranking (``TOP``/``MAX``/``BOTTOM``/``MIN``) — each of the k released
+      positions can move by at most the domain width, so k * (high - low)
+      bounds the L1 shift of the released vector.
+    """
+    if statement.operation == "COUNT":
+        return 1.0
+    if statement.operation == "SUM":
+        return max(abs(domain.low), abs(domain.high))
+    if statement.is_ranking:
+        return float(statement.k) * (domain.high - domain.low)
+    raise DpError(
+        f"no direct sensitivity for {statement.operation}; AVG decomposes to SUM+COUNT"
+    )
+
+
+def calibrate_mechanism(sensitivity: float, epsilon: float, *, integral: bool) -> Mechanism:
+    """Pick and calibrate the noise mechanism for one inner release.
+
+    Raises :class:`DpError` when the calibration degenerates to *zero
+    noise* (e.g. ``exp(-epsilon/sensitivity)`` underflowing to 0.0 for an
+    absurdly large epsilon): releasing the exact value while claiming DP
+    would be a silent privacy bug, so it is a typed refusal instead.
+    """
+    if not (math.isfinite(sensitivity) and sensitivity > 0.0):
+        raise DpError(f"sensitivity must be finite and > 0, got {sensitivity}")
+    if not (math.isfinite(epsilon) and epsilon > 0.0):
+        raise DpError(f"dp_epsilon must be finite and > 0, got {epsilon}")
+    if integral:
+        alpha = math.exp(-epsilon / sensitivity)
+        if alpha == 0.0:
+            raise DpError(
+                f"zero-noise refusal: exp(-{epsilon:g}/{sensitivity:g}) underflows; "
+                "the geometric mechanism would release the exact value"
+            )
+        return GeometricMechanism(alpha=alpha)
+    scale = sensitivity / epsilon
+    if not math.isfinite(scale) or scale == 0.0:
+        raise DpError(
+            f"zero-noise refusal: Laplace scale {sensitivity:g}/{epsilon:g} degenerates"
+        )
+    return LaplaceMechanism(scale=scale)
+
+
+# -- policy and release requests ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class DpPolicy:
+    """Federation-level DP configuration.
+
+    ``epsilon_budget`` / ``delta_budget`` bound the accountant (``None``
+    means unmetered); ``seed`` isolates the noise stream from the
+    protocol's own seed derivation so enabling DP never perturbs
+    non-DP draws.
+    """
+
+    epsilon_budget: float | None = None
+    delta_budget: float | None = None
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class DpInner:
+    """One inner (exact) statement plus the mechanism perturbing its answer."""
+
+    text: str
+    mechanism: Mechanism
+
+
+@dataclass(frozen=True)
+class DpRequest:
+    """A fully-resolved DP release: inner statements, budgets, mechanisms.
+
+    ``key`` identifies the release stream — repeats of the same canonical
+    statement at the same budget advance one shared release counter, which
+    is what makes cached re-serves byte-identical and free.
+    """
+
+    operation: str
+    k: int
+    smallest: bool
+    domain: Domain
+    epsilon: float
+    delta: float
+    inner: tuple[DpInner, ...]
+    key: tuple
+    label: str
+
+    @property
+    def inner_texts(self) -> tuple[str, ...]:
+        return tuple(i.text for i in self.inner)
+
+
+def build_request(spec, domain: Domain | None) -> DpRequest | None:
+    """Resolve a parsed :class:`~repro.planner.spec.QuerySpec` into a DP request.
+
+    Returns ``None`` for non-DP specs.  Raises :class:`DpError` when the
+    spec requests DP but no domain is declared for the attribute, or the
+    mechanism calibration degenerates.
+    """
+    # Local import: planner.spec imports nothing from privacy, so this
+    # direction is cycle-free, but keeping it local mirrors the layering.
+    from ..planner.spec import strip_dp
+
+    slo = spec.slo
+    if not slo.has_dp:
+        return None
+    statement = spec.statement
+    if domain is None:
+        raise DpError(
+            f"dp_epsilon requires a declared domain for "
+            f"{statement.table}.{statement.attribute}"
+        )
+    epsilon = float(slo.dp_epsilon)
+    delta = float(slo.dp_delta) if slo.dp_delta is not None else 0.0
+    inner_text = strip_dp(spec)
+    key = (
+        statement.operation,
+        statement.k,
+        statement.attribute,
+        statement.table,
+        repr(epsilon),
+        repr(delta),
+    )
+    label = (
+        f"{statement.operation} k={statement.k} {statement.table}.{statement.attribute} "
+        f"dp_epsilon={epsilon:g} dp_delta={delta:g}"
+    )
+    if statement.operation == "AVG":
+        # Decompose like the sharded fan-out: SUM + COUNT at half budget each.
+        half = epsilon / 2.0
+        sum_text = f"SELECT SUM({statement.attribute}) FROM {statement.table}"
+        count_text = f"SELECT COUNT({statement.attribute}) FROM {statement.table}"
+        sum_sens = max(abs(domain.low), abs(domain.high))
+        inner = (
+            DpInner(sum_text, calibrate_mechanism(sum_sens, half, integral=domain.integral)),
+            DpInner(count_text, calibrate_mechanism(1.0, half, integral=True)),
+        )
+    else:
+        sens = sensitivity_for(statement, domain)
+        integral = domain.integral if statement.operation != "COUNT" else True
+        inner = (
+            DpInner(inner_text, calibrate_mechanism(sens, epsilon, integral=integral)),
+        )
+    return DpRequest(
+        operation=statement.operation,
+        k=statement.k,
+        smallest=statement.smallest,
+        domain=domain,
+        epsilon=epsilon,
+        delta=delta,
+        inner=inner,
+        key=key,
+        label=label,
+    )
+
+
+# -- the gate ----------------------------------------------------------------
+
+
+@dataclass
+class _PendingBudget:
+    """Batch-scoped budget already admitted but not yet charged."""
+
+    epsilon: float = 0.0
+    delta: float = 0.0
+    keys: set = field(default_factory=set)
+
+
+class DpGate:
+    """Per-federation DP release engine.
+
+    Owns the accountant, the per-key release counters, and the
+    deterministic noise derivation.  Both :class:`~repro.federation.coordinator.Federation`
+    and :class:`~repro.sharding.federation.ShardedFederation` drive their
+    DP paths through one gate so flat and sharded executions share ledger
+    and noise byte-for-byte.
+    """
+
+    def __init__(self, policy: DpPolicy | None = None):
+        self.policy = policy or DpPolicy()
+        self.accountant = PrivacyAccountant(
+            self.policy.epsilon_budget, self.policy.delta_budget
+        )
+        self._release_counts: dict[tuple, int] = {}
+
+    # -- release bookkeeping -------------------------------------------------
+
+    def reusable(self, request: DpRequest) -> bool:
+        """True when this key has released before (a cached inner re-serves free)."""
+        return self._release_counts.get(request.key, 0) > 0
+
+    def would_charge(self, request: DpRequest, inner_cached: bool) -> bool:
+        """Charge iff the inner actually executed, or no release exists yet."""
+        return not (inner_cached and self.reusable(request))
+
+    def new_pending(self) -> _PendingBudget:
+        return _PendingBudget()
+
+    def admit(self, request: DpRequest, pending: _PendingBudget) -> str | None:
+        """Batch-time precheck, *before* any seed draw or inner dispatch.
+
+        Optimistic on reuse: a key that has released before is admitted
+        without headroom (the repeat is usually a free cached re-serve);
+        if the inner cache turns out to be invalidated, ``finalize`` still
+        enforces the budget and the statement settles as refused.
+        """
+        if self.reusable(request) or request.key in pending.keys:
+            return None
+        reason = self.accountant.headroom_reason(
+            request.epsilon,
+            request.delta,
+            pending_epsilon=pending.epsilon,
+            pending_delta=pending.delta,
+        )
+        if reason is not None:
+            self.accountant.note_refusal()
+            return reason
+        pending.epsilon += request.epsilon
+        pending.delta += request.delta
+        pending.keys.add(request.key)
+        return None
+
+    def finalize(
+        self,
+        request: DpRequest,
+        inner_values: Sequence[Sequence[float]],
+        *,
+        inner_cached: bool,
+    ) -> tuple[tuple[float, ...], bool]:
+        """Assemble the noisy release; returns ``(values, charged)``.
+
+        A free re-serve replays the latest release's noise (byte-identical
+        answer, zero budget).  A fresh release charges the accountant —
+        refusing with :class:`BudgetExhausted` before the counter or any
+        meter moves — then advances the release counter.
+        """
+        release = self._release_counts.get(request.key, 0)
+        if inner_cached and release > 0:
+            self.accountant.note_free_serve()
+            return self._perturb(request, inner_values, release), False
+        self.accountant.charge(request.epsilon, request.delta, statement=request.label)
+        release += 1
+        self._release_counts[request.key] = release
+        return self._perturb(request, inner_values, release), True
+
+    # -- noise ---------------------------------------------------------------
+
+    def _noise_rng(self, request: DpRequest, inner_index: int, release: int) -> random.Random:
+        material = ":".join(
+            [
+                str(self.policy.seed),
+                "dp",
+                *[str(part) for part in request.key],
+                str(inner_index),
+                str(release),
+            ]
+        ).encode()
+        seed = int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+        return random.Random(seed)
+
+    def _perturb(
+        self,
+        request: DpRequest,
+        inner_values: Sequence[Sequence[float]],
+        release: int,
+    ) -> tuple[float, ...]:
+        domain = request.domain
+        if request.operation == "AVG":
+            sum_noise = request.inner[0].mechanism.draw(self._noise_rng(request, 0, release))
+            count_noise = request.inner[1].mechanism.draw(self._noise_rng(request, 1, release))
+            noisy_sum = inner_values[0][0] + sum_noise
+            noisy_count = max(1.0, float(round(inner_values[1][0] + count_noise)))
+            return (domain.clamp(noisy_sum / noisy_count),)
+        rng = self._noise_rng(request, 0, release)
+        mechanism = request.inner[0].mechanism
+        if request.operation == "SUM":
+            return (float(inner_values[0][0] + mechanism.draw(rng)),)
+        if request.operation == "COUNT":
+            return (max(0.0, float(round(inner_values[0][0] + mechanism.draw(rng)))),)
+        # Ranking: perturb each released position, clamp to the public
+        # domain, and re-sort — post-processing keeps the DP guarantee and
+        # the output a monotone k-vector.
+        noisy = [domain.clamp(v + mechanism.draw(rng)) for v in inner_values[0]]
+        noisy.sort(reverse=not request.smallest)
+        return tuple(float(v) for v in noisy)
+
+    # -- inspection ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        snap = self.accountant.snapshot()
+        snap["release_keys"] = len(self._release_counts)
+        return snap
+
+
+__all__ = [
+    "SPEND_TOLERANCE",
+    "BudgetExhausted",
+    "DpCharge",
+    "DpError",
+    "DpGate",
+    "DpInner",
+    "DpPolicy",
+    "DpRequest",
+    "GeometricMechanism",
+    "LaplaceMechanism",
+    "Mechanism",
+    "PrivacyAccountant",
+    "SpendMeter",
+    "build_request",
+    "calibrate_mechanism",
+    "sensitivity_for",
+]

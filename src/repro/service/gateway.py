@@ -39,6 +39,7 @@ from ..planner.errors import PlanInfeasible
 from ..planner.plan import ECONOMY, QUALITY, Plan
 from ..planner.planner import QueryPlanner
 from ..planner.spec import QuerySpec, parse_spec
+from ..privacy.dp import BudgetExhausted, DpError
 from ..privacy.lop import average_lop
 from .clock import Clock, SimulatedClock
 from .errors import (
@@ -196,6 +197,9 @@ class QueryService:
         shard_snapshot = getattr(self.federation, "shard_snapshot", None)
         if shard_snapshot is not None:
             snapshot["sharding"] = shard_snapshot()
+        dp_gate = getattr(self.federation, "dp_gate", None)
+        if dp_gate is not None:
+            snapshot["dp"] = dp_gate.snapshot()
         return snapshot
 
     def export_metrics(
@@ -221,6 +225,9 @@ class QueryService:
         export_shards = getattr(self.federation, "export_shard_metrics", None)
         if export_shards is not None:
             export_shards(registry)
+        dp_gate = getattr(self.federation, "dp_gate", None)
+        if dp_gate is not None:
+            registry.absorb_dp(dp_gate.snapshot())
         return registry
 
     # -- tracing ---------------------------------------------------------------
@@ -386,6 +393,19 @@ class QueryService:
                 )
             return cached
         plan = self._admission_plan(spec, query_ctx, now)
+        # DP admission: a statement whose release can neither reuse an
+        # existing answer nor fit its remaining (ε, δ) budget is refused
+        # typed — BudgetExhausted, permanent like PlanInfeasible, unlike
+        # Overloaded's retry-later — before it occupies a queue slot.
+        if spec.slo.has_dp:
+            dp_check = getattr(self.federation, "dp_admission_check", None)
+            if dp_check is not None:
+                try:
+                    dp_check(spec, issuer=issuer)
+                except (BudgetExhausted, DpError):
+                    self.metrics.refused += 1
+                    self._trace_shed(query_ctx, "budget-exhausted", now)
+                    raise
         request = QueuedRequest(
             statement=statement,
             issuer=issuer,

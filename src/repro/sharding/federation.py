@@ -33,6 +33,7 @@ from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 
+from ..database.query import Domain
 from ..federation.coordinator import FederationError, QueryOutcome, QueryRefused
 from ..federation.sql import SqlError
 from ..observability.metrics import MetricsRegistry
@@ -41,6 +42,7 @@ from ..planner.errors import PlanInfeasible
 from ..planner.plan import Plan
 from ..planner.planner import QueryPlanner
 from ..planner.spec import QuerySpec, SloError, parse_spec
+from ..privacy.dp import BudgetExhausted, DpError, DpGate, DpPolicy, build_request
 from .errors import ShardError, ShardUnavailable, TenantBudgetExceeded
 from .router import ALL_SHARDS, ShardRouter, TenantPolicy
 
@@ -105,6 +107,18 @@ class ShardedFederation:
         Time source for tenant token buckets (a ``() -> float`` callable).
         Defaults to ``time.monotonic``; deterministic deployments pass
         their service clock's ``now``.
+    dp:
+        Differential-privacy policy for the federation-wide release gate
+        (see :mod:`repro.privacy.dp`).  The gate lives *here*, above the
+        shards, so a DP statement's budget is composed once regardless of
+        how its inner statements scatter — which is what keeps the
+        accountant's ledger byte-identical to a flat federation serving
+        the same workload.
+    domain:
+        Default public :class:`~repro.database.query.Domain` used to
+        calibrate DP mechanisms when no per-attribute domain was
+        registered via :meth:`register_domain`.  ``None`` means DP
+        statements refuse until a domain is declared.
     """
 
     def __init__(
@@ -114,6 +128,8 @@ class ShardedFederation:
         router: "ShardRouter | None" = None,
         planner: "QueryPlanner | None" = None,
         clock: "Callable[[], float] | None" = None,
+        dp: "DpPolicy | None" = None,
+        domain: "Domain | None" = None,
     ) -> None:
         if not shards:
             raise ShardError("at least one shard is required")
@@ -136,6 +152,21 @@ class ShardedFederation:
         self.shard_refusals: dict[int, int] = {}
         self.shard_unavailable: dict[int, int] = {}
         self.fanout_statements = 0
+        self.domain = domain
+        self._attribute_domains: dict[tuple[str, str], Domain] = {}
+        self.dp_gate = DpGate(dp)
+        #: Fresh-release epsilon attributed to the shard whose data backed
+        #: it ("all" for fan-outs over partitioned tables).
+        self.dp_spend_by_shard: dict[str, float] = {}
+
+    # -- domains -------------------------------------------------------------
+
+    def register_domain(self, table: str, attribute: str, domain: Domain) -> None:
+        """Declare the public domain of one attribute (DP calibration input)."""
+        self._attribute_domains[(table, attribute)] = domain
+
+    def domain_for(self, table: str, attribute: str) -> "Domain | None":
+        return self._attribute_domains.get((table, attribute), self.domain)
 
     # -- membership ----------------------------------------------------------
 
@@ -225,6 +256,13 @@ class ShardedFederation:
             spec = parse_spec(statement_text)
         except (SqlError, SloError):
             return None
+        if spec.slo.has_dp:
+            return self._try_cached_dp(spec, issuer)
+        return self._try_cached_plain(spec, statement_text, issuer)
+
+    def _try_cached_plain(
+        self, spec: QuerySpec, statement_text: str, issuer: str
+    ) -> QueryOutcome | None:
         statement = spec.statement
         target = self.router.route(statement.table)
         try:
@@ -244,6 +282,79 @@ class ShardedFederation:
         except ShardUnavailable:
             return None
         return _merge_fanout(statement, statement_text, partials)
+
+    def _try_cached_dp(self, spec: QuerySpec, issuer: str) -> QueryOutcome | None:
+        """DP admission fast path: free re-serve of an existing release.
+
+        Mirrors the flat federation: serves only when the release key has
+        released before and *every* inner answer is still cache-valid on
+        its shard(s); the re-served values are byte-identical to that
+        release and spend zero budget (federation and tenant both).
+        """
+        statement = spec.statement
+        try:
+            request = build_request(
+                spec, self.domain_for(statement.table, statement.attribute)
+            )
+        except DpError:
+            return None  # the batch path raises the typed refusal
+        assert request is not None
+        if not self.dp_gate.reusable(request):
+            return None
+        answers = []
+        for inner_text in request.inner_texts:
+            try:
+                inner_spec = parse_spec(inner_text)
+            except (SqlError, SloError):  # pragma: no cover - inner is well-formed
+                return None
+            hit = self._try_cached_plain(inner_spec, inner_text, issuer)
+            if hit is None:
+                return None
+            answers.append(hit)
+        values, _charged = self.dp_gate.finalize(
+            request, [a.values for a in answers], inner_cached=True
+        )
+        return QueryOutcome(
+            statement=statement.text,
+            values=values,
+            protocol=f"{answers[0].protocol}+dp",
+            rounds=0,
+            messages=0,
+            trace=None,
+            cached=True,
+        )
+
+    def dp_admission_check(
+        self, spec: QuerySpec, *, issuer: str = "anonymous"
+    ) -> None:
+        """Gateway hook: refuse a DP statement that can neither reuse nor pay.
+
+        Checks the federation-wide accountant *and* the tenant's DP meters;
+        raises :class:`~repro.privacy.dp.BudgetExhausted` (or
+        :class:`~repro.privacy.dp.DpError` for unresolvable requests)
+        before the statement consumes a queue slot.
+        """
+        if not spec.slo.has_dp:
+            return
+        statement = spec.statement
+        request = build_request(
+            spec, self.domain_for(statement.table, statement.attribute)
+        )
+        assert request is not None
+        if self.dp_gate.reusable(request):
+            return
+        reason = self.dp_gate.accountant.headroom_reason(
+            request.epsilon, request.delta
+        )
+        if reason is not None:
+            self.dp_gate.accountant.note_refusal()
+            raise BudgetExhausted(reason, statement=spec.text)
+        tenant_reason = self.router.dp_headroom(
+            issuer, request.epsilon, request.delta
+        )
+        if tenant_reason is not None:
+            self.router.note_refusal(issuer)
+            raise BudgetExhausted(tenant_reason, statement=spec.text)
 
     def execute_many_settled(
         self,
@@ -281,6 +392,14 @@ class ShardedFederation:
         #: fan-out bookkeeping: position -> parsed statement
         fanouts: dict[int, QuerySpec] = {}
         pending_lop: dict[int, float] = {}
+        #: DP expansion: original position -> (request, inner synthetic
+        #: positions, routing target, bare statement text).  Inner texts
+        #: occupy synthetic positions past ``len(texts)`` so they ride the
+        #: ordinary routed/fan-out dispatch untouched.
+        dp_slots: dict[int, tuple] = {}
+        extra_texts: list[str] = []
+        dp_pending = self.dp_gate.new_pending()
+        tenant_pending = {"epsilon": 0.0, "delta": 0.0}
         now = self._clock()
 
         for position, text in enumerate(texts):
@@ -306,22 +425,71 @@ class ShardedFederation:
             if charge is not None:
                 pending_lop[position] = charge
             self._trace_route(traces, position, target, statement.table)
+            if spec.slo.has_dp:
+                self._admit_dp(
+                    position,
+                    spec,
+                    text,
+                    issuer,
+                    target,
+                    results,
+                    routed,
+                    fanouts,
+                    dp_slots,
+                    extra_texts,
+                    dp_pending,
+                    tenant_pending,
+                    base=len(texts),
+                )
+                continue
             if target == ALL_SHARDS:
                 fanouts[position] = spec
                 self.fanout_statements += 1
             else:
                 routed.setdefault(target, []).append((position, text))
 
-        self._dispatch_routed(routed, results, texts, issuer, traces, plans)
-        self._dispatch_fanouts(fanouts, results, texts, issuer)
+        texts_ext: list[str] = texts
+        traces_ext: "Sequence[TraceContext | None] | None" = traces
+        plans_ext: "Sequence[Plan | None] | None" = plans
+        if dp_slots:
+            results.extend([None] * len(extra_texts))
+            texts_ext = texts + extra_texts
+            if traces is not None:
+                traces_ext = list(traces) + [None] * len(extra_texts)
+            if plans is not None:
+                plans_ext = list(plans) + [None] * len(extra_texts)
+            for position, (request, inner_positions, _target, _bare) in dp_slots.items():
+                # The original statement's trace follows its first inner
+                # form; a pre-resolved plan transfers only when the inner
+                # form is the statement it was planned for.
+                if traces is not None:
+                    traces_ext[position] = None  # type: ignore[index]
+                    traces_ext[inner_positions[0]] = traces[position]  # type: ignore[index]
+                if plans is not None and len(inner_positions) == 1:
+                    plans_ext[inner_positions[0]] = plans[position]  # type: ignore[index]
+
+        self._dispatch_routed(routed, results, texts_ext, issuer, traces_ext, plans_ext)
+        self._dispatch_fanouts(fanouts, results, texts_ext, issuer)
+        #: DP positions whose inner statements actually ran a protocol
+        #: (LoP exposure happened); cached inner answers expose nothing.
+        dp_executed: dict[int, bool] = {}
+        if dp_slots:
+            self._assemble_dp(dp_slots, results, texts, issuer, dp_executed)
 
         # Tenant LoP charges land only for statements that actually ran a
-        # protocol: cache hits and refusals spend nothing.
+        # protocol: cache hits and refusals spend nothing.  For DP
+        # statements that is decided by the *inner* executions — a fresh
+        # noisy release over still-cached inner answers runs no protocol.
         for position, charge in pending_lop.items():
             outcome = results[position]
-            if isinstance(outcome, QueryOutcome) and not outcome.cached:
+            if not isinstance(outcome, QueryOutcome):
+                continue
+            if position in dp_slots:
+                if dp_executed.get(position, False):
+                    self.router.charge_lop(issuer, charge)
+            elif not outcome.cached:
                 self.router.charge_lop(issuer, charge)
-        return results  # type: ignore[return-value]  # every slot is filled
+        return results[: len(texts)]  # type: ignore[return-value]  # slots filled
 
     # -- tenant admission ----------------------------------------------------
 
@@ -371,6 +539,170 @@ class ShardedFederation:
                 f"no plan for {spec.statement.text!r} fits it: {exc}"
             ) from exc
         return plan.estimate.expected_lop
+
+    # -- differential privacy ------------------------------------------------
+
+    def _admit_dp(
+        self,
+        position: int,
+        spec: QuerySpec,
+        text: str,
+        issuer: str,
+        target: int,
+        results: "list[QueryOutcome | QueryRefused | None]",
+        routed: dict[int, list[tuple[int, str]]],
+        fanouts: dict[int, QuerySpec],
+        dp_slots: dict[int, tuple],
+        extra_texts: list[str],
+        dp_pending,
+        tenant_pending: dict[str, float],
+        *,
+        base: int,
+    ) -> None:
+        """Admit one DP statement and enqueue its inner statements.
+
+        Mirrors the flat federation's admission: the release gate refuses
+        over-budget *fresh* releases up front, optimistically admitting
+        keys that have released before (finalize settles those if their
+        inner answers turn out invalidated).  The tenant's DP meters are
+        checked with the same batch-pending accounting, so admission does
+        not depend on how a workload was split into batches.
+        """
+        gate = self.dp_gate
+        statement = spec.statement
+        try:
+            request = build_request(
+                spec, self.domain_for(statement.table, statement.attribute)
+            )
+        except DpError as exc:
+            self.router.note_refusal(issuer)
+            results[position] = QueryRefused(statement=text, error=exc)
+            return
+        assert request is not None
+        fresh = not (gate.reusable(request) or request.key in dp_pending.keys)
+        if fresh:
+            reason = gate.accountant.headroom_reason(
+                request.epsilon,
+                request.delta,
+                pending_epsilon=dp_pending.epsilon,
+                pending_delta=dp_pending.delta,
+            )
+            if reason is not None:
+                gate.accountant.note_refusal()
+                self.router.note_refusal(issuer)
+                results[position] = QueryRefused(
+                    statement=text,
+                    error=BudgetExhausted(reason, statement=text),
+                )
+                return
+            tenant_reason = self.router.dp_headroom(
+                issuer,
+                request.epsilon,
+                request.delta,
+                pending_epsilon=tenant_pending["epsilon"],
+                pending_delta=tenant_pending["delta"],
+            )
+            if tenant_reason is not None:
+                self.router.note_refusal(issuer)
+                results[position] = QueryRefused(
+                    statement=text,
+                    error=BudgetExhausted(tenant_reason, statement=text),
+                )
+                return
+            dp_pending.epsilon += request.epsilon
+            dp_pending.delta += request.delta
+            dp_pending.keys.add(request.key)
+            tenant_pending["epsilon"] += request.epsilon
+            tenant_pending["delta"] += request.delta
+        inner_positions: list[int] = []
+        for inner_text in request.inner_texts:
+            synthetic = base + len(extra_texts)
+            extra_texts.append(inner_text)
+            inner_positions.append(synthetic)
+            if target == ALL_SHARDS:
+                fanouts[synthetic] = parse_spec(inner_text)
+            else:
+                routed.setdefault(target, []).append((synthetic, inner_text))
+        if target == ALL_SHARDS:
+            self.fanout_statements += 1
+        dp_slots[position] = (request, inner_positions, target, statement.text)
+
+    def _assemble_dp(
+        self,
+        dp_slots: dict[int, tuple],
+        results: "list[QueryOutcome | QueryRefused | None]",
+        texts: list[str],
+        issuer: str,
+        dp_executed: dict[int, bool],
+    ) -> None:
+        """Settle each admitted DP statement from its inner outcomes.
+
+        Statements settle in batch order, so federation and tenant charges
+        land in exactly the order a flat federation would record them —
+        that is what keeps the two ledgers byte-identical per seed.
+        """
+        for position in sorted(dp_slots):
+            request, inner_positions, target, bare_text = dp_slots[position]
+            inner = [results[p] for p in inner_positions]
+            refused = next(
+                (r for r in inner if isinstance(r, QueryRefused)), None
+            )
+            if refused is not None:
+                results[position] = QueryRefused(
+                    statement=texts[position], error=refused.error
+                )
+                continue
+            inner_cached = all(o.cached for o in inner)  # type: ignore[union-attr]
+            if self.dp_gate.would_charge(request, inner_cached):
+                # Optimistic reuse admissions skipped the tenant headroom
+                # check; settle it before the gate records the charge.
+                tenant_reason = self.router.dp_headroom(
+                    issuer, request.epsilon, request.delta
+                )
+                if tenant_reason is not None:
+                    self.router.note_refusal(issuer)
+                    results[position] = QueryRefused(
+                        statement=texts[position],
+                        error=BudgetExhausted(
+                            tenant_reason, statement=texts[position]
+                        ),
+                    )
+                    continue
+            try:
+                values, charged = self.dp_gate.finalize(
+                    request,
+                    [o.values for o in inner],  # type: ignore[union-attr]
+                    inner_cached=inner_cached,
+                )
+            except BudgetExhausted as exc:
+                self.router.note_refusal(issuer)
+                results[position] = QueryRefused(
+                    statement=texts[position], error=exc
+                )
+                continue
+            first = inner[0]
+            dp_executed[position] = not inner_cached
+            results[position] = QueryOutcome(
+                statement=bare_text,
+                values=values,
+                protocol=f"{first.protocol}+dp",  # type: ignore[union-attr]
+                rounds=max(o.rounds for o in inner),  # type: ignore[union-attr]
+                messages=sum(o.messages for o in inner),  # type: ignore[union-attr]
+                trace=None,
+                cached=not charged,
+                simulated_seconds=max(o.simulated_seconds for o in inner),  # type: ignore[union-attr]
+            )
+            if charged:
+                self.router.charge_dp(
+                    issuer,
+                    request.epsilon,
+                    request.delta,
+                    statement=request.label,
+                )
+                shard_key = "all" if target == ALL_SHARDS else str(target)
+                self.dp_spend_by_shard[shard_key] = (
+                    self.dp_spend_by_shard.get(shard_key, 0.0) + request.epsilon
+                )
 
     # -- dispatch ------------------------------------------------------------
 
@@ -584,6 +916,11 @@ class ShardedFederation:
             },
             "fanout_statements": self.fanout_statements,
             "tenants": self.router.tenant_snapshot(),
+            "dp": self.dp_gate.snapshot(),
+            "dp_epsilon_by_shard": {
+                key: round(value, 9)
+                for key, value in sorted(self.dp_spend_by_shard.items())
+            },
         }
 
     def export_shard_metrics(self, registry: "MetricsRegistry") -> None:
@@ -619,8 +956,23 @@ class ShardedFederation:
             "Cumulative expected LoP charged per tenant.",
             ("tenant",),
         )
+        tenant_dp = registry.gauge(
+            "repro_tenant_dp_epsilon_spent",
+            "Cumulative DP epsilon charged per tenant.",
+            ("tenant",),
+        )
         for issuer, account in sorted(self.router.tenant_snapshot().items()):
             spent.set(float(account["lop_spent"] or 0.0), labels={"tenant": issuer})
+            tenant_dp.set(
+                float(account["dp_epsilon_spent"] or 0.0), labels={"tenant": issuer}
+            )
+        shard_dp = registry.gauge(
+            "repro_dp_epsilon_spent_by_shard",
+            "Fresh-release DP epsilon attributed to the shard owning the data.",
+            ("shard",),
+        )
+        for shard_key, eps in sorted(self.dp_spend_by_shard.items()):
+            shard_dp.set(round(eps, 9), labels={"shard": shard_key})
 
 
 # -- merge ---------------------------------------------------------------------

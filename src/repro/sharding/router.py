@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+from ..privacy.dp import PrivacyAccountant, SpendMeter
 from ..service.scheduler import TokenBucket
 from .errors import ShardError, TenantRateLimited
 
@@ -46,13 +47,20 @@ class TenantPolicy:
 
     ``lop_budget`` caps the tenant's cumulative *expected* LoP across every
     ranking statement it executes (cache hits are free — nothing runs, no
-    new exposure).  ``rate``/``burst`` configure the tenant's token bucket;
-    ``rate=None`` disables rate limiting for the tenant.
+    new exposure).  ``dp_epsilon_budget``/``dp_delta_budget`` cap the
+    tenant's composed differential-privacy spend across its DP releases
+    under the same rule — a cached re-serve of an existing release spends
+    nothing; both budgets meter through the shared
+    :class:`~repro.privacy.dp.SpendMeter` surface.  ``rate``/``burst``
+    configure the tenant's token bucket; ``rate=None`` disables rate
+    limiting for the tenant.
     """
 
     lop_budget: float | None = None
     rate: float | None = None
     burst: int = 8
+    dp_epsilon_budget: float | None = None
+    dp_delta_budget: float | None = None
 
     def __post_init__(self) -> None:
         if self.lop_budget is not None and self.lop_budget < 0:
@@ -61,22 +69,51 @@ class TenantPolicy:
             raise ShardError(f"rate must be positive, got {self.rate}")
         if self.burst < 1:
             raise ShardError(f"burst must be >= 1, got {self.burst}")
+        if self.dp_epsilon_budget is not None and self.dp_epsilon_budget < 0:
+            raise ShardError(
+                f"dp_epsilon_budget must be >= 0, got {self.dp_epsilon_budget}"
+            )
+        if self.dp_delta_budget is not None and not 0.0 <= self.dp_delta_budget < 1.0:
+            raise ShardError(
+                f"dp_delta_budget must be in [0, 1), got {self.dp_delta_budget}"
+            )
 
 
 @dataclass
 class TenantAccount:
-    """Mutable per-tenant state: spent LoP and the token bucket."""
+    """Mutable per-tenant state: LoP meter, DP accountant, token bucket.
+
+    LoP and DP spend through the same accounting surface
+    (:class:`~repro.privacy.dp.SpendMeter`), which is what pins the shared
+    "spent on a cache hit is free" rule: the sharded federation charges
+    *both* only for outcomes whose ``cached`` flag is false.
+    """
 
     policy: TenantPolicy
-    lop_spent: float = 0.0
+    lop: SpendMeter = field(default_factory=SpendMeter)
     bucket: TokenBucket | None = None
     queries: int = 0
     refusals: int = 0
+    dp: PrivacyAccountant = field(default_factory=PrivacyAccountant)
+
+    def __post_init__(self) -> None:
+        self.bind_policy(self.policy)
+
+    def bind_policy(self, policy: TenantPolicy) -> None:
+        """Point the meters at ``policy``'s budgets, keeping spent history."""
+        self.policy = policy
+        self.lop.budget = policy.lop_budget
+        self.dp.epsilon.budget = policy.dp_epsilon_budget
+        self.dp.delta.budget = policy.dp_delta_budget
+
+    @property
+    def lop_spent(self) -> float:
+        return self.lop.spent
 
     def remaining_lop(self) -> float | None:
         if self.policy.lop_budget is None:
             return None
-        return max(0.0, self.policy.lop_budget - self.lop_spent)
+        return self.lop.remaining()
 
 
 #: Sentinel routing target: the statement fans out to every shard.
@@ -143,7 +180,7 @@ class ShardRouter:
         if account is None:
             self._tenants[issuer] = TenantAccount(policy=policy)
         else:
-            account.policy = policy
+            account.bind_policy(policy)
             account.bucket = None  # rebuilt lazily against the new rate
 
     def tenant(self, issuer: str) -> TenantAccount | None:
@@ -185,7 +222,45 @@ class ShardRouter:
         """Record one executed ranking statement's expected LoP."""
         account = self._tenants.get(issuer)
         if account is not None and account.policy.lop_budget is not None:
-            account.lop_spent += expected_lop
+            account.lop.charge(expected_lop)
+
+    # -- differential privacy -----------------------------------------------
+
+    def dp_headroom(
+        self,
+        issuer: str,
+        epsilon: float,
+        delta: float,
+        *,
+        pending_epsilon: float = 0.0,
+        pending_delta: float = 0.0,
+    ) -> str | None:
+        """Why a tenant DP charge would refuse, or ``None`` when it fits."""
+        account = self._tenants.get(issuer)
+        if account is None:
+            return None
+        reason = account.dp.headroom_reason(
+            epsilon,
+            delta,
+            pending_epsilon=pending_epsilon,
+            pending_delta=pending_delta,
+        )
+        if reason is not None:
+            return f"tenant {issuer!r} {reason}"
+        return None
+
+    def charge_dp(
+        self, issuer: str, epsilon: float, delta: float, *, statement: str
+    ) -> None:
+        """Record one fresh DP release against the tenant's accountant.
+
+        Tenants without an account spend into the void (there is nothing to
+        meter); budgeted and unbudgeted accounts both record, so the
+        snapshot shows every tenant's composed spend.
+        """
+        account = self._tenants.get(issuer)
+        if account is not None:
+            account.dp.charge(epsilon, delta, statement=statement)
 
     def note_refusal(self, issuer: str) -> None:
         account = self._tenants.get(issuer)
@@ -200,6 +275,10 @@ class ShardRouter:
                 "refusals": account.refusals,
                 "lop_spent": round(account.lop_spent, 9),
                 "lop_budget": account.policy.lop_budget,
+                "dp_epsilon_spent": round(account.dp.epsilon.spent, 9),
+                "dp_epsilon_budget": account.policy.dp_epsilon_budget,
+                "dp_delta_spent": round(account.dp.delta.spent, 12),
+                "dp_delta_budget": account.policy.dp_delta_budget,
             }
             for issuer, account in sorted(self._tenants.items())
         }

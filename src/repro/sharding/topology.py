@@ -285,7 +285,8 @@ def sharded_federation(
 
     ``processes=True`` spawns one worker subprocess per shard; otherwise
     shards are in-process federations.  The router already knows the
-    topology's partitioned tables.
+    topology's partitioned tables, and DP statements calibrate against the
+    topology's domain unless a ``domain=`` override is passed.
     """
     router = ShardRouter(topology.shard_count, partitioned=topology.partitioned)
     backends = (
@@ -293,6 +294,7 @@ def sharded_federation(
         if processes
         else local_shards(topology, config=config)
     )
+    kwargs.setdefault("domain", topology.domain)
     return ShardedFederation(backends, router=router, **kwargs)
 
 

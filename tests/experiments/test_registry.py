@@ -19,6 +19,7 @@ EXTENSION_IDS = {
     "ext-collusion",
     "ext-bayes",
     "ext-tpch-sweep",
+    "ext-dp",
 }
 
 
