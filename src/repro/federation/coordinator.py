@@ -430,7 +430,8 @@ class Federation:
         the planner follows).  The budget precheck is optimistic on reuse:
         a key that has already released is admitted without headroom, and
         ``finalize`` still enforces the budget if the inner cache turns out
-        to have been invalidated.
+        to have been invalidated — or re-populated over mutated data, which
+        must settle as a fresh charged release, never a noise replay.
         """
         specs: list[QuerySpec | None] = []
         has_dp = False
@@ -570,9 +571,13 @@ class Federation:
     ) -> QueryOutcome | None:
         """Admission fast path for DP statements: free re-serve or ``None``.
 
-        Serves only when a release already exists for the key *and* every
-        inner answer is still cache-valid; the re-served values are
-        byte-identical to that release and spend zero budget.
+        Serves only when a release already exists for the key, every inner
+        answer is still cache-valid, *and* those answers are the ones the
+        release perturbed (a cache re-populated over mutated data must not
+        replay old noise — that would disclose the exact data delta); the
+        re-served values are byte-identical to that release and spend zero
+        budget.  Anything else returns ``None`` so the batch path settles
+        the statement as a fresh, charged release.
         """
         statement = spec.statement
         try:
@@ -591,10 +596,13 @@ class Federation:
             if answer is None:
                 return None
             answers.append(answer)
+        inner_values = [a.values for a in answers]
+        if not self.dp_gate.replayable(request, inner_values):
+            return None  # the data changed under the release; must re-charge
         if self.policy is not None:
             self.policy.check(issuer, statement)
         values, _charged = self.dp_gate.finalize(
-            request, [a.values for a in answers], inner_cached=True
+            request, inner_values, inner_cached=True
         )
         self.cache.hits += len(answers)
         protocol = f"{answers[0].protocol}+dp"

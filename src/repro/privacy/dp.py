@@ -16,11 +16,20 @@ Design invariants (shared with the rest of the stack):
   counter)``.  The same seed and workload produce byte-identical noisy
   answers, ledgers, and snapshots — flat or sharded.
 * **Cache hits spend zero budget.** A repeat of a released statement whose
-  inner (exact) answer is still cache-valid re-serves the *same* noisy
-  release: no fresh randomness, no budget charge.  This is sound — the
-  released value is already public — and mirrors the tenant LoP rule
-  ("spent on cache hit" is free on both accounting surfaces, via the
-  shared :class:`SpendMeter`).
+  inner (exact) answer is still cache-valid *and identical to the answer
+  the release perturbed* re-serves the *same* noisy bytes: no fresh
+  randomness, no budget charge.  This is sound — the released value is
+  already public — and mirrors the tenant LoP rule ("spent on cache hit"
+  is free on both accounting surfaces, via the shared :class:`SpendMeter`).
+  The data binding is what makes it sound: a release key excludes data
+  versions, so after a table mutation the inner statement can be re-cached
+  over *different* data; replaying the old noise against the new answer
+  would hand an observer ``new_value + old_noise`` for free — subtracting
+  the two released values cancels the noise and discloses the exact data
+  delta with zero (epsilon, delta) charged.  :class:`DpGate` therefore
+  records, per release, the exact inner answers it perturbed, and treats
+  any repeat over different inner answers as a fresh release: headroom
+  check, fresh noise, budget charged.
 * **Typed refusals.** Budget exhaustion raises :class:`BudgetExhausted`
   (distinct from the planner's ``PlanInfeasible``); a mechanism whose
   noise would underflow to exactly zero raises :class:`DpError` instead
@@ -448,6 +457,24 @@ class _PendingBudget:
     keys: set = field(default_factory=set)
 
 
+@dataclass(frozen=True)
+class _ReleaseRecord:
+    """One key's latest release: counter, perturbed inputs, released bytes.
+
+    ``inner_values`` binds the release to the exact inner answers its noise
+    perturbed; ``values`` are the released noisy bytes, re-servable verbatim
+    (and only) while the current inner answers still match that binding.
+    """
+
+    count: int
+    inner_values: tuple[tuple[float, ...], ...]
+    values: tuple[float, ...]
+
+
+def _freeze(inner_values: Sequence[Sequence[float]]) -> tuple[tuple[float, ...], ...]:
+    return tuple(tuple(float(v) for v in values) for values in inner_values)
+
+
 class DpGate:
     """Per-federation DP release engine.
 
@@ -463,17 +490,41 @@ class DpGate:
         self.accountant = PrivacyAccountant(
             self.policy.epsilon_budget, self.policy.delta_budget
         )
-        self._release_counts: dict[tuple, int] = {}
+        self._releases: dict[tuple, _ReleaseRecord] = {}
 
     # -- release bookkeeping -------------------------------------------------
 
     def reusable(self, request: DpRequest) -> bool:
-        """True when this key has released before (a cached inner re-serves free)."""
-        return self._release_counts.get(request.key, 0) > 0
+        """True when this key has released before.
 
-    def would_charge(self, request: DpRequest, inner_cached: bool) -> bool:
-        """Charge iff the inner actually executed, or no release exists yet."""
-        return not (inner_cached and self.reusable(request))
+        Admission optimism only: whether a repeat actually re-serves free is
+        decided by :meth:`replayable`, which also checks that the data the
+        release perturbed has not changed underneath it.
+        """
+        return request.key in self._releases
+
+    def replayable(
+        self, request: DpRequest, inner_values: Sequence[Sequence[float]]
+    ) -> bool:
+        """True when the latest release perturbed exactly these inner answers.
+
+        This is the only case a free re-serve is sound: the re-served bytes
+        are then identical to the already-public release.  Replaying a
+        release's noise against *changed* data would let an observer
+        subtract the two releases and recover the exact data delta
+        uncharged, so a mismatch must settle as a fresh release instead.
+        """
+        record = self._releases.get(request.key)
+        return record is not None and record.inner_values == _freeze(inner_values)
+
+    def would_charge(
+        self,
+        request: DpRequest,
+        inner_cached: bool,
+        inner_values: Sequence[Sequence[float]],
+    ) -> bool:
+        """Charge unless a still-valid release over these exact answers exists."""
+        return not (inner_cached and self.replayable(request, inner_values))
 
     def new_pending(self) -> _PendingBudget:
         return _PendingBudget()
@@ -511,19 +562,26 @@ class DpGate:
     ) -> tuple[tuple[float, ...], bool]:
         """Assemble the noisy release; returns ``(values, charged)``.
 
-        A free re-serve replays the latest release's noise (byte-identical
-        answer, zero budget).  A fresh release charges the accountant —
-        refusing with :class:`BudgetExhausted` before the counter or any
-        meter moves — then advances the release counter.
+        A free re-serve returns the latest release's stored bytes
+        (byte-identical answer, zero budget) — and only happens when the
+        current inner answers are the very ones that release perturbed.  Any
+        other repeat — inner re-executed, or re-cached over mutated data —
+        is a fresh release: it charges the accountant, refusing with
+        :class:`BudgetExhausted` before the counter or any meter moves, then
+        advances the release counter onto fresh noise.
         """
-        release = self._release_counts.get(request.key, 0)
-        if inner_cached and release > 0:
+        record = self._releases.get(request.key)
+        frozen = _freeze(inner_values)
+        if inner_cached and record is not None and record.inner_values == frozen:
             self.accountant.note_free_serve()
-            return self._perturb(request, inner_values, release), False
+            return record.values, False
         self.accountant.charge(request.epsilon, request.delta, statement=request.label)
-        release += 1
-        self._release_counts[request.key] = release
-        return self._perturb(request, inner_values, release), True
+        release = (record.count if record is not None else 0) + 1
+        values = self._perturb(request, inner_values, release)
+        self._releases[request.key] = _ReleaseRecord(
+            count=release, inner_values=frozen, values=values
+        )
+        return values, True
 
     # -- noise ---------------------------------------------------------------
 
@@ -570,7 +628,7 @@ class DpGate:
 
     def snapshot(self) -> dict[str, object]:
         snap = self.accountant.snapshot()
-        snap["release_keys"] = len(self._release_counts)
+        snap["release_keys"] = len(self._releases)
         return snap
 
 

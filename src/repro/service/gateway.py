@@ -137,6 +137,10 @@ class QueryService:
             )
         self.planner = planner if planner is not None else federation.planner
         self._cost_budget = cost_budget_seconds
+        #: Summed plan estimates of the batch currently executing: popped
+        #: from the queue but not yet finished, so still part of the
+        #: admission backlog (cleared when the batch settles).
+        self._inflight_cost = 0.0
         #: Predicted-vs-actual ledger for every planned statement served.
         self.accuracy = PredictionLedger()
         self._buckets: dict[str, TokenBucket] = {}
@@ -262,8 +266,14 @@ class QueryService:
     # -- planning / cost admission ---------------------------------------------
 
     def _cost_backlog(self) -> float:
-        """Estimated simulated seconds already queued (planned requests)."""
-        return sum(
+        """Estimated simulated seconds admitted but not yet finished.
+
+        Counts planned requests still in the queue *plus* the batch
+        currently executing — it was popped from the queue, but its work is
+        not done, so dropping it would let admission transiently overshoot
+        the cost budget by up to one full batch.
+        """
+        return self._inflight_cost + sum(
             queued.plan.estimate.simulated_seconds
             for queued in self._queue.snapshot()
             if isinstance(queued.plan, Plan)
@@ -569,45 +579,55 @@ class QueryService:
                     attrs={"batch_index": batch_index, "batch_size": len(batch)},
                 )
                 traces.append(request.batch_span.with_offset(now))
-        try:
-            settled = self.federation.execute_many_settled(
-                [request.statement for request in batch],
-                issuer=issuer,
-                traces=traces,
-                plans=[
-                    request.plan if isinstance(request.plan, Plan) else None
-                    for request in batch
-                ],
-            )
-        except Exception as exc:
-            # Batch-level failure (e.g. an unrecoverable ring crash): every
-            # request in the batch fails with a typed, attributable error.
-            for request in batch:
-                self.metrics.failed += 1
-                self._fail(
-                    request, QueryFailed(f"batch execution failed: {exc}", cause=exc)
-                )
-            return
-        # Advance simulated time by the batch's makespan: interleaved queries
-        # complete together at the slowest query's finish line.
-        self.clock.advance(
-            max(
-                (
-                    outcome.simulated_seconds
-                    for outcome in settled
-                    if isinstance(outcome, QueryOutcome)
-                ),
-                default=0.0,
-            )
+        self._inflight_cost = sum(
+            request.plan.estimate.simulated_seconds
+            for request in batch
+            if isinstance(request.plan, Plan)
         )
-        now = self.clock.now()
-        for request, outcome in zip(batch, settled):
-            if isinstance(outcome, QueryRefused):
-                self.metrics.refused += 1
-                self._fail(request, outcome.error)
-            else:
-                self._record_accuracy(request, outcome)
-                self._complete(request, outcome, now)
+        try:
+            try:
+                settled = self.federation.execute_many_settled(
+                    [request.statement for request in batch],
+                    issuer=issuer,
+                    traces=traces,
+                    plans=[
+                        request.plan if isinstance(request.plan, Plan) else None
+                        for request in batch
+                    ],
+                )
+            except Exception as exc:
+                # Batch-level failure (e.g. an unrecoverable ring crash):
+                # every request in the batch fails with a typed,
+                # attributable error.
+                for request in batch:
+                    self.metrics.failed += 1
+                    self._fail(
+                        request,
+                        QueryFailed(f"batch execution failed: {exc}", cause=exc),
+                    )
+                return
+            # Advance simulated time by the batch's makespan: interleaved
+            # queries complete together at the slowest query's finish line.
+            self.clock.advance(
+                max(
+                    (
+                        outcome.simulated_seconds
+                        for outcome in settled
+                        if isinstance(outcome, QueryOutcome)
+                    ),
+                    default=0.0,
+                )
+            )
+            now = self.clock.now()
+            for request, outcome in zip(batch, settled):
+                if isinstance(outcome, QueryRefused):
+                    self.metrics.refused += 1
+                    self._fail(request, outcome.error)
+                else:
+                    self._record_accuracy(request, outcome)
+                    self._complete(request, outcome, now)
+        finally:
+            self._inflight_cost = 0.0
 
     def _record_accuracy(
         self, request: QueuedRequest, outcome: QueryOutcome

@@ -287,9 +287,11 @@ class ShardedFederation:
         """DP admission fast path: free re-serve of an existing release.
 
         Mirrors the flat federation: serves only when the release key has
-        released before and *every* inner answer is still cache-valid on
-        its shard(s); the re-served values are byte-identical to that
-        release and spend zero budget (federation and tenant both).
+        released before, *every* inner answer is still cache-valid on its
+        shard(s), and those answers are the very ones the release perturbed
+        (a shard cache re-populated over mutated data must not replay old
+        noise); the re-served values are byte-identical to that release and
+        spend zero budget (federation and tenant both).
         """
         statement = spec.statement
         try:
@@ -311,8 +313,11 @@ class ShardedFederation:
             if hit is None:
                 return None
             answers.append(hit)
+        inner_values = [a.values for a in answers]
+        if not self.dp_gate.replayable(request, inner_values):
+            return None  # the data changed under the release; must re-charge
         values, _charged = self.dp_gate.finalize(
-            request, [a.values for a in answers], inner_cached=True
+            request, inner_values, inner_cached=True
         )
         return QueryOutcome(
             statement=statement.text,
@@ -507,18 +512,29 @@ class ShardedFederation:
         """Plan under the tenant's remaining LoP budget; return the charge.
 
         Returns the expected-LoP charge to record if the statement
-        executes, or ``None`` when the tenant is unbudgeted or the
+        executes, or ``None`` when the tenant is unregistered or the
         statement is additive (secure sums are charged nothing, exactly
-        like the federation's own ledger).  Raises
-        :class:`TenantBudgetExceeded` when only the budget tightening made
-        the plan infeasible, and lets a genuinely unsatisfiable SLO
-        propagate as :class:`PlanInfeasible`.
+        like the federation's own ledger).  A registered tenant *without*
+        an LoP budget still gets a charge — its meter is unmetered but
+        records, so the snapshot shows real spend and a budget installed
+        later binds against history — just with no tightening and no
+        budget refusal.  Raises :class:`TenantBudgetExceeded` when only
+        the budget tightening made the plan infeasible, and lets a
+        genuinely unsatisfiable SLO propagate as :class:`PlanInfeasible`.
         """
         if not spec.statement.is_ranking:
             return None
         remaining = self.router.remaining_lop(issuer)
         if remaining is None:
-            return None
+            if self.router.tenant(issuer) is None:
+                return None
+            try:
+                plan = self.planner.plan(spec, parties=parties)
+            except PlanInfeasible:
+                # The owning shard refuses this statement itself; keep the
+                # unbudgeted path's refusal attribution unchanged.
+                return None
+            return plan.estimate.expected_lop
         if remaining <= 0.0:
             raise TenantBudgetExceeded(
                 f"tenant {issuer!r} has exhausted its LoP budget; "
@@ -653,7 +669,8 @@ class ShardedFederation:
                 )
                 continue
             inner_cached = all(o.cached for o in inner)  # type: ignore[union-attr]
-            if self.dp_gate.would_charge(request, inner_cached):
+            inner_values = [o.values for o in inner]  # type: ignore[union-attr]
+            if self.dp_gate.would_charge(request, inner_cached, inner_values):
                 # Optimistic reuse admissions skipped the tenant headroom
                 # check; settle it before the gate records the charge.
                 tenant_reason = self.router.dp_headroom(
@@ -671,7 +688,7 @@ class ShardedFederation:
             try:
                 values, charged = self.dp_gate.finalize(
                     request,
-                    [o.values for o in inner],  # type: ignore[union-attr]
+                    inner_values,
                     inner_cached=inner_cached,
                 )
             except BudgetExhausted as exc:

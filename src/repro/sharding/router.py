@@ -219,9 +219,16 @@ class ShardRouter:
         return account.remaining_lop()
 
     def charge_lop(self, issuer: str, expected_lop: float) -> None:
-        """Record one executed ranking statement's expected LoP."""
+        """Record one executed ranking statement's expected LoP.
+
+        Like :meth:`charge_dp`, budgeted and unbudgeted accounts both
+        record — the :class:`~repro.privacy.dp.SpendMeter` treats
+        ``budget=None`` as unmetered — so the snapshot shows every tenant's
+        cumulative spend and a budget installed later via :meth:`set_tenant`
+        binds against the history already accrued.
+        """
         account = self._tenants.get(issuer)
-        if account is not None and account.policy.lop_budget is not None:
+        if account is not None:
             account.lop.charge(expected_lop)
 
     # -- differential privacy -----------------------------------------------

@@ -278,6 +278,40 @@ class TestDpGate:
         assert one == two
         assert one[0] != other[0]
 
+    def test_changed_inner_answer_is_never_a_free_replay(self):
+        # The free-serve branch is bound to the data the release perturbed:
+        # a cache re-populated over mutated data (same key, same inner
+        # text, different answer) must settle as a fresh charged release —
+        # replaying the old noise would let an observer subtract the two
+        # releases and recover the exact data delta uncharged.
+        gate = DpGate(DpPolicy(seed=3))
+        request = self._request()
+        first, _ = gate.finalize(request, [(7.0,)], inner_cached=False)
+        second, charged = gate.finalize(request, [(9.0,)], inner_cached=True)
+        assert charged
+        assert gate.accountant.epsilon_spent == 2.0
+        assert gate.accountant.free_serves == 0
+        # Fresh noise stream: differencing the releases does not yield the
+        # exact data delta.
+        assert second[0] - first[0] != 9.0 - 7.0
+
+    def test_replayable_binds_to_the_perturbed_inner_answers(self):
+        gate = DpGate(DpPolicy(epsilon_budget=1.0, seed=3))
+        request = self._request()
+        stored, _ = gate.finalize(request, [(7.0,)], inner_cached=False)
+        assert gate.replayable(request, [(7.0,)])
+        assert not gate.replayable(request, [(9.0,)])
+        assert gate.would_charge(request, True, [(9.0,)])
+        assert not gate.would_charge(request, True, [(7.0,)])
+        # With the budget spent, a mutated repeat refuses instead of leaking.
+        with pytest.raises(BudgetExhausted):
+            gate.finalize(request, [(9.0,)], inner_cached=True)
+        # The refusal left the stored release intact: the original answer
+        # still re-serves byte-identically and free.
+        values, charged = gate.finalize(request, [(7.0,)], inner_cached=True)
+        assert not charged
+        assert values == stored
+
     def test_admit_is_optimistic_on_reuse_but_finalize_still_enforces(self):
         gate = DpGate(DpPolicy(epsilon_budget=1.0))
         request = self._request()

@@ -119,6 +119,30 @@ class TestCostBudget:
         with pytest.raises(ValueError):
             QueryService(fresh_federation(), cost_budget_seconds=0.0)
 
+    def test_inflight_batch_still_counts_toward_the_backlog(self):
+        # A batch popped from the queue is not finished work: while it
+        # executes, its summed plan estimates must still back the admission
+        # backlog, or admission transiently overshoots the cost budget by
+        # up to one full batch.
+        async def scenario():
+            federation = fresh_federation()
+            service = QueryService(federation, cost_budget_seconds=10.0)
+            observed: list[float] = []
+            real = federation.execute_many_settled
+
+            def spying_execute(statements, **kwargs):
+                observed.append(service._cost_backlog())
+                return real(statements, **kwargs)
+
+            federation.execute_many_settled = spying_execute
+            async with service:
+                await service.submit(SLO_TOP)
+            return observed, service._cost_backlog()
+
+        observed, after = asyncio.run(scenario())
+        assert observed and observed[0] > 0.0  # mid-batch: cost still held
+        assert after == 0.0  # settled: the in-flight counter drained
+
 
 class TestLedgerExport:
     def test_export_metrics_publishes_planner_gauges(self):

@@ -119,6 +119,37 @@ def test_tenant_lop_budget_feeds_planner_feasibility():
     assert isinstance(other, QueryOutcome)
 
 
+def test_unbudgeted_tenants_still_record_lop_spend():
+    """LoP mirrors DP accounting: a registered tenant without a budget is
+    unmetered but still *records*, so the snapshot shows real spend and a
+    budget installed later binds against the history already accrued."""
+    topology = build_topology(
+        shards=2, parties_per_shard=3, tables=3, rows_per_table=10, seed=3
+    )
+    sharded = sharded_federation(topology)
+    sharded.set_tenant("carol", TenantPolicy(rate=100.0))  # no lop_budget
+    ranking = f"SELECT TOP 2 value FROM {topology.tables[0]}"
+    outcome = sharded.execute_many_settled([ranking], issuer="carol")[0]
+    assert isinstance(outcome, QueryOutcome)
+    spent = sharded.router.tenant("carol").lop_spent
+    assert spent > 0.0
+    assert sharded.router.tenant_snapshot()["carol"]["lop_spent"] > 0.0
+
+    # Cache hits stay free for unbudgeted accounts too.
+    again = sharded.execute_many_settled([ranking], issuer="carol")[0]
+    assert again.cached
+    assert sharded.router.tenant("carol").lop_spent == spent
+
+    # A budget installed later binds against the accrued history.
+    sharded.set_tenant("carol", TenantPolicy(lop_budget=spent))
+    assert sharded.router.remaining_lop("carol") == 0.0
+
+    # Tenants never registered at all still spend into the void.
+    anon = sharded.execute_many_settled([ranking], issuer="nobody")[0]
+    assert isinstance(anon, QueryOutcome)
+    assert "nobody" not in sharded.router.tenant_snapshot()
+
+
 def test_tenant_budget_does_not_mask_unsatisfiable_slo():
     """An SLO the planner cannot meet refuses as PlanInfeasible, not as a
     budget problem, even for a budgeted tenant."""
